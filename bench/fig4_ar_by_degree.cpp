@@ -1,0 +1,55 @@
+// Reproduces Figure 4: the spread of label approximation ratios grouped
+// by regular degree under random-initialization labels (companion of
+// Figure 3; same data-quality diagnosis along the degree axis).
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  const bool full = full_scale_requested(args);
+
+  DatasetGenConfig config;
+  config.num_instances = args.get_int("instances", full ? 9598 : 800);
+  config.min_nodes = args.get_int("min-nodes", full ? 2 : 3);
+  config.max_nodes = args.get_int("max-nodes", full ? 15 : 12);
+  config.optimizer_evaluations =
+      args.get_int("label-evals", full ? 500 : 150);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+
+  std::cout
+      << "== Figure 4: possible approximation ratio by degree number ==\n";
+  std::cout << "# raw random-init labels (no audit, no pruning), "
+            << config.num_instances << " instances\n\n";
+
+  const auto entries = generate_dataset(
+      config, bench::stderr_progress("labelling dataset"));
+
+  std::map<int, RunningStats> by_degree;
+  std::map<int, std::vector<double>> samples;
+  for (const DatasetEntry& e : entries) {
+    by_degree[e.degree].add(e.approximation_ratio);
+    samples[e.degree].push_back(e.approximation_ratio);
+  }
+
+  Table table({"degree", "count", "min AR", "p25", "mean", "p75", "max AR"});
+  for (auto& [d, stats] : by_degree) {
+    table.add_row({std::to_string(d), std::to_string(stats.count()),
+                   format_double(stats.min(), 3),
+                   format_double(percentile(samples[d], 0.25), 3),
+                   format_double(stats.mean(), 3),
+                   format_double(percentile(samples[d], 0.75), 3),
+                   format_double(stats.max(), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: low degrees reach AR ~ 1.0 at the top but "
+               "show deep minima; spread narrows as degree grows (dense "
+               "graphs have flatter cut landscapes).\n";
+  return 0;
+}

@@ -1,0 +1,215 @@
+// P1: google-benchmark microbenchmarks for the substrates - simulator
+// scaling, the diagonal fast path vs the explicit gate circuit, GNN
+// forward/backward throughput per architecture, and the exact Max-Cut
+// solver. These back the design decisions in DESIGN.md SS4.
+
+#include <benchmark/benchmark.h>
+
+#include "gnn/model.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "maxcut/maxcut.hpp"
+#include "qaoa/ansatz.hpp"
+#include "qaoa/noise.hpp"
+#include "qaoa/optimize.hpp"
+#include "quantum/density_matrix.hpp"
+#include "quantum/pauli.hpp"
+
+namespace {
+
+using namespace qgnn;
+
+Graph bench_graph(int n, int d) {
+  Rng rng(static_cast<std::uint64_t>(n * 31 + d));
+  return random_regular_graph(n, d, rng);
+}
+
+void BM_SingleQubitGate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector s = StateVector::plus_state(n);
+  const auto gate = gates::rx(0.3);
+  for (auto _ : state) {
+    s.apply_single_qubit(gate, 0);
+    benchmark::DoNotOptimize(s.mutable_amplitudes().data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleQubitGate)->DenseRange(6, 16, 2);
+
+void BM_QaoaExpectationFastPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = bench_graph(n, 3);
+  const QaoaAnsatz ansatz(g);
+  const QaoaParams params = QaoaParams::single(0.6, 0.35);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ansatz.expectation(params));
+  }
+}
+BENCHMARK(BM_QaoaExpectationFastPath)->DenseRange(6, 14, 2);
+
+void BM_QaoaExpectationExplicitCircuit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = bench_graph(n, 3);
+  const QaoaAnsatz ansatz(g);
+  const QaoaParams params = QaoaParams::single(0.6, 0.35);
+  for (auto _ : state) {
+    const StateVector s = ansatz.build_circuit(params).simulate_from_plus();
+    benchmark::DoNotOptimize(ansatz.cost().expectation(s));
+  }
+}
+BENCHMARK(BM_QaoaExpectationExplicitCircuit)->DenseRange(6, 14, 2);
+
+void BM_CostHamiltonianBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = bench_graph(n, 3);
+  for (auto _ : state) {
+    CostHamiltonian cost(g);
+    benchmark::DoNotOptimize(cost.max_value());
+  }
+}
+BENCHMARK(BM_CostHamiltonianBuild)->DenseRange(6, 16, 2);
+
+void BM_MaxCutBruteForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = bench_graph(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_cut_brute_force(g).value);
+  }
+}
+BENCHMARK(BM_MaxCutBruteForce)->DenseRange(8, 16, 2);
+
+void BM_NelderMeadQaoa(benchmark::State& state) {
+  const Graph g = bench_graph(10, 3);
+  const QaoaAnsatz ansatz(g);
+  const Objective f = [&ansatz](const std::vector<double>& x) {
+    return ansatz.expectation(QaoaParams::from_flat(x));
+  };
+  NelderMeadConfig config;
+  config.max_evaluations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nelder_mead_maximize(f, {0.5, 0.5}, config).best_value);
+  }
+}
+BENCHMARK(BM_NelderMeadQaoa)->Arg(50)->Arg(150)->Arg(500);
+
+template <GnnArch arch>
+void BM_GnnForward(benchmark::State& state) {
+  Rng rng(7);
+  GnnModelConfig config;
+  config.arch = arch;
+  GnnModel model(config, rng);
+  const Graph g = bench_graph(static_cast<int>(state.range(0)), 3);
+  const GraphBatch batch = make_graph_batch(g, config.features);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(batch).data());
+  }
+}
+BENCHMARK(BM_GnnForward<GnnArch::kGCN>)->Arg(8)->Arg(14);
+BENCHMARK(BM_GnnForward<GnnArch::kGAT>)->Arg(8)->Arg(14);
+BENCHMARK(BM_GnnForward<GnnArch::kGIN>)->Arg(8)->Arg(14);
+BENCHMARK(BM_GnnForward<GnnArch::kSAGE>)->Arg(8)->Arg(14);
+
+template <GnnArch arch>
+void BM_GnnForwardBackward(benchmark::State& state) {
+  Rng rng(7);
+  GnnModelConfig config;
+  config.arch = arch;
+  GnnModel model(config, rng);
+  const Graph g = bench_graph(12, 3);
+  const GraphBatch batch = make_graph_batch(g, config.features);
+  const Matrix target(1, 2, 0.5);
+  Rng drop(3);
+  for (auto _ : state) {
+    for (ag::Var p : model.params()) p.zero_grad();
+    ag::Var loss = ag::mse_loss(model.forward(batch, true, drop), target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.value()(0, 0));
+  }
+}
+BENCHMARK(BM_GnnForwardBackward<GnnArch::kGCN>);
+BENCHMARK(BM_GnnForwardBackward<GnnArch::kGAT>);
+BENCHMARK(BM_GnnForwardBackward<GnnArch::kGIN>);
+BENCHMARK(BM_GnnForwardBackward<GnnArch::kSAGE>);
+
+void BM_DensityMatrixGate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DensityMatrix rho = DensityMatrix::from_state(StateVector::plus_state(n));
+  const auto gate = gates::rx(0.3);
+  for (auto _ : state) {
+    rho.apply_single_qubit(gate, 0);
+    benchmark::DoNotOptimize(rho.trace());
+  }
+}
+BENCHMARK(BM_DensityMatrixGate)->DenseRange(4, 10, 2);
+
+void BM_DensityMatrixDepolarizingChannel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DensityMatrix rho = DensityMatrix::from_state(StateVector::plus_state(n));
+  for (auto _ : state) {
+    rho.apply_depolarizing(0, 0.01);
+    benchmark::DoNotOptimize(rho.trace());
+  }
+}
+BENCHMARK(BM_DensityMatrixDepolarizingChannel)->DenseRange(4, 10, 2);
+
+void BM_NoisyTrajectoryVsExactChannel(benchmark::State& state) {
+  // One trajectory of noisy QAOA (the Monte-Carlo unit the sampler pays
+  // per estimate).
+  const Graph g = bench_graph(static_cast<int>(state.range(0)), 3);
+  NoiseModel noise;
+  Rng rng(5);
+  const QaoaParams params = QaoaParams::single(0.6, 0.35);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        noisy_qaoa_trajectory(g, params, noise, rng).norm());
+  }
+}
+BENCHMARK(BM_NoisyTrajectoryVsExactChannel)->Arg(8)->Arg(12);
+
+void BM_PauliSumExpectation(benchmark::State& state) {
+  // Generic Pauli-sum path vs the diagonal fast path (BM_QaoaExpectation*)
+  // for the same observable.
+  const Graph g = bench_graph(static_cast<int>(state.range(0)), 3);
+  const PauliSum sum = maxcut_pauli_sum(g);
+  const StateVector s = StateVector::plus_state(g.num_nodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sum.expectation(s));
+  }
+}
+BENCHMARK(BM_PauliSumExpectation)->Arg(8)->Arg(12);
+
+void BM_JacobiEigenLaplacian(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        jacobi_eigen(laplacian_matrix(g), g.num_nodes()).values[0]);
+  }
+}
+BENCHMARK(BM_JacobiEigenLaplacian)->Arg(8)->Arg(15);
+
+void BM_SimulatedAnnealing(benchmark::State& state) {
+  const Graph g = bench_graph(14, 3);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        max_cut_simulated_annealing(g, static_cast<int>(state.range(0)),
+                                    rng)
+            .value);
+  }
+}
+BENCHMARK(BM_SimulatedAnnealing)->Arg(50)->Arg(200);
+
+void BM_RandomRegularGraph(benchmark::State& state) {
+  Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        random_regular_graph(n, 3, rng).num_edges());
+  }
+}
+BENCHMARK(BM_RandomRegularGraph)->Arg(8)->Arg(15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Reproduces Table 1: average improvement (percentage points of the
+// Max-Cut approximation ratio) of GNN-predicted QAOA initialization over
+// random initialization, for GAT / GCN / GIN / GraphSAGE on held-out test
+// graphs. Also prints the raw AR statistics behind the table.
+//
+// Paper reference values (100 test graphs, 9598-instance training set):
+//   GAT 3.28 +/- 9.99 | GCN 3.65 +/- 10.17 | GIN 3.66 +/- 9.97 |
+//   GraphSAGE 2.86 +/- 10.01
+//
+// Expected shape at any scale: every architecture has a positive mean
+// improvement with a standard deviation several times the mean.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  const PipelineConfig config = bench::make_pipeline_config(args);
+
+  std::cout << "== Table 1: GNN warm-start improvement over random "
+               "initialization ==\n";
+  bench::print_scale_banner(args, config);
+
+  const PipelineReport report = run_pipeline(
+      config, all_gnn_archs(), bench::stderr_progress("labelling dataset"));
+
+  std::cout << "training set: " << report.data.train.size()
+            << " graphs (after SDP), test set: " << report.data.test.size()
+            << " graphs\n";
+  std::cout << "fixed-angle audit: improved "
+            << report.data.audit_report.improved << "/"
+            << report.data.audit_report.covered
+            << " labels (mean AR delta "
+            << format_double(report.data.audit_report.mean_ar_delta, 4)
+            << ")\n\n";
+
+  Table table({"Methods", "GAT", "GCN", "GIN", "GraphSAGE"});
+  std::vector<std::string> improvement_row{"Average Improvement (pp)"};
+  std::vector<std::string> ar_row{"Mean AR (GNN init)"};
+  std::vector<std::string> loss_row{"Final train loss"};
+  // run_pipeline evaluated archs in all_gnn_archs() order = paper order.
+  for (const ArchEvaluation& eval : report.archs) {
+    improvement_row.push_back(
+        format_mean_std(eval.mean_improvement, eval.std_improvement, 2));
+    ar_row.push_back(format_mean_std(eval.mean_ar, eval.std_ar, 3));
+    loss_row.push_back(
+        format_double(eval.train_report.final_train_loss, 4));
+  }
+  table.add_row(improvement_row);
+  table.add_row(ar_row);
+  table.add_row(loss_row);
+
+  RunningStats random_stats;
+  for (double ar : report.ar_random) random_stats.add(ar);
+  table.add_row({"Baseline mean AR (random init)",
+                 format_mean_std(random_stats.mean(), random_stats.stddev(),
+                                 3),
+                 "", "", ""});
+  table.print(std::cout);
+
+  std::cout << "\npaper: GAT 3.28+/-9.99, GCN 3.65+/-10.17, GIN 3.66+/-9.97, "
+               "GraphSAGE 2.86+/-10.01 (pp)\n";
+  std::cout << "shape check: positive mean improvement, std >> mean.\n";
+
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty()) {
+    table.write_csv(csv);
+    std::cout << "wrote " << csv << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Generate, persist, reload, and summarize a labelled dataset - the
+// offline data workflow behind the paper's SS3.1 (one text file per graph
+// plus a manifest with labels and metadata).
+//
+// Run:  ./dataset_inspect [--dir PATH] [--instances N]
+
+#include <iostream>
+
+#include "dataset/pruning.hpp"
+#include "dataset/storage.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  const std::string dir = args.get("dir", "/tmp/qgnn_dataset_demo");
+
+  DatasetGenConfig config;
+  config.num_instances = args.get_int("instances", 100);
+  config.min_nodes = 3;
+  config.max_nodes = 12;
+  config.optimizer_evaluations = 100;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+
+  std::cout << "generating " << config.num_instances
+            << " labelled instances...\n";
+  auto entries = generate_dataset(config);
+
+  const auto audit = fixed_angle_label_audit(entries, 1);
+  std::cout << "fixed-angle audit: improved " << audit.improved << "/"
+            << audit.covered << " labels\n";
+
+  save_dataset(dir, entries);
+  std::cout << "saved to " << dir << " (manifest.csv + graphs/*.txt)\n";
+
+  const auto loaded = load_dataset(dir);
+  std::cout << "reloaded " << loaded.size() << " entries\n\n";
+
+  RunningStats ar;
+  RunningStats gamma;
+  RunningStats beta;
+  FrequencyTable sizes;
+  for (const DatasetEntry& e : loaded) {
+    ar.add(e.approximation_ratio);
+    gamma.add(e.label.gammas[0]);
+    beta.add(e.label.betas[0]);
+    sizes.add(e.graph.num_nodes());
+  }
+
+  Table table({"statistic", "mean", "std", "min", "max"});
+  auto row = [&table](const std::string& name, const RunningStats& s) {
+    table.add_row({name, format_double(s.mean(), 3),
+                   format_double(s.stddev(), 3), format_double(s.min(), 3),
+                   format_double(s.max(), 3)});
+  };
+  row("label approximation ratio", ar);
+  row("label gamma", gamma);
+  row("label beta", beta);
+  table.print(std::cout);
+
+  std::cout << "\ngraph sizes: ";
+  for (const auto& [k, c] : sizes.counts()) {
+    std::cout << k << ":" << c << " ";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The fixed-angle conjecture in practice (Wurtz & Lykov): universal
+// near-optimal p=1 angles per regular degree, checked against the closed
+// form on triangle-free graphs and against full optimization on graphs
+// with triangles.
+//
+// Run:  ./fixed_angles_demo
+
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "qaoa/fixed_angles.hpp"
+#include "qaoa/optimize.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+
+  std::cout << "p=1 fixed angles per regular degree "
+               "(gamma* = atan(1/sqrt(d-1)), beta* = pi/8):\n\n";
+  Table angles_table({"degree", "gamma*", "beta*",
+                      "closed-form cut fraction"});
+  for (int d = 1; d <= 14; ++d) {
+    const auto angles = fixed_angles(d, 1);
+    angles_table.add_row({std::to_string(d),
+                          format_double(angles->gammas[0], 4),
+                          format_double(angles->betas[0], 4),
+                          format_double(p1_triangle_free_cut_fraction(d), 4)});
+  }
+  angles_table.print(std::cout);
+
+  std::cout << "\nvalidation on random regular graphs (fixed angles vs "
+               "grid-searched optimum of the same instance):\n\n";
+  Table check({"graph", "<C>/m fixed", "<C>/m optimized", "gap"});
+  for (const auto& [n, d] : std::vector<std::pair<int, int>>{
+           {8, 3}, {10, 3}, {12, 4}, {10, 5}}) {
+    const Graph g = random_regular_graph(n, d, rng);
+    const QaoaAnsatz ansatz(g);
+    const double fixed =
+        ansatz.expectation(*fixed_angles(d, 1)) / g.num_edges();
+    const Objective f = [&ansatz](const std::vector<double>& x) {
+      return ansatz.expectation(QaoaParams::single(x[0], x[1]));
+    };
+    GridSearchConfig grid;
+    grid.gamma_steps = 64;
+    grid.beta_steps = 64;
+    const double best =
+        grid_search_maximize_2d(f, grid).best_value / g.num_edges();
+    check.add_row({std::to_string(n) + "-node " + std::to_string(d) +
+                       "-regular",
+                   format_double(fixed, 4), format_double(best, 4),
+                   format_double(best - fixed, 4)});
+  }
+  check.print(std::cout);
+
+  std::cout << "\ndepth 2 and 3 for 3-regular graphs (transcribed "
+               "Wurtz-Lykov angles):\n";
+  const Graph g = random_regular_graph(10, 3, rng);
+  const QaoaAnsatz ansatz(g);
+  for (int p = 1; p <= 3; ++p) {
+    const auto a = fixed_angles(3, p);
+    std::cout << "  p=" << p << ": AR = "
+              << format_double(ansatz.approximation_ratio(*a), 4) << "\n";
+  }
+  std::cout << "\nreading: fixed angles give near-optimal starts for free; "
+               "the GNN generalizes the same idea beyond regular graphs.\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+// qgnn_tool: command-line driver for the whole library, the entry point a
+// downstream user scripts against.
+//
+//   qgnn_tool generate --dir DATA [--instances N] [--seed S]
+//       generate + label a dataset and save it (manifest + graph files)
+//   qgnn_tool train --dir DATA --model MODEL.txt [--arch GCN] [--epochs N]
+//       train a GNN on a saved dataset and write the model file
+//   qgnn_tool predict --model MODEL.txt --graph GRAPH.txt
+//       print the predicted (gamma, beta) for one graph file
+//   qgnn_tool solve --graph GRAPH.txt [--model MODEL.txt] [--evals N]
+//       run QAOA on a graph (warm-started when a model is given)
+//   qgnn_tool evaluate --dir DATA --model MODEL.txt [--test-count N]
+//       fixed-parameter comparison of the model vs random init
+//   qgnn_tool landscape --graph GRAPH.txt [--grid N]
+//       render the p=1 (gamma, beta) landscape of a graph as ASCII art
+
+#include <iostream>
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "dataset/storage.hpp"
+#include "graph/io.hpp"
+#include "qaoa/landscape.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qgnn;
+
+int cmd_generate(const CliArgs& args) {
+  const std::string dir = args.get("dir", "");
+  QGNN_REQUIRE(!dir.empty(), "generate requires --dir");
+  DatasetGenConfig config;
+  config.num_instances = args.get_int("instances", 300);
+  config.min_nodes = args.get_int("min-nodes", 3);
+  config.max_nodes = args.get_int("max-nodes", 12);
+  config.optimizer_evaluations = args.get_int("label-evals", 150);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::cout << "generating " << config.num_instances << " instances...\n";
+  auto entries = generate_dataset(config, [](int done, int total) {
+    if (done % 50 == 0 || done == total) {
+      std::cout << "  " << done << "/" << total << "\n";
+    }
+  });
+  if (args.get_bool("audit", true)) {
+    const auto audit = fixed_angle_label_audit(entries, 1);
+    std::cout << "fixed-angle audit improved " << audit.improved
+              << " labels\n";
+  }
+  save_dataset(dir, entries);
+  std::cout << "saved " << entries.size() << " entries to " << dir << "\n";
+  return 0;
+}
+
+int cmd_train(const CliArgs& args) {
+  const std::string dir = args.get("dir", "");
+  const std::string model_path = args.get("model", "");
+  QGNN_REQUIRE(!dir.empty() && !model_path.empty(),
+               "train requires --dir and --model");
+  const auto entries = load_dataset(dir);
+  std::cout << "loaded " << entries.size() << " entries\n";
+
+  GnnModelConfig model_config;
+  model_config.arch = gnn_arch_from_string(args.get("arch", "GCN"));
+  model_config.hidden_dim = args.get_int("hidden-dim", 32);
+  model_config.dropout = args.get_double("dropout", 0.5);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2)));
+  GnnModel model(model_config, rng);
+
+  TrainerConfig trainer;
+  trainer.epochs = args.get_int("epochs", 100);
+  trainer.learning_rate = args.get_double("lr", 1e-2);
+  trainer.verbose = args.get_bool("verbose", false);
+  const TrainReport report = train_gnn(
+      model, to_train_samples(entries, model_config.features), trainer, rng);
+  std::cout << "final train loss " << report.final_train_loss << " (val "
+            << report.final_validation_loss << ")\n";
+  model.save(model_path);
+  std::cout << "wrote " << model_path << " (" << model.parameter_count()
+            << " parameters)\n";
+  return 0;
+}
+
+int cmd_predict(const CliArgs& args) {
+  const std::string model_path = args.get("model", "");
+  const std::string graph_path = args.get("graph", "");
+  QGNN_REQUIRE(!model_path.empty() && !graph_path.empty(),
+               "predict requires --model and --graph");
+  const GnnModel model = GnnModel::load(model_path);
+  const Graph g = load_graph(graph_path);
+  const QaoaParams params = target_to_params(model.predict(g));
+  std::cout << g.describe() << "\n";
+  for (int l = 0; l < params.depth(); ++l) {
+    std::cout << "layer " << l << ": gamma = "
+              << params.gammas[static_cast<std::size_t>(l)]
+              << ", beta = " << params.betas[static_cast<std::size_t>(l)]
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_solve(const CliArgs& args) {
+  const std::string graph_path = args.get("graph", "");
+  QGNN_REQUIRE(!graph_path.empty(), "solve requires --graph");
+  const Graph g = load_graph(graph_path);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+
+  std::unique_ptr<ParameterInitializer> init;
+  const std::string model_path = args.get("model", "");
+  if (!model_path.empty()) {
+    auto model = std::make_shared<GnnModel>(GnnModel::load(model_path));
+    init = std::make_unique<GnnInitializer>(std::move(model));
+  } else if (g.is_regular() && g.num_edges() > 0) {
+    init = std::make_unique<FixedAngleInitializer>();
+  } else {
+    init = std::make_unique<RandomInitializer>(rng.child());
+  }
+
+  QaoaRunConfig config;
+  config.max_evaluations = args.get_int("evals", 200);
+  config.sample_shots = args.get_int("shots", 256);
+  const QaoaResult result = run_qaoa(g, *init, config, rng);
+
+  std::cout << g.describe() << "\n";
+  std::cout << "initializer: " << init->name() << "\n";
+  std::cout << "initial AR " << format_double(result.initial_ar, 4)
+            << " -> optimized AR " << format_double(result.best_ar, 4)
+            << " in " << result.evaluations << " circuit evaluations\n";
+  std::cout << "best sampled cut " << result.sampled_cut.value << " / "
+            << result.optimum << " (assignment bits ";
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    std::cout << ((result.sampled_cut.assignment >> v) & 1);
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
+int cmd_evaluate(const CliArgs& args) {
+  const std::string dir = args.get("dir", "");
+  const std::string model_path = args.get("model", "");
+  QGNN_REQUIRE(!dir.empty() && !model_path.empty(),
+               "evaluate requires --dir and --model");
+  auto entries = load_dataset(dir);
+  const int test_count =
+      std::min<int>(args.get_int("test-count", 50),
+                    static_cast<int>(entries.size()) - 1);
+  auto [train, test] = train_test_split(
+      std::move(entries), test_count,
+      static_cast<std::uint64_t>(args.get_int("seed", 4)));
+
+  const GnnModel model = GnnModel::load(model_path);
+  const auto ar_random = random_baseline_ar(
+      test, 1, static_cast<std::uint64_t>(args.get_int("seed", 4)));
+  const auto ar_gnn = gnn_ar_series(model, test);
+
+  RunningStats improvement;
+  for (std::size_t i = 0; i < ar_gnn.size(); ++i) {
+    improvement.add((ar_gnn[i] - ar_random[i]) * 100.0);
+  }
+  std::cout << "test graphs: " << test.size() << "\n";
+  std::cout << "mean AR improvement over random init: "
+            << format_mean_std(improvement.mean(), improvement.stddev(), 2)
+            << " pp\n";
+  return 0;
+}
+
+int cmd_landscape(const CliArgs& args) {
+  const std::string graph_path = args.get("graph", "");
+  QGNN_REQUIRE(!graph_path.empty(), "landscape requires --graph");
+  const Graph g = load_graph(graph_path);
+  const QaoaAnsatz ansatz(g);
+  const int grid = args.get_int("grid", 64);
+  const Landscape ls = evaluate_landscape(ansatz, grid, grid / 2);
+  std::cout << g.describe() << "\n";
+  std::cout << render_landscape(ls, grid) << "\n";
+  const LandscapeStats stats = analyze_landscape(ls, 0.05 * ls.max_value());
+  std::cout << "global max <C> = " << format_double(ls.max_value(), 4)
+            << " | local maxima " << stats.local_maxima
+            << " | good-start fraction "
+            << format_double(stats.good_start_fraction, 3) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qgnn::CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: qgnn_tool <generate|train|predict|solve|evaluate> "
+                 "[flags]\n(see the header comment of qgnn_tool.cpp)\n";
+    return 2;
+  }
+  const std::string& command = args.positional()[0];
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "landscape") return cmd_landscape(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,54 @@
+// Quickstart: solve one Max-Cut instance with QAOA.
+//
+//   build a graph -> pick initial (gamma, beta) -> optimize the expected
+//   cut with Nelder-Mead -> sample a concrete cut -> compare to the exact
+//   optimum.
+//
+// Run:  ./quickstart [--nodes N] [--degree D] [--seed S]
+
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "qaoa/qaoa.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  const int n = args.get_int("nodes", 10);
+  const int d = args.get_int("degree", 3);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+
+  // 1. A random 3-regular Max-Cut instance.
+  const Graph g = random_regular_graph(n, d, rng);
+  std::cout << "instance: " << g.describe() << "\n";
+
+  // 2. Exact optimum for reference (the simulator keeps n small anyway).
+  const Cut optimum = max_cut_brute_force(g);
+  std::cout << "exact max cut: " << optimum.value << "\n\n";
+
+  // 3. QAOA warm-started with the fixed-angle conjecture.
+  FixedAngleInitializer init;
+  QaoaRunConfig config;
+  config.depth = 1;
+  config.optimizer = QaoaOptimizer::kNelderMead;
+  config.max_evaluations = 200;
+  config.sample_shots = 256;
+  const QaoaResult result = run_qaoa(g, init, config, rng);
+
+  std::cout << "initial params: gamma=" << result.initial_params.gammas[0]
+            << " beta=" << result.initial_params.betas[0] << "\n";
+  std::cout << "initial <C> = " << result.initial_expectation
+            << " (AR " << format_double(result.initial_ar, 3) << ")\n";
+  std::cout << "after " << result.evaluations
+            << " circuit evaluations: <C> = " << result.best_expectation
+            << " (AR " << format_double(result.best_ar, 3) << ")\n";
+  std::cout << "best sampled cut: value " << result.sampled_cut.value
+            << " / " << optimum.value << " with assignment ";
+  for (int v = 0; v < n; ++v) {
+    std::cout << ((result.sampled_cut.assignment >> v) & 1);
+  }
+  std::cout << " (bit v = side of node v)\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Weighted Max-Cut (the paper's SS7 future-work item) through the whole
+// stack: weighted graphs flow through the simulator, the cost Hamiltonian,
+// QAOA optimization, and GNN-based warm starts trained on weighted
+// instances.
+//
+// Run:  ./weighted_maxcut [--instances N] [--seed S]
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qgnn;
+
+/// Weighted counterpart of the dataset generator: regular topology with
+/// U[0.5, 1.5] edge weights.
+std::vector<DatasetEntry> weighted_dataset(int count, std::uint64_t seed) {
+  Rng master(seed);
+  Rng graph_rng = master.child();
+  Rng init_rng = master.child();
+  Rng sample_rng = master.child();
+  RandomInitializer init{init_rng};
+  QaoaRunConfig run;
+  run.max_evaluations = 150;
+  run.sample_shots = 0;
+
+  std::vector<DatasetEntry> entries;
+  while (static_cast<int>(entries.size()) < count) {
+    const int n = graph_rng.uniform_int(4, 12);
+    const int d = (n % 2 == 0) ? 3 : 4;
+    if (!regular_graph_exists(n, d)) continue;
+    const Graph g = with_random_weights(random_regular_graph(n, d, graph_rng),
+                                        0.5, 1.5, graph_rng);
+    const QaoaResult r = run_qaoa(g, init, run, sample_rng);
+    DatasetEntry e;
+    e.graph = g;
+    e.label = canonicalize_params(r.best_params);
+    e.expectation = r.best_expectation;
+    e.optimum = r.optimum;
+    e.approximation_ratio = r.best_ar;
+    e.degree = d;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int instances = args.get_int("instances", 150);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 13));
+
+  std::cout << "generating " << instances
+            << " weighted regular instances (weights ~ U[0.5, 1.5])...\n";
+  auto entries = weighted_dataset(instances, seed);
+
+  auto [train, test] = train_test_split(std::move(entries), 20, seed + 1);
+  std::cout << "train " << train.size() << " / test " << test.size() << "\n";
+
+  GnnModelConfig model_config;
+  model_config.arch = GnnArch::kGIN;
+  Rng rng(seed + 2);
+  GnnModel model(model_config, rng);
+  TrainerConfig trainer;
+  trainer.epochs = 60;
+  trainer.validation_fraction = 0.1;
+  PreparedData data;
+  data.train = std::move(train);
+  data.test = std::move(test);
+  auto samples = to_train_samples(data.train, model_config.features);
+  const TrainReport report = train_gnn(model, std::move(samples), trainer,
+                                       rng);
+  std::cout << "trained GIN, final loss "
+            << format_double(report.final_train_loss, 4) << "\n\n";
+
+  const auto ar_random = random_baseline_ar(data.test, 1, seed + 3);
+  const auto ar_gnn = gnn_ar_series(model, data.test);
+  RunningStats random_stats;
+  RunningStats gnn_stats;
+  RunningStats improvement;
+  for (std::size_t i = 0; i < ar_gnn.size(); ++i) {
+    random_stats.add(ar_random[i]);
+    gnn_stats.add(ar_gnn[i]);
+    improvement.add((ar_gnn[i] - ar_random[i]) * 100.0);
+  }
+
+  Table table({"initializer", "mean AR", "std AR"});
+  table.add_row({"random", format_double(random_stats.mean(), 3),
+                 format_double(random_stats.stddev(), 3)});
+  table.add_row({"gnn:GIN", format_double(gnn_stats.mean(), 3),
+                 format_double(gnn_stats.stddev(), 3)});
+  table.print(std::cout);
+  std::cout << "mean improvement: "
+            << format_mean_std(improvement.mean(), improvement.stddev(), 2)
+            << " pp on weighted graphs\n";
+  std::cout << "\nthe paper (SS7) reports its unweighted-trained models "
+               "perform inconsistently on weighted graphs; this example "
+               "runs the whole stack on weighted instances so that "
+               "limitation can be measured (expect a small or even "
+               "negative improvement at this scale) and attacked with "
+               "larger weighted training sets.\n";
+  return 0;
+}

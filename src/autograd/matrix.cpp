@@ -1,0 +1,158 @@
+#include "autograd/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ > 0 ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    QGNN_REQUIRE(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0);
+}
+
+Matrix Matrix::ones(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 1.0);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::xavier_uniform(std::size_t rows, std::size_t cols, Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  return random_uniform(rows, cols, -limit, limit, rng);
+}
+
+Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols, double lo,
+                              double hi, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.uniform(lo, hi);
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  QGNN_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  QGNN_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  QGNN_REQUIRE(same_shape(other), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  QGNN_REQUIRE(same_shape(other), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  QGNN_REQUIRE(cols_ == other.rows_, "inner dimension mismatch in matmul");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  QGNN_REQUIRE(same_shape(other), "shape mismatch in hadamard");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * other.data_[i];
+  }
+  return out;
+}
+
+double Matrix::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::mean() const {
+  QGNN_REQUIRE(!data_.empty(), "mean of empty matrix");
+  return sum() / static_cast<double>(data_.size());
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+bool Matrix::approx_equal(const Matrix& other, double tol) const {
+  if (!same_shape(other)) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[[" : " [");
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j > 0) os << ", ";
+      os << (*this)(i, j);
+    }
+    os << (i + 1 == rows_ ? "]]" : "],") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qgnn

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qgnn {
+
+/// Dense row-major matrix of doubles — the value type of the autograd
+/// engine. Sized for GNNs over graphs of <= a few dozen nodes: no BLAS, no
+/// views, just correct and cache-friendly loops.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  static Matrix ones(std::size_t rows, std::size_t cols);
+  static Matrix identity(std::size_t n);
+  /// Entries ~ U[-limit, limit] with limit = sqrt(6 / (rows + cols)):
+  /// Glorot/Xavier-uniform, the standard GNN weight init.
+  static Matrix xavier_uniform(std::size_t rows, std::size_t cols, Rng& rng);
+  /// Entries ~ U[lo, hi].
+  static Matrix random_uniform(std::size_t rows, std::size_t cols, double lo,
+                               double hi, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Matrix product this(r x k) * other(k x c).
+  Matrix matmul(const Matrix& other) const;
+  Matrix transposed() const;
+  /// Elementwise product.
+  Matrix hadamard(const Matrix& other) const;
+  /// Elementwise map.
+  template <typename F>
+  Matrix map(F&& f) const {
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+    return out;
+  }
+
+  double sum() const;
+  double mean() const;
+  double max_abs() const;
+  /// Frobenius norm.
+  double norm() const;
+
+  void fill(double v);
+
+  /// True when all entries match within `tol`.
+  bool approx_equal(const Matrix& other, double tol = 1e-9) const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace qgnn

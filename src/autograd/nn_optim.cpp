@@ -1,0 +1,102 @@
+#include "autograd/nn_optim.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace qgnn::ag {
+
+AdamOptimizer::AdamOptimizer(std::vector<Var> params, Config config)
+    : params_(std::move(params)), config_(config) {
+  QGNN_REQUIRE(!params_.empty(), "optimizer needs at least one parameter");
+  for (const Var& p : params_) {
+    QGNN_REQUIRE(p.defined() && p.requires_grad(),
+                 "optimizer parameters must be trainable leaves");
+    m_.push_back(Matrix::zeros(p.rows(), p.cols()));
+    v_.push_back(Matrix::zeros(p.rows(), p.cols()));
+  }
+}
+
+void AdamOptimizer::zero_grad() {
+  for (Var& p : params_) p.zero_grad();
+}
+
+void AdamOptimizer::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const Matrix& g = params_[k].grad();
+    Matrix w = params_[k].value();
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      for (std::size_t j = 0; j < w.cols(); ++j) {
+        double grad = g(i, j) + config_.weight_decay * w(i, j);
+        double& m = m_[k](i, j);
+        double& v = v_[k](i, j);
+        m = config_.beta1 * m + (1.0 - config_.beta1) * grad;
+        v = config_.beta2 * v + (1.0 - config_.beta2) * grad * grad;
+        const double mhat = m / bc1;
+        const double vhat = v / bc2;
+        w(i, j) -= config_.learning_rate * mhat /
+                   (std::sqrt(vhat) + config_.epsilon);
+      }
+    }
+    params_[k].set_value(std::move(w));
+  }
+}
+
+ReduceLROnPlateau::ReduceLROnPlateau(AdamOptimizer& optimizer, Config config)
+    : optimizer_(optimizer),
+      config_(config),
+      best_(std::numeric_limits<double>::infinity()) {
+  QGNN_REQUIRE(config_.factor > 0.0 && config_.factor < 1.0,
+               "plateau factor must be in (0, 1)");
+  QGNN_REQUIRE(config_.patience >= 0, "negative patience");
+}
+
+bool ReduceLROnPlateau::step(double metric) {
+  const bool improved = metric < best_ * (1.0 - config_.threshold);
+  if (improved) {
+    best_ = metric;
+    bad_epochs_ = 0;
+    return false;
+  }
+  ++bad_epochs_;
+  if (bad_epochs_ <= config_.patience) return false;
+  bad_epochs_ = 0;
+  const double lr = optimizer_.learning_rate();
+  const double next = std::max(lr * config_.factor, config_.min_lr);
+  if (next < lr) {
+    optimizer_.set_learning_rate(next);
+    ++reductions_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t parameter_count(const std::vector<Var>& params) {
+  std::size_t n = 0;
+  for (const Var& p : params) n += p.value().size();
+  return n;
+}
+
+double clip_grad_norm(const std::vector<Var>& params, double max_norm) {
+  QGNN_REQUIRE(max_norm > 0.0, "max_norm must be positive");
+  double total = 0.0;
+  for (const Var& p : params) {
+    const double n = p.grad().norm();
+    total += n * n;
+  }
+  total = std::sqrt(total);
+  if (total > max_norm) {
+    const double scale = max_norm / total;
+    for (const Var& p : params) {
+      // grad() exposes a const ref; scale via the node.
+      p.node()->grad *= scale;
+    }
+  }
+  return total;
+}
+
+}  // namespace qgnn::ag

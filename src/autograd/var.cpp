@@ -1,0 +1,591 @@
+#include "autograd/var.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace qgnn::ag {
+
+void Node::ensure_grad() {
+  if (grad.empty()) grad = Matrix::zeros(value.rows(), value.cols());
+}
+
+void Node::accumulate(const Matrix& g) {
+  ensure_grad();
+  grad += g;
+}
+
+Var::Var(Matrix value, bool requires_grad) : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Var Var::from_node(std::shared_ptr<Node> n) {
+  Var v;
+  v.node_ = std::move(n);
+  return v;
+}
+
+const Matrix& Var::value() const {
+  QGNN_REQUIRE(node_ != nullptr, "use of undefined Var");
+  return node_->value;
+}
+
+const Matrix& Var::grad() const {
+  QGNN_REQUIRE(node_ != nullptr, "use of undefined Var");
+  const_cast<Node*>(node_.get())->ensure_grad();
+  return node_->grad;
+}
+
+bool Var::requires_grad() const {
+  QGNN_REQUIRE(node_ != nullptr, "use of undefined Var");
+  return node_->requires_grad;
+}
+
+void Var::set_value(Matrix v) {
+  QGNN_REQUIRE(node_ != nullptr, "use of undefined Var");
+  QGNN_REQUIRE(node_->parents.empty(), "set_value only valid on leaves");
+  QGNN_REQUIRE(v.same_shape(node_->value), "set_value shape mismatch");
+  node_->value = std::move(v);
+}
+
+void Var::zero_grad() {
+  QGNN_REQUIRE(node_ != nullptr, "use of undefined Var");
+  node_->ensure_grad();
+  node_->grad.fill(0.0);
+}
+
+void Var::backward() {
+  QGNN_REQUIRE(node_ != nullptr, "use of undefined Var");
+  QGNN_REQUIRE(node_->value.rows() == 1 && node_->value.cols() == 1,
+               "backward() requires a scalar (1x1) output");
+
+  // Topological order by iterative post-order DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, next_child] = stack.back();
+    if (next_child < n->parents.size()) {
+      Node* child = n->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // `order` is children-before-parents of the DFS tree; reverse gives the
+  // output first.
+  std::reverse(order.begin(), order.end());
+
+  // Zero the grads of every NON-LEAF node in the subgraph first: they are
+  // scratch space for this pass, not accumulators. Leaf grads accumulate
+  // across backward() calls (standard autograd semantics).
+  for (Node* n : order) {
+    if (n->backward_fn) {
+      n->ensure_grad();
+      n->grad.fill(0.0);
+    }
+  }
+  node_->ensure_grad();
+  node_->grad.fill(0.0);
+  node_->grad(0, 0) = 1.0;
+  for (Node* n : order) {
+    if (n->backward_fn) {
+      n->backward_fn(*n);
+    }
+  }
+}
+
+namespace {
+
+/// Create a non-leaf node wired to its parents.
+Var make_op(Matrix value, std::vector<Var> parents,
+            std::function<void(Node&)> backward_fn) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = false;
+  for (const Var& p : parents) {
+    QGNN_REQUIRE(p.defined(), "op input is undefined");
+    n->parents.push_back(p.node());
+    if (p.node()->requires_grad) n->requires_grad = true;
+  }
+  n->backward_fn = std::move(backward_fn);
+  return Var::from_node(std::move(n));
+}
+
+}  // namespace
+
+Var matmul(const Var& a, const Var& b) {
+  QGNN_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  Matrix out = a.value().matmul(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(std::move(out), {a, b}, [an, bn](Node& self) {
+    an->accumulate(self.grad.matmul(bn->value.transposed()));
+    bn->accumulate(an->value.transposed().matmul(self.grad));
+  });
+}
+
+Var add(const Var& a, const Var& b) {
+  QGNN_REQUIRE(a.value().same_shape(b.value()), "add shape mismatch");
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(a.value() + b.value(), {a, b}, [an, bn](Node& self) {
+    an->accumulate(self.grad);
+    bn->accumulate(self.grad);
+  });
+}
+
+Var sub(const Var& a, const Var& b) {
+  QGNN_REQUIRE(a.value().same_shape(b.value()), "sub shape mismatch");
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(a.value() - b.value(), {a, b}, [an, bn](Node& self) {
+    an->accumulate(self.grad);
+    bn->accumulate(self.grad * -1.0);
+  });
+}
+
+Var add_bias(const Var& a, const Var& bias) {
+  QGNN_REQUIRE(bias.rows() == 1 && bias.cols() == a.cols(),
+               "bias must be 1 x cols(a)");
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) += bias.value()(0, j);
+    }
+  }
+  auto an = a.node();
+  auto bn = bias.node();
+  return make_op(std::move(out), {a, bias}, [an, bn](Node& self) {
+    an->accumulate(self.grad);
+    Matrix db(1, self.grad.cols());
+    for (std::size_t i = 0; i < self.grad.rows(); ++i) {
+      for (std::size_t j = 0; j < self.grad.cols(); ++j) {
+        db(0, j) += self.grad(i, j);
+      }
+    }
+    bn->accumulate(db);
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  QGNN_REQUIRE(a.value().same_shape(b.value()), "mul shape mismatch");
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(a.value().hadamard(b.value()), {a, b}, [an, bn](Node& self) {
+    an->accumulate(self.grad.hadamard(bn->value));
+    bn->accumulate(self.grad.hadamard(an->value));
+  });
+}
+
+Var scalar_mul(const Var& a, double s) {
+  auto an = a.node();
+  return make_op(a.value() * s, {a}, [an, s](Node& self) {
+    an->accumulate(self.grad * s);
+  });
+}
+
+Var relu(const Var& a) {
+  auto an = a.node();
+  Matrix out = a.value().map([](double v) { return v > 0.0 ? v : 0.0; });
+  return make_op(std::move(out), {a}, [an](Node& self) {
+    Matrix g = self.grad;
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        if (an->value(i, j) <= 0.0) g(i, j) = 0.0;
+      }
+    }
+    an->accumulate(g);
+  });
+}
+
+Var leaky_relu(const Var& a, double negative_slope) {
+  auto an = a.node();
+  Matrix out = a.value().map(
+      [negative_slope](double v) { return v > 0.0 ? v : negative_slope * v; });
+  return make_op(std::move(out), {a}, [an, negative_slope](Node& self) {
+    Matrix g = self.grad;
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        if (an->value(i, j) <= 0.0) g(i, j) *= negative_slope;
+      }
+    }
+    an->accumulate(g);
+  });
+}
+
+Var sigmoid(const Var& a) {
+  auto an = a.node();
+  Matrix out = a.value().map(
+      [](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  Matrix saved = out;
+  return make_op(std::move(out), {a}, [an, saved](Node& self) {
+    Matrix g = self.grad;
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        const double y = saved(i, j);
+        g(i, j) *= y * (1.0 - y);
+      }
+    }
+    an->accumulate(g);
+  });
+}
+
+Var tanh_op(const Var& a) {
+  auto an = a.node();
+  Matrix out = a.value().map([](double v) { return std::tanh(v); });
+  Matrix saved = out;
+  return make_op(std::move(out), {a}, [an, saved](Node& self) {
+    Matrix g = self.grad;
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        const double y = saved(i, j);
+        g(i, j) *= 1.0 - y * y;
+      }
+    }
+    an->accumulate(g);
+  });
+}
+
+Var dropout(const Var& a, double p, Rng& rng, bool training) {
+  QGNN_REQUIRE(p >= 0.0 && p < 1.0, "dropout probability out of [0,1)");
+  if (!training || p == 0.0) {
+    // Identity pass-through node keeps the tape uniform.
+    auto an = a.node();
+    return make_op(a.value(), {a},
+                   [an](Node& self) { an->accumulate(self.grad); });
+  }
+  const double scale = 1.0 / (1.0 - p);
+  Matrix mask(a.rows(), a.cols());
+  for (std::size_t i = 0; i < mask.rows(); ++i) {
+    for (std::size_t j = 0; j < mask.cols(); ++j) {
+      mask(i, j) = rng.bernoulli(p) ? 0.0 : scale;
+    }
+  }
+  auto an = a.node();
+  return make_op(a.value().hadamard(mask), {a}, [an, mask](Node& self) {
+    an->accumulate(self.grad.hadamard(mask));
+  });
+}
+
+Var concat_cols(const Var& a, const Var& b) {
+  QGNN_REQUIRE(a.rows() == b.rows(), "concat_cols row mismatch");
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a.value()(i, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      out(i, a.cols() + j) = b.value()(i, j);
+    }
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  const std::size_t ac = a.cols();
+  const std::size_t bc = b.cols();
+  return make_op(std::move(out), {a, b}, [an, bn, ac, bc](Node& self) {
+    Matrix da(self.grad.rows(), ac);
+    Matrix db(self.grad.rows(), bc);
+    for (std::size_t i = 0; i < self.grad.rows(); ++i) {
+      for (std::size_t j = 0; j < ac; ++j) da(i, j) = self.grad(i, j);
+      for (std::size_t j = 0; j < bc; ++j) db(i, j) = self.grad(i, ac + j);
+    }
+    an->accumulate(da);
+    bn->accumulate(db);
+  });
+}
+
+Var gather_rows(const Var& a, const std::vector<int>& index) {
+  const std::size_t n = a.rows();
+  Matrix out(index.size(), a.cols());
+  for (std::size_t e = 0; e < index.size(); ++e) {
+    QGNN_REQUIRE(index[e] >= 0 && static_cast<std::size_t>(index[e]) < n,
+                 "gather index out of range");
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(e, j) = a.value()(static_cast<std::size_t>(index[e]), j);
+    }
+  }
+  auto an = a.node();
+  return make_op(std::move(out), {a}, [an, index](Node& self) {
+    Matrix da = Matrix::zeros(an->value.rows(), an->value.cols());
+    for (std::size_t e = 0; e < index.size(); ++e) {
+      for (std::size_t j = 0; j < da.cols(); ++j) {
+        da(static_cast<std::size_t>(index[e]), j) += self.grad(e, j);
+      }
+    }
+    an->accumulate(da);
+  });
+}
+
+Var scatter_add_rows(const Var& a, const std::vector<int>& index,
+                     std::size_t num_rows) {
+  QGNN_REQUIRE(index.size() == a.rows(), "scatter index size mismatch");
+  Matrix out = Matrix::zeros(num_rows, a.cols());
+  for (std::size_t e = 0; e < index.size(); ++e) {
+    QGNN_REQUIRE(
+        index[e] >= 0 && static_cast<std::size_t>(index[e]) < num_rows,
+        "scatter index out of range");
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(static_cast<std::size_t>(index[e]), j) += a.value()(e, j);
+    }
+  }
+  auto an = a.node();
+  return make_op(std::move(out), {a}, [an, index](Node& self) {
+    Matrix da(index.size(), self.grad.cols());
+    for (std::size_t e = 0; e < index.size(); ++e) {
+      for (std::size_t j = 0; j < da.cols(); ++j) {
+        da(e, j) = self.grad(static_cast<std::size_t>(index[e]), j);
+      }
+    }
+    an->accumulate(da);
+  });
+}
+
+Var scale_rows(const Var& a, const std::vector<double>& coeffs) {
+  QGNN_REQUIRE(coeffs.size() == a.rows(), "scale_rows coefficient mismatch");
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) *= coeffs[i];
+  }
+  auto an = a.node();
+  return make_op(std::move(out), {a}, [an, coeffs](Node& self) {
+    Matrix da = self.grad;
+    for (std::size_t i = 0; i < da.rows(); ++i) {
+      for (std::size_t j = 0; j < da.cols(); ++j) da(i, j) *= coeffs[i];
+    }
+    an->accumulate(da);
+  });
+}
+
+Var mul_col(const Var& a, const Var& col) {
+  QGNN_REQUIRE(col.cols() == 1 && col.rows() == a.rows(),
+               "mul_col needs an (rows(a) x 1) column");
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    const double c = col.value()(i, 0);
+    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) *= c;
+  }
+  auto an = a.node();
+  auto cn = col.node();
+  return make_op(std::move(out), {a, col}, [an, cn](Node& self) {
+    Matrix da = self.grad;
+    Matrix dc = Matrix::zeros(cn->value.rows(), 1);
+    for (std::size_t i = 0; i < da.rows(); ++i) {
+      const double c = cn->value(i, 0);
+      for (std::size_t j = 0; j < da.cols(); ++j) {
+        dc(i, 0) += self.grad(i, j) * an->value(i, j);
+        da(i, j) *= c;
+      }
+    }
+    an->accumulate(da);
+    cn->accumulate(dc);
+  });
+}
+
+Var segment_softmax(const Var& scores, const std::vector<int>& segment,
+                    std::size_t num_segments) {
+  QGNN_REQUIRE(scores.cols() == 1, "segment_softmax expects (E x 1) scores");
+  QGNN_REQUIRE(segment.size() == scores.rows(),
+               "segment id count mismatch");
+  const std::size_t e_count = segment.size();
+  // Numerically stable per-segment softmax: subtract the segment max.
+  std::vector<double> seg_max(num_segments,
+                              -std::numeric_limits<double>::infinity());
+  for (std::size_t e = 0; e < e_count; ++e) {
+    QGNN_REQUIRE(
+        segment[e] >= 0 && static_cast<std::size_t>(segment[e]) < num_segments,
+        "segment id out of range");
+    seg_max[static_cast<std::size_t>(segment[e])] =
+        std::max(seg_max[static_cast<std::size_t>(segment[e])],
+                 scores.value()(e, 0));
+  }
+  std::vector<double> seg_sum(num_segments, 0.0);
+  Matrix out(e_count, 1);
+  for (std::size_t e = 0; e < e_count; ++e) {
+    const auto s = static_cast<std::size_t>(segment[e]);
+    out(e, 0) = std::exp(scores.value()(e, 0) - seg_max[s]);
+    seg_sum[s] += out(e, 0);
+  }
+  for (std::size_t e = 0; e < e_count; ++e) {
+    out(e, 0) /= seg_sum[static_cast<std::size_t>(segment[e])];
+  }
+  Matrix saved = out;
+  auto sn = scores.node();
+  return make_op(
+      std::move(out), {scores},
+      [sn, segment, num_segments, saved](Node& self) {
+        // d s_e = y_e * (g_e - sum_{e' in seg} g_{e'} y_{e'}).
+        std::vector<double> seg_dot(num_segments, 0.0);
+        for (std::size_t e = 0; e < segment.size(); ++e) {
+          seg_dot[static_cast<std::size_t>(segment[e])] +=
+              self.grad(e, 0) * saved(e, 0);
+        }
+        Matrix ds(segment.size(), 1);
+        for (std::size_t e = 0; e < segment.size(); ++e) {
+          ds(e, 0) = saved(e, 0) *
+                     (self.grad(e, 0) -
+                      seg_dot[static_cast<std::size_t>(segment[e])]);
+        }
+        sn->accumulate(ds);
+      });
+}
+
+Var segment_max(const Var& a, const std::vector<int>& segment,
+                std::size_t num_segments) {
+  QGNN_REQUIRE(segment.size() == a.rows(), "segment id count mismatch");
+  Matrix out = Matrix::zeros(num_segments, a.cols());
+  // argmax[s][c] = row index achieving the max, or -1 for empty segments.
+  std::vector<std::vector<long>> argmax(
+      num_segments, std::vector<long>(a.cols(), -1));
+  for (std::size_t e = 0; e < segment.size(); ++e) {
+    QGNN_REQUIRE(
+        segment[e] >= 0 && static_cast<std::size_t>(segment[e]) < num_segments,
+        "segment id out of range");
+    const auto s = static_cast<std::size_t>(segment[e]);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (argmax[s][j] < 0 || a.value()(e, j) > out(s, j)) {
+        out(s, j) = a.value()(e, j);
+        argmax[s][j] = static_cast<long>(e);
+      }
+    }
+  }
+  auto an = a.node();
+  return make_op(std::move(out), {a}, [an, argmax](Node& self) {
+    Matrix da = Matrix::zeros(an->value.rows(), an->value.cols());
+    for (std::size_t s = 0; s < argmax.size(); ++s) {
+      for (std::size_t j = 0; j < da.cols(); ++j) {
+        if (argmax[s][j] >= 0) {
+          da(static_cast<std::size_t>(argmax[s][j]), j) += self.grad(s, j);
+        }
+      }
+    }
+    an->accumulate(da);
+  });
+}
+
+Var mean_rows(const Var& a) {
+  QGNN_REQUIRE(a.rows() > 0, "mean_rows of empty matrix");
+  Matrix out(1, a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) s += a.value()(i, j);
+    out(0, j) = s / static_cast<double>(a.rows());
+  }
+  auto an = a.node();
+  const double inv = 1.0 / static_cast<double>(a.rows());
+  return make_op(std::move(out), {a}, [an, inv](Node& self) {
+    Matrix da(an->value.rows(), an->value.cols());
+    for (std::size_t i = 0; i < da.rows(); ++i) {
+      for (std::size_t j = 0; j < da.cols(); ++j) {
+        da(i, j) = self.grad(0, j) * inv;
+      }
+    }
+    an->accumulate(da);
+  });
+}
+
+Var sum_all(const Var& a) {
+  Matrix out(1, 1);
+  out(0, 0) = a.value().sum();
+  auto an = a.node();
+  return make_op(std::move(out), {a}, [an](Node& self) {
+    Matrix da(an->value.rows(), an->value.cols(), self.grad(0, 0));
+    an->accumulate(da);
+  });
+}
+
+Var mse_loss(const Var& pred, const Matrix& target) {
+  QGNN_REQUIRE(pred.value().same_shape(target), "mse_loss shape mismatch");
+  const double n = static_cast<double>(target.size());
+  Matrix out(1, 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < target.rows(); ++i) {
+    for (std::size_t j = 0; j < target.cols(); ++j) {
+      const double d = pred.value()(i, j) - target(i, j);
+      acc += d * d;
+    }
+  }
+  out(0, 0) = acc / n;
+  auto pn = pred.node();
+  return make_op(std::move(out), {pred}, [pn, target, n](Node& self) {
+    Matrix dp(target.rows(), target.cols());
+    for (std::size_t i = 0; i < target.rows(); ++i) {
+      for (std::size_t j = 0; j < target.cols(); ++j) {
+        dp(i, j) = 2.0 * (pn->value(i, j) - target(i, j)) / n *
+                   self.grad(0, 0);
+      }
+    }
+    pn->accumulate(dp);
+  });
+}
+
+Var sin_op(const Var& a) {
+  auto an = a.node();
+  Matrix out = a.value().map([](double v) { return std::sin(v); });
+  return make_op(std::move(out), {a}, [an](Node& self) {
+    Matrix g = self.grad;
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        g(i, j) *= std::cos(an->value(i, j));
+      }
+    }
+    an->accumulate(g);
+  });
+}
+
+Var cos_op(const Var& a) {
+  auto an = a.node();
+  Matrix out = a.value().map([](double v) { return std::cos(v); });
+  return make_op(std::move(out), {a}, [an](Node& self) {
+    Matrix g = self.grad;
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        g(i, j) *= -std::sin(an->value(i, j));
+      }
+    }
+    an->accumulate(g);
+  });
+}
+
+Var periodic_loss(const Var& pred, const Matrix& target,
+                  const std::vector<double>& periods) {
+  QGNN_REQUIRE(pred.value().same_shape(target), "periodic_loss shape mismatch");
+  QGNN_REQUIRE(periods.size() == target.cols(),
+               "one period per output column required");
+  for (double p : periods) QGNN_REQUIRE(p > 0.0, "periods must be positive");
+
+  constexpr double kTwoPi = 6.283185307179586;
+  const double n = static_cast<double>(target.size());
+  Matrix out(1, 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < target.rows(); ++i) {
+    for (std::size_t j = 0; j < target.cols(); ++j) {
+      const double w = kTwoPi / periods[j];
+      acc += 1.0 - std::cos(w * (pred.value()(i, j) - target(i, j)));
+    }
+  }
+  out(0, 0) = acc / n;
+  auto pn = pred.node();
+  return make_op(std::move(out), {pred},
+                 [pn, target, periods, n](Node& self) {
+                   Matrix dp(target.rows(), target.cols());
+                   for (std::size_t i = 0; i < target.rows(); ++i) {
+                     for (std::size_t j = 0; j < target.cols(); ++j) {
+                       const double w = kTwoPi / periods[j];
+                       dp(i, j) = w *
+                                  std::sin(w * (pn->value(i, j) -
+                                                target(i, j))) /
+                                  n * self.grad(0, 0);
+                     }
+                   }
+                   pn->accumulate(dp);
+                 });
+}
+
+}  // namespace qgnn::ag

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "autograd/matrix.hpp"
+
+namespace qgnn::ag {
+
+/// One node of the autograd tape. Holds the forward value, the accumulated
+/// gradient, edges to parent nodes, and the local backward rule.
+struct Node {
+  Matrix value;
+  Matrix grad;  // allocated lazily on first backward touch
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Distributes this node's grad into the parents' grads.
+  std::function<void(Node&)> backward_fn;
+  bool requires_grad = false;
+
+  void ensure_grad();
+  void accumulate(const Matrix& g);
+};
+
+/// Value-semantic handle to a tape node. Copies share the node, so a `Var`
+/// can be stored in models and passed through ops freely; the tape is kept
+/// alive by the handles that reference it.
+class Var {
+ public:
+  Var() = default;
+  /// Leaf node. `requires_grad = true` marks a trainable parameter.
+  explicit Var(Matrix value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const;
+  const Matrix& grad() const;
+  bool requires_grad() const;
+
+  std::size_t rows() const { return value().rows(); }
+  std::size_t cols() const { return value().cols(); }
+
+  /// Overwrite a leaf's value in place (optimizer update). The shape must
+  /// match. Only valid on leaves (no parents).
+  void set_value(Matrix v);
+
+  /// Zero this node's gradient buffer.
+  void zero_grad();
+
+  /// Run reverse-mode accumulation from this (scalar 1x1) node: seeds the
+  /// output gradient with 1 and propagates through the tape in reverse
+  /// topological order.
+  void backward();
+
+  std::shared_ptr<Node> node() const { return node_; }
+  static Var from_node(std::shared_ptr<Node> n);
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// ---- op set -------------------------------------------------------------
+// Every op returns a fresh Var wired into the tape. Index/segment/coefficient
+// arguments are constants (no gradient flows into them).
+
+Var matmul(const Var& a, const Var& b);
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+/// a (N x C) + bias (1 x C) broadcast over rows.
+Var add_bias(const Var& a, const Var& bias);
+Var mul(const Var& a, const Var& b);  // elementwise
+Var scalar_mul(const Var& a, double s);
+Var relu(const Var& a);
+Var leaky_relu(const Var& a, double negative_slope = 0.2);
+Var sigmoid(const Var& a);
+Var tanh_op(const Var& a);
+/// Inverted dropout: zero each entry with prob p, scale survivors by
+/// 1/(1-p). Identity when `training` is false.
+Var dropout(const Var& a, double p, Rng& rng, bool training);
+/// Horizontal concatenation [a | b].
+Var concat_cols(const Var& a, const Var& b);
+/// out[i] = a[index[i]]; backward scatter-adds into a.
+Var gather_rows(const Var& a, const std::vector<int>& index);
+/// out (num_rows x C); out[index[i]] += a[i]. Backward gathers.
+Var scatter_add_rows(const Var& a, const std::vector<int>& index,
+                     std::size_t num_rows);
+/// Row i scaled by constant coeffs[i] (no grad into coeffs).
+Var scale_rows(const Var& a, const std::vector<double>& coeffs);
+/// a (E x C) with each row scaled by col (E x 1); grads flow to both.
+Var mul_col(const Var& a, const Var& col);
+/// Softmax of scores (E x 1) within segments: rows sharing segment[e]
+/// normalize together. Empty segments are fine (no rows).
+Var segment_softmax(const Var& scores, const std::vector<int>& segment,
+                    std::size_t num_segments);
+/// Per-segment elementwise max of a (E x C) -> (num_segments x C). Empty
+/// segments yield zero rows (and receive no gradient).
+Var segment_max(const Var& a, const std::vector<int>& segment,
+                std::size_t num_segments);
+/// Column means over rows: (N x C) -> (1 x C). The readout of Eq. 9.
+Var mean_rows(const Var& a);
+/// Sum of all entries -> (1 x 1).
+Var sum_all(const Var& a);
+/// Mean squared error between pred and constant target -> (1 x 1).
+Var mse_loss(const Var& pred, const Matrix& target);
+
+/// Elementwise trigonometric maps.
+Var sin_op(const Var& a);
+Var cos_op(const Var& a);
+
+/// Periodic regression loss for angle targets -> (1 x 1):
+///   mean_j ( 1 - cos( 2*pi / periods[j] * (pred_j - target_j) ) ).
+/// Zero iff every prediction matches its target modulo its period;
+/// locally ~ (pi^2/periods^2) * squared error, but with no penalty for
+/// wrap-around. `periods[j]` applies to column j.
+Var periodic_loss(const Var& pred, const Matrix& target,
+                  const std::vector<double>& periods);
+
+}  // namespace qgnn::ag

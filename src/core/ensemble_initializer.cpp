@@ -1,0 +1,73 @@
+#include "core/ensemble_initializer.hpp"
+
+#include <cmath>
+
+#include "dataset/features.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+EnsembleInitializer::EnsembleInitializer(
+    std::vector<std::shared_ptr<const GnnModel>> models)
+    : models_(std::move(models)) {
+  QGNN_REQUIRE(!models_.empty(), "ensemble needs at least one model");
+  for (const auto& m : models_) {
+    QGNN_REQUIRE(m != nullptr, "null model in ensemble");
+  }
+  const int out = models_.front()->config().output_dim;
+  for (const auto& m : models_) {
+    QGNN_REQUIRE(m->config().output_dim == out,
+                 "ensemble models disagree on output dimension");
+  }
+}
+
+double EnsembleInitializer::circular_mean(const std::vector<double>& angles,
+                                          double period) {
+  QGNN_REQUIRE(!angles.empty(), "circular mean of nothing");
+  QGNN_REQUIRE(period > 0.0, "period must be positive");
+  const double w = kTwoPi / period;
+  double s = 0.0;
+  double c = 0.0;
+  for (double a : angles) {
+    s += std::sin(w * a);
+    c += std::cos(w * a);
+  }
+  // Degenerate (perfectly spread) inputs: fall back to the first angle.
+  if (std::abs(s) < 1e-12 && std::abs(c) < 1e-12) return angles.front();
+  double mean = std::atan2(s, c) / w;
+  if (mean < 0.0) mean += period;
+  return mean;
+}
+
+QaoaParams EnsembleInitializer::initialize(const Graph& g, int depth) {
+  QGNN_REQUIRE(models_.front()->config().output_dim == 2 * depth,
+               "ensemble output dim does not match requested depth");
+  const auto p = static_cast<std::size_t>(depth);
+  std::vector<std::vector<double>> per_output(2 * p);
+  for (const auto& model : models_) {
+    const Matrix pred = model->predict(g);
+    const QaoaParams params = target_to_params(pred);
+    for (std::size_t l = 0; l < p; ++l) {
+      per_output[l].push_back(params.gammas[l]);
+      per_output[p + l].push_back(params.betas[l]);
+    }
+  }
+  std::vector<double> gammas(p);
+  std::vector<double> betas(p);
+  for (std::size_t l = 0; l < p; ++l) {
+    gammas[l] = circular_mean(per_output[l], kTwoPi);
+    betas[l] = circular_mean(per_output[p + l], kPi);
+  }
+  return QaoaParams(std::move(gammas), std::move(betas));
+}
+
+std::string EnsembleInitializer::name() const {
+  return "gnn-ensemble(" + std::to_string(models_.size()) + ")";
+}
+
+}  // namespace qgnn

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/model.hpp"
+#include "qaoa/initializers.hpp"
+
+namespace qgnn {
+
+/// Ensemble of trained GNNs (extension): each model predicts (gamma,
+/// beta) and the predictions are combined with the CIRCULAR mean per
+/// output — the correct average for periodic quantities (an arithmetic
+/// mean of 0.1 and 2*pi - 0.1 is pi, maximally wrong; the circular mean
+/// is 0). Gamma components use period 2*pi, beta components period pi.
+class EnsembleInitializer final : public ParameterInitializer {
+ public:
+  explicit EnsembleInitializer(
+      std::vector<std::shared_ptr<const GnnModel>> models);
+
+  QaoaParams initialize(const Graph& g, int depth) override;
+  std::string name() const override;
+
+  std::size_t size() const { return models_.size(); }
+
+  /// Circular mean of `angles` with the given period (exposed for tests).
+  static double circular_mean(const std::vector<double>& angles,
+                              double period);
+
+ private:
+  std::vector<std::shared_ptr<const GnnModel>> models_;
+};
+
+}  // namespace qgnn

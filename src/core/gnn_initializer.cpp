@@ -1,0 +1,24 @@
+#include "core/gnn_initializer.hpp"
+
+#include "dataset/features.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+GnnInitializer::GnnInitializer(std::shared_ptr<const GnnModel> model)
+    : model_(std::move(model)) {
+  QGNN_REQUIRE(model_ != nullptr, "null GNN model");
+}
+
+QaoaParams GnnInitializer::initialize(const Graph& g, int depth) {
+  QGNN_REQUIRE(model_->config().output_dim == 2 * depth,
+               "model output dim does not match requested QAOA depth");
+  const Matrix prediction = model_->predict(g);
+  return target_to_params(prediction);
+}
+
+std::string GnnInitializer::name() const {
+  return "gnn:" + to_string(model_->config().arch);
+}
+
+}  // namespace qgnn

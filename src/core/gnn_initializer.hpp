@@ -1,0 +1,27 @@
+#pragma once
+
+#include <memory>
+
+#include "gnn/model.hpp"
+#include "qaoa/initializers.hpp"
+
+namespace qgnn {
+
+/// The paper's contribution as an initializer: a trained GNN predicts
+/// (gamma, beta) for an unseen graph, and QAOA starts from the prediction
+/// instead of a random point ("warm start", Figure 1).
+class GnnInitializer final : public ParameterInitializer {
+ public:
+  /// Takes shared ownership so one trained model can serve many runs.
+  explicit GnnInitializer(std::shared_ptr<const GnnModel> model);
+
+  QaoaParams initialize(const Graph& g, int depth) override;
+  std::string name() const override;
+
+  const GnnModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const GnnModel> model_;
+};
+
+}  // namespace qgnn

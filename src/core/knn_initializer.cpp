@@ -1,0 +1,59 @@
+#include "core/knn_initializer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "graph/analytics.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+std::vector<double> NearestNeighborInitializer::descriptor(const Graph& g) {
+  const double n = static_cast<double>(g.num_nodes());
+  const double m = static_cast<double>(g.num_edges());
+  const double mean_degree = n > 0.0 ? 2.0 * m / n : 0.0;
+  const double density = n > 1.0 ? 2.0 * m / (n * (n - 1.0)) : 0.0;
+  // Normalize size against the dataset's 15-node cap so no single feature
+  // dominates the L2 distance.
+  return {n / 15.0, mean_degree / 15.0, density, clustering_coefficient(g)};
+}
+
+NearestNeighborInitializer::NearestNeighborInitializer(
+    const std::vector<DatasetEntry>& training_set) {
+  QGNN_REQUIRE(!training_set.empty(),
+               "nearest-neighbor initializer needs a training set");
+  descriptors_.reserve(training_set.size());
+  labels_.reserve(training_set.size());
+  for (const DatasetEntry& e : training_set) {
+    descriptors_.push_back(descriptor(e.graph));
+    labels_.push_back(e.label);
+  }
+}
+
+std::size_t NearestNeighborInitializer::nearest_index(const Graph& g) const {
+  const std::vector<double> d = descriptor(g);
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < descriptors_.size(); ++i) {
+    double dist = 0.0;
+    for (std::size_t k = 0; k < d.size(); ++k) {
+      const double delta = d[k] - descriptors_[i][k];
+      dist += delta * delta;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+QaoaParams NearestNeighborInitializer::initialize(const Graph& g,
+                                                  int depth) {
+  const QaoaParams& label = labels_[nearest_index(g)];
+  QGNN_REQUIRE(label.depth() == depth,
+               "training labels do not match requested QAOA depth");
+  return label;
+}
+
+}  // namespace qgnn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "qaoa/initializers.hpp"
+
+namespace qgnn {
+
+/// Parameter-transfer baseline (extension beyond the paper): initialize
+/// QAOA with the label of the most structurally similar training graph.
+/// Similarity is the L2 distance over a small normalized descriptor
+/// (size, mean degree, edge density, clustering coefficient).
+///
+/// This is the natural "non-learned" competitor to the GNN: if a lookup
+/// does as well, the GNN isn't adding value. Benchmarked against all
+/// four GNNs in bench/ext_initializer_comparison.
+class NearestNeighborInitializer final : public ParameterInitializer {
+ public:
+  /// Copies the labels and descriptors of the training entries. Throws on
+  /// an empty training set.
+  explicit NearestNeighborInitializer(
+      const std::vector<DatasetEntry>& training_set);
+
+  QaoaParams initialize(const Graph& g, int depth) override;
+  std::string name() const override { return "knn-transfer"; }
+
+  /// Index of the training entry a graph maps to (exposed for tests).
+  std::size_t nearest_index(const Graph& g) const;
+
+  static std::vector<double> descriptor(const Graph& g);
+
+ private:
+  std::vector<std::vector<double>> descriptors_;
+  std::vector<QaoaParams> labels_;
+};
+
+}  // namespace qgnn

@@ -1,0 +1,149 @@
+#include "core/pipeline.hpp"
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace qgnn {
+
+PreparedData prepare_data(const PipelineConfig& config,
+                          const ProgressFn& progress) {
+  PreparedData data;
+  std::vector<DatasetEntry> entries =
+      generate_dataset(config.dataset, progress);
+
+  if (config.apply_fixed_angle_audit) {
+    data.audit_report = fixed_angle_label_audit(entries, config.dataset.depth);
+  }
+
+  auto [train, test] =
+      train_test_split(std::move(entries), config.test_count, config.seed);
+  // SDP cleans only the training labels; the held-out graphs stay as-is
+  // (their labels are not used for evaluation, only their structure).
+  if (config.apply_sdp) {
+    train = selective_data_pruning(std::move(train), config.sdp,
+                                   &data.sdp_report);
+  }
+  data.train = std::move(train);
+  data.test = std::move(test);
+  return data;
+}
+
+std::pair<std::shared_ptr<GnnModel>, TrainReport> train_arch(
+    GnnArch arch, const PreparedData& data, const PipelineConfig& config) {
+  QGNN_REQUIRE(!data.train.empty(), "no training data");
+  GnnModelConfig model_config = config.model;
+  model_config.arch = arch;
+  model_config.output_dim = 2 * config.dataset.depth;
+
+  // Derive per-arch seeds so architectures are independent but the whole
+  // pipeline stays deterministic.
+  Rng rng(config.seed ^ (0x9e37ULL + static_cast<std::uint64_t>(arch) * 31));
+  auto model = std::make_shared<GnnModel>(model_config, rng);
+
+  std::vector<TrainSample> samples =
+      to_train_samples(data.train, model_config.features);
+  TrainReport report = train_gnn(*model, std::move(samples), config.trainer,
+                                 rng);
+  return {std::move(model), std::move(report)};
+}
+
+std::vector<double> random_baseline_ar(const std::vector<DatasetEntry>& test,
+                                       int depth, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomInitializer init(rng.child());
+  std::vector<double> ars;
+  ars.reserve(test.size());
+  for (const DatasetEntry& e : test) {
+    QaoaAnsatz ansatz(e.graph);
+    const QaoaParams params = init.initialize(e.graph, depth);
+    ars.push_back(ansatz.approximation_ratio(params));
+  }
+  return ars;
+}
+
+std::vector<double> gnn_ar_series(const GnnModel& model,
+                                  const std::vector<DatasetEntry>& test) {
+  std::vector<double> ars;
+  ars.reserve(test.size());
+  for (const DatasetEntry& e : test) {
+    QaoaAnsatz ansatz(e.graph);
+    const QaoaParams params = target_to_params(model.predict(e.graph));
+    ars.push_back(ansatz.approximation_ratio(params));
+  }
+  return ars;
+}
+
+PipelineReport run_pipeline(const PipelineConfig& config,
+                            std::vector<GnnArch> archs,
+                            const ProgressFn& progress) {
+  PipelineReport report;
+  report.data = prepare_data(config, progress);
+  report.ar_random = random_baseline_ar(report.data.test,
+                                        config.dataset.depth, config.seed);
+
+  for (GnnArch arch : archs) {
+    auto [model, train_report] = train_arch(arch, report.data, config);
+
+    ArchEvaluation eval;
+    eval.arch = arch;
+    eval.train_report = std::move(train_report);
+    eval.ar_gnn = gnn_ar_series(*model, report.data.test);
+
+    RunningStats imp_stats;
+    RunningStats ar_stats;
+    for (std::size_t i = 0; i < eval.ar_gnn.size(); ++i) {
+      const double imp = (eval.ar_gnn[i] - report.ar_random[i]) * 100.0;
+      eval.improvement.push_back(imp);
+      imp_stats.add(imp);
+      ar_stats.add(eval.ar_gnn[i]);
+    }
+    eval.mean_improvement = imp_stats.mean();
+    eval.std_improvement = imp_stats.stddev();
+    eval.mean_ar = ar_stats.mean();
+    eval.std_ar = ar_stats.stddev();
+    report.archs.push_back(std::move(eval));
+  }
+  return report;
+}
+
+ConvergenceStats convergence_comparison(std::shared_ptr<const GnnModel> model,
+                                        const std::vector<DatasetEntry>& test,
+                                        double target_ar, int max_evaluations,
+                                        std::uint64_t seed) {
+  QGNN_REQUIRE(target_ar > 0.0 && target_ar <= 1.0,
+               "target AR out of (0, 1]");
+  QGNN_REQUIRE(model != nullptr, "null GNN model");
+  Rng rng(seed);
+  RandomInitializer random_init(rng.child());
+  GnnInitializer gnn_init(model);
+
+  QaoaRunConfig run;
+  run.depth = model->config().output_dim / 2;
+  run.optimizer = QaoaOptimizer::kNelderMead;
+  run.max_evaluations = max_evaluations;
+  run.sample_shots = 0;
+
+  ConvergenceStats stats;
+  RunningStats evals_random;
+  RunningStats evals_gnn;
+  Rng sample_rng = rng.child();
+  for (const DatasetEntry& e : test) {
+    const double target_value = target_ar * e.optimum;
+    const QaoaResult r_rand = run_qaoa(e.graph, random_init, run, sample_rng);
+    const QaoaResult r_gnn = run_qaoa(e.graph, gnn_init, run, sample_rng);
+    ++stats.total;
+    if (const auto n = evaluations_to_reach(r_rand.trace, target_value)) {
+      ++stats.reached_random;
+      evals_random.add(static_cast<double>(*n));
+    }
+    if (const auto n = evaluations_to_reach(r_gnn.trace, target_value)) {
+      ++stats.reached_gnn;
+      evals_gnn.add(static_cast<double>(*n));
+    }
+  }
+  stats.mean_evals_random = evals_random.mean();
+  stats.mean_evals_gnn = evals_gnn.mean();
+  return stats;
+}
+
+}  // namespace qgnn

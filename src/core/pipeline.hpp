@@ -1,0 +1,101 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gnn_initializer.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/features.hpp"
+#include "dataset/pruning.hpp"
+#include "gnn/trainer.hpp"
+
+namespace qgnn {
+
+/// End-to-end configuration of the paper's framework (Figure 1):
+/// generate dataset -> improve label quality -> train GNN -> predict
+/// (gamma, beta) for unseen graphs -> evaluate against random init.
+struct PipelineConfig {
+  DatasetGenConfig dataset{};
+  bool apply_fixed_angle_audit = true;
+  bool apply_sdp = true;
+  SdpConfig sdp{};
+  /// Held-out evaluation graphs (paper: 100).
+  int test_count = 100;
+  GnnModelConfig model{};
+  TrainerConfig trainer{};
+  std::uint64_t seed = 1234;
+};
+
+/// Dataset after quality improvement, split for evaluation.
+struct PreparedData {
+  std::vector<DatasetEntry> train;
+  std::vector<DatasetEntry> test;
+  SdpReport sdp_report{};
+  FixedAngleAuditReport audit_report{};
+};
+
+/// Per-architecture evaluation on the held-out graphs under the paper's
+/// fixed-parameter setting: approximation ratio AT the initial parameters,
+/// no further optimization.
+struct ArchEvaluation {
+  GnnArch arch = GnnArch::kGCN;
+  std::vector<double> ar_gnn;       // per test graph
+  std::vector<double> improvement;  // (ar_gnn - ar_random) * 100, pp
+  double mean_improvement = 0.0;
+  double std_improvement = 0.0;
+  double mean_ar = 0.0;
+  double std_ar = 0.0;
+  TrainReport train_report{};
+};
+
+/// Everything the reproduction benches print.
+struct PipelineReport {
+  PreparedData data;
+  std::vector<double> ar_random;  // baseline series over test graphs
+  std::vector<ArchEvaluation> archs;
+};
+
+/// Step 1-2: generate the dataset, improve label quality (fixed-angle
+/// audit then SDP, matching §3.3), and split train/test.
+PreparedData prepare_data(const PipelineConfig& config,
+                          const ProgressFn& progress = {});
+
+/// Step 3: train one GNN architecture on the prepared training set.
+/// Returns the trained model and its training report.
+std::pair<std::shared_ptr<GnnModel>, TrainReport> train_arch(
+    GnnArch arch, const PreparedData& data, const PipelineConfig& config);
+
+/// Random-initialization baseline AR series over the test graphs (one
+/// fresh random draw per graph, evaluated without refinement).
+std::vector<double> random_baseline_ar(const std::vector<DatasetEntry>& test,
+                                       int depth, std::uint64_t seed);
+
+/// AR series of a trained model over the test graphs (fixed-parameter
+/// setting).
+std::vector<double> gnn_ar_series(const GnnModel& model,
+                                  const std::vector<DatasetEntry>& test);
+
+/// Full pipeline over the given architectures (defaults to all four).
+PipelineReport run_pipeline(const PipelineConfig& config,
+                            std::vector<GnnArch> archs = all_gnn_archs(),
+                            const ProgressFn& progress = {});
+
+/// Convergence comparison (extension): refine parameters with the
+/// configured optimizer from both inits and report how many circuit
+/// evaluations each needs to reach `target_ar` of its own optimum.
+struct ConvergenceStats {
+  double mean_evals_random = 0.0;
+  double mean_evals_gnn = 0.0;
+  int reached_random = 0;  // graphs where random init reached the target
+  int reached_gnn = 0;
+  int total = 0;
+};
+
+ConvergenceStats convergence_comparison(std::shared_ptr<const GnnModel> model,
+                                        const std::vector<DatasetEntry>& test,
+                                        double target_ar, int max_evaluations,
+                                        std::uint64_t seed);
+
+}  // namespace qgnn

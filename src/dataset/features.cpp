@@ -1,0 +1,53 @@
+#include "dataset/features.hpp"
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+Matrix label_to_target(const QaoaParams& label) {
+  const auto p = static_cast<std::size_t>(label.depth());
+  Matrix row(1, 2 * p);
+  for (std::size_t l = 0; l < p; ++l) {
+    row(0, l) = label.gammas[l];
+    row(0, p + l) = label.betas[l];
+  }
+  return row;
+}
+
+QaoaParams target_to_params(const Matrix& row) {
+  QGNN_REQUIRE(row.rows() == 1 && row.cols() >= 2 && row.cols() % 2 == 0,
+               "prediction row must be 1 x 2p");
+  const std::size_t p = row.cols() / 2;
+  std::vector<double> gammas(p);
+  std::vector<double> betas(p);
+  for (std::size_t l = 0; l < p; ++l) {
+    gammas[l] = row(0, l);
+    betas[l] = row(0, p + l);
+  }
+  return canonicalize_params(QaoaParams(std::move(gammas), std::move(betas)));
+}
+
+std::vector<double> qaoa_angle_periods(int depth) {
+  QGNN_REQUIRE(depth >= 1, "depth must be at least 1");
+  constexpr double kPi = 3.14159265358979323846;
+  std::vector<double> periods(static_cast<std::size_t>(2 * depth), kPi);
+  for (int l = 0; l < depth; ++l) {
+    periods[static_cast<std::size_t>(l)] = 2.0 * kPi;
+  }
+  return periods;
+}
+
+std::vector<TrainSample> to_train_samples(
+    const std::vector<DatasetEntry>& entries, const FeatureConfig& config) {
+  std::vector<TrainSample> samples;
+  samples.reserve(entries.size());
+  for (const DatasetEntry& e : entries) {
+    TrainSample s;
+    s.batch = make_graph_batch(e.graph, config);
+    s.target = label_to_target(e.label);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace qgnn

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "gnn/trainer.hpp"
+
+namespace qgnn {
+
+/// Convert labelled dataset entries into GNN training samples: node
+/// features via `config`, regression target = [gammas..., betas...] as a
+/// (1 x 2*depth) row. Entries larger than config.max_nodes are rejected.
+std::vector<TrainSample> to_train_samples(
+    const std::vector<DatasetEntry>& entries, const FeatureConfig& config);
+
+/// Target row for one entry (exposed for tests).
+Matrix label_to_target(const QaoaParams& label);
+
+/// Inverse of label_to_target: reshape a (1 x 2p) prediction row into
+/// QaoaParams, wrapping angles into the canonical domain.
+QaoaParams target_to_params(const Matrix& row);
+
+/// Periods of the [gamma_0..gamma_{p-1}, beta_0..beta_{p-1}] target layout
+/// for the periodic training loss: gammas repeat every 2*pi (integer-
+/// weight graphs), betas every pi.
+std::vector<double> qaoa_angle_periods(int depth);
+
+}  // namespace qgnn

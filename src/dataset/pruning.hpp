@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+
+namespace qgnn {
+
+/// Selective Data Pruning (paper §3.3): entries whose label approximation
+/// ratio falls below `ar_threshold` are candidates for removal; of those,
+/// a `selective_rate` fraction is *kept* anyway (preserving data diversity)
+/// and the rest are pruned.
+///
+///   selective_rate = 1.0  -> keep everything (no pruning)
+///   selective_rate = 0.0  -> hard threshold (drop all below-threshold data)
+struct SdpConfig {
+  double ar_threshold = 0.7;
+  double selective_rate = 0.7;
+  std::uint64_t seed = 7;
+};
+
+struct SdpReport {
+  std::size_t input_count = 0;
+  std::size_t below_threshold = 0;
+  std::size_t pruned = 0;
+  std::size_t kept = 0;
+  double mean_ar_before = 0.0;
+  double mean_ar_after = 0.0;
+};
+
+/// Apply SDP; returns the retained entries and fills `report` if non-null.
+std::vector<DatasetEntry> selective_data_pruning(
+    std::vector<DatasetEntry> entries, const SdpConfig& config,
+    SdpReport* report = nullptr);
+
+/// Fixed-angle label audit (paper §3.3 "Fixed Parameter Conjecture"): for
+/// each entry whose regular degree has fixed angles available, evaluate
+/// the fixed angles; when they beat the stored label's approximation
+/// ratio, upgrade the label in place.
+struct FixedAngleAuditReport {
+  std::size_t covered = 0;    // entries with fixed angles available
+  std::size_t improved = 0;   // labels replaced
+  double mean_ar_delta = 0.0; // mean AR improvement over replaced labels
+};
+
+FixedAngleAuditReport fixed_angle_label_audit(
+    std::vector<DatasetEntry>& entries, int depth = 1);
+
+}  // namespace qgnn

@@ -1,0 +1,112 @@
+#include "dataset/storage.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string graph_filename(std::size_t index) {
+  std::ostringstream os;
+  os << "graph_" << std::setw(6) << std::setfill('0') << index << ".txt";
+  return os.str();
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+std::string join_angles(const std::vector<double>& v) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ';';
+    os << v[i];
+  }
+  return os.str();
+}
+
+std::vector<double> parse_angles(const std::string& s) {
+  std::vector<double> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ';')) {
+    try {
+      out.push_back(std::stod(tok));
+    } catch (const std::exception&) {
+      throw IoError("bad angle value in manifest: " + tok);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_dataset(const std::string& dir,
+                  const std::vector<DatasetEntry>& entries) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "graphs", ec);
+  if (ec) throw IoError("cannot create dataset directory: " + dir);
+
+  std::ofstream manifest(fs::path(dir) / "manifest.csv");
+  if (!manifest) throw IoError("cannot write manifest in: " + dir);
+  manifest.precision(17);
+  manifest << "id,file,nodes,edges,degree,gammas,betas,expectation,optimum,"
+              "approximation_ratio\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const DatasetEntry& e = entries[i];
+    const std::string fname = graph_filename(i);
+    save_graph((fs::path(dir) / "graphs" / fname).string(), e.graph);
+    manifest << i << ',' << fname << ',' << e.graph.num_nodes() << ','
+             << e.graph.num_edges() << ',' << e.degree << ','
+             << join_angles(e.label.gammas) << ','
+             << join_angles(e.label.betas) << ',' << e.expectation << ','
+             << e.optimum << ',' << e.approximation_ratio << '\n';
+  }
+  if (!manifest) throw IoError("manifest write failed in: " + dir);
+}
+
+std::vector<DatasetEntry> load_dataset(const std::string& dir) {
+  std::ifstream manifest(fs::path(dir) / "manifest.csv");
+  if (!manifest) throw IoError("cannot open manifest in: " + dir);
+
+  std::string line;
+  if (!std::getline(manifest, line)) throw IoError("empty manifest");
+
+  std::vector<DatasetEntry> entries;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    if (f.size() != 10) throw IoError("bad manifest row: " + line);
+    DatasetEntry e;
+    e.graph = load_graph((fs::path(dir) / "graphs" / f[1]).string());
+    try {
+      e.degree = std::stoi(f[4]);
+      e.label = QaoaParams(parse_angles(f[5]), parse_angles(f[6]));
+      e.expectation = std::stod(f[7]);
+      e.optimum = std::stod(f[8]);
+      e.approximation_ratio = std::stod(f[9]);
+    } catch (const IoError&) {
+      throw;
+    } catch (const std::exception& ex) {
+      throw IoError(std::string("bad manifest row (") + ex.what() +
+                    "): " + line);
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace qgnn

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+
+namespace qgnn {
+
+/// Persist a dataset the way the paper describes (§3.1): one text file per
+/// graph plus a manifest CSV carrying the labels and metadata
+/// (gamma/beta per layer, approximation ratio, optimum cut value, degree).
+///
+/// Layout under `dir`:
+///   manifest.csv
+///   graphs/graph_000000.txt, graph_000001.txt, ...
+void save_dataset(const std::string& dir,
+                  const std::vector<DatasetEntry>& entries);
+
+std::vector<DatasetEntry> load_dataset(const std::string& dir);
+
+}  // namespace qgnn

@@ -1,0 +1,75 @@
+#include "gnn/graph_batch.hpp"
+
+#include <cmath>
+
+#include "graph/spectral.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+GraphBatch make_graph_batch(const Graph& g, const FeatureConfig& config) {
+  const int n = g.num_nodes();
+  QGNN_REQUIRE(n >= 1, "empty graph");
+  QGNN_REQUIRE(n <= config.max_nodes,
+               "graph larger than feature config max_nodes");
+
+  GraphBatch batch;
+  batch.num_nodes = n;
+
+  const int dim = config.dimension();
+  batch.features = Matrix::zeros(static_cast<std::size_t>(n),
+                                 static_cast<std::size_t>(dim));
+  EigenResult eigen;
+  if (config.kind == NodeFeatureKind::kLaplacianEigen) {
+    eigen = jacobi_eigen(laplacian_matrix(g), n);
+  }
+  for (int v = 0; v < n; ++v) {
+    const auto row = static_cast<std::size_t>(v);
+    switch (config.kind) {
+      case NodeFeatureKind::kOneHotId:
+        batch.features(row, static_cast<std::size_t>(v)) = 1.0;
+        break;
+      case NodeFeatureKind::kDegreeScaledOneHot:
+        batch.features(row, static_cast<std::size_t>(v)) =
+            static_cast<double>(g.degree(v));
+        break;
+      case NodeFeatureKind::kDegreeConcatOneHot:
+        batch.features(row, 0) = static_cast<double>(g.degree(v)) /
+                                 static_cast<double>(config.max_nodes);
+        batch.features(row, static_cast<std::size_t>(v) + 1) = 1.0;
+        break;
+      case NodeFeatureKind::kLaplacianEigen:
+        batch.features(row, 0) = static_cast<double>(g.degree(v)) /
+                                 static_cast<double>(config.max_nodes);
+        for (int k = 0; k < n && k + 1 < dim; ++k) {
+          batch.features(row, static_cast<std::size_t>(k) + 1) =
+              eigen.vector_entry(v, k);
+        }
+        break;
+    }
+  }
+
+  for (const Edge& e : g.edges()) {
+    batch.edge_src.push_back(e.u);
+    batch.edge_dst.push_back(e.v);
+    batch.edge_weight.push_back(e.weight);
+    batch.edge_src.push_back(e.v);
+    batch.edge_dst.push_back(e.u);
+    batch.edge_weight.push_back(e.weight);
+  }
+
+  batch.gcn_coeff.reserve(batch.edge_src.size());
+  for (std::size_t k = 0; k < batch.edge_src.size(); ++k) {
+    const double du = static_cast<double>(g.degree(batch.edge_src[k])) + 1.0;
+    const double dv = static_cast<double>(g.degree(batch.edge_dst[k])) + 1.0;
+    batch.gcn_coeff.push_back(1.0 / std::sqrt(du * dv));
+  }
+  batch.gcn_self_coeff.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    batch.gcn_self_coeff.push_back(1.0 /
+                                   (static_cast<double>(g.degree(v)) + 1.0));
+  }
+  return batch;
+}
+
+}  // namespace qgnn

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "autograd/matrix.hpp"
+#include "graph/graph.hpp"
+
+namespace qgnn {
+
+/// How node feature vectors are built from a graph. The paper uses "node
+/// degrees and one-hot encoding of node IDs" with input dimension 15
+/// (graphs have at most 15 nodes).
+enum class NodeFeatureKind {
+  /// X[v][v] = 1. Pure one-hot ID; dim = max_nodes.
+  kOneHotId,
+  /// X[v][v] = degree(v). Encodes both the ID (position) and the degree
+  /// (value) in max_nodes dims — the closest reading of the paper's
+  /// "degrees and one-hot IDs" that keeps input dim 15. Default.
+  kDegreeScaledOneHot,
+  /// [degree(v) / max_nodes | one-hot(v)]; dim = max_nodes + 1.
+  kDegreeConcatOneHot,
+  /// Spectral embedding (extension): column 0 = degree / max_nodes,
+  /// columns 1.. = entries of the Laplacian eigenvectors of the graph
+  /// (ascending eigenvalue, zero-padded to the fixed dim). ID-free, so
+  /// graph-level predictions become permutation invariant.
+  kLaplacianEigen,
+};
+
+struct FeatureConfig {
+  NodeFeatureKind kind = NodeFeatureKind::kDegreeScaledOneHot;
+  /// Upper bound on node count; fixes the feature dimension so one model
+  /// handles all graph sizes. Paper value: 15.
+  int max_nodes = 15;
+
+  int dimension() const {
+    switch (kind) {
+      case NodeFeatureKind::kDegreeConcatOneHot:
+      case NodeFeatureKind::kLaplacianEigen:
+        return max_nodes + 1;
+      default:
+        return max_nodes;
+    }
+  }
+};
+
+/// A graph preprocessed for GNN message passing:
+///  - `features`: (num_nodes x F) input node features,
+///  - `edge_src` / `edge_dst`: directed edge lists containing BOTH
+///    orientations of every undirected edge (messages flow src -> dst),
+///  - `edge_weight`: the graph edge weight per directed edge,
+///  - `gcn_coeff`: per-directed-edge symmetric normalization
+///    1/sqrt(d~(src) d~(dst)) with d~ = degree + 1 (self-loops), plus
+///    `gcn_self_coeff`: the self-loop coefficient 1/d~(v) per node.
+struct GraphBatch {
+  int num_nodes = 0;
+  Matrix features;
+  std::vector<int> edge_src;
+  std::vector<int> edge_dst;
+  std::vector<double> edge_weight;
+  std::vector<double> gcn_coeff;
+  std::vector<double> gcn_self_coeff;
+
+  int num_directed_edges() const { return static_cast<int>(edge_src.size()); }
+};
+
+/// Build the message-passing view of `g` under `config`. Throws when the
+/// graph has more than `config.max_nodes` nodes.
+GraphBatch make_graph_batch(const Graph& g, const FeatureConfig& config);
+
+}  // namespace qgnn

@@ -1,0 +1,177 @@
+#include "gnn/layers.hpp"
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+using ag::Var;
+
+std::string to_string(GnnArch arch) {
+  switch (arch) {
+    case GnnArch::kGCN: return "GCN";
+    case GnnArch::kGAT: return "GAT";
+    case GnnArch::kGIN: return "GIN";
+    case GnnArch::kSAGE: return "GraphSAGE";
+  }
+  throw InvalidArgument("unknown GnnArch");
+}
+
+GnnArch gnn_arch_from_string(const std::string& name) {
+  if (name == "GCN" || name == "gcn") return GnnArch::kGCN;
+  if (name == "GAT" || name == "gat") return GnnArch::kGAT;
+  if (name == "GIN" || name == "gin") return GnnArch::kGIN;
+  if (name == "GraphSAGE" || name == "sage" || name == "SAGE") {
+    return GnnArch::kSAGE;
+  }
+  throw InvalidArgument("unknown GNN architecture: " + name);
+}
+
+std::vector<GnnArch> all_gnn_archs() {
+  return {GnnArch::kGAT, GnnArch::kGCN, GnnArch::kGIN, GnnArch::kSAGE};
+}
+
+Linear::Linear(int in_dim, int out_dim, Rng& rng)
+    : weight_(Matrix::xavier_uniform(static_cast<std::size_t>(in_dim),
+                                     static_cast<std::size_t>(out_dim), rng),
+              /*requires_grad=*/true),
+      bias_(Matrix::zeros(1, static_cast<std::size_t>(out_dim)),
+            /*requires_grad=*/true) {
+  QGNN_REQUIRE(in_dim > 0 && out_dim > 0, "linear dims must be positive");
+}
+
+Var Linear::forward(const Var& x) const {
+  return ag::add_bias(ag::matmul(x, weight_), bias_);
+}
+
+int Linear::in_dim() const { return static_cast<int>(weight_.rows()); }
+int Linear::out_dim() const { return static_cast<int>(weight_.cols()); }
+
+GCNConv::GCNConv(int in_dim, int out_dim, Rng& rng)
+    : linear_(in_dim, out_dim, rng) {}
+
+Var GCNConv::forward(const GraphBatch& batch, const Var& x) const {
+  const Var h = linear_.forward(x);
+  // Neighbor part of D~^{-1/2} A~ D~^{-1/2} H W.
+  Var msgs = ag::gather_rows(h, batch.edge_src);
+  msgs = ag::scale_rows(msgs, batch.gcn_coeff);
+  const Var agg = ag::scatter_add_rows(
+      msgs, batch.edge_dst, static_cast<std::size_t>(batch.num_nodes));
+  // Self-loop part: 1/d~(v) * h_v.
+  const Var self = ag::scale_rows(h, batch.gcn_self_coeff);
+  return ag::add(agg, self);
+}
+
+std::vector<Var> GCNConv::params() const { return linear_.params(); }
+
+GATConv::GATConv(int in_dim, int out_dim, Rng& rng, int heads) {
+  QGNN_REQUIRE(in_dim > 0 && out_dim > 0, "GAT dims must be positive");
+  QGNN_REQUIRE(heads >= 1 && out_dim % heads == 0,
+               "out_dim must be divisible by the head count");
+  const auto head_dim = static_cast<std::size_t>(out_dim / heads);
+  heads_.reserve(static_cast<std::size_t>(heads));
+  for (int h = 0; h < heads; ++h) {
+    heads_.push_back(Head{
+        Var(Matrix::xavier_uniform(static_cast<std::size_t>(in_dim),
+                                   head_dim, rng),
+            true),
+        Var(Matrix::xavier_uniform(head_dim, 1, rng), true),
+        Var(Matrix::xavier_uniform(head_dim, 1, rng), true)});
+  }
+}
+
+Var GATConv::forward(const GraphBatch& batch, const Var& x) const {
+  const auto n = static_cast<std::size_t>(batch.num_nodes);
+  // Extend the edge list with self-loops so each node attends to itself.
+  std::vector<int> src = batch.edge_src;
+  std::vector<int> dst = batch.edge_dst;
+  for (int v = 0; v < batch.num_nodes; ++v) {
+    src.push_back(v);
+    dst.push_back(v);
+  }
+
+  Var out;
+  for (const Head& head : heads_) {
+    const Var h = ag::matmul(x, head.weight);       // (N x head_dim)
+    const Var sl = ag::matmul(h, head.attn_src);    // (N x 1)
+    const Var sr = ag::matmul(h, head.attn_dst);    // (N x 1)
+    // Additive attention score per directed edge: a_l.Wh_src + a_r.Wh_dst.
+    Var scores =
+        ag::add(ag::gather_rows(sl, src), ag::gather_rows(sr, dst));
+    scores = ag::leaky_relu(scores, negative_slope_);
+    const Var alpha = ag::segment_softmax(scores, dst, n);
+    const Var msgs = ag::mul_col(ag::gather_rows(h, src), alpha);
+    const Var head_out = ag::scatter_add_rows(msgs, dst, n);
+    out = out.defined() ? ag::concat_cols(out, head_out) : head_out;
+  }
+  return out;
+}
+
+std::vector<Var> GATConv::params() const {
+  std::vector<Var> all;
+  all.reserve(heads_.size() * 3);
+  for (const Head& head : heads_) {
+    all.push_back(head.weight);
+    all.push_back(head.attn_src);
+    all.push_back(head.attn_dst);
+  }
+  return all;
+}
+
+GINConv::GINConv(int in_dim, int out_dim, Rng& rng, double epsilon)
+    : mlp1_(in_dim, out_dim, rng),
+      mlp2_(out_dim, out_dim, rng),
+      epsilon_(epsilon) {}
+
+Var GINConv::forward(const GraphBatch& batch, const Var& x) const {
+  const Var msgs = ag::gather_rows(x, batch.edge_src);
+  const Var agg = ag::scatter_add_rows(
+      msgs, batch.edge_dst, static_cast<std::size_t>(batch.num_nodes));
+  const Var combined =
+      ag::add(ag::scalar_mul(x, 1.0 + epsilon_), agg);
+  return mlp2_.forward(ag::relu(mlp1_.forward(combined)));
+}
+
+std::vector<Var> GINConv::params() const {
+  std::vector<Var> p = mlp1_.params();
+  const std::vector<Var> p2 = mlp2_.params();
+  p.insert(p.end(), p2.begin(), p2.end());
+  return p;
+}
+
+SAGEConv::SAGEConv(int in_dim, int out_dim, Rng& rng)
+    : pool_(in_dim, out_dim, rng), combine_(in_dim + out_dim, out_dim, rng) {}
+
+Var SAGEConv::forward(const GraphBatch& batch, const Var& x) const {
+  // a_v = elementwise max over neighbors of ReLU(W_pool h_u + b_pool).
+  const Var pooled = ag::relu(pool_.forward(x));
+  const Var msgs = ag::gather_rows(pooled, batch.edge_src);
+  const Var agg = ag::segment_max(
+      msgs, batch.edge_dst, static_cast<std::size_t>(batch.num_nodes));
+  // h'_v = W [h_v || a_v].
+  return combine_.forward(ag::concat_cols(x, agg));
+}
+
+std::vector<Var> SAGEConv::params() const {
+  std::vector<Var> p = pool_.params();
+  const std::vector<Var> p2 = combine_.params();
+  p.insert(p.end(), p2.begin(), p2.end());
+  return p;
+}
+
+std::unique_ptr<GnnLayer> make_gnn_layer(GnnArch arch, int in_dim,
+                                         int out_dim, Rng& rng,
+                                         int gat_heads) {
+  switch (arch) {
+    case GnnArch::kGCN:
+      return std::make_unique<GCNConv>(in_dim, out_dim, rng);
+    case GnnArch::kGAT:
+      return std::make_unique<GATConv>(in_dim, out_dim, rng, gat_heads);
+    case GnnArch::kGIN:
+      return std::make_unique<GINConv>(in_dim, out_dim, rng);
+    case GnnArch::kSAGE:
+      return std::make_unique<SAGEConv>(in_dim, out_dim, rng);
+  }
+  throw InvalidArgument("unknown GnnArch");
+}
+
+}  // namespace qgnn

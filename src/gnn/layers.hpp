@@ -1,0 +1,116 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/var.hpp"
+#include "gnn/graph_batch.hpp"
+
+namespace qgnn {
+
+/// The four message-passing architectures benchmarked by the paper.
+enum class GnnArch { kGCN, kGAT, kGIN, kSAGE };
+
+std::string to_string(GnnArch arch);
+GnnArch gnn_arch_from_string(const std::string& name);
+/// All four, in the paper's reporting order (GAT, GCN, GIN, GraphSAGE).
+std::vector<GnnArch> all_gnn_archs();
+
+/// Dense affine map y = xW + b.
+class Linear {
+ public:
+  Linear(int in_dim, int out_dim, Rng& rng);
+
+  ag::Var forward(const ag::Var& x) const;
+  std::vector<ag::Var> params() const { return {weight_, bias_}; }
+  int in_dim() const;
+  int out_dim() const;
+
+ private:
+  ag::Var weight_;
+  ag::Var bias_;
+};
+
+/// One message-passing layer: node features in, node features out.
+class GnnLayer {
+ public:
+  virtual ~GnnLayer() = default;
+  virtual ag::Var forward(const GraphBatch& batch, const ag::Var& x) const = 0;
+  virtual std::vector<ag::Var> params() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// GCN (Kipf & Welling; paper Eq. 5): symmetric-normalized neighborhood
+/// mean with self-loops, then a shared linear map. Activation is applied
+/// by the model, not the layer.
+class GCNConv final : public GnnLayer {
+ public:
+  GCNConv(int in_dim, int out_dim, Rng& rng);
+  ag::Var forward(const GraphBatch& batch, const ag::Var& x) const override;
+  std::vector<ag::Var> params() const override;
+  std::string name() const override { return "GCN"; }
+
+ private:
+  Linear linear_;
+};
+
+/// GAT (Velickovic et al.; paper Eqs. 6-7): additive attention with
+/// LeakyReLU scores, softmax-normalized per destination neighborhood
+/// (self-loops included, as in the reference implementation). Supports
+/// multi-head attention: `heads` independent heads of dimension
+/// out_dim / heads whose outputs are concatenated (requires
+/// out_dim % heads == 0).
+class GATConv final : public GnnLayer {
+ public:
+  GATConv(int in_dim, int out_dim, Rng& rng, int heads = 1);
+  ag::Var forward(const GraphBatch& batch, const ag::Var& x) const override;
+  std::vector<ag::Var> params() const override;
+  std::string name() const override { return "GAT"; }
+  int heads() const { return static_cast<int>(heads_.size()); }
+
+ private:
+  struct Head {
+    ag::Var weight;    // (in_dim x head_dim)
+    ag::Var attn_src;  // a_l: (head_dim x 1)
+    ag::Var attn_dst;  // a_r: (head_dim x 1)
+  };
+  std::vector<Head> heads_;
+  double negative_slope_ = 0.2;
+};
+
+/// GIN (Xu et al.; paper Eq. 8) in its GIN-0 form (epsilon fixed at 0):
+/// sum aggregation followed by a 2-layer MLP.
+class GINConv final : public GnnLayer {
+ public:
+  GINConv(int in_dim, int out_dim, Rng& rng, double epsilon = 0.0);
+  ag::Var forward(const GraphBatch& batch, const ag::Var& x) const override;
+  std::vector<ag::Var> params() const override;
+  std::string name() const override { return "GIN"; }
+
+ private:
+  Linear mlp1_;
+  Linear mlp2_;
+  double epsilon_;
+};
+
+/// GraphSAGE (Hamilton et al.; paper Eqs. 3-4) with max-pooling
+/// aggregation: a_v = MAX(ReLU(W_pool h_u)), h'_v = [h_v || a_v] W.
+class SAGEConv final : public GnnLayer {
+ public:
+  SAGEConv(int in_dim, int out_dim, Rng& rng);
+  ag::Var forward(const GraphBatch& batch, const ag::Var& x) const override;
+  std::vector<ag::Var> params() const override;
+  std::string name() const override { return "GraphSAGE"; }
+
+ private:
+  Linear pool_;
+  Linear combine_;
+};
+
+/// Factory for the architecture enum. `gat_heads` only affects GAT.
+std::unique_ptr<GnnLayer> make_gnn_layer(GnnArch arch, int in_dim,
+                                         int out_dim, Rng& rng,
+                                         int gat_heads = 1);
+
+}  // namespace qgnn

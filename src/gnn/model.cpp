@@ -1,0 +1,146 @@
+#include "gnn/model.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "autograd/nn_optim.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+using ag::Var;
+
+GnnModel::GnnModel(const GnnModelConfig& config, Rng& rng) : config_(config) {
+  QGNN_REQUIRE(config.num_layers >= 1, "model needs at least one GNN layer");
+  QGNN_REQUIRE(config.hidden_dim >= 1, "hidden dim must be positive");
+  QGNN_REQUIRE(config.output_dim >= 1, "output dim must be positive");
+  QGNN_REQUIRE(config.dropout >= 0.0 && config.dropout < 1.0,
+               "dropout out of [0, 1)");
+  QGNN_REQUIRE(config.gat_heads >= 1 &&
+                   config.hidden_dim % config.gat_heads == 0,
+               "gat_heads must divide hidden_dim");
+  int in_dim = config.input_dim();
+  for (int l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(make_gnn_layer(config.arch, in_dim, config.hidden_dim,
+                                     rng, config.gat_heads));
+    in_dim = config.hidden_dim;
+  }
+  head_ = std::make_unique<Linear>(config.hidden_dim, config.output_dim, rng);
+}
+
+Var GnnModel::forward(const GraphBatch& batch, bool training,
+                      Rng& rng) const {
+  QGNN_REQUIRE(static_cast<int>(batch.features.cols()) ==
+                   config_.input_dim(),
+               "batch feature dim does not match model input dim");
+  Var h(batch.features, /*requires_grad=*/false);
+  for (const auto& layer : layers_) {
+    h = ag::relu(layer->forward(batch, h));
+    h = ag::dropout(h, config_.dropout, rng, training);
+  }
+  const Var pooled = ag::mean_rows(h);  // Eq. 9 readout
+  return head_->forward(pooled);
+}
+
+Matrix GnnModel::predict(const GraphBatch& batch) const {
+  Rng unused(0);
+  return forward(batch, /*training=*/false, unused).value();
+}
+
+Matrix GnnModel::predict(const Graph& g) const {
+  return predict(make_graph_batch(g, config_.features));
+}
+
+std::vector<Var> GnnModel::params() const {
+  std::vector<Var> all;
+  for (const auto& layer : layers_) {
+    const auto p = layer->params();
+    all.insert(all.end(), p.begin(), p.end());
+  }
+  const auto hp = head_->params();
+  all.insert(all.end(), hp.begin(), hp.end());
+  return all;
+}
+
+std::size_t GnnModel::parameter_count() const {
+  return ag::parameter_count(params());
+}
+
+void GnnModel::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out.precision(17);
+  out << "qgnn-model v1\n";
+  out << "arch " << to_string(config_.arch) << '\n';
+  out << "feature_kind " << static_cast<int>(config_.features.kind) << '\n';
+  out << "max_nodes " << config_.features.max_nodes << '\n';
+  out << "hidden_dim " << config_.hidden_dim << '\n';
+  out << "num_layers " << config_.num_layers << '\n';
+  out << "output_dim " << config_.output_dim << '\n';
+  out << "dropout " << config_.dropout << '\n';
+  out << "gat_heads " << config_.gat_heads << '\n';
+  const auto ps = params();
+  out << "params " << ps.size() << '\n';
+  for (const Var& p : ps) {
+    out << p.rows() << ' ' << p.cols() << '\n';
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+      for (std::size_t j = 0; j < p.cols(); ++j) {
+        out << p.value()(i, j) << (j + 1 == p.cols() ? '\n' : ' ');
+      }
+    }
+  }
+  if (!out) throw IoError("write failed: " + path);
+}
+
+GnnModel GnnModel::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::string line;
+  std::getline(in, line);
+  if (line != "qgnn-model v1") throw IoError("bad model header: " + line);
+
+  GnnModelConfig config;
+  auto expect_key = [&in](const std::string& key) -> std::string {
+    std::string k, v;
+    if (!(in >> k >> v)) throw IoError("truncated model file");
+    if (k != key) throw IoError("expected key '" + key + "', got '" + k + "'");
+    return v;
+  };
+  config.arch = gnn_arch_from_string(expect_key("arch"));
+  config.features.kind =
+      static_cast<NodeFeatureKind>(std::stoi(expect_key("feature_kind")));
+  config.features.max_nodes = std::stoi(expect_key("max_nodes"));
+  config.hidden_dim = std::stoi(expect_key("hidden_dim"));
+  config.num_layers = std::stoi(expect_key("num_layers"));
+  config.output_dim = std::stoi(expect_key("output_dim"));
+  config.dropout = std::stod(expect_key("dropout"));
+  config.gat_heads = std::stoi(expect_key("gat_heads"));
+  const std::size_t num_params = std::stoul(expect_key("params"));
+
+  Rng init_rng(0);  // weights are overwritten below
+  GnnModel model(config, init_rng);
+  const auto ps = model.params();
+  if (ps.size() != num_params) {
+    throw IoError("model parameter count mismatch");
+  }
+  // Var handles share their underlying node, so writing through a copy
+  // updates the model's weights.
+  for (Var p : ps) {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    if (!(in >> rows >> cols)) throw IoError("truncated parameter header");
+    if (rows != p.rows() || cols != p.cols()) {
+      throw IoError("parameter shape mismatch in model file");
+    }
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (!(in >> m(i, j))) throw IoError("truncated parameter data");
+      }
+    }
+    p.set_value(std::move(m));
+  }
+  return model;
+}
+
+}  // namespace qgnn

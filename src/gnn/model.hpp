@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnn/layers.hpp"
+
+namespace qgnn {
+
+/// Hyperparameters matching the paper's experiment setup (§4.1): input
+/// dimension 15, 2 GNN layers, embedding dimension 32, dropout 0.5.
+struct GnnModelConfig {
+  GnnArch arch = GnnArch::kGCN;
+  FeatureConfig features{};
+  int hidden_dim = 32;
+  int num_layers = 2;
+  /// 2 * QAOA depth outputs: [gamma_0.., beta_0..]. Paper: depth 1 -> 2.
+  int output_dim = 2;
+  double dropout = 0.5;
+  /// Attention heads per GAT layer (ignored by the other architectures);
+  /// must divide hidden_dim. The paper uses single-head GAT.
+  int gat_heads = 1;
+
+  int input_dim() const { return features.dimension(); }
+};
+
+/// Graph-level regressor: stacked message-passing layers with ReLU +
+/// dropout between them, mean-pool readout (paper Eq. 9), and a linear
+/// prediction head producing the QAOA parameters.
+class GnnModel {
+ public:
+  GnnModel(const GnnModelConfig& config, Rng& rng);
+
+  /// Differentiable forward pass; `training` enables dropout (which draws
+  /// masks from `rng`).
+  ag::Var forward(const GraphBatch& batch, bool training, Rng& rng) const;
+
+  /// Inference: forward in eval mode, returning the (1 x output_dim)
+  /// prediction values.
+  Matrix predict(const GraphBatch& batch) const;
+
+  /// Convenience: build the batch from a raw graph using the stored
+  /// feature config, then predict.
+  Matrix predict(const Graph& g) const;
+
+  std::vector<ag::Var> params() const;
+  std::size_t parameter_count() const;
+  const GnnModelConfig& config() const { return config_; }
+
+  /// Text-format persistence (architecture + all weights).
+  void save(const std::string& path) const;
+  static GnnModel load(const std::string& path);
+
+ private:
+  GnnModelConfig config_;
+  std::vector<std::unique_ptr<GnnLayer>> layers_;
+  std::unique_ptr<Linear> head_;
+};
+
+}  // namespace qgnn

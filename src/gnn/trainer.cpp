@@ -1,0 +1,200 @@
+#include "gnn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+using ag::Var;
+
+EvalMetrics evaluate_metrics(const GnnModel& model,
+                             const std::vector<TrainSample>& samples) {
+  EvalMetrics metrics;
+  if (samples.empty()) return metrics;
+  const auto out_dim =
+      static_cast<std::size_t>(model.config().output_dim);
+  metrics.mae_per_output.assign(out_dim, 0.0);
+
+  // Target means for R^2.
+  std::vector<double> target_mean(out_dim, 0.0);
+  for (const TrainSample& s : samples) {
+    for (std::size_t j = 0; j < out_dim; ++j) {
+      target_mean[j] += s.target(0, j);
+    }
+  }
+  for (double& m : target_mean) m /= static_cast<double>(samples.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double mse_total = 0.0;
+  for (const TrainSample& s : samples) {
+    const Matrix pred = model.predict(s.batch);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < out_dim; ++j) {
+      const double d = pred(0, j) - s.target(0, j);
+      acc += d * d;
+      metrics.mae_per_output[j] += std::abs(d);
+      ss_res += d * d;
+      const double t = s.target(0, j) - target_mean[j];
+      ss_tot += t * t;
+    }
+    mse_total += acc / static_cast<double>(out_dim);
+  }
+  metrics.mse = mse_total / static_cast<double>(samples.size());
+  for (double& m : metrics.mae_per_output) {
+    m /= static_cast<double>(samples.size());
+  }
+  metrics.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return metrics;
+}
+
+double evaluate_mse(const GnnModel& model,
+                    const std::vector<TrainSample>& samples) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const TrainSample& s : samples) {
+    const Matrix pred = model.predict(s.batch);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < pred.cols(); ++j) {
+      const double d = pred(0, j) - s.target(0, j);
+      acc += d * d;
+    }
+    total += acc / static_cast<double>(pred.cols());
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
+                      const TrainerConfig& config, Rng& rng) {
+  QGNN_REQUIRE(!samples.empty(), "training set is empty");
+  QGNN_REQUIRE(config.epochs >= 1, "need at least one epoch");
+  QGNN_REQUIRE(config.batch_size >= 1, "batch size must be positive");
+  for (const TrainSample& s : samples) {
+    QGNN_REQUIRE(static_cast<int>(s.target.cols()) ==
+                     model.config().output_dim,
+                 "target width does not match model output dim");
+    QGNN_REQUIRE(s.target.rows() == 1, "target must be a single row");
+    QGNN_REQUIRE(s.weight >= 0.0, "negative sample weight");
+  }
+
+  if (config.loss == LossKind::kPeriodic) {
+    QGNN_REQUIRE(config.periodic_periods.size() ==
+                     static_cast<std::size_t>(model.config().output_dim),
+                 "periodic loss needs one period per output column");
+  }
+
+  // Hold out a validation slice.
+  rng.shuffle(samples);
+  const auto val_count = static_cast<std::size_t>(
+      config.validation_fraction * static_cast<double>(samples.size()));
+  std::vector<TrainSample> val(samples.end() - static_cast<long>(val_count),
+                               samples.end());
+  samples.resize(samples.size() - val_count);
+  QGNN_REQUIRE(!samples.empty(), "validation split consumed all samples");
+
+  ag::AdamOptimizer::Config adam = config.adam;
+  adam.learning_rate = config.learning_rate;
+  ag::AdamOptimizer optimizer(model.params(), adam);
+  ag::ReduceLROnPlateau scheduler(optimizer, config.plateau);
+
+  TrainReport report;
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const bool early_stopping = config.early_stopping_patience > 0;
+  QGNN_REQUIRE(!early_stopping || !val.empty(),
+               "early stopping requires a validation split");
+  double best_val = std::numeric_limits<double>::infinity();
+  int bad_epochs = 0;
+  int best_epoch = 0;
+  std::vector<Matrix> best_weights;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle_each_epoch) rng.shuffle(order);
+
+    double epoch_loss = 0.0;
+    double epoch_weight = 0.0;
+    std::size_t in_batch = 0;
+    optimizer.zero_grad();
+
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const TrainSample& s = samples[order[k]];
+      if (s.weight == 0.0) continue;
+      const Var pred = model.forward(s.batch, /*training=*/true, rng);
+      Var loss = config.loss == LossKind::kPeriodic
+                     ? ag::periodic_loss(pred, s.target,
+                                         config.periodic_periods)
+                     : ag::mse_loss(pred, s.target);
+      if (s.weight != 1.0) loss = ag::scalar_mul(loss, s.weight);
+      loss.backward();
+      epoch_loss += loss.value()(0, 0);
+      epoch_weight += s.weight;
+      ++in_batch;
+
+      const bool last = (k + 1 == order.size());
+      if (in_batch == static_cast<std::size_t>(config.batch_size) || last) {
+        if (in_batch > 0) {
+          // Average the accumulated gradients over the mini-batch.
+          for (Var p : optimizer.params()) {
+            p.node()->grad *= 1.0 / static_cast<double>(in_batch);
+          }
+          if (config.grad_clip_norm > 0.0) {
+            ag::clip_grad_norm(optimizer.params(), config.grad_clip_norm);
+          }
+          optimizer.step();
+          optimizer.zero_grad();
+          in_batch = 0;
+        }
+      }
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss =
+        epoch_weight > 0.0 ? epoch_loss / epoch_weight : 0.0;
+    stats.validation_loss = evaluate_mse(model, val);
+    scheduler.step(stats.train_loss);
+    stats.learning_rate = optimizer.learning_rate();
+    report.epochs.push_back(stats);
+
+    if (config.verbose) {
+      std::cout << "epoch " << epoch << " train_loss " << stats.train_loss
+                << " val_loss " << stats.validation_loss << " lr "
+                << stats.learning_rate << '\n';
+    }
+
+    if (early_stopping) {
+      if (stats.validation_loss < best_val - 1e-12) {
+        best_val = stats.validation_loss;
+        bad_epochs = 0;
+        best_epoch = epoch;
+        best_weights.clear();
+        for (const Var& p : optimizer.params()) {
+          best_weights.push_back(p.value());
+        }
+      } else if (++bad_epochs > config.early_stopping_patience) {
+        report.stopped_early = true;
+        break;
+      }
+    } else {
+      best_epoch = epoch;
+    }
+  }
+
+  if (early_stopping && !best_weights.empty()) {
+    // Restore the weights from the best validation epoch.
+    std::size_t k = 0;
+    for (Var p : optimizer.params()) p.set_value(best_weights[k++]);
+  }
+  report.best_epoch = best_epoch;
+  report.final_train_loss = report.epochs.back().train_loss;
+  report.final_validation_loss = evaluate_mse(model, val);
+  report.lr_reductions = scheduler.reductions();
+  return report;
+}
+
+}  // namespace qgnn

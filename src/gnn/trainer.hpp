@@ -1,0 +1,93 @@
+#pragma once
+
+#include <vector>
+
+#include "autograd/nn_optim.hpp"
+#include "gnn/model.hpp"
+
+namespace qgnn {
+
+/// One supervised sample: a preprocessed graph and its regression target
+/// (the QAOA parameters found by the label optimizer, as a 1 x output_dim
+/// row).
+struct TrainSample {
+  GraphBatch batch;
+  Matrix target;
+  /// Sample weight in [0, 1]; Selective Data Pruning sets this to 0/1, and
+  /// soft schemes can down-weight noisy labels.
+  double weight = 1.0;
+};
+
+/// Regression loss for the parameter targets.
+enum class LossKind {
+  kMse,       // the paper's plain mean-squared error on raw angles
+  kPeriodic,  // extension: 1 - cos distance, respecting angle periodicity
+};
+
+/// Training hyperparameters from the paper (§4.1): Adam, 100 epochs,
+/// ReduceLROnPlateau on the training loss (factor 1/5, patience 5,
+/// min lr 1e-5).
+struct TrainerConfig {
+  int epochs = 100;
+  double learning_rate = 1e-2;
+  int batch_size = 32;            // gradient accumulation window
+  double grad_clip_norm = 5.0;    // 0 disables clipping
+  LossKind loss = LossKind::kMse;
+  /// Per-output-column periods, required when loss == kPeriodic (use
+  /// qaoa_angle_periods() for the [gammas..., betas...] layout).
+  std::vector<double> periodic_periods{};
+  ag::AdamOptimizer::Config adam{};
+  ag::ReduceLROnPlateau::Config plateau{};
+  bool shuffle_each_epoch = true;
+  /// Fraction of samples held out for validation loss reporting (0 = none).
+  double validation_fraction = 0.1;
+  /// Early stopping (extension): stop when the validation loss has not
+  /// improved for this many epochs and restore the best-seen weights.
+  /// 0 disables; requires validation_fraction > 0.
+  int early_stopping_patience = 0;
+  bool verbose = false;
+};
+
+/// Per-epoch record of the training run.
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double validation_loss = 0.0;
+  double learning_rate = 0.0;
+};
+
+struct TrainReport {
+  std::vector<EpochStats> epochs;
+  double final_train_loss = 0.0;
+  double final_validation_loss = 0.0;
+  int lr_reductions = 0;
+  /// True when early stopping triggered before the epoch budget ran out.
+  bool stopped_early = false;
+  /// Epoch whose weights the model ended up with (last epoch, or the best
+  /// validation epoch under early stopping).
+  int best_epoch = 0;
+};
+
+/// Train `model` in place on `samples` (MSE regression on the QAOA
+/// parameters). `rng` drives shuffling, dropout, and the train/val split.
+TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
+                      const TrainerConfig& config, Rng& rng);
+
+/// Mean MSE of the model's predictions over `samples` (eval mode).
+double evaluate_mse(const GnnModel& model,
+                    const std::vector<TrainSample>& samples);
+
+/// Richer regression metrics over a sample set (eval mode).
+struct EvalMetrics {
+  double mse = 0.0;
+  /// Mean absolute error per output column.
+  std::vector<double> mae_per_output;
+  /// Coefficient of determination over all outputs jointly; 1 = perfect,
+  /// 0 = no better than predicting the mean target, negative = worse.
+  double r2 = 0.0;
+};
+
+EvalMetrics evaluate_metrics(const GnnModel& model,
+                             const std::vector<TrainSample>& samples);
+
+}  // namespace qgnn

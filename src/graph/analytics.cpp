@@ -1,0 +1,79 @@
+#include "graph/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+int edge_triangle_count(const Graph& g, int u, int v) {
+  const auto& nu = g.neighbors(u);
+  const auto& nv = g.neighbors(v);
+  // Both lists are sorted: linear merge intersection.
+  int count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nu[i] > nv[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+long triangle_count(const Graph& g) {
+  // Sum of per-edge common neighbors counts each triangle 3 times.
+  long total = 0;
+  for (const Edge& e : g.edges()) {
+    total += edge_triangle_count(g, e.u, e.v);
+  }
+  return total / 3;
+}
+
+double clustering_coefficient(const Graph& g) {
+  long wedges = 0;
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    const long d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) /
+         static_cast<double>(wedges);
+}
+
+bool is_triangle_free(const Graph& g) { return triangle_count(g) == 0; }
+
+double p1_expected_cut_closed_form(const Graph& g, double gamma,
+                                   double beta) {
+  QGNN_REQUIRE(g.is_unweighted(),
+               "closed form implemented for unit edge weights");
+  const double sg = std::sin(gamma);
+  const double cg = std::cos(gamma);
+  const double s4b = std::sin(4.0 * beta);
+  const double s2b = std::sin(2.0 * beta);
+  const double c2g = std::cos(2.0 * gamma);
+
+  double total = 0.0;
+  for (const Edge& e : g.edges()) {
+    const int du = g.degree(e.u);
+    const int dv = g.degree(e.v);
+    const int t = edge_triangle_count(g, e.u, e.v);
+    const double term1 =
+        0.25 * s4b * sg *
+        (std::pow(cg, du - 1) + std::pow(cg, dv - 1));
+    const double term2 = 0.25 * s2b * s2b *
+                         std::pow(cg, du + dv - 2 - 2 * t) *
+                         (1.0 - std::pow(c2g, t));
+    total += 0.5 + term1 - term2;
+  }
+  return total;
+}
+
+}  // namespace qgnn

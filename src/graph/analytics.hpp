@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qgnn {
+
+/// Number of triangles in the graph (each counted once).
+long triangle_count(const Graph& g);
+
+/// Number of triangles containing the edge {u, v} = common neighbors of u
+/// and v. This is the lambda in the p=1 QAOA expectation formula; it
+/// controls how far the triangle-free fixed angles are from optimal.
+int edge_triangle_count(const Graph& g, int u, int v);
+
+/// Global clustering coefficient: 3 * triangles / number of wedges
+/// (paths of length 2). Zero for wedge-free graphs.
+double clustering_coefficient(const Graph& g);
+
+/// True when the graph contains no triangles (the regime where the p=1
+/// fixed angles are provably optimal).
+bool is_triangle_free(const Graph& g);
+
+/// Exact depth-1 QAOA expected cut for Max-Cut on an arbitrary unweighted
+/// graph, from the closed form of Wang, Hadfield, Jiang & Rieffel
+/// (PRA 97, 022304, Eq. 14):
+///   <C_uv> = 1/2 + (1/4) sin(4b) sin(g) (cos^{du-1} g + cos^{dv-1} g)
+///          - (1/4) sin^2(2b) cos^{du+dv-2-2t} g (1 - cos^t(2g)),
+/// where du, dv are endpoint degrees and t the edge triangle count.
+/// Requires an unweighted graph. Validated against the simulator in
+/// tests/test_analytics.cpp - an independent check of the whole quantum
+/// stack.
+double p1_expected_cut_closed_form(const Graph& g, double gamma, double beta);
+
+}  // namespace qgnn

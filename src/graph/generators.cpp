@@ -1,0 +1,200 @@
+#include "graph/generators.hpp"
+
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+bool regular_graph_exists(int n, int d) {
+  return n > d && d >= 0 && (static_cast<long long>(n) * d) % 2 == 0;
+}
+
+namespace {
+
+/// Deterministic d-regular circulant graph: v ~ v +/- 1..k for d = 2k,
+/// plus the antipodal chord v ~ v + n/2 when d is odd (n even then).
+Graph circulant_regular_graph(int n, int d) {
+  Graph g(n);
+  const int k = d / 2;
+  for (int v = 0; v < n; ++v) {
+    for (int step = 1; step <= k; ++step) {
+      const int u = (v + step) % n;
+      if (!g.has_edge(v, u)) g.add_edge(v, u);
+    }
+  }
+  if (d % 2 == 1) {
+    for (int v = 0; v < n / 2; ++v) g.add_edge(v, v + n / 2);
+  }
+  return g;
+}
+
+/// Randomize a graph in place by degree-preserving double-edge swaps:
+/// pick edges {a,b}, {c,d}, rewire to {a,c}, {b,d} when that keeps the
+/// graph simple. Mixes toward the uniform distribution over graphs with
+/// the same degree sequence.
+Graph edge_switch_randomize(Graph g, Rng& rng, int swaps) {
+  const int n = g.num_nodes();
+  for (int s = 0; s < swaps; ++s) {
+    const auto& edges = g.edges();
+    if (edges.size() < 2) break;
+    const Edge e1 = edges[rng.index(edges.size())];
+    const Edge e2 = edges[rng.index(edges.size())];
+    int a = e1.u, b = e1.v, c = e2.u, d2 = e2.v;
+    if (rng.bernoulli(0.5)) std::swap(c, d2);
+    // New edges {a,c} and {b,d2} must be loops-free, distinct, and new.
+    if (a == c || b == d2) continue;
+    if (g.has_edge(a, c) || g.has_edge(b, d2)) continue;
+    if ((e1.u == e2.u && e1.v == e2.v)) continue;
+    // Rebuild without e1, e2 and with the swapped pair. O(m) per accepted
+    // swap; fine at dataset scale (n <= 15).
+    Graph h(n);
+    for (const Edge& e : edges) {
+      const bool is_e1 = e.u == e1.u && e.v == e1.v;
+      const bool is_e2 = e.u == e2.u && e.v == e2.v;
+      if (!is_e1 && !is_e2) h.add_edge(e.u, e.v, e.weight);
+    }
+    h.add_edge(a, c);
+    h.add_edge(b, d2);
+    g = std::move(h);
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph random_regular_graph(int n, int d, Rng& rng) {
+  QGNN_REQUIRE(regular_graph_exists(n, d),
+               "no d-regular simple graph exists for these n, d");
+  if (d == 0) return Graph(n);
+  if (d == n - 1) return complete_graph(n);
+
+  // The pairing model rejects whole samples containing loops/multi-edges,
+  // which becomes hopeless for dense graphs; cap its use to sparse cases
+  // and fall back to a randomized circulant otherwise.
+  const int kMaxAttempts = (3 * d * d < n) ? 2000 : 200;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // Configuration model: n*d stubs, paired uniformly at random.
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (int v = 0; v < n; ++v) {
+      for (int k = 0; k < d; ++k) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+
+    std::set<std::pair<int, int>> used;
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && simple; i += 2) {
+      int u = stubs[i];
+      int v = stubs[i + 1];
+      if (u == v) {
+        simple = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      if (!used.emplace(u, v).second) simple = false;
+    }
+    if (!simple) continue;
+
+    Graph g(n);
+    for (const auto& [u, v] : used) g.add_edge(u, v);
+    return g;
+  }
+  // Dense fallback: start from a deterministic circulant and mix with
+  // degree-preserving double-edge swaps.
+  Graph g = circulant_regular_graph(n, d);
+  const int swaps = 10 * g.num_edges();
+  return edge_switch_randomize(std::move(g), rng, swaps);
+}
+
+Graph random_bipartite_regular_graph(int side, int d, Rng& rng) {
+  QGNN_REQUIRE(side >= 1 && d >= 0 && d <= side,
+               "bipartite regular graph needs 0 <= d <= side");
+  // Union of d random perfect matchings between the sides. Each matching
+  // is resampled independently until it avoids all earlier ones (whole-
+  // graph rejection would need ~e^{d^2/2} attempts; per-matching retry
+  // needs ~e^d).
+  constexpr int kMaxMatchingAttempts = 20000;
+  Graph g(2 * side);
+  for (int m = 0; m < d; ++m) {
+    bool placed = false;
+    for (int attempt = 0; attempt < kMaxMatchingAttempts && !placed;
+         ++attempt) {
+      const auto perm = rng.permutation(static_cast<std::size_t>(side));
+      bool collides = false;
+      for (int u = 0; u < side; ++u) {
+        const int v =
+            side + static_cast<int>(perm[static_cast<std::size_t>(u)]);
+        if (g.has_edge(u, v)) {
+          collides = true;
+          break;
+        }
+      }
+      if (collides) continue;
+      for (int u = 0; u < side; ++u) {
+        g.add_edge(u,
+                   side + static_cast<int>(perm[static_cast<std::size_t>(u)]));
+      }
+      placed = true;
+    }
+    if (!placed) {
+      throw NumericalError(
+          "random_bipartite_regular_graph: failed to place matching " +
+          std::to_string(m) + " on side " + std::to_string(side));
+    }
+  }
+  return g;
+}
+
+Graph erdos_renyi_graph(int n, double p, Rng& rng) {
+  QGNN_REQUIRE(n >= 0, "negative node count");
+  QGNN_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability out of [0,1]");
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph complete_graph(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph cycle_graph(int n) {
+  QGNN_REQUIRE(n >= 3, "cycle needs at least 3 nodes");
+  Graph g(n);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph path_graph(int n) {
+  QGNN_REQUIRE(n >= 1, "path needs at least 1 node");
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph star_graph(int n) {
+  QGNN_REQUIRE(n >= 2, "star needs at least 2 nodes");
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph with_random_weights(const Graph& g, double lo, double hi, Rng& rng) {
+  QGNN_REQUIRE(lo <= hi, "weight range inverted");
+  Graph out(g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    out.add_edge(e.u, e.v, rng.uniform(lo, hi));
+  }
+  return out;
+}
+
+}  // namespace qgnn

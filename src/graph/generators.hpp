@@ -1,0 +1,42 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn {
+
+/// Random d-regular simple graph on n nodes via the configuration (pairing)
+/// model with rejection of loops/multi-edges. Requires n > d >= 0 and n*d
+/// even. Throws NumericalError if no simple pairing is found after many
+/// retries (only possible for adversarial n, d combinations; all (n, d)
+/// used by the dataset succeed).
+Graph random_regular_graph(int n, int d, Rng& rng);
+
+/// Random bipartite d-regular graph: two sides of `side` nodes each
+/// (0..side-1 and side..2*side-1), built as a union of d random perfect
+/// matchings. Triangle-free by construction; requires d <= side.
+Graph random_bipartite_regular_graph(int side, int d, Rng& rng);
+
+/// Erdős–Rényi G(n, p) graph.
+Graph erdos_renyi_graph(int n, double p, Rng& rng);
+
+/// Complete graph K_n.
+Graph complete_graph(int n);
+
+/// Cycle C_n (n >= 3).
+Graph cycle_graph(int n);
+
+/// Path P_n (n >= 2 gives n-1 edges).
+Graph path_graph(int n);
+
+/// Star graph: node 0 connected to 1..n-1.
+Graph star_graph(int n);
+
+/// Copy of `g` with each edge weight drawn uniformly from [lo, hi].
+/// Used by the weighted Max-Cut extension (paper §7 future work).
+Graph with_random_weights(const Graph& g, double lo, double hi, Rng& rng);
+
+/// True when a d-regular simple graph on n nodes exists.
+bool regular_graph_exists(int n, int d);
+
+}  // namespace qgnn

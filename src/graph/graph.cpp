@@ -1,0 +1,139 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+Graph::Graph(int num_nodes) : num_nodes_(num_nodes) {
+  QGNN_REQUIRE(num_nodes >= 0, "graph cannot have negative node count");
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void Graph::check_node(int v) const {
+  QGNN_REQUIRE(v >= 0 && v < num_nodes_, "node id out of range");
+}
+
+void Graph::add_edge(int u, int v, double weight) {
+  check_node(u);
+  check_node(v);
+  QGNN_REQUIRE(u != v, "self-loops are not allowed");
+  QGNN_REQUIRE(!has_edge(u, v), "duplicate edge");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v, weight});
+  auto& au = adjacency_[static_cast<std::size_t>(u)];
+  auto& av = adjacency_[static_cast<std::size_t>(v)];
+  au.insert(std::lower_bound(au.begin(), au.end(), v), v);
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+}
+
+bool Graph::has_edge(int u, int v) const {
+  check_node(u);
+  check_node(v);
+  const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+double Graph::edge_weight(int u, int v) const {
+  if (u > v) std::swap(u, v);
+  for (const Edge& e : edges_) {
+    if (e.u == u && e.v == v) return e.weight;
+  }
+  throw InvalidArgument("edge_weight: no such edge");
+}
+
+int Graph::degree(int v) const {
+  check_node(v);
+  return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+}
+
+const std::vector<int>& Graph::neighbors(int v) const {
+  check_node(v);
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+double Graph::total_weight() const {
+  double w = 0.0;
+  for (const Edge& e : edges_) w += e.weight;
+  return w;
+}
+
+int Graph::max_degree() const {
+  int d = 0;
+  for (int v = 0; v < num_nodes_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+int Graph::min_degree() const {
+  if (num_nodes_ == 0) return 0;
+  int d = degree(0);
+  for (int v = 1; v < num_nodes_; ++v) d = std::min(d, degree(v));
+  return d;
+}
+
+bool Graph::is_regular() const { return max_degree() == min_degree(); }
+
+bool Graph::is_connected() const {
+  if (num_nodes_ <= 1) return true;
+  std::vector<char> seen(static_cast<std::size_t>(num_nodes_), 0);
+  std::vector<int> stack{0};
+  seen[0] = 1;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int u : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        ++visited;
+        stack.push_back(u);
+      }
+    }
+  }
+  return visited == num_nodes_;
+}
+
+bool Graph::is_unweighted() const {
+  return std::all_of(edges_.begin(), edges_.end(),
+                     [](const Edge& e) { return e.weight == 1.0; });
+}
+
+std::vector<int> Graph::degree_sequence() const {
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(num_nodes_));
+  for (int v = 0; v < num_nodes_; ++v) seq.push_back(degree(v));
+  std::sort(seq.begin(), seq.end());
+  return seq;
+}
+
+Graph Graph::permuted(const std::vector<int>& perm) const {
+  QGNN_REQUIRE(perm.size() == static_cast<std::size_t>(num_nodes_),
+               "permutation size mismatch");
+  std::vector<char> seen(perm.size(), 0);
+  for (int p : perm) {
+    QGNN_REQUIRE(p >= 0 && p < num_nodes_ && !seen[static_cast<std::size_t>(p)],
+                 "not a permutation");
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  Graph out(num_nodes_);
+  for (const Edge& e : edges_) {
+    out.add_edge(perm[static_cast<std::size_t>(e.u)],
+                 perm[static_cast<std::size_t>(e.v)], e.weight);
+  }
+  return out;
+}
+
+std::string Graph::describe() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_nodes_ << ", m=" << num_edges();
+  if (num_nodes_ > 0 && is_regular()) os << ", regular deg=" << max_degree();
+  if (!is_unweighted()) os << ", weighted";
+  os << ')';
+  return os.str();
+}
+
+}  // namespace qgnn

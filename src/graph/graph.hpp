@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qgnn {
+
+/// One undirected weighted edge. Endpoints are stored with u < v.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Undirected weighted graph on nodes 0..n-1.
+///
+/// This is the problem container for Max-Cut instances: the QAOA cost
+/// Hamiltonian, the brute-force solver, and the GNN feature builder all
+/// consume it. Parallel edges and self-loops are rejected; the adjacency
+/// index is kept in sync with the edge list.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes);
+
+  /// Add edge {u, v} with the given weight. Throws InvalidArgument on
+  /// self-loops, out-of-range endpoints, or duplicate edges.
+  void add_edge(int u, int v, double weight = 1.0);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  bool has_edge(int u, int v) const;
+  /// Weight of edge {u, v}; throws if the edge does not exist.
+  double edge_weight(int u, int v) const;
+
+  int degree(int v) const;
+  /// Neighbors of v, ascending.
+  const std::vector<int>& neighbors(int v) const;
+
+  /// Sum of all edge weights.
+  double total_weight() const;
+
+  int max_degree() const;
+  int min_degree() const;
+  /// True when every node has the same degree (also true for edgeless
+  /// graphs, which are 0-regular).
+  bool is_regular() const;
+  bool is_connected() const;
+  /// True when every edge weight equals 1.
+  bool is_unweighted() const;
+
+  /// Degree sequence, ascending. Useful as a cheap isomorphism invariant.
+  std::vector<int> degree_sequence() const;
+
+  /// Relabel nodes by `perm` (new_id = perm[old_id]); returns the relabelled
+  /// graph. Used by permutation-invariance tests.
+  Graph permuted(const std::vector<int>& perm) const;
+
+  /// Short human-readable description: "Graph(n=5, m=6, regular deg=3)".
+  std::string describe() const;
+
+ private:
+  void check_node(int v) const;
+
+  int num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace qgnn

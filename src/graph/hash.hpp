@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace qgnn {
+
+/// Isomorphism-invariant 64-bit hash of an unweighted graph via
+/// Weisfeiler–Lehman color refinement. Two isomorphic graphs always hash
+/// equal; non-isomorphic graphs *usually* differ (1-WL cannot separate
+/// certain regular pairs — good enough for dataset dedup, which only needs
+/// "probably new").
+///
+/// Edge weights are folded in by quantizing to 1e-9.
+std::uint64_t wl_hash(const Graph& g, int iterations = 3);
+
+}  // namespace qgnn

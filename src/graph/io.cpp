@@ -1,0 +1,128 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+namespace {
+constexpr const char* kMagic = "qgnn-graph v1";
+
+std::string next_content_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line;
+  }
+  throw IoError("graph stream ended unexpectedly");
+}
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << kMagic << '\n';
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  os.precision(17);
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+}
+
+Graph read_graph(std::istream& is) {
+  std::string magic = next_content_line(is);
+  // Trim trailing whitespace/CR.
+  while (!magic.empty() && (magic.back() == '\r' || magic.back() == ' ')) {
+    magic.pop_back();
+  }
+  if (magic != kMagic) throw IoError("bad graph header: '" + magic + "'");
+
+  std::istringstream head(next_content_line(is));
+  int n = 0;
+  int m = 0;
+  if (!(head >> n >> m)) throw IoError("bad graph size line");
+  if (n < 0 || m < 0) throw IoError("negative graph dimensions");
+
+  Graph g(n);
+  for (int i = 0; i < m; ++i) {
+    std::istringstream line(next_content_line(is));
+    int u = 0;
+    int v = 0;
+    double w = 1.0;
+    if (!(line >> u >> v)) throw IoError("bad edge line");
+    if (!(line >> w)) w = 1.0;
+    try {
+      g.add_edge(u, v, w);
+    } catch (const InvalidArgument& e) {
+      throw IoError(std::string("bad edge in graph file: ") + e.what());
+    }
+  }
+  return g;
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  write_graph(out, g);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  return read_graph(in);
+}
+
+std::string graph_to_compact_string(const Graph& g) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "n=" << g.num_nodes() << ";edges=";
+  bool first = true;
+  for (const Edge& e : g.edges()) {
+    if (!first) os << ',';
+    first = false;
+    os << e.u << '-' << e.v << ':' << e.weight;
+  }
+  return os.str();
+}
+
+Graph graph_from_compact_string(const std::string& s) {
+  const auto n_pos = s.find("n=");
+  const auto e_pos = s.find(";edges=");
+  if (n_pos != 0 || e_pos == std::string::npos) {
+    throw IoError("bad compact graph string: " + s);
+  }
+  int n = 0;
+  try {
+    n = std::stoi(s.substr(2, e_pos - 2));
+  } catch (const std::exception&) {
+    throw IoError("bad node count in compact graph string");
+  }
+  Graph g(n);
+  std::string edges = s.substr(e_pos + 7);
+  std::istringstream es(edges);
+  std::string tok;
+  while (std::getline(es, tok, ',')) {
+    if (tok.empty()) continue;
+    const auto dash = tok.find('-');
+    const auto colon = tok.find(':');
+    if (dash == std::string::npos || colon == std::string::npos) {
+      throw IoError("bad edge token: " + tok);
+    }
+    try {
+      const int u = std::stoi(tok.substr(0, dash));
+      const int v = std::stoi(tok.substr(dash + 1, colon - dash - 1));
+      const double w = std::stod(tok.substr(colon + 1));
+      g.add_edge(u, v, w);
+    } catch (const InvalidArgument& e) {
+      throw IoError(std::string("bad edge in compact string: ") + e.what());
+    } catch (const std::exception&) {
+      throw IoError("unparsable edge token: " + tok);
+    }
+  }
+  return g;
+}
+
+}  // namespace qgnn

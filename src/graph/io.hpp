@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace qgnn {
+
+/// Text format used to persist graphs (the paper stores each instance as a
+/// text file):
+///
+///   qgnn-graph v1
+///   <num_nodes> <num_edges>
+///   <u> <v> <weight>        (one line per edge)
+///
+/// Lines starting with '#' are comments and ignored.
+void write_graph(std::ostream& os, const Graph& g);
+Graph read_graph(std::istream& is);
+
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+
+/// Compact single-line form "n=4;edges=0-1:1,1-2:1" used in manifests.
+std::string graph_to_compact_string(const Graph& g);
+Graph graph_from_compact_string(const std::string& s);
+
+}  // namespace qgnn

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qgnn {
+
+/// Dense row-major n x n adjacency matrix (weighted).
+std::vector<double> adjacency_matrix(const Graph& g);
+
+/// Dense row-major combinatorial Laplacian L = D - A (weighted degrees).
+std::vector<double> laplacian_matrix(const Graph& g);
+
+/// Eigendecomposition of a symmetric matrix.
+struct EigenResult {
+  /// Eigenvalues, ascending.
+  std::vector<double> values;
+  /// Row-major n x n matrix whose COLUMN k is the unit eigenvector for
+  /// values[k].
+  std::vector<double> vectors;
+  int n = 0;
+
+  double vector_entry(int row, int k) const {
+    return vectors[static_cast<std::size_t>(row) *
+                       static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(k)];
+  }
+};
+
+/// Cyclic Jacobi eigenvalue algorithm for symmetric matrices. Exact to
+/// `tolerance` on the off-diagonal Frobenius norm; sized for the <= 15
+/// node graphs this library works with (O(n^3) per sweep).
+EigenResult jacobi_eigen(std::vector<double> sym, int n,
+                         int max_sweeps = 100, double tolerance = 1e-12);
+
+/// Laplacian eigenvalues of `g`, ascending (first is ~0).
+std::vector<double> laplacian_spectrum(const Graph& g);
+
+/// Algebraic connectivity: the second-smallest Laplacian eigenvalue.
+/// Positive iff the graph is connected.
+double algebraic_connectivity(const Graph& g);
+
+}  // namespace qgnn

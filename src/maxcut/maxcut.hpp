@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn {
+
+/// A cut given as a bitmask over nodes: bit v set => node v on side 1.
+/// Matches the simulator's basis-state convention, so a measured QAOA
+/// bitstring is directly a Cut.
+struct Cut {
+  std::uint64_t assignment = 0;
+  double value = 0.0;
+};
+
+/// Sum of weights of edges crossing the cut encoded by `assignment`.
+double cut_value(const Graph& g, std::uint64_t assignment);
+
+/// Exact maximum cut by exhaustive search over 2^(n-1) assignments
+/// (node 0 fixed to side 0 by symmetry). Requires n <= 26; edgeless graphs
+/// return value 0 with assignment 0.
+Cut max_cut_brute_force(const Graph& g);
+
+/// Greedy constructive heuristic: place each node on the side that
+/// maximizes its crossing weight to already-placed nodes.
+Cut max_cut_greedy(const Graph& g);
+
+/// Single-flip local search (hill climbing) from a given start assignment;
+/// terminates at a local optimum where no single node flip improves.
+Cut max_cut_local_search(const Graph& g, std::uint64_t start);
+
+/// Randomized multi-start local search; `restarts` random starts, best kept.
+Cut max_cut_local_search_multistart(const Graph& g, int restarts, Rng& rng);
+
+/// Expected value of a uniformly random cut = total_weight / 2. The
+/// classical do-nothing baseline.
+double random_cut_expectation(const Graph& g);
+
+/// Simulated annealing: single-flip Metropolis dynamics with a geometric
+/// temperature schedule from `t_start` down to `t_end`. The strongest
+/// classical heuristic in this library for its budget; `sweeps` full
+/// passes over the nodes.
+Cut max_cut_simulated_annealing(const Graph& g, int sweeps, Rng& rng,
+                                double t_start = 2.0, double t_end = 0.01);
+
+/// Goemans-Williamson-flavored spectral baseline (the paper's SS5 cites GW
+/// rounding as a warm-start source): embed each node with its entries in
+/// the `k` most-negative adjacency eigenvectors, round through `rounds`
+/// random hyperplanes, and keep the best cut (each rounding is also
+/// polished by single-flip local search). No SDP solve - the spectral
+/// relaxation stands in for it.
+Cut max_cut_spectral_rounding(const Graph& g, int rounds, Rng& rng,
+                              int k = 3);
+
+/// Approximation ratio of `value` against the exact optimum `optimum`.
+/// By convention 1.0 when the optimum is 0 (edgeless graph).
+double approximation_ratio(double value, double optimum);
+
+}  // namespace qgnn

@@ -1,0 +1,76 @@
+#include "qaoa/ansatz.hpp"
+
+#include "quantum/gates.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+QaoaParams::QaoaParams(std::vector<double> g, std::vector<double> b)
+    : gammas(std::move(g)), betas(std::move(b)) {
+  QGNN_REQUIRE(gammas.size() == betas.size(),
+               "gamma and beta must have the same length");
+  QGNN_REQUIRE(!gammas.empty(), "QAOA depth must be at least 1");
+}
+
+std::vector<double> QaoaParams::flatten() const {
+  std::vector<double> flat = gammas;
+  flat.insert(flat.end(), betas.begin(), betas.end());
+  return flat;
+}
+
+QaoaParams QaoaParams::from_flat(const std::vector<double>& flat) {
+  QGNN_REQUIRE(!flat.empty() && flat.size() % 2 == 0,
+               "flat parameter vector must have even, positive length");
+  const std::size_t p = flat.size() / 2;
+  return QaoaParams(std::vector<double>(flat.begin(), flat.begin() + p),
+                    std::vector<double>(flat.begin() + p, flat.end()));
+}
+
+QaoaParams QaoaParams::single(double gamma, double beta) {
+  return QaoaParams({gamma}, {beta});
+}
+
+QaoaAnsatz::QaoaAnsatz(const Graph& g) : graph_(g), cost_(g) {}
+
+StateVector QaoaAnsatz::prepare_state(const QaoaParams& params) const {
+  QGNN_REQUIRE(params.depth() >= 1, "QAOA depth must be at least 1");
+  StateVector state = StateVector::plus_state(num_qubits());
+  for (int layer = 0; layer < params.depth(); ++layer) {
+    cost_.apply_phase(state, params.gammas[layer]);
+    // Mixer e^{-i beta B} = prod_v RX(2 beta) on v.
+    const auto rx = gates::rx(2.0 * params.betas[layer]);
+    for (int q = 0; q < num_qubits(); ++q) {
+      state.apply_single_qubit(rx, q);
+    }
+  }
+  return state;
+}
+
+double QaoaAnsatz::expectation(const QaoaParams& params) const {
+  return cost_.expectation(prepare_state(params));
+}
+
+double QaoaAnsatz::approximation_ratio(const QaoaParams& params) const {
+  const double opt = cost_.max_value();
+  if (opt == 0.0) return 1.0;
+  return expectation(params) / opt;
+}
+
+Circuit QaoaAnsatz::build_circuit(const QaoaParams& params) const {
+  Circuit c(num_qubits());
+  for (int layer = 0; layer < params.depth(); ++layer) {
+    // Cost layer: e^{-i gamma w (1 - Z_u Z_v)/2} per edge; the Z.Z part is
+    // RZZ(-gamma w)... note e^{-i gamma C} = prod_e e^{-i gamma w/2}
+    // e^{+i gamma w Z_u Z_v / 2}; the scalar factor is a global phase, and
+    // the operator part is RZZ with angle -gamma*w.
+    for (const Edge& e : graph_.edges()) {
+      c.rzz(e.u, e.v, -params.gammas[layer] * e.weight);
+    }
+    for (int q = 0; q < num_qubits(); ++q) {
+      c.rx(q, 2.0 * params.betas[layer]);
+    }
+  }
+  return c;
+}
+
+}  // namespace qgnn

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "qaoa/cost_hamiltonian.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qgnn {
+
+/// QAOA variational parameters for depth p: p cost angles (gamma) and p
+/// mixer angles (beta). The paper uses p = 1 (a single gamma, beta pair).
+struct QaoaParams {
+  std::vector<double> gammas;
+  std::vector<double> betas;
+
+  QaoaParams() = default;
+  QaoaParams(std::vector<double> g, std::vector<double> b);
+
+  int depth() const { return static_cast<int>(gammas.size()); }
+
+  /// Flatten to [gamma_0..gamma_{p-1}, beta_0..beta_{p-1}] for optimizers.
+  std::vector<double> flatten() const;
+  static QaoaParams from_flat(const std::vector<double>& flat);
+
+  /// Canonical single-layer constructor.
+  static QaoaParams single(double gamma, double beta);
+};
+
+/// The QAOA Max-Cut ansatz: |gamma, beta> =
+///   prod_{l=p..1} [ e^{-i beta_l B} e^{-i gamma_l C} ] |+>^n,
+/// where B = sum_v X_v is the transverse-field mixer.
+class QaoaAnsatz {
+ public:
+  explicit QaoaAnsatz(const Graph& g);
+
+  const CostHamiltonian& cost() const { return cost_; }
+  int num_qubits() const { return cost_.num_qubits(); }
+
+  /// Prepare |gamma, beta> using the diagonal fast path.
+  StateVector prepare_state(const QaoaParams& params) const;
+
+  /// <gamma, beta| C |gamma, beta>: the QAOA objective to maximize.
+  double expectation(const QaoaParams& params) const;
+
+  /// expectation / exact optimum (in (0, 1]); the paper's headline metric.
+  double approximation_ratio(const QaoaParams& params) const;
+
+  /// Build the same ansatz as an explicit gate circuit (H layer + RZZ per
+  /// edge + RX mixers). Slower than prepare_state; used for cross-checks
+  /// and for counting NISQ gate resources. Global phase may differ from
+  /// prepare_state; probabilities and expectations agree.
+  Circuit build_circuit(const QaoaParams& params) const;
+
+ private:
+  Graph graph_;
+  CostHamiltonian cost_;
+};
+
+}  // namespace qgnn

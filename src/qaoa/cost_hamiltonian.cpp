@@ -1,0 +1,44 @@
+#include "qaoa/cost_hamiltonian.hpp"
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+CostHamiltonian::CostHamiltonian(const Graph& g)
+    : num_qubits_(g.num_nodes()) {
+  QGNN_REQUIRE(num_qubits_ >= 1 && num_qubits_ <= 26,
+               "graph size out of simulable range [1, 26] nodes");
+  const std::uint64_t dim = dimension();
+  diag_.assign(dim, 0.0);
+  // Incremental per-edge accumulation: for each edge, add w to all states
+  // where the endpoints differ. O(2^n * m) total, done once per graph.
+  for (const Edge& e : g.edges()) {
+    const std::uint64_t ub = std::uint64_t{1} << e.u;
+    const std::uint64_t vb = std::uint64_t{1} << e.v;
+    for (std::uint64_t x = 0; x < dim; ++x) {
+      if (((x & ub) != 0) != ((x & vb) != 0)) diag_[x] += e.weight;
+    }
+  }
+  max_value_ = 0.0;
+  argmax_ = 0;
+  for (std::uint64_t x = 0; x < dim; ++x) {
+    if (diag_[x] > max_value_) {
+      max_value_ = diag_[x];
+      argmax_ = x;
+    }
+  }
+}
+
+void CostHamiltonian::apply_phase(StateVector& state, double gamma) const {
+  QGNN_REQUIRE(state.num_qubits() == num_qubits_,
+               "state size does not match Hamiltonian");
+  state.apply_diagonal_phase(diag_, gamma);
+}
+
+double CostHamiltonian::expectation(const StateVector& state) const {
+  QGNN_REQUIRE(state.num_qubits() == num_qubits_,
+               "state size does not match Hamiltonian");
+  return state.expectation_diagonal(diag_);
+}
+
+}  // namespace qgnn

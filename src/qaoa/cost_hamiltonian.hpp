@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qgnn {
+
+/// Max-Cut cost Hamiltonian C = sum_{(u,v) in E} w_uv (1 - Z_u Z_v) / 2.
+///
+/// C is diagonal in the computational basis: its eigenvalue on basis state
+/// |x> is exactly the cut value of the assignment x. The full diagonal is
+/// precomputed once per graph (O(2^n * m)), after which the QAOA cost layer
+/// and <C> evaluation are both O(2^n) — the fast path the simulator relies
+/// on.
+class CostHamiltonian {
+ public:
+  explicit CostHamiltonian(const Graph& g);
+
+  int num_qubits() const { return num_qubits_; }
+  std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
+
+  /// Eigenvalue (cut value) of basis state |x>.
+  double value(std::uint64_t x) const { return diag_[x]; }
+  std::span<const double> diagonal() const { return diag_; }
+
+  /// Largest eigenvalue = exact Max-Cut optimum (from the same table, so
+  /// always consistent with the diagonal).
+  double max_value() const { return max_value_; }
+  /// A basis state achieving max_value().
+  std::uint64_t argmax() const { return argmax_; }
+
+  /// Apply the QAOA cost layer exp(-i gamma C) to `state`.
+  void apply_phase(StateVector& state, double gamma) const;
+
+  /// <state| C |state>.
+  double expectation(const StateVector& state) const;
+
+ private:
+  int num_qubits_;
+  std::vector<double> diag_;
+  double max_value_ = 0.0;
+  std::uint64_t argmax_ = 0;
+};
+
+}  // namespace qgnn

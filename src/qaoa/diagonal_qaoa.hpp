@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qaoa/ansatz.hpp"
+
+namespace qgnn {
+
+/// QAOA over an ARBITRARY diagonal cost function (not just Max-Cut):
+/// the generalization the paper's conclusion points at ("similar
+/// approaches could be applied to other problems"). The ansatz is
+/// identical — |+>^n, alternating e^{-i gamma D} and RX mixers — with D
+/// given directly as its 2^n diagonal values. Maximization convention,
+/// matching QaoaAnsatz.
+class DiagonalQaoa {
+ public:
+  DiagonalQaoa(int num_qubits, std::vector<double> diagonal);
+
+  int num_qubits() const { return num_qubits_; }
+  std::span<const double> diagonal() const { return diag_; }
+  double max_value() const { return max_value_; }
+  std::uint64_t argmax() const { return argmax_; }
+
+  StateVector prepare_state(const QaoaParams& params) const;
+  double expectation(const QaoaParams& params) const;
+  /// expectation normalized by the best diagonal value; only meaningful
+  /// when max_value() > 0.
+  double approximation_ratio(const QaoaParams& params) const;
+
+ private:
+  int num_qubits_;
+  std::vector<double> diag_;
+  double max_value_ = 0.0;
+  std::uint64_t argmax_ = 0;
+};
+
+}  // namespace qgnn

@@ -1,0 +1,51 @@
+#include "qaoa/fixed_angles.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+double p1_gamma_star(int degree) {
+  // d = 1 is the limit of arctan(1/sqrt(d-1)) as the argument diverges.
+  if (degree == 1) return kPi / 2.0;
+  return std::atan(1.0 / std::sqrt(static_cast<double>(degree - 1)));
+}
+}  // namespace
+
+bool fixed_angles_available(int degree, int depth) {
+  if (degree < 1) return false;
+  if (depth == 1) return true;
+  // Published table transcribed only for 3-regular at p = 2, 3.
+  return degree == 3 && (depth == 2 || depth == 3);
+}
+
+std::optional<QaoaParams> fixed_angles(int degree, int depth) {
+  QGNN_REQUIRE(depth >= 1, "QAOA depth must be at least 1");
+  if (!fixed_angles_available(degree, depth)) return std::nullopt;
+
+  if (depth == 1) {
+    return QaoaParams::single(p1_gamma_star(degree), kPi / 8.0);
+  }
+  // Approximate transcription of the Wurtz-Lykov fixed-angle table for
+  // 3-regular graphs (PRA 104, 052419, Table II). Good warm-start quality;
+  // not bit-exact to the published optimum.
+  if (depth == 2) {
+    return QaoaParams({0.3817, 0.6655}, {0.4960, 0.2690});
+  }
+  return QaoaParams({0.3297, 0.5688, 0.6406}, {0.5500, 0.3675, 0.2109});
+}
+
+double p1_triangle_free_cut_fraction(int degree) {
+  QGNN_REQUIRE(degree >= 1, "degree must be at least 1");
+  const double g = p1_gamma_star(degree);
+  // <C>/m = 1/2 + (1/2) sin(4 beta) sin(gamma) cos^{d-1}(gamma), maximized
+  // at beta = pi/8 where sin(4 beta) = 1.
+  return 0.5 + 0.5 * std::sin(g) *
+                   std::pow(std::cos(g), static_cast<double>(degree - 1));
+}
+
+}  // namespace qgnn

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+#include "qaoa/ansatz.hpp"
+
+namespace qgnn {
+
+/// Fixed-angle conjecture lookup (Wurtz & Lykov, PRA 104, 052419 (2021)):
+/// near-optimal universal QAOA angles for d-regular Max-Cut graphs,
+/// independent of the specific instance.
+///
+/// Depth 1 uses the closed-form optimum on d-regular *triangle-free*
+/// graphs:
+///     gamma* = arctan(1 / sqrt(d - 1)),   beta* = pi / 8,
+/// which the fixed-angle conjecture extends as a heuristic to all
+/// d-regular graphs. Depths 2 and 3 use the published table for small
+/// degrees (transcribed values; marked approximate in the docs).
+///
+/// Returns nullopt when no angles are available for (degree, depth).
+std::optional<QaoaParams> fixed_angles(int degree, int depth = 1);
+
+/// Closed-form depth-1 expected cut fraction on d-regular triangle-free
+/// graphs at the fixed angles:
+///     <C>/m = 1/2 + (1/2) * (d-1)^((d-1)/2) / d^(d/2) * ... — evaluated
+/// numerically as 1/2 + (1/4) sin(4 beta) sin(gamma) cos^{d-1}(gamma)
+/// at the optimum. Used by tests and the label-quality audit.
+double p1_triangle_free_cut_fraction(int degree);
+
+/// The degree range covered by the p=1 closed form.
+bool fixed_angles_available(int degree, int depth = 1);
+
+}  // namespace qgnn

@@ -1,0 +1,91 @@
+#include "qaoa/initializers.hpp"
+
+#include <cmath>
+
+#include "qaoa/fixed_angles.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+}  // namespace
+
+QaoaParams RandomInitializer::initialize(const Graph& /*g*/, int depth) {
+  QGNN_REQUIRE(depth >= 1, "QAOA depth must be at least 1");
+  std::vector<double> gammas(static_cast<std::size_t>(depth));
+  std::vector<double> betas(static_cast<std::size_t>(depth));
+  for (auto& g : gammas) g = rng_.uniform(0.0, kTwoPi);
+  for (auto& b : betas) b = rng_.uniform(0.0, kPi);
+  return QaoaParams(std::move(gammas), std::move(betas));
+}
+
+QaoaParams FixedAngleInitializer::initialize(const Graph& g, int depth) {
+  QGNN_REQUIRE(depth >= 1, "QAOA depth must be at least 1");
+  QGNN_REQUIRE(g.num_edges() > 0, "fixed angles need a non-empty graph");
+  int degree = g.max_degree();
+  if (!g.is_regular()) {
+    // Irregular graphs: use mean degree, rounded to nearest integer >= 1.
+    const double mean_deg =
+        2.0 * static_cast<double>(g.num_edges()) /
+        static_cast<double>(g.num_nodes());
+    degree = std::max(1, static_cast<int>(std::lround(mean_deg)));
+  }
+  if (auto angles = fixed_angles(degree, depth)) return *angles;
+  // Depth not covered by the table: tile the p=1 angles across layers,
+  // which is still a far better start than random.
+  const QaoaParams p1 = *fixed_angles(degree, 1);
+  return QaoaParams(std::vector<double>(static_cast<std::size_t>(depth),
+                                        p1.gammas[0]),
+                    std::vector<double>(static_cast<std::size_t>(depth),
+                                        p1.betas[0]));
+}
+
+QaoaParams LinearRampInitializer::initialize(const Graph& /*g*/, int depth) {
+  QGNN_REQUIRE(depth >= 1, "QAOA depth must be at least 1");
+  std::vector<double> gammas(static_cast<std::size_t>(depth));
+  std::vector<double> betas(static_cast<std::size_t>(depth));
+  const double dt = total_time_ / static_cast<double>(depth);
+  for (int l = 0; l < depth; ++l) {
+    const double frac =
+        (static_cast<double>(l) + 0.5) / static_cast<double>(depth);
+    gammas[static_cast<std::size_t>(l)] = frac * dt * kPi;
+    betas[static_cast<std::size_t>(l)] = (1.0 - frac) * dt * kPi;
+  }
+  return QaoaParams(std::move(gammas), std::move(betas));
+}
+
+GridInitializer::GridInitializer(int grid_steps) : grid_steps_(grid_steps) {
+  QGNN_REQUIRE(grid_steps >= 2, "grid needs at least 2 steps per axis");
+}
+
+QaoaParams GridInitializer::initialize(const Graph& g, int depth) {
+  QGNN_REQUIRE(depth == 1, "grid initializer only supports depth 1");
+  const QaoaAnsatz ansatz(g);
+  double best_value = -1.0;
+  QaoaParams best = QaoaParams::single(0.0, 0.0);
+  for (int i = 0; i < grid_steps_; ++i) {
+    for (int j = 0; j < grid_steps_; ++j) {
+      const double gamma = kTwoPi * (static_cast<double>(i) + 0.5) /
+                           static_cast<double>(grid_steps_);
+      const double beta = kPi * (static_cast<double>(j) + 0.5) /
+                          static_cast<double>(grid_steps_);
+      const QaoaParams candidate = QaoaParams::single(gamma, beta);
+      const double value = ansatz.expectation(candidate);
+      if (value > best_value) {
+        best_value = value;
+        best = candidate;
+      }
+    }
+  }
+  return best;
+}
+
+QaoaParams ConstantInitializer::initialize(const Graph& /*g*/, int depth) {
+  QGNN_REQUIRE(params_.depth() == depth,
+               "constant initializer depth mismatch");
+  return params_;
+}
+
+}  // namespace qgnn

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "qaoa/ansatz.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn {
+
+/// Strategy interface producing the initial (gamma, beta) a QAOA run starts
+/// from. The paper's contribution is exactly a better implementation of
+/// this interface (GNN prediction, wired up in qgnn_core); the baselines
+/// below reproduce its comparison points.
+class ParameterInitializer {
+ public:
+  virtual ~ParameterInitializer() = default;
+
+  /// Initial parameters for depth-`depth` QAOA on `g`.
+  virtual QaoaParams initialize(const Graph& g, int depth) = 0;
+
+  /// Short name used in report tables ("random", "fixed-angle", "gnn:GCN").
+  virtual std::string name() const = 0;
+};
+
+/// The paper's baseline: gamma ~ U[0, 2*pi), beta ~ U[0, pi).
+class RandomInitializer final : public ParameterInitializer {
+ public:
+  explicit RandomInitializer(Rng rng) : rng_(rng) {}
+  QaoaParams initialize(const Graph& g, int depth) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Fixed-angle conjecture angles for regular graphs; falls back to the
+/// closest available degree's angles for irregular graphs (mean degree,
+/// rounded), so it always produces something sensible.
+class FixedAngleInitializer final : public ParameterInitializer {
+ public:
+  QaoaParams initialize(const Graph& g, int depth) override;
+  std::string name() const override { return "fixed-angle"; }
+};
+
+/// Linear-ramp (annealing-inspired) schedule: gamma ramps up, beta ramps
+/// down across layers. A standard literature baseline (extension beyond
+/// the paper).
+class LinearRampInitializer final : public ParameterInitializer {
+ public:
+  explicit LinearRampInitializer(double total_time = 0.7)
+      : total_time_(total_time) {}
+  QaoaParams initialize(const Graph& g, int depth) override;
+  std::string name() const override { return "linear-ramp"; }
+
+ private:
+  double total_time_;
+};
+
+/// Coarse-grid initializer: evaluates <C> on a small gamma x beta grid for
+/// the given graph and returns the best grid point. Unlike the GNN or the
+/// fixed-angle table this SPENDS quantum circuit evaluations
+/// (grid_steps^2 per call, at depth 1 only) - it is the "just try a few
+/// points" baseline the warm-start economics must beat.
+class GridInitializer final : public ParameterInitializer {
+ public:
+  explicit GridInitializer(int grid_steps = 8);
+  QaoaParams initialize(const Graph& g, int depth) override;
+  std::string name() const override { return "grid"; }
+  /// Quantum circuit evaluations spent per initialize() call.
+  int evaluations_per_call() const { return grid_steps_ * grid_steps_; }
+
+ private:
+  int grid_steps_;
+};
+
+/// Always returns a fixed parameter set (for tests and for replaying stored
+/// predictions).
+class ConstantInitializer final : public ParameterInitializer {
+ public:
+  explicit ConstantInitializer(QaoaParams params)
+      : params_(std::move(params)) {}
+  QaoaParams initialize(const Graph& g, int depth) override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  QaoaParams params_;
+};
+
+}  // namespace qgnn

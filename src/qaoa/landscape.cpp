@@ -1,0 +1,150 @@
+#include "qaoa/landscape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "qaoa/optimize.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace qgnn {
+
+double Landscape::at(int gi, int bi) const {
+  QGNN_REQUIRE(gi >= 0 && gi < gamma_steps && bi >= 0 && bi < beta_steps,
+               "landscape index out of range");
+  return values[static_cast<std::size_t>(gi) *
+                    static_cast<std::size_t>(beta_steps) +
+                static_cast<std::size_t>(bi)];
+}
+
+double Landscape::gamma_at(int gi) const {
+  return gamma_max * static_cast<double>(gi) /
+         static_cast<double>(gamma_steps);
+}
+
+double Landscape::beta_at(int bi) const {
+  return beta_max * static_cast<double>(bi) / static_cast<double>(beta_steps);
+}
+
+double Landscape::max_value() const {
+  QGNN_REQUIRE(!values.empty(), "empty landscape");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Landscape::min_value() const {
+  QGNN_REQUIRE(!values.empty(), "empty landscape");
+  return *std::min_element(values.begin(), values.end());
+}
+
+Landscape evaluate_landscape(const QaoaAnsatz& ansatz, int gamma_steps,
+                             int beta_steps, double gamma_max,
+                             double beta_max) {
+  QGNN_REQUIRE(gamma_steps >= 2 && beta_steps >= 2,
+               "grid needs at least 2 points per axis");
+  Landscape ls;
+  ls.gamma_steps = gamma_steps;
+  ls.beta_steps = beta_steps;
+  ls.gamma_max = gamma_max;
+  ls.beta_max = beta_max;
+  ls.values.reserve(static_cast<std::size_t>(gamma_steps) *
+                    static_cast<std::size_t>(beta_steps));
+  for (int gi = 0; gi < gamma_steps; ++gi) {
+    for (int bi = 0; bi < beta_steps; ++bi) {
+      ls.values.push_back(ansatz.expectation(
+          QaoaParams::single(ls.gamma_at(gi), ls.beta_at(bi))));
+    }
+  }
+  return ls;
+}
+
+LandscapeStats analyze_landscape(const Landscape& ls,
+                                 double basin_tolerance) {
+  QGNN_REQUIRE(!ls.values.empty(), "empty landscape");
+  LandscapeStats stats;
+  stats.global_max = ls.max_value();
+
+  const int G = ls.gamma_steps;
+  const int B = ls.beta_steps;
+  auto wrap = [](int i, int n) { return ((i % n) + n) % n; };
+
+  RunningStats grad;
+  int good = 0;
+  for (int gi = 0; gi < G; ++gi) {
+    for (int bi = 0; bi < B; ++bi) {
+      const double v = ls.at(gi, bi);
+      const double up = ls.at(wrap(gi + 1, G), bi);
+      const double down = ls.at(wrap(gi - 1, G), bi);
+      const double left = ls.at(gi, wrap(bi - 1, B));
+      const double right = ls.at(gi, wrap(bi + 1, B));
+      if (v > up && v > down && v > left && v > right) {
+        ++stats.local_maxima;
+      }
+      if (v >= stats.global_max - basin_tolerance) ++good;
+      // Central finite-difference gradient magnitude on the grid.
+      const double dg =
+          (up - down) / (2.0 * ls.gamma_max / static_cast<double>(G));
+      const double db =
+          (right - left) / (2.0 * ls.beta_max / static_cast<double>(B));
+      grad.add(std::sqrt(dg * dg + db * db));
+    }
+  }
+  stats.good_start_fraction =
+      static_cast<double>(good) / static_cast<double>(ls.values.size());
+  stats.gradient_variance = grad.variance();
+  return stats;
+}
+
+std::string render_landscape(const Landscape& ls, int max_cols) {
+  QGNN_REQUIRE(max_cols >= 8, "heatmap needs at least 8 columns");
+  static const char kShades[] = " .:-=+*#@";
+  constexpr int kLevels = 9;
+  const double lo = ls.min_value();
+  const double hi = ls.max_value();
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  const int col_stride = std::max(1, ls.gamma_steps / max_cols);
+  const int row_stride = std::max(1, ls.beta_steps / (max_cols / 2));
+
+  std::ostringstream os;
+  os << "beta \\ gamma in [0, " << ls.gamma_max << ") x [0, " << ls.beta_max
+     << "); ' '=min '@'=max\n";
+  for (int bi = ls.beta_steps - 1; bi >= 0; bi -= row_stride) {
+    for (int gi = 0; gi < ls.gamma_steps; gi += col_stride) {
+      const double t = (ls.at(gi, bi) - lo) / span;
+      const int level = std::clamp(
+          static_cast<int>(t * (kLevels - 1) + 0.5), 0, kLevels - 1);
+      os << kShades[level];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+double random_start_success_probability(const QaoaAnsatz& ansatz,
+                                        double target_fraction, int trials,
+                                        int evaluations, Rng& rng) {
+  QGNN_REQUIRE(trials >= 1, "need at least one trial");
+  QGNN_REQUIRE(target_fraction > 0.0 && target_fraction <= 1.0,
+               "target fraction out of (0,1]");
+  // Reference optimum from a moderately fine grid.
+  const Landscape ls = evaluate_landscape(ansatz, 48, 24);
+  const double target = target_fraction * ls.max_value();
+
+  const Objective f = [&ansatz](const std::vector<double>& x) {
+    return ansatz.expectation(QaoaParams::single(x[0], x[1]));
+  };
+  int successes = 0;
+  for (int t = 0; t < trials; ++t) {
+    NelderMeadConfig config;
+    config.max_evaluations = evaluations;
+    const OptResult r = nelder_mead_maximize(
+        f, {rng.uniform(0.0, 6.283185307179586),
+            rng.uniform(0.0, 3.141592653589793)},
+        config);
+    if (r.best_value >= target) ++successes;
+  }
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+}  // namespace qgnn

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qaoa/ansatz.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn {
+
+/// Dense evaluation of the depth-1 QAOA objective over a
+/// gamma x beta grid. The paper's motivation leans on the landscape being
+/// hard for random starts (local optima, flat regions); these tools make
+/// that quantitative.
+struct Landscape {
+  int gamma_steps = 0;
+  int beta_steps = 0;
+  double gamma_max = 0.0;
+  double beta_max = 0.0;
+  /// Row-major values[gi * beta_steps + bi] = <C>(gamma_i, beta_j).
+  std::vector<double> values;
+
+  double at(int gi, int bi) const;
+  double gamma_at(int gi) const;
+  double beta_at(int bi) const;
+  double max_value() const;
+  double min_value() const;
+};
+
+/// Evaluate the p=1 landscape of `ansatz` on a grid over
+/// [0, gamma_max) x [0, beta_max).
+Landscape evaluate_landscape(const QaoaAnsatz& ansatz, int gamma_steps,
+                             int beta_steps,
+                             double gamma_max = 6.283185307179586,
+                             double beta_max = 3.141592653589793);
+
+/// Landscape statistics relevant to initialization difficulty.
+struct LandscapeStats {
+  /// Grid points that are strict local maxima under 4-neighborhood
+  /// comparison with periodic wrap-around (the landscape is periodic).
+  int local_maxima = 0;
+  /// Fraction of grid points whose value is within `basin_tolerance` of
+  /// the global maximum ("good initialization" probability for uniform
+  /// random starts).
+  double good_start_fraction = 0.0;
+  /// Sample variance of the finite-difference gradient magnitude over the
+  /// grid - a barren-plateau proxy (small variance = flat landscape).
+  double gradient_variance = 0.0;
+  double global_max = 0.0;
+};
+
+LandscapeStats analyze_landscape(const Landscape& landscape,
+                                 double basin_tolerance = 0.05);
+
+/// ASCII heatmap (rows = beta, cols = gamma; '.' low .. '#' high) for
+/// console reports.
+std::string render_landscape(const Landscape& landscape, int max_cols = 64);
+
+/// Monte-Carlo estimate of the probability that a uniformly random
+/// (gamma, beta) start reaches `target_fraction` of the landscape optimum
+/// after local optimization with the given budget - i.e., how often the
+/// paper's random-initialization baseline ends well.
+double random_start_success_probability(const QaoaAnsatz& ansatz,
+                                        double target_fraction, int trials,
+                                        int evaluations, Rng& rng);
+
+}  // namespace qgnn

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "qaoa/ansatz.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn {
+
+/// Finite-shot estimate of <C>: sample `shots` measurement outcomes from
+/// the exact state and average their cut values. This is what a real
+/// device returns instead of the exact expectation; estimator standard
+/// error shrinks as 1/sqrt(shots).
+double sampled_expectation(const QaoaAnsatz& ansatz, const QaoaParams& params,
+                           int shots, Rng& rng);
+
+/// Depolarizing noise model in the Pauli-twirling (stochastic trajectory)
+/// approximation: after every gate, each involved qubit suffers a uniform
+/// random Pauli error with the given probability. Rates default to
+/// typical superconducting-hardware numbers (two-qubit gates an order of
+/// magnitude worse than single-qubit ones).
+struct NoiseModel {
+  double single_qubit_error = 0.001;
+  double two_qubit_error = 0.01;
+
+  bool is_noiseless() const {
+    return single_qubit_error == 0.0 && two_qubit_error == 0.0;
+  }
+};
+
+/// One noisy trajectory of the depth-p QAOA circuit on `g`: the explicit
+/// gate sequence (RZZ per edge, RX per qubit per layer) with stochastic
+/// Pauli errors injected per the model. Distinct calls give distinct
+/// trajectories; averaging expectation values over trajectories
+/// approximates the depolarized density matrix.
+StateVector noisy_qaoa_trajectory(const Graph& g, const QaoaParams& params,
+                                  const NoiseModel& noise, Rng& rng);
+
+/// Monte-Carlo estimate of <C> under the noise model, averaged over
+/// `trajectories` runs. With a noiseless model this equals the exact
+/// expectation (and runs a single trajectory).
+double noisy_expectation(const Graph& g, const QaoaParams& params,
+                         const NoiseModel& noise, int trajectories, Rng& rng);
+
+/// EXACT <C> under the same noise model via density-matrix simulation
+/// with depolarizing Kraus channels after every gate. Limited to
+/// <= 12 qubits; the Monte-Carlo estimator above converges to this value
+/// (cross-validated in tests/test_density_matrix.cpp).
+double exact_noisy_expectation(const Graph& g, const QaoaParams& params,
+                               const NoiseModel& noise);
+
+}  // namespace qgnn

@@ -1,0 +1,177 @@
+#include "qaoa/rqaoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "qaoa/ansatz.hpp"
+#include "qaoa/optimize.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+std::vector<EdgeCorrelation> edge_zz_correlations(const Graph& g,
+                                                  const QaoaParams& params) {
+  const QaoaAnsatz ansatz(g);
+  const StateVector state = ansatz.prepare_state(params);
+  std::vector<EdgeCorrelation> correlations;
+  correlations.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const Edge& e : g.edges()) {
+    const std::uint64_t ubit = std::uint64_t{1} << e.u;
+    const std::uint64_t vbit = std::uint64_t{1} << e.v;
+    double zz = 0.0;
+    for (std::uint64_t k = 0; k < state.dimension(); ++k) {
+      const double p = state.probability(k);
+      const bool differ = ((k & ubit) != 0) != ((k & vbit) != 0);
+      zz += differ ? -p : p;
+    }
+    correlations.push_back(EdgeCorrelation{e.u, e.v, zz});
+  }
+  return correlations;
+}
+
+Contraction contract_edge(const Graph& g, int u, int v, int sign) {
+  QGNN_REQUIRE(u != v, "cannot contract a node with itself");
+  QGNN_REQUIRE(u >= 0 && u < g.num_nodes() && v >= 0 && v < g.num_nodes(),
+               "node out of range");
+  QGNN_REQUIRE(sign == 1 || sign == -1, "sign must be +1 or -1");
+
+  Contraction result;
+  result.node_map.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  int next = 0;
+  for (int w = 0; w < g.num_nodes(); ++w) {
+    if (w == v) continue;
+    result.node_map[static_cast<std::size_t>(w)] = next++;
+  }
+  result.node_map[static_cast<std::size_t>(v)] =
+      result.node_map[static_cast<std::size_t>(u)];
+
+  // Accumulate merged edge weights; contraction can cancel weights to 0.
+  std::map<std::pair<int, int>, double> weights;
+  for (const Edge& e : g.edges()) {
+    const bool touches_v = (e.u == v || e.v == v);
+    const bool is_uv = (e.u == std::min(u, v) && e.v == std::max(u, v));
+    if (is_uv) {
+      // Same side: never cut (0); opposite sides: always cut (+w).
+      if (sign == -1) result.base_offset += e.weight;
+      continue;
+    }
+    double w = e.weight;
+    if (touches_v && sign == -1) {
+      // cut(x, v) = w - w * [x != u]: constant w plus a -w edge to u.
+      result.base_offset += e.weight;
+      w = -e.weight;
+    }
+    int a = result.node_map[static_cast<std::size_t>(e.u)];
+    int b = result.node_map[static_cast<std::size_t>(e.v)];
+    if (a > b) std::swap(a, b);
+    QGNN_REQUIRE(a != b, "unexpected self-loop after contraction");
+    weights[{a, b}] += w;
+  }
+
+  result.graph = Graph(g.num_nodes() - 1);
+  for (const auto& [key, w] : weights) {
+    if (w != 0.0) result.graph.add_edge(key.first, key.second, w);
+  }
+  return result;
+}
+
+namespace {
+
+struct Elimination {
+  int v_rep = 0;  // original id of the eliminated node's representative
+  int u_rep = 0;  // original id it was merged into
+  int sign = 1;
+};
+
+}  // namespace
+
+RqaoaResult run_rqaoa(const Graph& g, ParameterInitializer& init,
+                      const RqaoaConfig& config, Rng& rng) {
+  QGNN_REQUIRE(config.cutoff >= 2, "cutoff must be at least 2");
+  QGNN_REQUIRE(g.num_nodes() >= 2, "graph too small");
+
+  RqaoaResult result;
+  Graph current = g;
+  // rep[i] = original node id represented by current-graph node i.
+  std::vector<int> rep(static_cast<std::size_t>(g.num_nodes()));
+  for (int i = 0; i < g.num_nodes(); ++i) rep[static_cast<std::size_t>(i)] = i;
+  std::vector<Elimination> eliminations;
+
+  while (current.num_nodes() > config.cutoff && current.num_edges() > 0) {
+    // 1. Parameters for this level (optionally refined).
+    QaoaParams params = init.initialize(current, 1);
+    if (config.optimize_each_round) {
+      const QaoaAnsatz ansatz(current);
+      const Objective f = [&ansatz](const std::vector<double>& x) {
+        return ansatz.expectation(QaoaParams::from_flat(x));
+      };
+      NelderMeadConfig nm;
+      nm.max_evaluations = config.optimizer_evaluations;
+      const OptResult opt = nelder_mead_maximize(f, params.flatten(), nm);
+      params = QaoaParams::from_flat(opt.best_params);
+      result.total_evaluations += opt.evaluations;
+    } else {
+      ++result.total_evaluations;
+    }
+
+    // 2. Strongest |<Z_u Z_v>| edge.
+    const auto correlations = edge_zz_correlations(current, params);
+    const auto strongest = std::max_element(
+        correlations.begin(), correlations.end(),
+        [](const EdgeCorrelation& a, const EdgeCorrelation& b) {
+          return std::abs(a.zz) < std::abs(b.zz);
+        });
+
+    // 3. Contract. zz > 0 -> same side (sign +1); zz < 0 -> opposite.
+    const int sign = strongest->zz >= 0.0 ? 1 : -1;
+    eliminations.push_back(
+        Elimination{rep[static_cast<std::size_t>(strongest->v)],
+                    rep[static_cast<std::size_t>(strongest->u)], sign});
+    Contraction contraction =
+        contract_edge(current, strongest->u, strongest->v, sign);
+
+    // Update representatives under the remap.
+    std::vector<int> next_rep(
+        static_cast<std::size_t>(contraction.graph.num_nodes()));
+    for (int old = 0; old < current.num_nodes(); ++old) {
+      if (old == strongest->v) continue;  // absorbed into u
+      next_rep[static_cast<std::size_t>(
+          contraction.node_map[static_cast<std::size_t>(old)])] =
+          rep[static_cast<std::size_t>(old)];
+    }
+    rep = std::move(next_rep);
+    current = std::move(contraction.graph);
+    ++result.eliminations;
+  }
+
+  // 4. Brute-force the remnant.
+  const Cut remnant = max_cut_brute_force(current);
+
+  // 5. Expand eliminations back to the original nodes.
+  std::vector<int> side(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (int i = 0; i < current.num_nodes(); ++i) {
+    side[static_cast<std::size_t>(rep[static_cast<std::size_t>(i)])] =
+        static_cast<int>((remnant.assignment >> i) & 1);
+  }
+  for (auto it = eliminations.rbegin(); it != eliminations.rend(); ++it) {
+    const int u_side = side[static_cast<std::size_t>(it->u_rep)];
+    QGNN_REQUIRE(u_side >= 0, "elimination order corrupted");
+    side[static_cast<std::size_t>(it->v_rep)] =
+        it->sign == 1 ? u_side : 1 - u_side;
+  }
+
+  std::uint64_t assignment = 0;
+  for (int vtx = 0; vtx < g.num_nodes(); ++vtx) {
+    QGNN_REQUIRE(side[static_cast<std::size_t>(vtx)] >= 0,
+                 "node left unassigned");
+    if (side[static_cast<std::size_t>(vtx)] == 1) {
+      assignment |= std::uint64_t{1} << vtx;
+    }
+  }
+  result.cut = Cut{assignment, cut_value(g, assignment)};
+  (void)rng;
+  return result;
+}
+
+}  // namespace qgnn

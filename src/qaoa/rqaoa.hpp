@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "maxcut/maxcut.hpp"
+#include "qaoa/initializers.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn {
+
+/// <Z_u Z_v> correlation of a prepared QAOA state for every edge of the
+/// graph. Positive correlation = endpoints prefer the same side; RQAOA
+/// uses the strongest correlation to fix a relation between two nodes.
+struct EdgeCorrelation {
+  int u = 0;
+  int v = 0;
+  double zz = 0.0;
+};
+
+std::vector<EdgeCorrelation> edge_zz_correlations(const Graph& g,
+                                                  const QaoaParams& params);
+
+/// Recursive QAOA (Bravyi et al.; applied to warm starts by Egger et al.,
+/// the paper's SS5): repeatedly
+///   1. optimize (or warm-start) depth-1 QAOA on the current graph,
+///   2. take the edge with the largest |<Z_u Z_v>|,
+///   3. contract v into u with sign(-<Z_u Z_v>)  (anti-correlated nodes
+///      are forced to opposite sides), eliminating one variable,
+/// until `cutoff` nodes remain, then solve the remnant by brute force and
+/// expand the eliminations back into a full cut.
+///
+/// Contraction can create negative effective edge weights; the whole
+/// Max-Cut stack supports them.
+struct RqaoaConfig {
+  int cutoff = 5;                 // brute-force below this many nodes
+  int optimizer_evaluations = 100;  // per elimination round
+  /// When false, each round evaluates the initializer's parameters as-is
+  /// (fixed-parameter setting); when true, Nelder-Mead refines them.
+  bool optimize_each_round = true;
+};
+
+struct RqaoaResult {
+  Cut cut;                        // assignment on the ORIGINAL nodes
+  int eliminations = 0;           // edges contracted
+  int total_evaluations = 0;      // quantum circuit evaluations spent
+};
+
+RqaoaResult run_rqaoa(const Graph& g, ParameterInitializer& init,
+                      const RqaoaConfig& config, Rng& rng);
+
+/// Signed contraction helper (exposed for tests): identify `v` with `u`
+/// (sign=+1, same side) or with u's complement (sign=-1). Parallel edges
+/// merge by weight addition; edges u-v vanish (their weight is added to
+/// `base_offset` when sign=-1 since they are then always cut).
+/// Returns the contracted graph plus the node remapping old->new
+/// (new id of v's alias is u's new id).
+struct Contraction {
+  Graph graph;
+  std::vector<int> node_map;      // old node -> new node id
+  double base_offset = 0.0;       // cut value guaranteed by eliminations
+};
+
+Contraction contract_edge(const Graph& g, int u, int v, int sign);
+
+}  // namespace qgnn

@@ -1,0 +1,104 @@
+#include "quantum/circuit.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
+               "qubit count out of supported range [1, 26]");
+}
+
+void Circuit::check_qubit(int q) const {
+  QGNN_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+}
+
+void Circuit::add_single(std::string name, const gates::Gate2x2& g, int q) {
+  check_qubit(q);
+  ops_.push_back(SingleOp{std::move(name), g, q});
+}
+
+void Circuit::cnot(int control, int target) {
+  check_qubit(control);
+  check_qubit(target);
+  QGNN_REQUIRE(control != target, "cnot needs distinct qubits");
+  ops_.push_back(ControlledOp{"cnot", gates::pauli_x(), control, target});
+}
+
+void Circuit::cz(int control, int target) {
+  check_qubit(control);
+  check_qubit(target);
+  QGNN_REQUIRE(control != target, "cz needs distinct qubits");
+  ops_.push_back(ControlledOp{"cz", gates::pauli_z(), control, target});
+}
+
+void Circuit::rzz(int a, int b, double theta) {
+  check_qubit(a);
+  check_qubit(b);
+  QGNN_REQUIRE(a != b, "rzz needs distinct qubits");
+  ops_.push_back(RzzOp{theta, a, b});
+}
+
+void Circuit::apply_to(StateVector& state) const {
+  QGNN_REQUIRE(state.num_qubits() == num_qubits_,
+               "state size does not match circuit");
+  for (const Op& op : ops_) {
+    std::visit(
+        [&state](const auto& o) {
+          using T = std::decay_t<decltype(o)>;
+          if constexpr (std::is_same_v<T, SingleOp>) {
+            state.apply_single_qubit(o.gate, o.target);
+          } else if constexpr (std::is_same_v<T, ControlledOp>) {
+            state.apply_controlled(o.gate, o.control, o.target);
+          } else {
+            state.apply_rzz(o.theta, o.a, o.b);
+          }
+        },
+        op);
+  }
+}
+
+StateVector Circuit::simulate() const {
+  StateVector s(num_qubits_);
+  apply_to(s);
+  return s;
+}
+
+StateVector Circuit::simulate_from_plus() const {
+  StateVector s = StateVector::plus_state(num_qubits_);
+  apply_to(s);
+  return s;
+}
+
+std::size_t Circuit::two_qubit_gate_count() const {
+  std::size_t count = 0;
+  for (const Op& op : ops_) {
+    if (!std::holds_alternative<SingleOp>(op)) ++count;
+  }
+  return count;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  for (const Op& op : ops_) {
+    std::visit(
+        [&os](const auto& o) {
+          using T = std::decay_t<decltype(o)>;
+          if constexpr (std::is_same_v<T, SingleOp>) {
+            os << o.name << " q" << o.target << '\n';
+          } else if constexpr (std::is_same_v<T, ControlledOp>) {
+            os << o.name << " q" << o.control << ", q" << o.target << '\n';
+          } else {
+            os << "rzz(" << o.theta << ") q" << o.a << ", q" << o.b << '\n';
+          }
+        },
+        op);
+  }
+  return os.str();
+}
+
+}  // namespace qgnn

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "quantum/gates.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qgnn {
+
+/// A recorded quantum circuit: an ordered list of gate operations that can
+/// be replayed onto a StateVector. Useful for composing QAOA ansatz layers,
+/// counting gate resources, and round-trip testing.
+class Circuit {
+ public:
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t size() const { return ops_.size(); }
+
+  void h(int q) { add_single("h", gates::hadamard(), q); }
+  void x(int q) { add_single("x", gates::pauli_x(), q); }
+  void y(int q) { add_single("y", gates::pauli_y(), q); }
+  void z(int q) { add_single("z", gates::pauli_z(), q); }
+  void rx(int q, double theta) { add_single("rx", gates::rx(theta), q); }
+  void ry(int q, double theta) { add_single("ry", gates::ry(theta), q); }
+  void rz(int q, double theta) { add_single("rz", gates::rz(theta), q); }
+  void cnot(int control, int target);
+  void cz(int control, int target);
+  void rzz(int a, int b, double theta);
+
+  /// Apply all recorded operations to `state` in order.
+  void apply_to(StateVector& state) const;
+
+  /// Run the circuit starting from |0...0>.
+  StateVector simulate() const;
+
+  /// Run the circuit starting from |+>^n (the QAOA convention).
+  StateVector simulate_from_plus() const;
+
+  /// Number of two-qubit operations (the NISQ cost proxy).
+  std::size_t two_qubit_gate_count() const;
+
+  /// One line per op, e.g. "rx(0.500) q2" — for debugging and examples.
+  std::string to_string() const;
+
+ private:
+  struct SingleOp {
+    std::string name;
+    gates::Gate2x2 gate;
+    int target;
+  };
+  struct ControlledOp {
+    std::string name;
+    gates::Gate2x2 gate;
+    int control;
+    int target;
+  };
+  struct RzzOp {
+    double theta;
+    int a;
+    int b;
+  };
+  using Op = std::variant<SingleOp, ControlledOp, RzzOp>;
+
+  void add_single(std::string name, const gates::Gate2x2& g, int q);
+  void check_qubit(int q) const;
+
+  int num_qubits_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace qgnn

@@ -1,0 +1,300 @@
+#include "quantum/density_matrix.hpp"
+
+#include <cmath>
+
+#include "quantum/gates.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+DensityMatrix::DensityMatrix(int num_qubits) : num_qubits_(num_qubits) {
+  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 12,
+               "density matrix limited to 12 qubits");
+  const std::uint64_t dim = dimension();
+  rho_.assign(dim * dim, Amplitude{0.0, 0.0});
+  rho_[0] = Amplitude{1.0, 0.0};
+}
+
+DensityMatrix DensityMatrix::from_state(const StateVector& psi) {
+  DensityMatrix rho(psi.num_qubits());
+  const std::uint64_t dim = rho.dimension();
+  for (std::uint64_t r = 0; r < dim; ++r) {
+    for (std::uint64_t c = 0; c < dim; ++c) {
+      rho.at(r, c) = psi.amplitude(r) * std::conj(psi.amplitude(c));
+    }
+  }
+  return rho;
+}
+
+DensityMatrix DensityMatrix::maximally_mixed(int num_qubits) {
+  DensityMatrix rho(num_qubits);
+  const std::uint64_t dim = rho.dimension();
+  rho.rho_.assign(dim * dim, Amplitude{0.0, 0.0});
+  const double p = 1.0 / static_cast<double>(dim);
+  for (std::uint64_t k = 0; k < dim; ++k) rho.at(k, k) = Amplitude{p, 0.0};
+  return rho;
+}
+
+void DensityMatrix::check_qubit(int q) const {
+  QGNN_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+}
+
+Amplitude& DensityMatrix::at(std::uint64_t row, std::uint64_t col) {
+  return rho_[row * dimension() + col];
+}
+
+const Amplitude& DensityMatrix::at(std::uint64_t row,
+                                   std::uint64_t col) const {
+  return rho_[row * dimension() + col];
+}
+
+Amplitude DensityMatrix::element(std::uint64_t row, std::uint64_t col) const {
+  QGNN_REQUIRE(row < dimension() && col < dimension(),
+               "density matrix index out of range");
+  return at(row, col);
+}
+
+void DensityMatrix::left_apply(const std::array<Amplitude, 4>& m,
+                               int target) {
+  const std::uint64_t bit = std::uint64_t{1} << target;
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t row = 0; row < dim; ++row) {
+    if (row & bit) continue;
+    const std::uint64_t hi = row | bit;
+    for (std::uint64_t col = 0; col < dim; ++col) {
+      const Amplitude a0 = at(row, col);
+      const Amplitude a1 = at(hi, col);
+      at(row, col) = m[0] * a0 + m[1] * a1;
+      at(hi, col) = m[2] * a0 + m[3] * a1;
+    }
+  }
+}
+
+void DensityMatrix::right_apply_adjoint(const std::array<Amplitude, 4>& m,
+                                        int target) {
+  // rho -> rho U^dag: columns mix with conj-transposed coefficients.
+  const std::uint64_t bit = std::uint64_t{1} << target;
+  const std::uint64_t dim = dimension();
+  const Amplitude m00 = std::conj(m[0]);
+  const Amplitude m01 = std::conj(m[1]);
+  const Amplitude m10 = std::conj(m[2]);
+  const Amplitude m11 = std::conj(m[3]);
+  for (std::uint64_t col = 0; col < dim; ++col) {
+    if (col & bit) continue;
+    const std::uint64_t hi = col | bit;
+    for (std::uint64_t row = 0; row < dim; ++row) {
+      const Amplitude a0 = at(row, col);
+      const Amplitude a1 = at(row, hi);
+      // (rho U^dag)_{r,c} = sum_k rho_{r,k} conj(U_{c,k}).
+      at(row, col) = a0 * m00 + a1 * m01;
+      at(row, hi) = a0 * m10 + a1 * m11;
+    }
+  }
+}
+
+void DensityMatrix::apply_single_qubit(const std::array<Amplitude, 4>& m,
+                                       int target) {
+  check_qubit(target);
+  left_apply(m, target);
+  right_apply_adjoint(m, target);
+}
+
+void DensityMatrix::apply_controlled(const std::array<Amplitude, 4>& m,
+                                     int control, int target) {
+  check_qubit(control);
+  check_qubit(target);
+  QGNN_REQUIRE(control != target, "control equals target");
+  // Build the full 4x4 controlled unitary action implicitly: rows/cols
+  // with control bit set transform, others pass through. Reuse the
+  // statevector trick on both sides.
+  const std::uint64_t cbit = std::uint64_t{1} << control;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  const std::uint64_t dim = dimension();
+  // Left: U rho.
+  for (std::uint64_t row = 0; row < dim; ++row) {
+    if ((row & tbit) || !(row & cbit)) continue;
+    const std::uint64_t hi = row | tbit;
+    for (std::uint64_t col = 0; col < dim; ++col) {
+      const Amplitude a0 = at(row, col);
+      const Amplitude a1 = at(hi, col);
+      at(row, col) = m[0] * a0 + m[1] * a1;
+      at(hi, col) = m[2] * a0 + m[3] * a1;
+    }
+  }
+  // Right: rho U^dag.
+  const Amplitude m00 = std::conj(m[0]);
+  const Amplitude m01 = std::conj(m[1]);
+  const Amplitude m10 = std::conj(m[2]);
+  const Amplitude m11 = std::conj(m[3]);
+  for (std::uint64_t col = 0; col < dim; ++col) {
+    if ((col & tbit) || !(col & cbit)) continue;
+    const std::uint64_t hi = col | tbit;
+    for (std::uint64_t row = 0; row < dim; ++row) {
+      const Amplitude a0 = at(row, col);
+      const Amplitude a1 = at(row, hi);
+      at(row, col) = a0 * m00 + a1 * m01;
+      at(row, hi) = a0 * m10 + a1 * m11;
+    }
+  }
+}
+
+void DensityMatrix::apply_rzz(double theta, int a, int b) {
+  check_qubit(a);
+  check_qubit(b);
+  QGNN_REQUIRE(a != b, "rzz needs distinct qubits");
+  const std::uint64_t abit = std::uint64_t{1} << a;
+  const std::uint64_t bbit = std::uint64_t{1} << b;
+  const std::uint64_t dim = dimension();
+  auto phase_of = [&](std::uint64_t k) {
+    const bool parity = ((k & abit) != 0) != ((k & bbit) != 0);
+    const double half = parity ? theta / 2.0 : -theta / 2.0;
+    return Amplitude{std::cos(half), std::sin(half)};
+  };
+  for (std::uint64_t row = 0; row < dim; ++row) {
+    const Amplitude pr = phase_of(row);
+    for (std::uint64_t col = 0; col < dim; ++col) {
+      at(row, col) *= pr * std::conj(phase_of(col));
+    }
+  }
+}
+
+void DensityMatrix::apply_diagonal_phase(std::span<const double> diag,
+                                         double gamma) {
+  QGNN_REQUIRE(diag.size() == dimension(),
+               "diagonal length must equal dimension");
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t row = 0; row < dim; ++row) {
+    for (std::uint64_t col = 0; col < dim; ++col) {
+      const double phi = -gamma * (diag[row] - diag[col]);
+      at(row, col) *= Amplitude{std::cos(phi), std::sin(phi)};
+    }
+  }
+}
+
+void DensityMatrix::apply_channel(
+    std::span<const std::array<Amplitude, 4>> kraus, int target) {
+  check_qubit(target);
+  QGNN_REQUIRE(!kraus.empty(), "empty Kraus set");
+  // Trace preservation: sum_k K^dag K == I.
+  std::array<Amplitude, 4> sum{};
+  for (const auto& k : kraus) {
+    const auto p = gates::multiply(gates::adjoint(k), k);
+    for (int i = 0; i < 4; ++i) sum[static_cast<std::size_t>(i)] += p[static_cast<std::size_t>(i)];
+  }
+  QGNN_REQUIRE(std::abs(sum[0] - Amplitude{1.0, 0.0}) < 1e-9 &&
+                   std::abs(sum[3] - Amplitude{1.0, 0.0}) < 1e-9 &&
+                   std::abs(sum[1]) < 1e-9 && std::abs(sum[2]) < 1e-9,
+               "Kraus set is not trace preserving");
+
+  const std::uint64_t dim = dimension();
+  std::vector<Amplitude> result(dim * dim, Amplitude{0.0, 0.0});
+  for (const auto& k : kraus) {
+    DensityMatrix branch = *this;
+    branch.left_apply(k, target);
+    branch.right_apply_adjoint(k, target);
+    for (std::uint64_t i = 0; i < dim * dim; ++i) {
+      result[i] += branch.rho_[i];
+    }
+  }
+  rho_ = std::move(result);
+}
+
+std::vector<std::array<Amplitude, 4>> depolarizing_kraus(double p) {
+  QGNN_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  const double s0 = std::sqrt(1.0 - p);
+  const double s = std::sqrt(p / 3.0);
+  auto scale = [](const std::array<Amplitude, 4>& g, double c) {
+    std::array<Amplitude, 4> out = g;
+    for (auto& v : out) v *= c;
+    return out;
+  };
+  return {scale(gates::identity(), s0), scale(gates::pauli_x(), s),
+          scale(gates::pauli_y(), s), scale(gates::pauli_z(), s)};
+}
+
+std::vector<std::array<Amplitude, 4>> dephasing_kraus(double p) {
+  QGNN_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  auto scale = [](const std::array<Amplitude, 4>& g, double c) {
+    std::array<Amplitude, 4> out = g;
+    for (auto& v : out) v *= c;
+    return out;
+  };
+  return {scale(gates::identity(), std::sqrt(1.0 - p)),
+          scale(gates::pauli_z(), std::sqrt(p))};
+}
+
+std::vector<std::array<Amplitude, 4>> amplitude_damping_kraus(double gamma) {
+  QGNN_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "damping rate out of [0,1]");
+  const Amplitude zero{0.0, 0.0};
+  return {{Amplitude{1.0, 0.0}, zero, zero,
+           Amplitude{std::sqrt(1.0 - gamma), 0.0}},
+          {zero, Amplitude{std::sqrt(gamma), 0.0}, zero, zero}};
+}
+
+void DensityMatrix::apply_depolarizing(int target, double p) {
+  const auto kraus = depolarizing_kraus(p);
+  apply_channel(kraus, target);
+}
+
+void DensityMatrix::apply_dephasing(int target, double p) {
+  const auto kraus = dephasing_kraus(p);
+  apply_channel(kraus, target);
+}
+
+void DensityMatrix::apply_amplitude_damping(int target, double gamma) {
+  const auto kraus = amplitude_damping_kraus(gamma);
+  apply_channel(kraus, target);
+}
+
+double DensityMatrix::probability(std::uint64_t k) const {
+  QGNN_REQUIRE(k < dimension(), "basis index out of range");
+  return at(k, k).real();
+}
+
+double DensityMatrix::expectation_diagonal(
+    std::span<const double> diag) const {
+  QGNN_REQUIRE(diag.size() == dimension(),
+               "diagonal length must equal dimension");
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < dimension(); ++k) {
+    acc += at(k, k).real() * diag[k];
+  }
+  return acc;
+}
+
+double DensityMatrix::trace() const {
+  double t = 0.0;
+  for (std::uint64_t k = 0; k < dimension(); ++k) t += at(k, k).real();
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // tr(rho^2) = sum_{r,c} |rho_{r,c}|^2 for Hermitian rho.
+  double p = 0.0;
+  for (const Amplitude& a : rho_) p += std::norm(a);
+  return p;
+}
+
+double DensityMatrix::fidelity(const StateVector& psi) const {
+  QGNN_REQUIRE(psi.num_qubits() == num_qubits_, "qubit count mismatch");
+  Amplitude acc{0.0, 0.0};
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t r = 0; r < dim; ++r) {
+    for (std::uint64_t c = 0; c < dim; ++c) {
+      acc += std::conj(psi.amplitude(r)) * at(r, c) * psi.amplitude(c);
+    }
+  }
+  return acc.real();
+}
+
+bool DensityMatrix::is_hermitian(double tol) const {
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t r = 0; r < dim; ++r) {
+    for (std::uint64_t c = r; c < dim; ++c) {
+      if (std::abs(at(r, c) - std::conj(at(c, r))) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qgnn

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quantum/statevector.hpp"
+
+namespace qgnn {
+
+/// Exact density-matrix simulator for n-qubit mixed states (n <= 12;
+/// memory is 2^{2n} amplitudes). Complements StateVector: where the
+/// trajectory sampler in qaoa/noise.hpp approximates channels
+/// stochastically, this simulator applies them exactly, so the two can be
+/// cross-validated (tests/test_density_matrix.cpp does).
+///
+/// Same qubit convention as StateVector: qubit 0 is the least-significant
+/// bit of a basis index.
+class DensityMatrix {
+ public:
+  /// |0...0><0...0|.
+  explicit DensityMatrix(int num_qubits);
+
+  /// Pure state rho = |psi><psi|.
+  static DensityMatrix from_state(const StateVector& psi);
+
+  /// Maximally mixed state I / 2^n.
+  static DensityMatrix maximally_mixed(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
+
+  /// Element <row| rho |col>.
+  Amplitude element(std::uint64_t row, std::uint64_t col) const;
+
+  /// Apply unitary 2x2 gate `m` on `target`: rho -> U rho U^dag.
+  void apply_single_qubit(const std::array<Amplitude, 4>& m, int target);
+
+  /// Apply 2x2 gate on `target` controlled on `control`.
+  void apply_controlled(const std::array<Amplitude, 4>& m, int control,
+                        int target);
+
+  /// exp(-i theta/2 Z_a Z_b) conjugation (the QAOA cost primitive).
+  void apply_rzz(double theta, int a, int b);
+
+  /// rho -> e^{-i gamma D} rho e^{+i gamma D} for diagonal D.
+  void apply_diagonal_phase(std::span<const double> diag, double gamma);
+
+  /// Single-qubit Kraus channel: rho -> sum_k K_k rho K_k^dag. The Kraus
+  /// set must be trace preserving (checked to tolerance).
+  void apply_channel(std::span<const std::array<Amplitude, 4>> kraus,
+                     int target);
+
+  /// Convenience channels on one qubit.
+  void apply_depolarizing(int target, double p);
+  void apply_dephasing(int target, double p);
+  void apply_amplitude_damping(int target, double gamma);
+
+  /// Probability of measuring basis state |k>: the diagonal entry.
+  double probability(std::uint64_t k) const;
+
+  /// tr(rho D) for a diagonal observable.
+  double expectation_diagonal(std::span<const double> diag) const;
+
+  /// tr(rho): 1 for any valid state.
+  double trace() const;
+
+  /// tr(rho^2): 1 for pure states, 1/2^n for maximally mixed.
+  double purity() const;
+
+  /// <psi| rho |psi>: fidelity against a pure state.
+  double fidelity(const StateVector& psi) const;
+
+  /// True when rho is Hermitian within `tol`.
+  bool is_hermitian(double tol = 1e-10) const;
+
+ private:
+  void check_qubit(int q) const;
+  Amplitude& at(std::uint64_t row, std::uint64_t col);
+  const Amplitude& at(std::uint64_t row, std::uint64_t col) const;
+  /// Apply gate to row indices only (left multiplication by U on target).
+  void left_apply(const std::array<Amplitude, 4>& m, int target);
+  /// Apply gate^dagger to column indices (right multiplication).
+  void right_apply_adjoint(const std::array<Amplitude, 4>& m, int target);
+
+  int num_qubits_;
+  std::vector<Amplitude> rho_;  // row-major dense dim x dim
+};
+
+/// Kraus sets for the convenience channels (exposed for tests).
+std::vector<std::array<Amplitude, 4>> depolarizing_kraus(double p);
+std::vector<std::array<Amplitude, 4>> dephasing_kraus(double p);
+std::vector<std::array<Amplitude, 4>> amplitude_damping_kraus(double gamma);
+
+}  // namespace qgnn

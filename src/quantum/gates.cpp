@@ -1,0 +1,74 @@
+#include "quantum/gates.hpp"
+
+#include <cmath>
+
+namespace qgnn::gates {
+
+namespace {
+constexpr Amplitude kZero{0.0, 0.0};
+constexpr Amplitude kOne{1.0, 0.0};
+const Amplitude kI{0.0, 1.0};
+}  // namespace
+
+Gate2x2 identity() { return {kOne, kZero, kZero, kOne}; }
+
+Gate2x2 pauli_x() { return {kZero, kOne, kOne, kZero}; }
+
+Gate2x2 pauli_y() { return {kZero, -kI, kI, kZero}; }
+
+Gate2x2 pauli_z() { return {kOne, kZero, kZero, -kOne}; }
+
+Gate2x2 hadamard() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return {Amplitude{s, 0}, Amplitude{s, 0}, Amplitude{s, 0},
+          Amplitude{-s, 0}};
+}
+
+Gate2x2 s_gate() { return {kOne, kZero, kZero, kI}; }
+
+Gate2x2 t_gate() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return {kOne, kZero, kZero, Amplitude{s, s}};
+}
+
+Gate2x2 rx(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return {Amplitude{c, 0}, Amplitude{0, -s}, Amplitude{0, -s},
+          Amplitude{c, 0}};
+}
+
+Gate2x2 ry(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return {Amplitude{c, 0}, Amplitude{-s, 0}, Amplitude{s, 0},
+          Amplitude{c, 0}};
+}
+
+Gate2x2 rz(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return {Amplitude{c, -s}, kZero, kZero, Amplitude{c, s}};
+}
+
+Gate2x2 phase(double phi) {
+  return {kOne, kZero, kZero, Amplitude{std::cos(phi), std::sin(phi)}};
+}
+
+Gate2x2 multiply(const Gate2x2& a, const Gate2x2& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+Gate2x2 adjoint(const Gate2x2& g) {
+  return {std::conj(g[0]), std::conj(g[2]), std::conj(g[1]),
+          std::conj(g[3])};
+}
+
+bool is_unitary(const Gate2x2& g, double tol) {
+  const Gate2x2 p = multiply(adjoint(g), g);
+  return std::abs(p[0] - kOne) < tol && std::abs(p[1]) < tol &&
+         std::abs(p[2]) < tol && std::abs(p[3] - kOne) < tol;
+}
+
+}  // namespace qgnn::gates

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+
+#include "quantum/statevector.hpp"
+
+namespace qgnn::gates {
+
+using Gate2x2 = std::array<Amplitude, 4>;
+
+/// Standard single-qubit gate matrices (row-major 2x2).
+Gate2x2 identity();
+Gate2x2 pauli_x();
+Gate2x2 pauli_y();
+Gate2x2 pauli_z();
+Gate2x2 hadamard();
+Gate2x2 s_gate();
+Gate2x2 t_gate();
+
+/// Rotation gates: exp(-i theta/2 P) for P in {X, Y, Z}.
+Gate2x2 rx(double theta);
+Gate2x2 ry(double theta);
+Gate2x2 rz(double theta);
+
+/// Phase gate diag(1, e^{i phi}).
+Gate2x2 phase(double phi);
+
+/// Matrix product a*b (apply b first, then a).
+Gate2x2 multiply(const Gate2x2& a, const Gate2x2& b);
+
+/// Conjugate transpose.
+Gate2x2 adjoint(const Gate2x2& g);
+
+/// True when g†g = I within `tol`.
+bool is_unitary(const Gate2x2& g, double tol = 1e-12);
+
+}  // namespace qgnn::gates

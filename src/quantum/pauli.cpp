@@ -1,0 +1,190 @@
+#include "quantum/pauli.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "quantum/gates.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+PauliString::PauliString(int num_qubits, double coefficient)
+    : ops_(static_cast<std::size_t>(num_qubits), Pauli::I),
+      coefficient_(coefficient) {
+  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
+               "qubit count out of range");
+}
+
+PauliString PauliString::parse(const std::string& text, double coefficient) {
+  QGNN_REQUIRE(!text.empty(), "empty Pauli string");
+  PauliString p(static_cast<int>(text.size()), coefficient);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    // Leftmost character is the highest qubit (ket order).
+    const int qubit = static_cast<int>(text.size() - 1 - i);
+    switch (text[i]) {
+      case 'I': case 'i': break;
+      case 'X': case 'x': p.set(qubit, Pauli::X); break;
+      case 'Y': case 'y': p.set(qubit, Pauli::Y); break;
+      case 'Z': case 'z': p.set(qubit, Pauli::Z); break;
+      default:
+        throw InvalidArgument(std::string("bad Pauli character: ") + text[i]);
+    }
+  }
+  return p;
+}
+
+Pauli PauliString::op(int qubit) const {
+  QGNN_REQUIRE(qubit >= 0 && qubit < num_qubits(), "qubit out of range");
+  return ops_[static_cast<std::size_t>(qubit)];
+}
+
+PauliString& PauliString::set(int qubit, Pauli p) {
+  QGNN_REQUIRE(qubit >= 0 && qubit < num_qubits(), "qubit out of range");
+  ops_[static_cast<std::size_t>(qubit)] = p;
+  return *this;
+}
+
+int PauliString::weight() const {
+  int w = 0;
+  for (Pauli p : ops_) {
+    if (p != Pauli::I) ++w;
+  }
+  return w;
+}
+
+bool PauliString::is_diagonal() const {
+  for (Pauli p : ops_) {
+    if (p == Pauli::X || p == Pauli::Y) return false;
+  }
+  return true;
+}
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  QGNN_REQUIRE(num_qubits() == other.num_qubits(),
+               "Pauli strings act on different register sizes");
+  int anticommuting = 0;
+  for (int q = 0; q < num_qubits(); ++q) {
+    const Pauli a = op(q);
+    const Pauli b = other.op(q);
+    if (a != Pauli::I && b != Pauli::I && a != b) ++anticommuting;
+  }
+  return anticommuting % 2 == 0;
+}
+
+void PauliString::apply_to(StateVector& state) const {
+  QGNN_REQUIRE(state.num_qubits() == num_qubits(), "state size mismatch");
+  for (int q = 0; q < num_qubits(); ++q) {
+    switch (op(q)) {
+      case Pauli::I: break;
+      case Pauli::X: state.apply_single_qubit(gates::pauli_x(), q); break;
+      case Pauli::Y: state.apply_single_qubit(gates::pauli_y(), q); break;
+      case Pauli::Z: state.apply_single_qubit(gates::pauli_z(), q); break;
+    }
+  }
+  if (coefficient_ != 1.0) {
+    for (Amplitude& a : state.mutable_amplitudes()) a *= coefficient_;
+  }
+}
+
+double PauliString::expectation(const StateVector& state) const {
+  QGNN_REQUIRE(state.num_qubits() == num_qubits(), "state size mismatch");
+  if (is_diagonal()) {
+    // <psi| P |psi> = sum_k |a_k|^2 * (-1)^{parity of Z bits in k}.
+    std::uint64_t zmask = 0;
+    for (int q = 0; q < num_qubits(); ++q) {
+      if (op(q) == Pauli::Z) zmask |= std::uint64_t{1} << q;
+    }
+    double acc = 0.0;
+    for (std::uint64_t k = 0; k < state.dimension(); ++k) {
+      const double p = std::norm(state.amplitude(k));
+      const bool odd = std::popcount(k & zmask) % 2 == 1;
+      acc += odd ? -p : p;
+    }
+    return coefficient_ * acc;
+  }
+  StateVector transformed = state;
+  apply_to(transformed);
+  return state.inner_product(transformed).real();
+}
+
+std::string PauliString::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed << coefficient_ << " *";
+  bool any = false;
+  for (int q = 0; q < num_qubits(); ++q) {
+    switch (op(q)) {
+      case Pauli::I: continue;
+      case Pauli::X: os << " X" << q; break;
+      case Pauli::Y: os << " Y" << q; break;
+      case Pauli::Z: os << " Z" << q; break;
+    }
+    any = true;
+  }
+  if (!any) os << " I";
+  return os.str();
+}
+
+PauliSum::PauliSum(int num_qubits) : num_qubits_(num_qubits) {
+  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
+               "qubit count out of range");
+}
+
+void PauliSum::add(PauliString term) {
+  QGNN_REQUIRE(term.num_qubits() == num_qubits_,
+               "term register size mismatch");
+  terms_.push_back(std::move(term));
+}
+
+double PauliSum::expectation(const StateVector& state) const {
+  double acc = 0.0;
+  for (const PauliString& t : terms_) acc += t.expectation(state);
+  return acc;
+}
+
+bool PauliSum::is_diagonal() const {
+  for (const PauliString& t : terms_) {
+    if (!t.is_diagonal()) return false;
+  }
+  return true;
+}
+
+std::vector<double> PauliSum::diagonal() const {
+  QGNN_REQUIRE(is_diagonal(), "diagonal() requires a diagonal observable");
+  const std::uint64_t dim = std::uint64_t{1} << num_qubits_;
+  std::vector<double> diag(dim, 0.0);
+  for (const PauliString& t : terms_) {
+    std::uint64_t zmask = 0;
+    for (int q = 0; q < num_qubits_; ++q) {
+      if (t.op(q) == Pauli::Z) zmask |= std::uint64_t{1} << q;
+    }
+    for (std::uint64_t k = 0; k < dim; ++k) {
+      const bool odd = std::popcount(k & zmask) % 2 == 1;
+      diag[k] += odd ? -t.coefficient() : t.coefficient();
+    }
+  }
+  return diag;
+}
+
+std::string PauliSum::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) os << " + ";
+    os << terms_[i].to_string();
+  }
+  return os.str();
+}
+
+PauliSum maxcut_pauli_sum(const Graph& g) {
+  PauliSum sum(g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    // w/2 * I  -  w/2 * Z_u Z_v
+    sum.add(PauliString(g.num_nodes(), e.weight / 2.0));
+    PauliString zz(g.num_nodes(), -e.weight / 2.0);
+    zz.set(e.u, Pauli::Z).set(e.v, Pauli::Z);
+    sum.add(std::move(zz));
+  }
+  return sum;
+}
+
+}  // namespace qgnn

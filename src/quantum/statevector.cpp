@@ -1,0 +1,168 @@
+#include "quantum/statevector.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
+               "qubit count out of supported range [1, 26]");
+  amps_.assign(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0});
+  amps_[0] = Amplitude{1.0, 0.0};
+}
+
+StateVector StateVector::plus_state(int num_qubits) {
+  StateVector s(num_qubits);
+  const double amp =
+      1.0 / std::sqrt(static_cast<double>(s.dimension()));
+  for (auto& a : s.amps_) a = Amplitude{amp, 0.0};
+  return s;
+}
+
+StateVector StateVector::basis_state(int num_qubits, std::uint64_t index) {
+  StateVector s(num_qubits);
+  QGNN_REQUIRE(index < s.dimension(), "basis state index out of range");
+  s.amps_[0] = Amplitude{0.0, 0.0};
+  s.amps_[index] = Amplitude{1.0, 0.0};
+  return s;
+}
+
+void StateVector::check_qubit(int q) const {
+  QGNN_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+}
+
+const Amplitude& StateVector::amplitude(std::uint64_t index) const {
+  QGNN_REQUIRE(index < dimension(), "amplitude index out of range");
+  return amps_[index];
+}
+
+void StateVector::apply_single_qubit(const std::array<Amplitude, 4>& m,
+                                     int target) {
+  check_qubit(target);
+  const std::uint64_t bit = std::uint64_t{1} << target;
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t base = 0; base < dim; ++base) {
+    if (base & bit) continue;  // visit each |..0..>, |..1..> pair once
+    const std::uint64_t hi = base | bit;
+    const Amplitude a0 = amps_[base];
+    const Amplitude a1 = amps_[hi];
+    amps_[base] = m[0] * a0 + m[1] * a1;
+    amps_[hi] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void StateVector::apply_controlled(const std::array<Amplitude, 4>& m,
+                                   int control, int target) {
+  check_qubit(control);
+  check_qubit(target);
+  QGNN_REQUIRE(control != target, "control equals target");
+  const std::uint64_t cbit = std::uint64_t{1} << control;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t base = 0; base < dim; ++base) {
+    if ((base & tbit) || !(base & cbit)) continue;
+    const std::uint64_t hi = base | tbit;
+    const Amplitude a0 = amps_[base];
+    const Amplitude a1 = amps_[hi];
+    amps_[base] = m[0] * a0 + m[1] * a1;
+    amps_[hi] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void StateVector::apply_rzz(double theta, int a, int b) {
+  check_qubit(a);
+  check_qubit(b);
+  QGNN_REQUIRE(a != b, "rzz needs distinct qubits");
+  const std::uint64_t abit = std::uint64_t{1} << a;
+  const std::uint64_t bbit = std::uint64_t{1} << b;
+  // exp(-i theta/2) on even parity, exp(+i theta/2) on odd parity.
+  const Amplitude even{std::cos(theta / 2.0), -std::sin(theta / 2.0)};
+  const Amplitude odd{std::cos(theta / 2.0), std::sin(theta / 2.0)};
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t k = 0; k < dim; ++k) {
+    const bool parity = ((k & abit) != 0) != ((k & bbit) != 0);
+    amps_[k] *= parity ? odd : even;
+  }
+}
+
+void StateVector::apply_diagonal_phase(std::span<const double> diag,
+                                       double gamma) {
+  QGNN_REQUIRE(diag.size() == dimension(),
+               "diagonal length must equal state dimension");
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t k = 0; k < dim; ++k) {
+    const double phi = -gamma * diag[k];
+    amps_[k] *= Amplitude{std::cos(phi), std::sin(phi)};
+  }
+}
+
+double StateVector::probability(std::uint64_t index) const {
+  QGNN_REQUIRE(index < dimension(), "basis state index out of range");
+  return std::norm(amps_[index]);
+}
+
+double StateVector::expectation_diagonal(std::span<const double> diag) const {
+  QGNN_REQUIRE(diag.size() == dimension(),
+               "diagonal length must equal state dimension");
+  double acc = 0.0;
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t k = 0; k < dim; ++k) {
+    acc += std::norm(amps_[k]) * diag[k];
+  }
+  return acc;
+}
+
+double StateVector::expectation_z(int qubit) const {
+  check_qubit(qubit);
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  double acc = 0.0;
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t k = 0; k < dim; ++k) {
+    const double p = std::norm(amps_[k]);
+    acc += (k & bit) ? -p : p;
+  }
+  return acc;
+}
+
+std::uint64_t StateVector::sample(Rng& rng) const {
+  double r = rng.uniform();
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t k = 0; k < dim; ++k) {
+    r -= std::norm(amps_[k]);
+    if (r <= 0.0) return k;
+  }
+  return dim - 1;  // guard against rounding
+}
+
+std::map<std::uint64_t, std::size_t> StateVector::sample_counts(
+    Rng& rng, std::size_t shots) const {
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::size_t s = 0; s < shots; ++s) ++counts[sample(rng)];
+  return counts;
+}
+
+double StateVector::norm() const {
+  double acc = 0.0;
+  for (const Amplitude& a : amps_) acc += std::norm(a);
+  return std::sqrt(acc);
+}
+
+Amplitude StateVector::inner_product(const StateVector& other) const {
+  QGNN_REQUIRE(num_qubits_ == other.num_qubits_,
+               "inner product of different-size states");
+  Amplitude acc{0.0, 0.0};
+  const std::uint64_t dim = dimension();
+  for (std::uint64_t k = 0; k < dim; ++k) {
+    acc += std::conj(amps_[k]) * other.amps_[k];
+  }
+  return acc;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner_product(other));
+}
+
+}  // namespace qgnn

@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return flags_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int CliArgs::get_int(const std::string& key, int fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  try {
+    return std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + key + " is not an integer: " +
+                          it->second);
+  }
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + key + " is not a number: " + it->second);
+  }
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool full_scale_requested(const CliArgs& args) {
+  if (args.get_bool("full", false)) return true;
+  const char* env = std::getenv("QGNN_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+}  // namespace qgnn

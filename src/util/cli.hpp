@@ -1,0 +1,35 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qgnn {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+/// Accepts `--key=value`, `--key value`, and bare `--flag` (boolean true).
+/// Unknown positional arguments are collected in order.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// True when the environment requests paper-scale runs (QGNN_FULL=1) or the
+/// command line contains --full.
+bool full_scale_requested(const CliArgs& args);
+
+}  // namespace qgnn

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace qgnn::detail {
+
+void throw_requirement_failed(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << msg << " [" << expr << " at " << file << ':'
+     << line << ']';
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace qgnn::detail

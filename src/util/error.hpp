@@ -1,0 +1,48 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qgnn {
+
+/// Base exception for all qgnn errors. Thrown on precondition violations
+/// (bad arguments, malformed files, numerical failures).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a file cannot be read/written or has an unexpected format.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or produces NaN/Inf.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_requirement_failed(const char* expr, const char* file,
+                                           int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace qgnn
+
+/// Precondition check that is always on (not an assert): throws
+/// qgnn::InvalidArgument with file/line context when `expr` is false.
+#define QGNN_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::qgnn::detail::throw_requirement_failed(#expr, __FILE__, __LINE__,   \
+                                               (msg));                      \
+    }                                                                       \
+  } while (false)

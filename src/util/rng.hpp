@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+/// Deterministic random number generator used by every stochastic component
+/// in the library. Wraps std::mt19937_64 with convenience draws and a
+/// `child()` derivation scheme so independent subsystems can be seeded from
+/// one master seed without correlated streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Derive an independent child generator. Successive calls yield distinct
+  /// streams; deterministic given the parent's current state.
+  Rng child() { return Rng(engine_() ^ 0xd1b54a32d192ed03ULL); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    QGNN_REQUIRE(lo <= hi, "uniform(lo, hi) needs lo <= hi");
+    return lo + (hi - lo) * unit_(engine_);
+  }
+
+  /// Standard normal draw.
+  double normal() { return normal_(engine_); }
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal_(engine_);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int uniform_int(int lo, int hi) {
+    QGNN_REQUIRE(lo <= hi, "uniform_int(lo, hi) needs lo <= hi");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t index in [0, n).
+  std::size_t index(std::size_t n) {
+    QGNN_REQUIRE(n > 0, "index(n) needs n > 0");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) {
+    QGNN_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli probability out of [0,1]");
+    return unit_(engine_) < p;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    shuffle(p);
+    return p;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace qgnn

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace qgnn {
+
+/// Streaming mean/variance/extrema accumulator (Welford's algorithm).
+/// Numerically stable for long streams; O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (divides by n-1); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample by linear interpolation between closest ranks.
+/// `q` in [0, 1]. Copies and sorts internally; fine for the small samples
+/// used in reports.
+double percentile(std::vector<double> values, double q);
+
+double mean_of(const std::vector<double>& values);
+double stddev_of(const std::vector<double>& values);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets. Values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Integer-keyed frequency counter (used for degree / graph-size frequency
+/// plots like the paper's Figure 2).
+class FrequencyTable {
+ public:
+  void add(int key) { ++counts_[key]; }
+  const std::map<int, std::size_t>& counts() const { return counts_; }
+  std::size_t total() const;
+
+ private:
+  std::map<int, std::size_t> counts_;
+};
+
+}  // namespace qgnn

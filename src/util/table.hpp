@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qgnn {
+
+/// Console/CSV table formatter used by the reproduction benches so every
+/// table and figure prints in a uniform, diff-friendly layout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Numeric helper: formats each value with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 4);
+
+  /// Render aligned, pipe-separated text to `os`.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated values (no alignment padding), for file export.
+  std::string to_csv() const;
+
+  /// Write to_csv() to the given path; throws IoError on failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (trailing zeros kept).
+std::string format_double(double v, int precision = 4);
+
+/// "mean ± std" formatting used by Table 1.
+std::string format_mean_std(double mean, double stddev, int precision = 2);
+
+}  // namespace qgnn

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "graph/analytics.hpp"
+#include "graph/generators.hpp"
+#include "qaoa/ansatz.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+TEST(TriangleCount, KnownGraphs) {
+  EXPECT_EQ(triangle_count(complete_graph(3)), 1);
+  EXPECT_EQ(triangle_count(complete_graph(4)), 4);
+  EXPECT_EQ(triangle_count(complete_graph(5)), 10);
+  EXPECT_EQ(triangle_count(cycle_graph(3)), 1);
+  EXPECT_EQ(triangle_count(cycle_graph(4)), 0);
+  EXPECT_EQ(triangle_count(cycle_graph(7)), 0);
+  EXPECT_EQ(triangle_count(star_graph(6)), 0);
+  EXPECT_EQ(triangle_count(path_graph(5)), 0);
+  EXPECT_EQ(triangle_count(Graph(4)), 0);
+}
+
+TEST(EdgeTriangleCount, CountsCommonNeighbors) {
+  const Graph g = complete_graph(4);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(edge_triangle_count(g, e.u, e.v), 2);
+  }
+  const Graph c = cycle_graph(5);
+  EXPECT_EQ(edge_triangle_count(c, 0, 1), 0);
+}
+
+TEST(TriangleFree, BipartiteAlwaysTriangleFree) {
+  Rng rng(2);
+  for (int d : {2, 3, 4, 5}) {
+    EXPECT_TRUE(is_triangle_free(random_bipartite_regular_graph(6, d, rng)));
+  }
+  EXPECT_FALSE(is_triangle_free(complete_graph(4)));
+}
+
+TEST(ClusteringCoefficient, KnownValues) {
+  // Complete graph: every wedge closes.
+  EXPECT_DOUBLE_EQ(clustering_coefficient(complete_graph(5)), 1.0);
+  // Triangle-free graphs: 0.
+  EXPECT_DOUBLE_EQ(clustering_coefficient(cycle_graph(6)), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(star_graph(5)), 0.0);
+  // Edgeless: no wedges.
+  EXPECT_DOUBLE_EQ(clustering_coefficient(Graph(3)), 0.0);
+}
+
+class ClosedFormTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosedFormTest, MatchesSimulatorOnRandomGraphs) {
+  // The Wang-Hadfield-Jiang-Rieffel p=1 closed form vs the exact
+  // simulator - an independent end-to-end check of the quantum stack,
+  // including graphs WITH triangles.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Graph g = erdos_renyi_graph(GetParam(), 0.5, rng);
+  if (g.num_edges() == 0) return;
+  const QaoaAnsatz ansatz(g);
+  for (double gamma : {0.3, 0.9, 2.1}) {
+    for (double beta : {0.2, 0.39, 1.1}) {
+      EXPECT_NEAR(p1_expected_cut_closed_form(g, gamma, beta),
+                  ansatz.expectation(QaoaParams::single(gamma, beta)),
+                  1e-9)
+          << "n=" << GetParam() << " gamma=" << gamma << " beta=" << beta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, ClosedFormTest,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(ClosedForm, DenseTriangleHeavyGraphs) {
+  // Complete graphs are the worst case for triangle terms.
+  for (int n : {3, 4, 5, 6}) {
+    const Graph g = complete_graph(n);
+    const QaoaAnsatz ansatz(g);
+    EXPECT_NEAR(p1_expected_cut_closed_form(g, 0.7, 0.3),
+                ansatz.expectation(QaoaParams::single(0.7, 0.3)), 1e-9)
+        << "K" << n;
+  }
+}
+
+TEST(ClosedForm, RejectsWeightedGraphs) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_THROW(p1_expected_cut_closed_form(g, 0.1, 0.1), InvalidArgument);
+}
+
+TEST(ClosedForm, RegularTriangleFreeReducesToSimpleFormula) {
+  // On d-regular triangle-free graphs the general closed form must agree
+  // with the simpler fixed-angle expression used elsewhere.
+  Rng rng(5);
+  const Graph g = random_bipartite_regular_graph(6, 3, rng);
+  const double gamma = 0.6155;
+  const double beta = 0.3927;
+  const double expected_per_edge =
+      0.5 + 0.5 * std::sin(gamma) * std::pow(std::cos(gamma), 2) *
+                std::sin(4 * beta);
+  EXPECT_NEAR(p1_expected_cut_closed_form(g, gamma, beta) / g.num_edges(),
+              expected_per_edge, 1e-12);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/var.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+using ag::Var;
+
+/// Builds a scalar Var from leaf inputs. Must be a pure function of the
+/// leaf values (deterministic), so central finite differences are valid.
+using BuildFn = std::function<Var(const std::vector<Var>&)>;
+
+/// Verify reverse-mode gradients of `build` against central finite
+/// differences for every entry of every input.
+void check_gradients(const std::vector<Matrix>& inputs, const BuildFn& build,
+                     double h = 1e-6, double tol = 1e-5) {
+  // Analytic gradients.
+  std::vector<Var> leaves;
+  leaves.reserve(inputs.size());
+  for (const Matrix& m : inputs) leaves.emplace_back(m, true);
+  Var out = build(leaves);
+  ASSERT_EQ(out.rows(), 1u);
+  ASSERT_EQ(out.cols(), 1u);
+  out.backward();
+
+  auto eval = [&build](const std::vector<Matrix>& values) {
+    std::vector<Var> ls;
+    ls.reserve(values.size());
+    for (const Matrix& m : values) ls.emplace_back(m, false);
+    return build(ls).value()(0, 0);
+  };
+
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (std::size_t i = 0; i < inputs[k].rows(); ++i) {
+      for (std::size_t j = 0; j < inputs[k].cols(); ++j) {
+        std::vector<Matrix> probe = inputs;
+        probe[k](i, j) = inputs[k](i, j) + h;
+        const double fp = eval(probe);
+        probe[k](i, j) = inputs[k](i, j) - h;
+        const double fm = eval(probe);
+        const double fd = (fp - fm) / (2.0 * h);
+        EXPECT_NEAR(leaves[k].grad()(i, j), fd, tol)
+            << "input " << k << " entry (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+/// Deterministic scalarizer: weighted sum with fixed weights so every
+/// output entry influences the scalar differently.
+Var scalarize(const Var& v) {
+  Matrix w(v.rows(), v.cols());
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      w(i, j) = 0.3 + 0.7 * static_cast<double>(i) -
+                0.4 * static_cast<double>(j) +
+                0.05 * static_cast<double>(i * j);
+    }
+  }
+  return ag::sum_all(ag::mul(v, Var(w, false)));
+}
+
+Matrix test_matrix(std::size_t rows, std::size_t cols, double scale = 1.0,
+                   double offset = 0.0) {
+  Matrix m(rows, cols);
+  // Deterministic irrational-ish entries avoiding ReLU/max kinks.
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) =
+          scale * std::sin(1.7 * static_cast<double>(i * cols + j) + 0.3) +
+          offset;
+    }
+  }
+  return m;
+}
+
+TEST(Autograd, MatmulGradient) {
+  check_gradients({test_matrix(3, 4), test_matrix(4, 2)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(ag::matmul(in[0], in[1]));
+                  });
+}
+
+TEST(Autograd, AddSubGradient) {
+  check_gradients({test_matrix(2, 3), test_matrix(2, 3, 0.5)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(
+                        ag::sub(ag::add(in[0], in[1]), in[1]));
+                  });
+}
+
+TEST(Autograd, AddBiasGradient) {
+  check_gradients({test_matrix(4, 3), test_matrix(1, 3)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(ag::add_bias(in[0], in[1]));
+                  });
+}
+
+TEST(Autograd, ElementwiseMulGradient) {
+  check_gradients({test_matrix(3, 3), test_matrix(3, 3, 2.0)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(ag::mul(in[0], in[1]));
+                  });
+}
+
+TEST(Autograd, ScalarMulGradient) {
+  check_gradients({test_matrix(2, 2)}, [](const std::vector<Var>& in) {
+    return scalarize(ag::scalar_mul(in[0], -2.5));
+  });
+}
+
+TEST(Autograd, ReluGradient) {
+  // Offsets keep values away from the kink at 0.
+  check_gradients({test_matrix(3, 3, 1.0, 0.05)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(ag::relu(in[0]));
+                  });
+}
+
+TEST(Autograd, LeakyReluGradient) {
+  check_gradients({test_matrix(3, 3, 1.0, 0.05)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(ag::leaky_relu(in[0], 0.2));
+                  });
+}
+
+TEST(Autograd, SigmoidGradient) {
+  check_gradients({test_matrix(2, 4)}, [](const std::vector<Var>& in) {
+    return scalarize(ag::sigmoid(in[0]));
+  });
+}
+
+TEST(Autograd, TanhGradient) {
+  check_gradients({test_matrix(2, 4)}, [](const std::vector<Var>& in) {
+    return scalarize(ag::tanh_op(in[0]));
+  });
+}
+
+TEST(Autograd, ConcatColsGradient) {
+  check_gradients({test_matrix(3, 2), test_matrix(3, 4)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(ag::concat_cols(in[0], in[1]));
+                  });
+}
+
+TEST(Autograd, GatherRowsGradient) {
+  const std::vector<int> index{2, 0, 1, 2, 2};
+  check_gradients({test_matrix(3, 3)},
+                  [&index](const std::vector<Var>& in) {
+                    return scalarize(ag::gather_rows(in[0], index));
+                  });
+}
+
+TEST(Autograd, ScatterAddRowsGradient) {
+  const std::vector<int> index{1, 3, 1, 0};
+  check_gradients({test_matrix(4, 2)},
+                  [&index](const std::vector<Var>& in) {
+                    return scalarize(ag::scatter_add_rows(in[0], index, 4));
+                  });
+}
+
+TEST(Autograd, ScaleRowsGradient) {
+  const std::vector<double> coeffs{0.5, -1.5, 2.0};
+  check_gradients({test_matrix(3, 3)},
+                  [&coeffs](const std::vector<Var>& in) {
+                    return scalarize(ag::scale_rows(in[0], coeffs));
+                  });
+}
+
+TEST(Autograd, MulColGradient) {
+  check_gradients({test_matrix(4, 3), test_matrix(4, 1, 0.8, 0.2)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(ag::mul_col(in[0], in[1]));
+                  });
+}
+
+TEST(Autograd, SegmentSoftmaxGradient) {
+  const std::vector<int> segment{0, 0, 1, 1, 1, 2};
+  check_gradients({test_matrix(6, 1, 1.3)},
+                  [&segment](const std::vector<Var>& in) {
+                    return scalarize(ag::segment_softmax(in[0], segment, 3));
+                  });
+}
+
+TEST(Autograd, SegmentMaxGradient) {
+  // Distinct values avoid argmax ties.
+  Matrix m(5, 2);
+  double v = 0.11;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      m(i, j) = v;
+      v += 0.37;
+    }
+  }
+  const std::vector<int> segment{0, 1, 0, 1, 0};
+  check_gradients({m}, [&segment](const std::vector<Var>& in) {
+    return scalarize(ag::segment_max(in[0], segment, 2));
+  });
+}
+
+TEST(Autograd, MeanRowsGradient) {
+  check_gradients({test_matrix(5, 3)}, [](const std::vector<Var>& in) {
+    return scalarize(ag::mean_rows(in[0]));
+  });
+}
+
+TEST(Autograd, MseLossGradient) {
+  const Matrix target = test_matrix(1, 4, 0.5);
+  check_gradients({test_matrix(1, 4)},
+                  [&target](const std::vector<Var>& in) {
+                    return ag::mse_loss(in[0], target);
+                  });
+}
+
+TEST(Autograd, SinCosGradients) {
+  check_gradients({test_matrix(2, 3, 2.0)}, [](const std::vector<Var>& in) {
+    return scalarize(ag::sin_op(in[0]));
+  });
+  check_gradients({test_matrix(2, 3, 2.0)}, [](const std::vector<Var>& in) {
+    return scalarize(ag::cos_op(in[0]));
+  });
+}
+
+TEST(Autograd, SinCosIdentity) {
+  const Matrix m = test_matrix(3, 3, 1.5);
+  Var x(m, false);
+  // sin^2 + cos^2 == 1 elementwise.
+  const Var s = ag::mul(ag::sin_op(x), ag::sin_op(x));
+  const Var c = ag::mul(ag::cos_op(x), ag::cos_op(x));
+  const Matrix sum = ag::add(s, c).value();
+  for (std::size_t i = 0; i < sum.rows(); ++i) {
+    for (std::size_t j = 0; j < sum.cols(); ++j) {
+      EXPECT_NEAR(sum(i, j), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Autograd, PeriodicLossGradient) {
+  const Matrix target = test_matrix(1, 4, 0.7);
+  const std::vector<double> periods{6.283, 6.283, 3.1416, 3.1416};
+  check_gradients({test_matrix(1, 4, 1.1, 0.2)},
+                  [&](const std::vector<Var>& in) {
+                    return ag::periodic_loss(in[0], target, periods);
+                  });
+}
+
+TEST(Autograd, PeriodicLossIgnoresWrapAround) {
+  constexpr double kTwoPi = 6.283185307179586;
+  Matrix target(1, 2);
+  target(0, 0) = 0.1;
+  target(0, 1) = 0.2;
+  Matrix shifted = target;
+  shifted(0, 0) += kTwoPi;          // full gamma period
+  shifted(0, 1) += kTwoPi / 2.0;    // full beta period (pi)
+  Var pred(shifted, false);
+  const Var loss =
+      ag::periodic_loss(pred, target, {kTwoPi, kTwoPi / 2.0});
+  EXPECT_NEAR(loss.value()(0, 0), 0.0, 1e-10);
+  // MSE on the same pair would be huge.
+  EXPECT_GT(ag::mse_loss(pred, target).value()(0, 0), 1.0);
+}
+
+TEST(Autograd, PeriodicLossValidation) {
+  Var pred(Matrix::ones(1, 2), false);
+  EXPECT_THROW(ag::periodic_loss(pred, Matrix::ones(1, 2), {1.0}),
+               InvalidArgument);
+  EXPECT_THROW(ag::periodic_loss(pred, Matrix::ones(1, 2), {1.0, -1.0}),
+               InvalidArgument);
+  EXPECT_THROW(ag::periodic_loss(pred, Matrix::ones(1, 3), {1.0, 1.0, 1.0}),
+               InvalidArgument);
+}
+
+TEST(Autograd, DropoutGradientWithFixedMask) {
+  // Same seed => same mask on every evaluation, making FD valid.
+  check_gradients({test_matrix(4, 4)}, [](const std::vector<Var>& in) {
+    Rng rng(77);
+    return scalarize(ag::dropout(in[0], 0.5, rng, true));
+  });
+}
+
+TEST(Autograd, DropoutEvalModeIsIdentity) {
+  Rng rng(1);
+  const Matrix m = test_matrix(3, 3);
+  Var x(m, false);
+  const Var y = ag::dropout(x, 0.9, rng, false);
+  EXPECT_TRUE(y.value().approx_equal(m));
+}
+
+TEST(Autograd, DropoutPreservesExpectedScale) {
+  Rng rng(5);
+  Matrix ones = Matrix::ones(100, 100);
+  Var x(ones, false);
+  const Var y = ag::dropout(x, 0.5, rng, true);
+  // Inverted dropout keeps the expected sum; 10000 entries -> tight CLT.
+  EXPECT_NEAR(y.value().sum() / 10000.0, 1.0, 0.05);
+}
+
+TEST(Autograd, CompositeChainGradient) {
+  // A miniature GNN-like pipeline through many ops at once.
+  const std::vector<int> src{0, 1, 2, 2};
+  const std::vector<int> dst{1, 2, 0, 1};
+  check_gradients(
+      {test_matrix(3, 4), test_matrix(4, 3), test_matrix(1, 3)},
+      [&src, &dst](const std::vector<Var>& in) {
+        Var h = ag::add_bias(ag::matmul(in[0], in[1]), in[2]);
+        h = ag::relu(h);
+        const Var msgs = ag::gather_rows(h, src);
+        const Var agg = ag::scatter_add_rows(msgs, dst, 3);
+        const Var pooled = ag::mean_rows(ag::tanh_op(agg));
+        return scalarize(pooled);
+      },
+      1e-6, 1e-5);
+}
+
+TEST(Autograd, GradientAccumulatesWhenLeafUsedTwice) {
+  // f = sum(x ∘ x): grad should be 2x.
+  const Matrix m = test_matrix(2, 2);
+  Var x(m, true);
+  Var out = ag::sum_all(ag::mul(x, x));
+  out.backward();
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(x.grad()(i, j), 2.0 * m(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Autograd, ZeroGradClearsAccumulation) {
+  Var x(Matrix::ones(1, 1), true);
+  Var out = ag::scalar_mul(x, 3.0);
+  out.backward();
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 3.0);
+  x.zero_grad();
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 0.0);
+  // Second pass accumulates fresh.
+  Var out2 = ag::scalar_mul(x, 5.0);
+  out2.backward();
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 5.0);
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Var x(Matrix::ones(2, 2), true);
+  Var y = ag::relu(x);
+  EXPECT_THROW(y.backward(), InvalidArgument);
+}
+
+TEST(Autograd, ShapeMismatchesThrow) {
+  Var a(Matrix::ones(2, 2), false);
+  Var b(Matrix::ones(3, 2), false);
+  EXPECT_THROW(ag::add(a, b), InvalidArgument);
+  EXPECT_THROW(ag::mul(a, b), InvalidArgument);
+  EXPECT_THROW(ag::matmul(a, b), InvalidArgument);
+  EXPECT_THROW(ag::add_bias(a, b), InvalidArgument);
+  EXPECT_THROW(ag::mse_loss(a, Matrix::ones(2, 3)), InvalidArgument);
+  EXPECT_THROW(ag::gather_rows(a, {0, 5}), InvalidArgument);
+  Rng rng(0);
+  EXPECT_THROW(ag::dropout(a, 1.0, rng, true), InvalidArgument);
+}
+
+TEST(Autograd, SegmentSoftmaxNormalizesPerSegment) {
+  Matrix scores(5, 1);
+  scores(0, 0) = 1.0;
+  scores(1, 0) = 2.0;
+  scores(2, 0) = -1.0;
+  scores(3, 0) = 0.5;
+  scores(4, 0) = 0.0;
+  const std::vector<int> segment{0, 0, 1, 1, 1};
+  const Var y = ag::segment_softmax(Var(scores, false), segment, 2);
+  EXPECT_NEAR(y.value()(0, 0) + y.value()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(y.value()(2, 0) + y.value()(3, 0) + y.value()(4, 0), 1.0,
+              1e-12);
+  // Larger score -> larger weight.
+  EXPECT_GT(y.value()(1, 0), y.value()(0, 0));
+}
+
+TEST(Autograd, SegmentMaxEmptySegmentIsZero) {
+  Matrix m(2, 2, 5.0);
+  const std::vector<int> segment{0, 0};
+  const Var y = ag::segment_max(Var(m, false), segment, 3);
+  EXPECT_DOUBLE_EQ(y.value()(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.value()(2, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y.value()(0, 0), 5.0);
+}
+
+TEST(Autograd, UndefinedVarThrows) {
+  Var undefined;
+  EXPECT_FALSE(undefined.defined());
+  EXPECT_THROW(undefined.value(), InvalidArgument);
+}
+
+TEST(Autograd, SetValueOnlyOnLeaves) {
+  Var x(Matrix::ones(1, 1), true);
+  Var y = ag::scalar_mul(x, 2.0);
+  EXPECT_THROW(y.set_value(Matrix::ones(1, 1)), InvalidArgument);
+  EXPECT_THROW(x.set_value(Matrix::ones(2, 1)), InvalidArgument);
+  x.set_value(Matrix::zeros(1, 1));
+  EXPECT_DOUBLE_EQ(x.value()(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace qgnn

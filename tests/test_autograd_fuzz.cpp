@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/var.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+using ag::Var;
+
+/// Randomized deep-composition gradient checks: build a random chain of
+/// SMOOTH ops (no ReLU/max kinks, so central differences are everywhere
+/// valid), scalarize, and verify reverse-mode gradients against finite
+/// differences. Complements the per-op checks in test_autograd.cpp by
+/// exercising long tapes, fan-out, and mixed shapes.
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.uniform(-1.2, 1.2);
+  }
+  return m;
+}
+
+TEST(AutogradFuzz, DeepSmoothChainsMatchFiniteDifferences) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    // Structure decided once per seed.
+    Rng structure_rng(seed);
+    const std::size_t rows = 2 + structure_rng.index(3);
+    const std::size_t cols = 2 + structure_rng.index(3);
+    const int depth = 3 + structure_rng.uniform_int(0, 3);
+    std::vector<int> stage_kinds;
+    std::vector<std::size_t> matmul_outs;
+    for (int d = 0; d < depth; ++d) {
+      const int kind = structure_rng.uniform_int(0, 5);
+      stage_kinds.push_back(kind);
+      if (kind == 3) matmul_outs.push_back(1 + structure_rng.index(4));
+    }
+
+    // Collect inputs: the root plus one leaf per matmul stage.
+    Rng data_rng(seed * 77);
+    std::vector<Matrix> inputs{random_matrix(rows, cols, data_rng)};
+    {
+      std::size_t width = cols;
+      for (std::size_t k = 0; k < matmul_outs.size(); ++k) {
+        inputs.push_back(random_matrix(width, matmul_outs[k], data_rng));
+        width = matmul_outs[k];
+      }
+    }
+
+    auto build = [&](const std::vector<Var>& leaves) {
+      Var h = leaves[0];
+      std::size_t next_leaf = 1;
+      for (int kind : stage_kinds) {
+        switch (kind) {
+          case 0: h = ag::tanh_op(h); break;
+          case 1: h = ag::sigmoid(h); break;
+          case 2: h = ag::sin_op(ag::scalar_mul(h, 0.7)); break;
+          case 3: h = ag::matmul(h, leaves[next_leaf++]); break;
+          case 4: h = ag::mul(h, h); break;
+          default: h = ag::scalar_mul(h, -1.3); break;
+        }
+      }
+      return ag::sum_all(ag::tanh_op(h));
+    };
+
+    // Analytic gradients.
+    std::vector<Var> leaves;
+    for (const Matrix& m : inputs) leaves.emplace_back(m, true);
+    Var out = build(leaves);
+    out.backward();
+
+    auto eval = [&](const std::vector<Matrix>& values) {
+      std::vector<Var> ls;
+      for (const Matrix& m : values) ls.emplace_back(m, false);
+      return build(ls).value()(0, 0);
+    };
+
+    const double h = 1e-6;
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      for (std::size_t i = 0; i < inputs[k].rows(); ++i) {
+        for (std::size_t j = 0; j < inputs[k].cols(); ++j) {
+          std::vector<Matrix> probe = inputs;
+          probe[k](i, j) += h;
+          const double fp = eval(probe);
+          probe[k](i, j) -= 2 * h;
+          const double fm = eval(probe);
+          const double fd = (fp - fm) / (2 * h);
+          ASSERT_NEAR(leaves[k].grad()(i, j), fd, 2e-4)
+              << "seed " << seed << " input " << k << " (" << i << "," << j
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(AutogradFuzz, RepeatedBackwardAccumulates) {
+  Rng rng(3);
+  Var x(random_matrix(2, 2, rng), true);
+  Var loss = ag::sum_all(ag::mul(x, x));
+  loss.backward();
+  const Matrix once = x.grad();
+  loss.backward();  // accumulate a second pass through the same tape
+  const Matrix twice = x.grad();
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(twice(i, j), 2.0 * once(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(AutogradFuzz, LongChainDoesNotOverflowStack) {
+  // 3000 chained ops: the iterative topological sort must handle it.
+  Var x(Matrix{{0.5}}, true);
+  Var h = x;
+  for (int i = 0; i < 3000; ++i) h = ag::scalar_mul(h, 1.0001);
+  Var out = ag::sum_all(h);
+  out.backward();
+  EXPECT_GT(x.grad()(0, 0), 1.0);
+  EXPECT_TRUE(std::isfinite(x.grad()(0, 0)));
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/circuit.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Circuit, BellState) {
+  Circuit c(2);
+  c.h(0);
+  c.cnot(0, 1);
+  const StateVector s = c.simulate();
+  EXPECT_NEAR(s.probability(0b00), 0.5, kTol);
+  EXPECT_NEAR(s.probability(0b11), 0.5, kTol);
+  EXPECT_NEAR(s.probability(0b01), 0.0, kTol);
+  EXPECT_NEAR(s.probability(0b10), 0.0, kTol);
+}
+
+TEST(Circuit, GhzState) {
+  const int n = 5;
+  Circuit c(n);
+  c.h(0);
+  for (int q = 1; q < n; ++q) c.cnot(q - 1, q);
+  const StateVector s = c.simulate();
+  EXPECT_NEAR(s.probability(0), 0.5, kTol);
+  EXPECT_NEAR(s.probability((1u << n) - 1), 0.5, kTol);
+}
+
+TEST(Circuit, MatchesManualApplication) {
+  Circuit c(3);
+  c.h(0);
+  c.rx(1, 0.7);
+  c.rzz(0, 2, 1.1);
+  c.cz(1, 2);
+  c.ry(2, -0.4);
+  const StateVector via_circuit = c.simulate();
+
+  StateVector manual(3);
+  manual.apply_single_qubit(gates::hadamard(), 0);
+  manual.apply_single_qubit(gates::rx(0.7), 1);
+  manual.apply_rzz(1.1, 0, 2);
+  manual.apply_controlled(gates::pauli_z(), 1, 2);
+  manual.apply_single_qubit(gates::ry(-0.4), 2);
+
+  EXPECT_NEAR(via_circuit.fidelity(manual), 1.0, kTol);
+}
+
+TEST(Circuit, SimulateFromPlus) {
+  Circuit c(2);
+  const StateVector s = c.simulate_from_plus();
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(s.probability(k), 0.25, kTol);
+  }
+}
+
+TEST(Circuit, TwoQubitGateCount) {
+  Circuit c(3);
+  c.h(0);
+  c.rzz(0, 1, 0.5);
+  c.cnot(1, 2);
+  c.x(2);
+  EXPECT_EQ(c.two_qubit_gate_count(), 2u);
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(Circuit, ValidatesQubits) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), InvalidArgument);
+  EXPECT_THROW(c.cnot(0, 0), InvalidArgument);
+  EXPECT_THROW(c.rzz(1, 1, 0.3), InvalidArgument);
+  EXPECT_THROW(Circuit(0), InvalidArgument);
+}
+
+TEST(Circuit, ApplyToRequiresMatchingSize) {
+  Circuit c(3);
+  StateVector s(2);
+  EXPECT_THROW(c.apply_to(s), InvalidArgument);
+}
+
+TEST(Circuit, ToStringListsOps) {
+  Circuit c(2);
+  c.h(0);
+  c.rzz(0, 1, 0.5);
+  c.cnot(0, 1);
+  const std::string text = c.to_string();
+  EXPECT_NE(text.find("h q0"), std::string::npos);
+  EXPECT_NE(text.find("rzz(0.500) q0, q1"), std::string::npos);
+  EXPECT_NE(text.find("cnot q0, q1"), std::string::npos);
+}
+
+TEST(Circuit, XViaHzh) {
+  // HZH = X: both circuits send |0> to |1>.
+  Circuit a(1);
+  a.h(0);
+  a.z(0);
+  a.h(0);
+  Circuit b(1);
+  b.x(0);
+  EXPECT_NEAR(a.simulate().fidelity(b.simulate()), 1.0, 1e-12);
+}
+
+TEST(Circuit, RotationComposition) {
+  // RZ(a) RZ(b) == RZ(a+b).
+  Circuit two(1);
+  two.h(0);
+  two.rz(0, 0.3);
+  two.rz(0, 0.9);
+  Circuit one(1);
+  one.h(0);
+  one.rz(0, 1.2);
+  EXPECT_NEAR(two.simulate().fidelity(one.simulate()), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "dataset/dataset.hpp"
+#include "graph/generators.hpp"
+#include "dataset/features.hpp"
+#include "dataset/storage.hpp"
+#include "graph/hash.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+DatasetGenConfig tiny_config() {
+  DatasetGenConfig config;
+  config.num_instances = 12;
+  config.min_nodes = 3;
+  config.max_nodes = 8;
+  config.optimizer_evaluations = 40;
+  config.seed = 77;
+  return config;
+}
+
+TEST(Dataset, GeneratesRequestedCount) {
+  const auto entries = generate_dataset(tiny_config());
+  EXPECT_EQ(entries.size(), 12u);
+}
+
+TEST(Dataset, EntriesAreValid) {
+  const auto entries = generate_dataset(tiny_config());
+  for (const DatasetEntry& e : entries) {
+    EXPECT_GE(e.graph.num_nodes(), 3);
+    EXPECT_LE(e.graph.num_nodes(), 8);
+    EXPECT_TRUE(e.graph.is_regular());
+    EXPECT_EQ(e.graph.max_degree(), e.degree);
+    EXPECT_GT(e.graph.num_edges(), 0);
+    EXPECT_GT(e.optimum, 0.0);
+    EXPECT_GT(e.approximation_ratio, 0.0);
+    EXPECT_LE(e.approximation_ratio, 1.0 + 1e-9);
+    EXPECT_NEAR(e.expectation, e.approximation_ratio * e.optimum, 1e-9);
+    // Labels live in the canonical domain.
+    for (double g : e.label.gammas) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LT(g, 2 * kPi);
+    }
+    for (double b : e.label.betas) {
+      EXPECT_GE(b, 0.0);
+      EXPECT_LT(b, kPi);
+    }
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const auto a = generate_dataset(tiny_config());
+  const auto b = generate_dataset(tiny_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(wl_hash(a[i].graph), wl_hash(b[i].graph));
+    EXPECT_DOUBLE_EQ(a[i].approximation_ratio, b[i].approximation_ratio);
+    EXPECT_EQ(a[i].label.gammas, b[i].label.gammas);
+  }
+}
+
+TEST(Dataset, DifferentSeedsGiveDifferentData) {
+  DatasetGenConfig c1 = tiny_config();
+  DatasetGenConfig c2 = tiny_config();
+  c2.seed = 78;
+  const auto a = generate_dataset(c1);
+  const auto b = generate_dataset(c2);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (wl_hash(a[i].graph) == wl_hash(b[i].graph)) ++same;
+  }
+  EXPECT_LT(same, static_cast<int>(a.size()));
+}
+
+TEST(Dataset, LabelsBeatRandomCutBaselineOnAverage) {
+  // The label optimizer should push <C> above total_weight/2 on average.
+  const auto entries = generate_dataset(tiny_config());
+  double above = 0.0;
+  for (const DatasetEntry& e : entries) {
+    above += e.expectation - e.graph.total_weight() / 2.0;
+  }
+  EXPECT_GT(above / static_cast<double>(entries.size()), 0.0);
+}
+
+TEST(Dataset, ProgressCallbackFires) {
+  int calls = 0;
+  int last_done = 0;
+  DatasetGenConfig config = tiny_config();
+  config.num_instances = 4;
+  generate_dataset(config, [&](int done, int total) {
+    ++calls;
+    last_done = done;
+    EXPECT_EQ(total, 4);
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(last_done, 4);
+}
+
+TEST(Dataset, ValidatesConfig) {
+  DatasetGenConfig config = tiny_config();
+  config.num_instances = 0;
+  EXPECT_THROW(generate_dataset(config), InvalidArgument);
+  config = tiny_config();
+  config.min_nodes = 1;
+  EXPECT_THROW(generate_dataset(config), InvalidArgument);
+  config = tiny_config();
+  config.min_nodes = 10;
+  config.max_nodes = 5;
+  EXPECT_THROW(generate_dataset(config), InvalidArgument);
+}
+
+TEST(CanonicalizeParams, WrapsIntoDomain) {
+  const QaoaParams raw({7.0, -1.0}, {3.5, -0.5});
+  const QaoaParams c = canonicalize_params(raw);
+  EXPECT_NEAR(c.gammas[0], 7.0 - 2 * kPi, 1e-12);
+  EXPECT_NEAR(c.gammas[1], 2 * kPi - 1.0, 1e-12);
+  EXPECT_NEAR(c.betas[0], 3.5 - kPi, 1e-12);
+  EXPECT_NEAR(c.betas[1], kPi - 0.5, 1e-12);
+}
+
+TEST(CanonicalizeSymmetric, FoldsIntoHalfSpace) {
+  // gamma > pi folds to 2*pi - gamma with beta -> pi - beta.
+  const QaoaParams raw = QaoaParams::single(5.0, 0.7);
+  const QaoaParams folded = canonicalize_params_symmetric(raw);
+  EXPECT_NEAR(folded.gammas[0], 2 * kPi - 5.0, 1e-12);
+  EXPECT_NEAR(folded.betas[0], kPi - 0.7, 1e-12);
+  // Already in the half-space: untouched.
+  const QaoaParams keep = canonicalize_params_symmetric(
+      QaoaParams::single(1.0, 0.4));
+  EXPECT_NEAR(keep.gammas[0], 1.0, 1e-12);
+  EXPECT_NEAR(keep.betas[0], 0.4, 1e-12);
+}
+
+TEST(CanonicalizeSymmetric, PreservesExpectation) {
+  // The fold is a symmetry of <C>: physics property test across graphs
+  // and parameter points, including graphs with triangles.
+  Rng rng(19);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = erdos_renyi_graph(7, 0.5, rng);
+    if (g.num_edges() == 0) continue;
+    const QaoaAnsatz ansatz(g);
+    for (double gamma : {3.5, 4.2, 5.9}) {
+      for (double beta : {0.3, 1.1, 2.8}) {
+        const QaoaParams raw = QaoaParams::single(gamma, beta);
+        const QaoaParams folded = canonicalize_params_symmetric(raw);
+        EXPECT_LE(folded.gammas[0], kPi + 1e-12);
+        EXPECT_NEAR(ansatz.expectation(raw), ansatz.expectation(folded),
+                    1e-9)
+            << "gamma=" << gamma << " beta=" << beta;
+      }
+    }
+  }
+}
+
+TEST(Dataset, SymmetrizedLabelsStayInHalfSpace) {
+  DatasetGenConfig config = tiny_config();
+  config.symmetrize_labels = true;
+  const auto entries = generate_dataset(config);
+  for (const DatasetEntry& e : entries) {
+    EXPECT_LE(e.label.gammas[0], kPi + 1e-12);
+    // Quality metadata still matches the (re-canonicalized) label.
+    QaoaAnsatz ansatz(e.graph);
+    EXPECT_NEAR(ansatz.expectation(e.label), e.expectation, 1e-9);
+  }
+}
+
+TEST(TrainTestSplit, SizesAndDisjointness) {
+  auto entries = generate_dataset(tiny_config());
+  const std::size_t total = entries.size();
+  auto [train, test] = train_test_split(std::move(entries), 4, 9);
+  EXPECT_EQ(test.size(), 4u);
+  EXPECT_EQ(train.size(), total - 4);
+  EXPECT_THROW(train_test_split(std::move(train), 100, 9), InvalidArgument);
+}
+
+TEST(TrainTestSplit, DeterministicForSeed) {
+  auto a = generate_dataset(tiny_config());
+  auto b = a;
+  auto [ta, sa] = train_test_split(std::move(a), 3, 5);
+  auto [tb, sb] = train_test_split(std::move(b), 3, 5);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(wl_hash(sa[i].graph), wl_hash(sb[i].graph));
+  }
+}
+
+TEST(Storage, RoundTrip) {
+  const auto entries = generate_dataset(tiny_config());
+  const std::string dir = ::testing::TempDir() + "/qgnn_dataset_rt";
+  std::filesystem::remove_all(dir);
+  save_dataset(dir, entries);
+  const auto loaded = load_dataset(dir);
+  ASSERT_EQ(loaded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(loaded[i].graph.num_nodes(), entries[i].graph.num_nodes());
+    EXPECT_EQ(loaded[i].graph.num_edges(), entries[i].graph.num_edges());
+    EXPECT_EQ(loaded[i].degree, entries[i].degree);
+    EXPECT_DOUBLE_EQ(loaded[i].approximation_ratio,
+                     entries[i].approximation_ratio);
+    EXPECT_DOUBLE_EQ(loaded[i].optimum, entries[i].optimum);
+    EXPECT_EQ(loaded[i].label.gammas, entries[i].label.gammas);
+    EXPECT_EQ(loaded[i].label.betas, entries[i].label.betas);
+  }
+  // Graph files exist on disk, one per instance.
+  std::size_t files = 0;
+  for (const auto& p :
+       std::filesystem::directory_iterator(dir + "/graphs")) {
+    (void)p;
+    ++files;
+  }
+  EXPECT_EQ(files, entries.size());
+}
+
+TEST(Storage, LoadRejectsMissingDirectory) {
+  EXPECT_THROW(load_dataset("/nonexistent/qgnn_ds"), IoError);
+}
+
+TEST(Features, TargetRoundTrip) {
+  const QaoaParams label({0.8, 1.2}, {0.4, 0.9});
+  const Matrix row = label_to_target(label);
+  ASSERT_EQ(row.cols(), 4u);
+  EXPECT_DOUBLE_EQ(row(0, 0), 0.8);
+  EXPECT_DOUBLE_EQ(row(0, 2), 0.4);
+  const QaoaParams back = target_to_params(row);
+  EXPECT_EQ(back.gammas, label.gammas);
+  EXPECT_EQ(back.betas, label.betas);
+}
+
+TEST(Features, TargetToParamsWrapsAngles) {
+  Matrix row(1, 2);
+  row(0, 0) = -0.5;       // gamma wraps to 2*pi - 0.5
+  row(0, 1) = 4.0;        // beta wraps to 4 - pi
+  const QaoaParams p = target_to_params(row);
+  EXPECT_NEAR(p.gammas[0], 2 * kPi - 0.5, 1e-12);
+  EXPECT_NEAR(p.betas[0], 4.0 - kPi, 1e-12);
+  EXPECT_THROW(target_to_params(Matrix(1, 3)), InvalidArgument);
+}
+
+TEST(Features, ToTrainSamplesBuildsBatches) {
+  const auto entries = generate_dataset(tiny_config());
+  const FeatureConfig config{NodeFeatureKind::kDegreeScaledOneHot, 15};
+  const auto samples = to_train_samples(entries, config);
+  ASSERT_EQ(samples.size(), entries.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].batch.num_nodes, entries[i].graph.num_nodes());
+    EXPECT_EQ(samples[i].batch.features.cols(), 15u);
+    EXPECT_EQ(samples[i].target.cols(), 2u);
+    EXPECT_DOUBLE_EQ(samples[i].weight, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ensemble_initializer.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(CircularMean, HandlesWrapAround) {
+  // 0.1 and 2*pi - 0.1 straddle the wrap point: circular mean ~ 0, while
+  // an arithmetic mean would give pi.
+  const double m = EnsembleInitializer::circular_mean(
+      {0.1, kTwoPi - 0.1}, kTwoPi);
+  EXPECT_TRUE(std::abs(m) < 1e-9 || std::abs(m - kTwoPi) < 1e-9) << m;
+}
+
+TEST(CircularMean, ReducesToArithmeticAwayFromWrap) {
+  const double m =
+      EnsembleInitializer::circular_mean({1.0, 1.4, 1.2}, kTwoPi);
+  EXPECT_NEAR(m, 1.2, 1e-9);
+}
+
+TEST(CircularMean, RespectsPeriod) {
+  // With period pi, 0.1 and pi - 0.1 also straddle the wrap point.
+  const double m =
+      EnsembleInitializer::circular_mean({0.1, kPi - 0.1}, kPi);
+  EXPECT_TRUE(std::abs(m) < 1e-9 || std::abs(m - kPi) < 1e-9) << m;
+}
+
+TEST(CircularMean, DegenerateSpreadFallsBack) {
+  // Opposite points cancel exactly: defined fallback is the first angle.
+  const double m =
+      EnsembleInitializer::circular_mean({0.0, kPi}, kTwoPi);
+  EXPECT_NEAR(m, 0.0, 1e-9);
+  EXPECT_THROW(EnsembleInitializer::circular_mean({}, kTwoPi),
+               InvalidArgument);
+  EXPECT_THROW(EnsembleInitializer::circular_mean({1.0}, 0.0),
+               InvalidArgument);
+}
+
+PipelineConfig tiny() {
+  PipelineConfig config;
+  config.dataset.num_instances = 20;
+  config.dataset.min_nodes = 3;
+  config.dataset.max_nodes = 8;
+  config.dataset.optimizer_evaluations = 40;
+  config.dataset.seed = 6;
+  config.test_count = 4;
+  config.model.hidden_dim = 8;
+  config.trainer.epochs = 5;
+  config.trainer.validation_fraction = 0.0;
+  config.seed = 60;
+  return config;
+}
+
+TEST(EnsembleInitializer, CombinesModels) {
+  const PipelineConfig config = tiny();
+  const PreparedData data = prepare_data(config);
+  std::vector<std::shared_ptr<const GnnModel>> models;
+  for (GnnArch arch : {GnnArch::kGCN, GnnArch::kGIN}) {
+    models.push_back(train_arch(arch, data, config).first);
+  }
+  EnsembleInitializer ensemble(models);
+  EXPECT_EQ(ensemble.size(), 2u);
+  EXPECT_EQ(ensemble.name(), "gnn-ensemble(2)");
+  const QaoaParams p = ensemble.initialize(data.test[0].graph, 1);
+  EXPECT_GE(p.gammas[0], 0.0);
+  EXPECT_LT(p.gammas[0], kTwoPi);
+  EXPECT_GE(p.betas[0], 0.0);
+  EXPECT_LT(p.betas[0], kPi + 1e-12);
+  EXPECT_THROW(ensemble.initialize(data.test[0].graph, 2), InvalidArgument);
+}
+
+TEST(EnsembleInitializer, SingleModelMatchesGnnInitializer) {
+  const PipelineConfig config = tiny();
+  const PreparedData data = prepare_data(config);
+  auto model = train_arch(GnnArch::kGCN, data, config).first;
+  EnsembleInitializer ensemble({model});
+  GnnInitializer single(model);
+  const Graph& g = data.test[0].graph;
+  const QaoaParams pe = ensemble.initialize(g, 1);
+  const QaoaParams ps = single.initialize(g, 1);
+  EXPECT_NEAR(pe.gammas[0], ps.gammas[0], 1e-9);
+  EXPECT_NEAR(pe.betas[0], ps.betas[0], 1e-9);
+}
+
+TEST(EnsembleInitializer, Validation) {
+  EXPECT_THROW(EnsembleInitializer({}), InvalidArgument);
+  EXPECT_THROW(EnsembleInitializer({nullptr}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "qaoa/fixed_angles.hpp"
+#include "qaoa/optimize.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(FixedAngles, AvailabilityRules) {
+  EXPECT_TRUE(fixed_angles_available(1, 1));
+  EXPECT_TRUE(fixed_angles_available(14, 1));
+  EXPECT_FALSE(fixed_angles_available(0, 1));
+  EXPECT_TRUE(fixed_angles_available(3, 2));
+  EXPECT_TRUE(fixed_angles_available(3, 3));
+  EXPECT_FALSE(fixed_angles_available(4, 2));
+  EXPECT_FALSE(fixed_angles_available(3, 4));
+}
+
+TEST(FixedAngles, P1ClosedFormValues) {
+  const auto d1 = fixed_angles(1, 1);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_NEAR(d1->gammas[0], kPi / 2.0, 1e-12);
+  EXPECT_NEAR(d1->betas[0], kPi / 8.0, 1e-12);
+
+  const auto d2 = fixed_angles(2, 1);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_NEAR(d2->gammas[0], kPi / 4.0, 1e-12);
+
+  const auto d3 = fixed_angles(3, 1);
+  ASSERT_TRUE(d3.has_value());
+  EXPECT_NEAR(d3->gammas[0], std::atan(1.0 / std::sqrt(2.0)), 1e-12);
+}
+
+TEST(FixedAngles, UnavailableReturnsNullopt) {
+  EXPECT_FALSE(fixed_angles(0, 1).has_value());
+  EXPECT_FALSE(fixed_angles(5, 2).has_value());
+  EXPECT_THROW(fixed_angles(3, 0), InvalidArgument);
+}
+
+TEST(FixedAngles, CutFractionKnownValues) {
+  EXPECT_NEAR(p1_triangle_free_cut_fraction(1), 1.0, 1e-12);
+  EXPECT_NEAR(p1_triangle_free_cut_fraction(2), 0.75, 1e-12);
+  EXPECT_NEAR(p1_triangle_free_cut_fraction(3), 0.6924, 5e-4);
+  // Decreasing in degree.
+  for (int d = 1; d < 14; ++d) {
+    EXPECT_GT(p1_triangle_free_cut_fraction(d),
+              p1_triangle_free_cut_fraction(d + 1));
+  }
+  // Always above the 1/2 random baseline.
+  EXPECT_GT(p1_triangle_free_cut_fraction(14), 0.5);
+}
+
+class FixedAngleOptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedAngleOptimalityTest, GridSearchCannotBeatClosedFormOnCycles) {
+  // On triangle-free 2-regular graphs (even cycles) the closed-form p=1
+  // angles are globally optimal; a grid search must not exceed them.
+  const int n = GetParam();
+  const Graph g = cycle_graph(n);
+  const QaoaAnsatz ansatz(g);
+  const auto angles = fixed_angles(2, 1);
+  ASSERT_TRUE(angles.has_value());
+  const double at_fixed = ansatz.expectation(*angles);
+
+  const Objective f = [&ansatz](const std::vector<double>& x) {
+    return ansatz.expectation(QaoaParams::single(x[0], x[1]));
+  };
+  GridSearchConfig config;
+  config.gamma_steps = 48;
+  config.beta_steps = 48;
+  const OptResult r = grid_search_maximize_2d(f, config);
+  EXPECT_LE(r.best_value, at_fixed + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenCycles, FixedAngleOptimalityTest,
+                         ::testing::Values(4, 6, 8));
+
+TEST(FixedAngles, P2BeatsP1OnThreeRegular) {
+  // The transcribed p=2 angles should outperform p=1 fixed angles on
+  // 3-regular graphs.
+  Rng rng(5);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const QaoaAnsatz ansatz(g);
+  const auto p1 = fixed_angles(3, 1);
+  const auto p2 = fixed_angles(3, 2);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_GT(ansatz.expectation(*p2), ansatz.expectation(*p1));
+}
+
+TEST(FixedAngles, P3BeatsP2OnThreeRegular) {
+  Rng rng(6);
+  const Graph g = random_regular_graph(10, 3, rng);
+  const QaoaAnsatz ansatz(g);
+  const auto p2 = fixed_angles(3, 2);
+  const auto p3 = fixed_angles(3, 3);
+  ASSERT_TRUE(p2 && p3);
+  EXPECT_GT(ansatz.expectation(*p3), ansatz.expectation(*p2));
+}
+
+class FixedAngleQualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedAngleQualityTest, BeatsRandomBaselineOnTriangleFreeRegular) {
+  // On triangle-free d-regular graphs the closed form guarantees
+  // <C> = m * (1/2 + positive); random bipartite regular graphs are
+  // triangle-free by construction.
+  const int d = GetParam();
+  Rng rng(static_cast<std::uint64_t>(d) * 7);
+  const Graph g = random_bipartite_regular_graph(8, d, rng);
+  const QaoaAnsatz ansatz(g);
+  const auto angles = fixed_angles(d, 1);
+  ASSERT_TRUE(angles.has_value());
+  const double expectation = ansatz.expectation(*angles);
+  EXPECT_GT(expectation, g.total_weight() / 2.0);
+  // And it matches the closed form exactly.
+  EXPECT_NEAR(expectation / static_cast<double>(g.num_edges()),
+              p1_triangle_free_cut_fraction(d), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreeSweep, FixedAngleQualityTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(FixedAngles, DenseGraphsStillAboveHalfOnAverageDegreeThree) {
+  // On graphs *with* triangles the closed form is only a heuristic, but it
+  // should still beat the random-cut baseline for moderate degree.
+  Rng rng(33);
+  const Graph g = random_regular_graph(10, 3, rng);
+  const QaoaAnsatz ansatz(g);
+  const auto angles = fixed_angles(3, 1);
+  ASSERT_TRUE(angles.has_value());
+  EXPECT_GT(ansatz.expectation(*angles), g.total_weight() / 2.0);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/hash.hpp"
+#include "graph/io.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+TEST(Graph, BasicConstruction) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 1), 2.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.5);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), InvalidArgument);          // self loop
+  EXPECT_THROW(g.add_edge(0, 3), InvalidArgument);          // out of range
+  EXPECT_THROW(g.add_edge(-1, 1), InvalidArgument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), InvalidArgument);          // duplicate
+  EXPECT_THROW(g.edge_weight(0, 2), InvalidArgument);       // missing edge
+}
+
+TEST(Graph, DegreesAndNeighbors) {
+  Graph g = star_graph(5);
+  EXPECT_EQ(g.degree(0), 4);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_EQ(g.min_degree(), 1);
+  EXPECT_FALSE(g.is_regular());
+  const auto& nbrs = g.neighbors(0);
+  EXPECT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(cycle_graph(5).is_connected());
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_TRUE(Graph(1).is_connected());
+  EXPECT_FALSE(Graph(2).is_connected());
+}
+
+TEST(Graph, DegreeSequenceSorted) {
+  Graph g = path_graph(4);
+  EXPECT_EQ(g.degree_sequence(), (std::vector<int>{1, 1, 2, 2}));
+}
+
+TEST(Graph, PermutedPreservesStructure) {
+  Graph g = cycle_graph(5);
+  const std::vector<int> perm{2, 0, 4, 1, 3};
+  Graph p = g.permuted(perm);
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+  EXPECT_EQ(p.degree_sequence(), g.degree_sequence());
+  EXPECT_TRUE(p.has_edge(perm[0], perm[1]));
+  EXPECT_THROW(g.permuted({0, 1, 2}), InvalidArgument);      // wrong size
+  EXPECT_THROW(g.permuted({0, 0, 1, 2, 3}), InvalidArgument);  // repeat
+}
+
+TEST(Graph, DescribeMentionsRegularity) {
+  EXPECT_NE(cycle_graph(4).describe().find("regular deg=2"),
+            std::string::npos);
+  Rng rng(1);
+  Graph w = with_random_weights(cycle_graph(4), 0.5, 2.0, rng);
+  EXPECT_NE(w.describe().find("weighted"), std::string::npos);
+}
+
+TEST(Generators, CompleteGraph) {
+  Graph g = complete_graph(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Generators, CycleAndPathAndStar) {
+  EXPECT_EQ(cycle_graph(6).num_edges(), 6);
+  EXPECT_EQ(path_graph(6).num_edges(), 5);
+  EXPECT_EQ(star_graph(6).num_edges(), 5);
+  EXPECT_THROW(cycle_graph(2), InvalidArgument);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(3);
+  EXPECT_EQ(erdos_renyi_graph(6, 0.0, rng).num_edges(), 0);
+  EXPECT_EQ(erdos_renyi_graph(6, 1.0, rng).num_edges(), 15);
+}
+
+TEST(Generators, RegularGraphExistence) {
+  EXPECT_TRUE(regular_graph_exists(4, 3));
+  EXPECT_FALSE(regular_graph_exists(4, 4));   // d >= n
+  EXPECT_FALSE(regular_graph_exists(5, 3));   // odd n*d
+  EXPECT_TRUE(regular_graph_exists(2, 1));
+  EXPECT_TRUE(regular_graph_exists(3, 0));
+}
+
+TEST(Generators, RandomRegularThrowsOnImpossible) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular_graph(5, 3, rng), InvalidArgument);
+}
+
+struct RegularCase {
+  int n;
+  int d;
+};
+
+class RandomRegularTest : public ::testing::TestWithParam<RegularCase> {};
+
+TEST_P(RandomRegularTest, ProducesSimpleRegularGraph) {
+  const auto [n, d] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 100 + d));
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = random_regular_graph(n, d, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n * d / 2);
+    for (int v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRegularTest,
+    ::testing::Values(RegularCase{2, 1}, RegularCase{4, 2}, RegularCase{4, 3},
+                      RegularCase{6, 3}, RegularCase{8, 5}, RegularCase{10, 4},
+                      RegularCase{12, 7}, RegularCase{15, 4},
+                      RegularCase{15, 14}, RegularCase{14, 13}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "d" +
+             std::to_string(info.param.d);
+    });
+
+TEST(Generators, RandomRegularDeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  const Graph g1 = random_regular_graph(10, 3, a);
+  const Graph g2 = random_regular_graph(10, 3, b);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (int i = 0; i < g1.num_edges(); ++i) {
+    EXPECT_EQ(g1.edges()[i], g2.edges()[i]);
+  }
+}
+
+TEST(Generators, RandomWeightsInRange) {
+  Rng rng(9);
+  const Graph g = with_random_weights(complete_graph(6), 0.25, 1.75, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, 0.25);
+    EXPECT_LT(e.weight, 1.75);
+  }
+  EXPECT_FALSE(g.is_unweighted());
+}
+
+TEST(GraphIo, StreamRoundTrip) {
+  Rng rng(4);
+  Graph g = with_random_weights(random_regular_graph(8, 3, rng), 0.1, 2.0,
+                                rng);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (int i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(h.edges()[i].u, g.edges()[i].u);
+    EXPECT_EQ(h.edges()[i].v, g.edges()[i].v);
+    EXPECT_DOUBLE_EQ(h.edges()[i].weight, g.edges()[i].weight);
+  }
+}
+
+TEST(GraphIo, IgnoresCommentsAndDefaultsWeight) {
+  std::stringstream ss(
+      "# a comment\nqgnn-graph v1\n# another\n3 2\n0 1\n1 2 2.0\n");
+  const Graph g = read_graph(ss);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.0);
+}
+
+TEST(GraphIo, RejectsCorruptInput) {
+  std::stringstream bad_header("not-a-graph\n1 0\n");
+  EXPECT_THROW(read_graph(bad_header), IoError);
+  std::stringstream truncated("qgnn-graph v1\n3 2\n0 1 1.0\n");
+  EXPECT_THROW(read_graph(truncated), IoError);
+  std::stringstream bad_edge("qgnn-graph v1\n3 1\n0 0 1.0\n");
+  EXPECT_THROW(read_graph(bad_edge), IoError);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/qgnn_graph_test.txt";
+  const Graph g = cycle_graph(5);
+  save_graph(path, g);
+  const Graph h = load_graph(path);
+  EXPECT_EQ(h.num_edges(), 5);
+  EXPECT_THROW(load_graph("/nonexistent/dir/file.txt"), IoError);
+}
+
+TEST(GraphIo, CompactStringRoundTrip) {
+  Graph g(3);
+  g.add_edge(0, 2, 1.5);
+  g.add_edge(1, 2);
+  const std::string s = graph_to_compact_string(g);
+  const Graph h = graph_from_compact_string(s);
+  EXPECT_EQ(h.num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(h.edge_weight(0, 2), 1.5);
+  EXPECT_THROW(graph_from_compact_string("garbage"), IoError);
+}
+
+TEST(WlHash, InvariantUnderPermutation) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_regular_graph(9, 4, rng);
+    std::vector<int> perm(9);
+    for (int i = 0; i < 9; ++i) perm[static_cast<std::size_t>(i)] = i;
+    Rng prng(static_cast<std::uint64_t>(trial));
+    prng.shuffle(perm);
+    EXPECT_EQ(wl_hash(g), wl_hash(g.permuted(perm)));
+  }
+}
+
+TEST(WlHash, DistinguishesDifferentGraphs) {
+  EXPECT_NE(wl_hash(cycle_graph(6)), wl_hash(path_graph(6)));
+  EXPECT_NE(wl_hash(cycle_graph(6)), wl_hash(complete_graph(6)));
+  EXPECT_NE(wl_hash(star_graph(5)), wl_hash(path_graph(5)));
+}
+
+TEST(WlHash, SensitiveToWeights) {
+  Graph a = cycle_graph(4);
+  Graph b(4);
+  for (const Edge& e : a.edges()) b.add_edge(e.u, e.v, 2.0);
+  EXPECT_NE(wl_hash(a), wl_hash(b));
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/graph_batch.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+TEST(FeatureConfig, Dimensions) {
+  FeatureConfig onehot{NodeFeatureKind::kOneHotId, 15};
+  EXPECT_EQ(onehot.dimension(), 15);
+  FeatureConfig concat{NodeFeatureKind::kDegreeConcatOneHot, 15};
+  EXPECT_EQ(concat.dimension(), 16);
+  FeatureConfig scaled{NodeFeatureKind::kDegreeScaledOneHot, 10};
+  EXPECT_EQ(scaled.dimension(), 10);
+}
+
+TEST(GraphBatch, OneHotFeatures) {
+  const Graph g = path_graph(3);
+  const GraphBatch b =
+      make_graph_batch(g, {NodeFeatureKind::kOneHotId, 15});
+  EXPECT_EQ(b.num_nodes, 3);
+  EXPECT_EQ(b.features.rows(), 3u);
+  EXPECT_EQ(b.features.cols(), 15u);
+  for (int v = 0; v < 3; ++v) {
+    for (int c = 0; c < 15; ++c) {
+      EXPECT_DOUBLE_EQ(
+          b.features(static_cast<std::size_t>(v), static_cast<std::size_t>(c)),
+          v == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(GraphBatch, DegreeScaledFeaturesEncodeDegree) {
+  const Graph g = star_graph(4);  // degrees 3,1,1,1
+  const GraphBatch b =
+      make_graph_batch(g, {NodeFeatureKind::kDegreeScaledOneHot, 15});
+  EXPECT_DOUBLE_EQ(b.features(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(b.features(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(b.features(0, 1), 0.0);
+}
+
+TEST(GraphBatch, DegreeConcatFeatures) {
+  const Graph g = star_graph(4);
+  const GraphBatch b =
+      make_graph_batch(g, {NodeFeatureKind::kDegreeConcatOneHot, 15});
+  EXPECT_EQ(b.features.cols(), 16u);
+  EXPECT_DOUBLE_EQ(b.features(0, 0), 3.0 / 15.0);
+  EXPECT_DOUBLE_EQ(b.features(0, 1), 1.0);   // one-hot at position v+1
+  EXPECT_DOUBLE_EQ(b.features(2, 3), 1.0);
+}
+
+TEST(GraphBatch, EdgeListHasBothDirections) {
+  const Graph g = path_graph(3);  // edges 0-1, 1-2
+  const GraphBatch b =
+      make_graph_batch(g, {NodeFeatureKind::kOneHotId, 15});
+  EXPECT_EQ(b.num_directed_edges(), 4);
+  // Every directed edge has its reverse.
+  for (int k = 0; k < b.num_directed_edges(); ++k) {
+    bool found_reverse = false;
+    for (int j = 0; j < b.num_directed_edges(); ++j) {
+      if (b.edge_src[j] == b.edge_dst[k] && b.edge_dst[j] == b.edge_src[k]) {
+        found_reverse = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found_reverse) << "edge " << k;
+  }
+}
+
+TEST(GraphBatch, EdgeWeightsCarried) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.5);
+  const GraphBatch b =
+      make_graph_batch(g, {NodeFeatureKind::kOneHotId, 15});
+  ASSERT_EQ(b.edge_weight.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.edge_weight[0], 2.5);
+  EXPECT_DOUBLE_EQ(b.edge_weight[1], 2.5);
+}
+
+TEST(GraphBatch, GcnCoefficients) {
+  // Path 0-1-2: degrees 1,2,1; d~ = 2,3,2.
+  const Graph g = path_graph(3);
+  const GraphBatch b =
+      make_graph_batch(g, {NodeFeatureKind::kOneHotId, 15});
+  for (int k = 0; k < b.num_directed_edges(); ++k) {
+    const double du = static_cast<double>(g.degree(b.edge_src[k])) + 1.0;
+    const double dv = static_cast<double>(g.degree(b.edge_dst[k])) + 1.0;
+    EXPECT_NEAR(b.gcn_coeff[static_cast<std::size_t>(k)],
+                1.0 / std::sqrt(du * dv), 1e-12);
+  }
+  EXPECT_NEAR(b.gcn_self_coeff[0], 0.5, 1e-12);
+  EXPECT_NEAR(b.gcn_self_coeff[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(GraphBatch, RejectsOversizedOrEmptyGraph) {
+  EXPECT_THROW(
+      make_graph_batch(cycle_graph(16), {NodeFeatureKind::kOneHotId, 15}),
+      InvalidArgument);
+  EXPECT_THROW(make_graph_batch(Graph(0), {NodeFeatureKind::kOneHotId, 15}),
+               InvalidArgument);
+}
+
+TEST(GraphBatch, IsolatedNodesProduceNoEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const GraphBatch b =
+      make_graph_batch(g, {NodeFeatureKind::kOneHotId, 15});
+  EXPECT_EQ(b.num_directed_edges(), 2);
+  EXPECT_NEAR(b.gcn_self_coeff[2], 1.0, 1e-12);  // degree 0 -> 1/(0+1)
+}
+
+}  // namespace
+}  // namespace qgnn

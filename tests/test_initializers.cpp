@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "qaoa/fixed_angles.hpp"
+#include "qaoa/initializers.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(RandomInitializer, AnglesInCanonicalRanges) {
+  RandomInitializer init{Rng(3)};
+  const Graph g = cycle_graph(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const QaoaParams p = init.initialize(g, 2);
+    ASSERT_EQ(p.depth(), 2);
+    for (double gamma : p.gammas) {
+      EXPECT_GE(gamma, 0.0);
+      EXPECT_LT(gamma, 2 * kPi);
+    }
+    for (double beta : p.betas) {
+      EXPECT_GE(beta, 0.0);
+      EXPECT_LT(beta, kPi);
+    }
+  }
+}
+
+TEST(RandomInitializer, DeterministicForSameSeed) {
+  RandomInitializer a{Rng(9)};
+  RandomInitializer b{Rng(9)};
+  const Graph g = cycle_graph(4);
+  const QaoaParams pa = a.initialize(g, 1);
+  const QaoaParams pb = b.initialize(g, 1);
+  EXPECT_EQ(pa.gammas, pb.gammas);
+  EXPECT_EQ(pa.betas, pb.betas);
+}
+
+TEST(RandomInitializer, SuccessiveDrawsDiffer) {
+  RandomInitializer init{Rng(5)};
+  const Graph g = cycle_graph(4);
+  const QaoaParams p1 = init.initialize(g, 1);
+  const QaoaParams p2 = init.initialize(g, 1);
+  EXPECT_NE(p1.gammas[0], p2.gammas[0]);
+}
+
+TEST(FixedAngleInitializer, UsesRegularDegree) {
+  FixedAngleInitializer init;
+  const Graph g = cycle_graph(6);  // 2-regular
+  const QaoaParams p = init.initialize(g, 1);
+  const auto expected = fixed_angles(2, 1);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_DOUBLE_EQ(p.gammas[0], expected->gammas[0]);
+  EXPECT_DOUBLE_EQ(p.betas[0], expected->betas[0]);
+}
+
+TEST(FixedAngleInitializer, FallsBackToMeanDegreeForIrregular) {
+  FixedAngleInitializer init;
+  const Graph g = star_graph(5);  // degrees {4,1,1,1,1}, mean 1.6 -> 2
+  const QaoaParams p = init.initialize(g, 1);
+  const auto expected = fixed_angles(2, 1);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_DOUBLE_EQ(p.gammas[0], expected->gammas[0]);
+}
+
+TEST(FixedAngleInitializer, TilesP1AnglesAtUncoveredDepth) {
+  FixedAngleInitializer init;
+  const Graph g = cycle_graph(6);  // degree 2: no p=2 table entry
+  const QaoaParams p = init.initialize(g, 2);
+  const auto p1 = fixed_angles(2, 1);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_DOUBLE_EQ(p.gammas[0], p1->gammas[0]);
+  EXPECT_DOUBLE_EQ(p.gammas[1], p1->gammas[0]);
+  EXPECT_DOUBLE_EQ(p.betas[0], p1->betas[0]);
+}
+
+TEST(FixedAngleInitializer, UsesTableForThreeRegularDepth2) {
+  FixedAngleInitializer init;
+  Rng rng(2);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const QaoaParams p = init.initialize(g, 2);
+  const auto expected = fixed_angles(3, 2);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_EQ(p.gammas, expected->gammas);
+}
+
+TEST(FixedAngleInitializer, RejectsEmptyGraph) {
+  FixedAngleInitializer init;
+  EXPECT_THROW(init.initialize(Graph(3), 1), InvalidArgument);
+}
+
+TEST(LinearRampInitializer, GammaRampsUpBetaRampsDown) {
+  LinearRampInitializer init;
+  const Graph g = cycle_graph(4);
+  const QaoaParams p = init.initialize(g, 4);
+  for (int l = 1; l < 4; ++l) {
+    EXPECT_GT(p.gammas[static_cast<std::size_t>(l)],
+              p.gammas[static_cast<std::size_t>(l - 1)]);
+    EXPECT_LT(p.betas[static_cast<std::size_t>(l)],
+              p.betas[static_cast<std::size_t>(l - 1)]);
+  }
+  for (double b : p.betas) EXPECT_GT(b, 0.0);
+}
+
+TEST(GridInitializer, FindsNearOptimalPointOnEvenCycle) {
+  GridInitializer init(12);
+  const Graph g = cycle_graph(6);
+  const QaoaAnsatz ansatz(g);
+  const QaoaParams p = init.initialize(g, 1);
+  // C6's p=1 optimum is 4.5; a 12x12 grid should get close.
+  EXPECT_GT(ansatz.expectation(p), 4.3);
+  EXPECT_EQ(init.evaluations_per_call(), 144);
+}
+
+TEST(GridInitializer, BeatsExpectedRandomDraw) {
+  Rng rng(25);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const QaoaAnsatz ansatz(g);
+  GridInitializer init(6);
+  const double at_grid = ansatz.expectation(init.initialize(g, 1));
+  // The grid max is at least the random-cut level w/2 (gamma=0 rows sit
+  // exactly there), and on regular graphs clearly above it.
+  EXPECT_GT(at_grid, g.total_weight() / 2.0);
+}
+
+TEST(GridInitializer, Validation) {
+  EXPECT_THROW(GridInitializer(1), InvalidArgument);
+  GridInitializer init(4);
+  EXPECT_THROW(init.initialize(cycle_graph(4), 2), InvalidArgument);
+  EXPECT_EQ(init.name(), "grid");
+}
+
+TEST(ConstantInitializer, ReturnsStoredParamsAndChecksDepth) {
+  const QaoaParams stored = QaoaParams::single(0.4, 0.2);
+  ConstantInitializer init(stored);
+  const Graph g = cycle_graph(4);
+  const QaoaParams p = init.initialize(g, 1);
+  EXPECT_EQ(p.gammas, stored.gammas);
+  EXPECT_THROW(init.initialize(g, 2), InvalidArgument);
+}
+
+TEST(Initializers, Names) {
+  EXPECT_EQ(RandomInitializer{Rng(0)}.name(), "random");
+  EXPECT_EQ(FixedAngleInitializer{}.name(), "fixed-angle");
+  EXPECT_EQ(LinearRampInitializer{}.name(), "linear-ramp");
+  EXPECT_EQ(ConstantInitializer{QaoaParams::single(0, 0)}.name(), "constant");
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "dataset/storage.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+#include <filesystem>
+
+namespace qgnn {
+namespace {
+
+/// End-to-end miniature of the paper's experiment: generate a dataset with
+/// good labels, train a GNN, and check the warm start beats a random start
+/// on average over held-out graphs. Scaled to run in seconds; the bench
+/// binaries run the full-size version.
+TEST(Integration, GnnWarmStartBeatsRandomInitOnAverage) {
+  PipelineConfig config;
+  config.dataset.num_instances = 200;
+  config.dataset.min_nodes = 4;
+  config.dataset.max_nodes = 10;
+  config.dataset.optimizer_evaluations = 150;
+  config.dataset.seed = 2024;
+  config.apply_fixed_angle_audit = true;  // high-quality labels
+  config.apply_sdp = true;
+  config.sdp.ar_threshold = 0.7;
+  config.sdp.selective_rate = 0.7;
+  config.test_count = 16;
+  config.model.hidden_dim = 16;
+  config.model.num_layers = 2;
+  config.model.dropout = 0.2;
+  config.trainer.epochs = 60;
+  config.trainer.learning_rate = 1e-2;
+  config.trainer.batch_size = 16;
+  config.trainer.validation_fraction = 0.0;
+  config.seed = 31337;
+
+  const PipelineReport report = run_pipeline(config, {GnnArch::kGCN});
+  ASSERT_EQ(report.archs.size(), 1u);
+  const ArchEvaluation& eval = report.archs[0];
+
+  // The paper's Table-1 shape: positive mean improvement with large std.
+  EXPECT_GT(eval.mean_improvement, 0.0)
+      << "GCN warm start should beat random init on average";
+  // GNN series should be more stable (smaller stddev) than random.
+  RunningStats random_stats;
+  for (double ar : report.ar_random) random_stats.add(ar);
+  RunningStats gnn_stats;
+  for (double ar : eval.ar_gnn) gnn_stats.add(ar);
+  EXPECT_LT(gnn_stats.stddev(), random_stats.stddev());
+}
+
+TEST(Integration, DatasetPersistenceFeedsTraining) {
+  // Generate -> save -> load -> train, mimicking the offline workflow.
+  DatasetGenConfig gen;
+  gen.num_instances = 20;
+  gen.min_nodes = 4;
+  gen.max_nodes = 8;
+  gen.optimizer_evaluations = 40;
+  gen.seed = 8;
+  const auto entries = generate_dataset(gen);
+  const std::string dir = ::testing::TempDir() + "/qgnn_integration_ds";
+  std::filesystem::remove_all(dir);
+  save_dataset(dir, entries);
+  const auto loaded = load_dataset(dir);
+
+  GnnModelConfig model_config;
+  model_config.arch = GnnArch::kSAGE;
+  model_config.hidden_dim = 8;
+  Rng rng(3);
+  GnnModel model(model_config, rng);
+  auto samples = to_train_samples(loaded, model_config.features);
+  TrainerConfig trainer;
+  trainer.epochs = 5;
+  trainer.validation_fraction = 0.0;
+  const TrainReport report = train_gnn(model, samples, trainer, rng);
+  EXPECT_EQ(report.epochs.size(), 5u);
+  EXPECT_GT(report.final_train_loss, 0.0);
+}
+
+TEST(Integration, FixedAngleInitVsOptimizedEndToEnd) {
+  // Fixed angles should land close to what a full optimization achieves
+  // on 3-regular instances (the fixed-angle conjecture in action).
+  Rng graph_rng(9);
+  Rng rng(10);
+  QaoaRunConfig full;
+  full.max_evaluations = 300;
+  QaoaRunConfig none;
+  none.optimizer = QaoaOptimizer::kNone;
+
+  RunningStats gap;
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = random_regular_graph(8, 3, graph_rng);
+    FixedAngleInitializer fixed;
+    RandomInitializer random_init{Rng(static_cast<std::uint64_t>(trial))};
+    const QaoaResult fixed_result = run_qaoa(g, fixed, none, rng);
+    const QaoaResult opt_result = run_qaoa(g, random_init, full, rng);
+    gap.add(opt_result.best_ar - fixed_result.initial_ar);
+  }
+  // Optimization from random can beat fixed angles, but only by a small
+  // margin on 3-regular graphs.
+  EXPECT_LT(gap.mean(), 0.1);
+}
+
+TEST(Integration, WeightedGraphsSupportedEndToEnd) {
+  // The paper's future-work item: weighted Max-Cut flows through the whole
+  // stack (simulator, brute force, QAOA, GNN features).
+  Rng rng(12);
+  const Graph g =
+      with_random_weights(random_regular_graph(8, 3, rng), 0.2, 2.0, rng);
+  QaoaAnsatz ansatz(g);
+  ConstantInitializer init(QaoaParams::single(0.4, 0.3));
+  QaoaRunConfig config;
+  config.max_evaluations = 150;
+  const QaoaResult r = run_qaoa(g, init, config, rng);
+  EXPECT_GT(r.best_ar, 0.5);
+  EXPECT_LE(r.best_ar, 1.0 + 1e-9);
+
+  GnnModelConfig model_config;
+  Rng mrng(1);
+  const GnnModel model(model_config, mrng);
+  const Matrix pred = model.predict(g);
+  EXPECT_EQ(pred.cols(), 2u);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "qaoa/fixed_angles.hpp"
+#include "qaoa/landscape.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+TEST(Landscape, GridGeometry) {
+  const QaoaAnsatz ansatz(cycle_graph(4));
+  const Landscape ls = evaluate_landscape(ansatz, 16, 8);
+  EXPECT_EQ(ls.values.size(), 16u * 8u);
+  EXPECT_DOUBLE_EQ(ls.gamma_at(0), 0.0);
+  EXPECT_NEAR(ls.gamma_at(8), ls.gamma_max / 2.0, 1e-12);
+  EXPECT_NEAR(ls.beta_at(4), ls.beta_max / 2.0, 1e-12);
+  EXPECT_THROW(ls.at(16, 0), InvalidArgument);
+  EXPECT_THROW(evaluate_landscape(ansatz, 1, 8), InvalidArgument);
+}
+
+TEST(Landscape, ValuesMatchDirectEvaluation) {
+  const QaoaAnsatz ansatz(cycle_graph(5));
+  const Landscape ls = evaluate_landscape(ansatz, 12, 10);
+  for (int gi : {0, 3, 11}) {
+    for (int bi : {0, 4, 9}) {
+      EXPECT_NEAR(ls.at(gi, bi),
+                  ansatz.expectation(QaoaParams::single(ls.gamma_at(gi),
+                                                        ls.beta_at(bi))),
+                  1e-12);
+    }
+  }
+}
+
+TEST(Landscape, MaxNearFixedAngleValueOnEvenCycle) {
+  // On C6 the p=1 optimum is 0.75 * 6 = 4.5; a reasonably fine grid must
+  // come close.
+  const QaoaAnsatz ansatz(cycle_graph(6));
+  const Landscape ls = evaluate_landscape(ansatz, 64, 32);
+  EXPECT_NEAR(ls.max_value(), 4.5, 0.02);
+  EXPECT_GT(ls.max_value(), ls.min_value());
+}
+
+TEST(LandscapeStats, FindsMultipleMaximaOnPeriodicLandscape) {
+  // The QAOA landscape is periodic; C4's landscape has several symmetric
+  // copies of the optimum, so local maxima > 1.
+  const QaoaAnsatz ansatz(cycle_graph(4));
+  const Landscape ls = evaluate_landscape(ansatz, 48, 24);
+  const LandscapeStats stats = analyze_landscape(ls);
+  EXPECT_GE(stats.local_maxima, 2);
+  EXPECT_GT(stats.good_start_fraction, 0.0);
+  EXPECT_LT(stats.good_start_fraction, 0.5);
+  EXPECT_GT(stats.gradient_variance, 0.0);
+  EXPECT_NEAR(stats.global_max, ls.max_value(), 1e-12);
+}
+
+TEST(LandscapeStats, WiderBasinToleranceGrowsGoodFraction) {
+  const QaoaAnsatz ansatz(cycle_graph(6));
+  const Landscape ls = evaluate_landscape(ansatz, 32, 16);
+  const double narrow = analyze_landscape(ls, 0.01).good_start_fraction;
+  const double wide = analyze_landscape(ls, 0.5).good_start_fraction;
+  EXPECT_LE(narrow, wide);
+}
+
+TEST(RenderLandscape, ProducesHeatmapWithExtremes) {
+  const QaoaAnsatz ansatz(cycle_graph(4));
+  const Landscape ls = evaluate_landscape(ansatz, 32, 16);
+  const std::string art = render_landscape(ls, 32);
+  EXPECT_NE(art.find('@'), std::string::npos);  // a max cell exists
+  EXPECT_NE(art.find('\n'), std::string::npos);
+  EXPECT_THROW(render_landscape(ls, 4), InvalidArgument);
+}
+
+TEST(RandomStartSuccess, ProbabilityIsSane) {
+  Rng rng(4);
+  const QaoaAnsatz ansatz(cycle_graph(6));
+  const double p_loose =
+      random_start_success_probability(ansatz, 0.7, 20, 60, rng);
+  const double p_tight =
+      random_start_success_probability(ansatz, 0.999, 20, 8, rng);
+  EXPECT_GE(p_loose, 0.0);
+  EXPECT_LE(p_loose, 1.0);
+  // Nearly-exact target with a starved budget must be harder than a loose
+  // target with a real budget.
+  EXPECT_LE(p_tight, p_loose);
+  EXPECT_THROW(
+      random_start_success_probability(ansatz, 1.5, 5, 10, rng),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgnn

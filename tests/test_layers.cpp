@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/layers.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+using ag::Var;
+
+constexpr FeatureConfig kFeatures{NodeFeatureKind::kDegreeScaledOneHot, 15};
+
+Var input_var(const GraphBatch& batch) { return Var(batch.features, false); }
+
+TEST(ArchNames, RoundTrip) {
+  for (GnnArch arch : all_gnn_archs()) {
+    EXPECT_EQ(gnn_arch_from_string(to_string(arch)), arch);
+  }
+  EXPECT_EQ(gnn_arch_from_string("sage"), GnnArch::kSAGE);
+  EXPECT_THROW(gnn_arch_from_string("transformer"), InvalidArgument);
+  EXPECT_EQ(all_gnn_archs().size(), 4u);
+}
+
+TEST(Linear, AffineMap) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  EXPECT_EQ(lin.in_dim(), 3);
+  EXPECT_EQ(lin.out_dim(), 2);
+  EXPECT_EQ(lin.params().size(), 2u);
+  const Var x(Matrix::ones(4, 3), false);
+  const Var y = lin.forward(x);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 2u);
+  // All rows identical for identical inputs.
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_DOUBLE_EQ(y.value()(0, j), y.value()(3, j));
+  }
+}
+
+class LayerShapeTest : public ::testing::TestWithParam<GnnArch> {};
+
+TEST_P(LayerShapeTest, OutputShapeIsNodesByOutDim) {
+  Rng rng(5);
+  const auto layer = make_gnn_layer(GetParam(), 15, 8, rng);
+  Rng grng(2);
+  const Graph g = random_regular_graph(7, 2, grng);
+  const GraphBatch batch = make_graph_batch(g, kFeatures);
+  const Var out = layer->forward(batch, input_var(batch));
+  EXPECT_EQ(out.rows(), 7u);
+  EXPECT_EQ(out.cols(), 8u);
+}
+
+TEST_P(LayerShapeTest, ParamsReceiveGradients) {
+  Rng rng(5);
+  const auto layer = make_gnn_layer(GetParam(), 15, 4, rng);
+  const Graph g = cycle_graph(5);
+  const GraphBatch batch = make_graph_batch(g, kFeatures);
+  Var out = ag::sum_all(layer->forward(batch, input_var(batch)));
+  out.backward();
+  bool any_nonzero = false;
+  for (const Var& p : layer->params()) {
+    if (p.grad().max_abs() > 0.0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero) << to_string(GetParam());
+}
+
+TEST_P(LayerShapeTest, DeterministicForward) {
+  Rng rng(5);
+  const auto layer = make_gnn_layer(GetParam(), 15, 4, rng);
+  const Graph g = cycle_graph(6);
+  const GraphBatch batch = make_graph_batch(g, kFeatures);
+  const Var a = layer->forward(batch, input_var(batch));
+  const Var b = layer->forward(batch, input_var(batch));
+  EXPECT_TRUE(a.value().approx_equal(b.value(), 1e-14));
+}
+
+TEST_P(LayerShapeTest, PermutationEquivariant) {
+  // Relabeling nodes permutes layer outputs the same way. Requires
+  // permutation-equivariant features: use degree one-hot position... the
+  // kDegreeScaledOneHot features are ID-dependent, so build ID-free
+  // features (all-ones column replicated) instead.
+  Rng rng(9);
+  const auto layer = make_gnn_layer(GetParam(), 3, 5, rng);
+  Rng grng(4);
+  const Graph g = random_regular_graph(8, 3, grng);
+  const std::vector<int> perm{3, 7, 1, 0, 5, 2, 6, 4};
+  const Graph gp = g.permuted(perm);
+
+  GraphBatch batch = make_graph_batch(g, {NodeFeatureKind::kOneHotId, 8});
+  GraphBatch batch_p = make_graph_batch(gp, {NodeFeatureKind::kOneHotId, 8});
+  // ID-free 3-dim features: f(v) = [1, deg(v), deg(v)^2] (deg constant
+  // here, but weights make columns distinct).
+  auto set_features = [](GraphBatch& b, const Graph& graph) {
+    b.features = Matrix(static_cast<std::size_t>(graph.num_nodes()), 3);
+    for (int v = 0; v < graph.num_nodes(); ++v) {
+      const double d = static_cast<double>(graph.degree(v));
+      b.features(static_cast<std::size_t>(v), 0) = 1.0;
+      b.features(static_cast<std::size_t>(v), 1) = d;
+      b.features(static_cast<std::size_t>(v), 2) =
+          0.1 * static_cast<double>(graph.neighbors(v).size());
+    }
+  };
+  set_features(batch, g);
+  set_features(batch_p, gp);
+
+  const Matrix out = layer->forward(batch, input_var(batch)).value();
+  const Matrix out_p = layer->forward(batch_p, input_var(batch_p)).value();
+  for (int v = 0; v < 8; ++v) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(out(static_cast<std::size_t>(v), c),
+                  out_p(static_cast<std::size_t>(perm[static_cast<std::size_t>(
+                            v)]),
+                        c),
+                  1e-10)
+          << to_string(GetParam()) << " node " << v << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, LayerShapeTest,
+                         ::testing::ValuesIn(all_gnn_archs()),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(GCNConv, MatchesHandComputedAggregation) {
+  // Identity-like weight: choose in_dim == out_dim and overwrite W = I,
+  // b = 0, so the layer computes pure D~^{-1/2} A~ D~^{-1/2} X.
+  Rng rng(3);
+  GCNConv layer(3, 3, rng);
+  auto params = layer.params();
+  params[0].set_value(Matrix::identity(3));
+  params[1].set_value(Matrix::zeros(1, 3));
+
+  const Graph g = path_graph(3);
+  GraphBatch batch = make_graph_batch(g, {NodeFeatureKind::kOneHotId, 3});
+  const Matrix out = layer.forward(batch, input_var(batch)).value();
+
+  // Expected: row v = sum_u A~_norm[v][u] * X[u]. X = I so out = A~_norm.
+  // d~ = (2, 3, 2).
+  const double s22 = 1.0 / 2.0;             // self loop on deg-1 nodes
+  const double s33 = 1.0 / 3.0;             // self loop on middle node
+  const double c = 1.0 / std::sqrt(6.0);    // 1/sqrt(2*3)
+  EXPECT_NEAR(out(0, 0), s22, 1e-12);
+  EXPECT_NEAR(out(0, 1), c, 1e-12);
+  EXPECT_NEAR(out(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(out(1, 0), c, 1e-12);
+  EXPECT_NEAR(out(1, 1), s33, 1e-12);
+  EXPECT_NEAR(out(1, 2), c, 1e-12);
+  EXPECT_NEAR(out(2, 2), s22, 1e-12);
+}
+
+TEST(GINConv, SumAggregationWithIdentityMlp) {
+  Rng rng(3);
+  GINConv layer(3, 3, rng);
+  auto params = layer.params();
+  params[0].set_value(Matrix::identity(3));  // mlp1 W
+  params[1].set_value(Matrix::zeros(1, 3));  // mlp1 b
+  params[2].set_value(Matrix::identity(3));  // mlp2 W
+  params[3].set_value(Matrix::zeros(1, 3));  // mlp2 b
+
+  // Features chosen non-negative so ReLU inside the MLP is transparent.
+  const Graph g = path_graph(3);
+  GraphBatch batch = make_graph_batch(g, {NodeFeatureKind::kOneHotId, 3});
+  const Matrix out = layer.forward(batch, input_var(batch)).value();
+  // GIN-0: out[v] = x[v] + sum_{u ~ v} x[u]. X = I.
+  EXPECT_NEAR(out(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(out(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(out(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(out(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(out(1, 2), 1.0, 1e-12);
+  EXPECT_NEAR(out(0, 2), 0.0, 1e-12);
+}
+
+TEST(GATConv, AttentionIsConvexCombinationWithSelfLoop) {
+  // With W = I and zero attention vectors, alpha is uniform over the
+  // neighborhood + self: out[v] = mean of x over N(v) u {v}.
+  Rng rng(3);
+  GATConv layer(3, 3, rng);
+  auto params = layer.params();
+  params[0].set_value(Matrix::identity(3));  // W
+  params[1].set_value(Matrix::zeros(3, 1));  // a_src
+  params[2].set_value(Matrix::zeros(3, 1));  // a_dst
+
+  const Graph g = path_graph(3);
+  GraphBatch batch = make_graph_batch(g, {NodeFeatureKind::kOneHotId, 3});
+  const Matrix out = layer.forward(batch, input_var(batch)).value();
+  // Node 0: neighbors {1} + self -> (x0 + x1)/2.
+  EXPECT_NEAR(out(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(out(0, 1), 0.5, 1e-12);
+  // Node 1: neighbors {0,2} + self -> average of three one-hots.
+  EXPECT_NEAR(out(1, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(out(1, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(out(1, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SAGEConv, MaxPoolingSelectsLargestNeighbor) {
+  Rng rng(3);
+  SAGEConv layer(2, 2, rng);
+  auto params = layer.params();
+  params[0].set_value(Matrix::identity(2));  // pool W
+  params[1].set_value(Matrix::zeros(1, 2));  // pool b
+  // combine: [h || a] W2 with W2 = [[0,0],[0,0],[1,0],[0,1]] keeps only a.
+  Matrix w2(4, 2);
+  w2(2, 0) = 1.0;
+  w2(3, 1) = 1.0;
+  params[2].set_value(w2);
+  params[3].set_value(Matrix::zeros(1, 2));
+
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  GraphBatch batch = make_graph_batch(g, {NodeFeatureKind::kOneHotId, 3});
+  batch.features = Matrix{{0.0, 0.0}, {3.0, 1.0}, {2.0, 5.0}};
+  const Matrix out = layer.forward(batch, input_var(batch)).value();
+  // Node 0 aggregates max over neighbors 1, 2 elementwise: (3, 5).
+  EXPECT_NEAR(out(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(out(0, 1), 5.0, 1e-12);
+}
+
+TEST(GATConv, MultiHeadShapesAndGradients) {
+  Rng rng(5);
+  GATConv layer(15, 8, rng, /*heads=*/4);
+  EXPECT_EQ(layer.heads(), 4);
+  EXPECT_EQ(layer.params().size(), 12u);  // 3 tensors per head
+  const Graph g = cycle_graph(6);
+  const GraphBatch batch = make_graph_batch(g, kFeatures);
+  Var out = layer.forward(batch, input_var(batch));
+  EXPECT_EQ(out.rows(), 6u);
+  EXPECT_EQ(out.cols(), 8u);
+  Var loss = ag::sum_all(out);
+  loss.backward();
+  for (const Var& p : layer.params()) {
+    EXPECT_GT(p.grad().max_abs(), 0.0);
+  }
+}
+
+TEST(GATConv, RejectsIndivisibleHeadCount) {
+  Rng rng(1);
+  EXPECT_THROW(GATConv(4, 6, rng, 4), InvalidArgument);
+  EXPECT_THROW(GATConv(4, 6, rng, 0), InvalidArgument);
+}
+
+TEST(GATConv, MultiHeadUniformAttentionStillAverages) {
+  // Two heads with W = [I; 0-padded] analog: set each head's W so head h
+  // reproduces columns of the identity; zero attention => uniform alpha.
+  Rng rng(2);
+  GATConv layer(2, 2, rng, 2);  // head_dim = 1
+  auto params = layer.params();
+  Matrix w0(2, 1);
+  w0(0, 0) = 1.0;  // head 0 picks feature 0
+  Matrix w1(2, 1);
+  w1(1, 0) = 1.0;  // head 1 picks feature 1
+  params[0].set_value(w0);
+  params[1].set_value(Matrix::zeros(1, 1));
+  params[2].set_value(Matrix::zeros(1, 1));
+  params[3].set_value(w1);
+  params[4].set_value(Matrix::zeros(1, 1));
+  params[5].set_value(Matrix::zeros(1, 1));
+
+  Graph g(2);
+  g.add_edge(0, 1);
+  GraphBatch batch = make_graph_batch(g, {NodeFeatureKind::kOneHotId, 2});
+  const Matrix out = layer.forward(batch, input_var(batch)).value();
+  // Node 0: mean over {x0, x1} per head => (0.5, 0.5).
+  EXPECT_NEAR(out(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(out(0, 1), 0.5, 1e-12);
+}
+
+TEST(MakeGnnLayer, NamesMatchArch) {
+  Rng rng(0);
+  EXPECT_EQ(make_gnn_layer(GnnArch::kGCN, 4, 4, rng)->name(), "GCN");
+  EXPECT_EQ(make_gnn_layer(GnnArch::kGAT, 4, 4, rng)->name(), "GAT");
+  EXPECT_EQ(make_gnn_layer(GnnArch::kGIN, 4, 4, rng)->name(), "GIN");
+  EXPECT_EQ(make_gnn_layer(GnnArch::kSAGE, 4, 4, rng)->name(), "GraphSAGE");
+}
+
+}  // namespace
+}  // namespace qgnn

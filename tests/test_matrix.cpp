@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/matrix.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_THROW(m(2, 0), InvalidArgument);
+  EXPECT_THROW(m(0, 3), InvalidArgument);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  EXPECT_THROW((Matrix{{1.0}, {2.0, 3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 0), 33.0);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 1), 18.0);
+  Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 1), 8.0);
+  Matrix scaled2 = 0.5 * b;
+  EXPECT_DOUBLE_EQ(scaled2(0, 0), 5.0);
+  EXPECT_THROW(a + Matrix(3, 3), InvalidArgument);
+}
+
+TEST(Matrix, MatmulKnownResult) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix b{{7, 8}, {9, 10}, {11, 12}};
+  Matrix c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+  EXPECT_THROW(a.matmul(a), InvalidArgument);
+}
+
+TEST(Matrix, IdentityIsMatmulNeutral) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(a.matmul(Matrix::identity(2)).approx_equal(a));
+  EXPECT_TRUE(Matrix::identity(2).matmul(a).approx_equal(a));
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.transposed().approx_equal(a));
+}
+
+TEST(Matrix, TransposeDistributesOverMatmul) {
+  Rng rng(3);
+  Matrix a = Matrix::random_uniform(3, 4, -1, 1, rng);
+  Matrix b = Matrix::random_uniform(4, 2, -1, 1, rng);
+  // (AB)^T == B^T A^T.
+  EXPECT_TRUE(a.matmul(b).transposed().approx_equal(
+      b.transposed().matmul(a.transposed()), 1e-12));
+}
+
+TEST(Matrix, Hadamard) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{2, 0.5}, {1, 0.25}};
+  Matrix h = a.hadamard(b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(h(1, 1), 1.0);
+}
+
+TEST(Matrix, Reductions) {
+  Matrix a{{1, -2}, {3, -4}};
+  EXPECT_DOUBLE_EQ(a.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(a.mean(), -0.5);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+  EXPECT_NEAR(a.norm(), std::sqrt(1.0 + 4.0 + 9.0 + 16.0), 1e-12);
+  EXPECT_THROW(Matrix().mean(), InvalidArgument);
+}
+
+TEST(Matrix, MapAndFill) {
+  Matrix a{{1, 4}, {9, 16}};
+  Matrix r = a.map([](double v) { return std::sqrt(v); });
+  EXPECT_DOUBLE_EQ(r(1, 0), 3.0);
+  a.fill(7.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 7.0);
+}
+
+TEST(Matrix, XavierWithinLimit) {
+  Rng rng(1);
+  Matrix w = Matrix::xavier_uniform(20, 30, rng);
+  const double limit = std::sqrt(6.0 / 50.0);
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      EXPECT_LE(std::abs(w(i, j)), limit);
+    }
+  }
+  // Not all zero.
+  EXPECT_GT(w.max_abs(), 0.0);
+}
+
+TEST(Matrix, ApproxEqualToleranceAndShape) {
+  Matrix a{{1.0}};
+  Matrix b{{1.0 + 1e-12}};
+  EXPECT_TRUE(a.approx_equal(b, 1e-9));
+  EXPECT_FALSE(a.approx_equal(b, 1e-15));
+  EXPECT_FALSE(a.approx_equal(Matrix(1, 2)));
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+  Matrix a{{1.25, -0.5}};
+  const std::string s = a.to_string(2);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("-0.50"), std::string::npos);
+}
+
+TEST(Matrix, ZerosOnes) {
+  EXPECT_DOUBLE_EQ(Matrix::zeros(2, 2).sum(), 0.0);
+  EXPECT_DOUBLE_EQ(Matrix::ones(2, 3).sum(), 6.0);
+}
+
+}  // namespace
+}  // namespace qgnn

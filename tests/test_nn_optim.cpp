@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "autograd/nn_optim.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+using ag::AdamOptimizer;
+using ag::ReduceLROnPlateau;
+using ag::Var;
+
+TEST(AdamOptimizer, MinimizesQuadratic) {
+  // Minimize ||x - t||^2 over a 2x2 parameter.
+  const Matrix target{{1.0, -2.0}, {0.5, 3.0}};
+  Var x(Matrix::zeros(2, 2), true);
+  AdamOptimizer::Config config;
+  config.learning_rate = 0.1;
+  AdamOptimizer opt({x}, config);
+
+  for (int step = 0; step < 300; ++step) {
+    opt.zero_grad();
+    Var loss = ag::mse_loss(x, target);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_TRUE(x.value().approx_equal(target, 1e-2));
+}
+
+TEST(AdamOptimizer, MultipleParameters) {
+  // Minimize (a*b - 6)^2 with scalars a, b.
+  Var a(Matrix{{1.0}}, true);
+  Var b(Matrix{{1.0}}, true);
+  AdamOptimizer::Config config;
+  config.learning_rate = 0.05;
+  AdamOptimizer opt({a, b}, config);
+  for (int step = 0; step < 500; ++step) {
+    opt.zero_grad();
+    Var prod = ag::mul(a, b);
+    Var loss = ag::mse_loss(prod, Matrix{{6.0}});
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(a.value()(0, 0) * b.value()(0, 0), 6.0, 1e-3);
+}
+
+TEST(AdamOptimizer, WeightDecayShrinksUnusedParams) {
+  Var unused(Matrix{{5.0}}, true);
+  AdamOptimizer::Config config;
+  config.learning_rate = 0.1;
+  config.weight_decay = 0.1;
+  AdamOptimizer opt({unused}, config);
+  for (int step = 0; step < 100; ++step) {
+    opt.zero_grad();  // grad stays zero; decay still pulls toward 0
+    opt.step();
+  }
+  EXPECT_LT(std::abs(unused.value()(0, 0)), 5.0);
+}
+
+TEST(AdamOptimizer, RejectsNonTrainableParams) {
+  Var frozen(Matrix{{1.0}}, false);
+  EXPECT_THROW(AdamOptimizer opt({frozen}), InvalidArgument);
+  EXPECT_THROW(AdamOptimizer opt(std::vector<Var>{}), InvalidArgument);
+}
+
+TEST(ReduceLROnPlateau, ReducesAfterPatienceExceeded) {
+  Var x(Matrix{{0.0}}, true);
+  AdamOptimizer::Config aconfig;
+  aconfig.learning_rate = 1.0;
+  AdamOptimizer opt({x}, aconfig);
+  ReduceLROnPlateau::Config config;
+  config.factor = 0.5;
+  config.patience = 2;
+  config.min_lr = 0.1;
+  ReduceLROnPlateau sched(opt, config);
+
+  EXPECT_FALSE(sched.step(1.0));  // best = 1.0
+  EXPECT_FALSE(sched.step(1.0));  // bad 1
+  EXPECT_FALSE(sched.step(1.0));  // bad 2 (== patience)
+  EXPECT_TRUE(sched.step(1.0));   // bad 3 -> reduce
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+  EXPECT_EQ(sched.reductions(), 1);
+}
+
+TEST(ReduceLROnPlateau, ImprovementResetsPatience) {
+  Var x(Matrix{{0.0}}, true);
+  AdamOptimizer::Config aconfig;
+  aconfig.learning_rate = 1.0;
+  AdamOptimizer opt({x}, aconfig);
+  ReduceLROnPlateau::Config config;
+  config.patience = 1;
+  ReduceLROnPlateau sched(opt, config);
+
+  sched.step(1.0);
+  sched.step(1.0);              // bad 1
+  EXPECT_FALSE(sched.step(0.5));  // improvement resets
+  sched.step(0.5);              // bad 1 again
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1.0);
+}
+
+TEST(ReduceLROnPlateau, RespectsMinLr) {
+  Var x(Matrix{{0.0}}, true);
+  AdamOptimizer::Config aconfig;
+  aconfig.learning_rate = 0.4;
+  AdamOptimizer opt({x}, aconfig);
+  ReduceLROnPlateau::Config config;
+  config.factor = 0.2;
+  config.patience = 0;
+  config.min_lr = 0.1;
+  ReduceLROnPlateau sched(opt, config);
+
+  sched.step(1.0);
+  EXPECT_TRUE(sched.step(1.0));   // 0.4 -> max(0.08, 0.1) = 0.1
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.1);
+  EXPECT_FALSE(sched.step(1.0));  // already at floor: no reduction
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.1);
+}
+
+TEST(ReduceLROnPlateau, RejectsBadFactor) {
+  Var x(Matrix{{0.0}}, true);
+  AdamOptimizer opt({x});
+  ReduceLROnPlateau::Config config;
+  config.factor = 5.0;  // the paper's literal "factor 5" must be rejected
+  EXPECT_THROW(ReduceLROnPlateau(opt, config), InvalidArgument);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Var x(Matrix{{0.0, 0.0}}, true);
+  Var y(Matrix{{0.0}}, true);
+  x.zero_grad();
+  y.zero_grad();
+  x.node()->grad(0, 0) = 3.0;
+  x.node()->grad(0, 1) = 0.0;
+  y.node()->grad(0, 0) = 4.0;
+  const double pre = ag::clip_grad_norm({x, y}, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(x.grad()(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(y.grad()(0, 0), 0.8, 1e-12);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Var x(Matrix{{0.0}}, true);
+  x.zero_grad();
+  x.node()->grad(0, 0) = 0.5;
+  ag::clip_grad_norm({x}, 1.0);
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 0.5);
+}
+
+TEST(ParameterCount, SumsSizes) {
+  Var a(Matrix::zeros(3, 4), true);
+  Var b(Matrix::zeros(1, 5), true);
+  EXPECT_EQ(ag::parameter_count({a, b}), 17u);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "qaoa/fixed_angles.hpp"
+#include "qaoa/noise.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace qgnn {
+namespace {
+
+TEST(SampledExpectation, ConvergesToExactWithManyShots) {
+  Rng rng(3);
+  const Graph g = cycle_graph(8);
+  const QaoaAnsatz ansatz(g);
+  const QaoaParams params = *fixed_angles(2, 1);
+  const double exact = ansatz.expectation(params);
+  const double estimate = sampled_expectation(ansatz, params, 20000, rng);
+  EXPECT_NEAR(estimate, exact, 0.1);
+}
+
+TEST(SampledExpectation, ErrorShrinksWithShots) {
+  Rng rng(5);
+  const Graph g = cycle_graph(6);
+  const QaoaAnsatz ansatz(g);
+  const QaoaParams params = *fixed_angles(2, 1);
+  const double exact = ansatz.expectation(params);
+
+  auto mean_abs_error = [&](int shots) {
+    RunningStats err;
+    for (int rep = 0; rep < 30; ++rep) {
+      err.add(std::abs(sampled_expectation(ansatz, params, shots, rng) -
+                       exact));
+    }
+    return err.mean();
+  };
+  // 64x the shots should cut the error roughly 8x; allow generous slack.
+  EXPECT_LT(mean_abs_error(1024), mean_abs_error(16) * 0.6);
+}
+
+TEST(SampledExpectation, ValidatesShots) {
+  Rng rng(1);
+  const QaoaAnsatz ansatz(cycle_graph(4));
+  EXPECT_THROW(
+      sampled_expectation(ansatz, QaoaParams::single(0.1, 0.1), 0, rng),
+      InvalidArgument);
+}
+
+TEST(NoisyTrajectory, NoiselessMatchesFastPath) {
+  Rng rng(7);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const QaoaAnsatz ansatz(g);
+  const QaoaParams params = QaoaParams::single(0.7, 0.3);
+  NoiseModel noiseless;
+  noiseless.single_qubit_error = 0.0;
+  noiseless.two_qubit_error = 0.0;
+  const StateVector noisy = noisy_qaoa_trajectory(g, params, noiseless, rng);
+  const StateVector exact = ansatz.prepare_state(params);
+  EXPECT_NEAR(noisy.fidelity(exact), 1.0, 1e-10);
+}
+
+TEST(NoisyTrajectory, PreservesNorm) {
+  Rng rng(9);
+  const Graph g = cycle_graph(6);
+  NoiseModel heavy;
+  heavy.single_qubit_error = 0.2;
+  heavy.two_qubit_error = 0.3;
+  for (int trial = 0; trial < 5; ++trial) {
+    const StateVector s =
+        noisy_qaoa_trajectory(g, QaoaParams::single(0.6, 0.3), heavy, rng);
+    EXPECT_NEAR(s.norm(), 1.0, 1e-10);
+  }
+}
+
+TEST(NoisyExpectation, NoiseDegradesExpectation) {
+  Rng rng(11);
+  const Graph g = random_regular_graph(10, 3, rng);
+  const QaoaAnsatz ansatz(g);
+  const QaoaParams params = *fixed_angles(3, 1);
+  const double clean = ansatz.expectation(params);
+
+  NoiseModel noise;
+  noise.two_qubit_error = 0.05;
+  noise.single_qubit_error = 0.005;
+  Rng nrng(13);
+  const double noisy = noisy_expectation(g, params, noise, 80, nrng);
+  EXPECT_LT(noisy, clean);
+  // But not below the fully-mixed level total_weight/2 by much.
+  EXPECT_GT(noisy, g.total_weight() / 2.0 - 0.5);
+}
+
+TEST(NoisyExpectation, MonotoneInErrorRate) {
+  Rng rng(15);
+  const Graph g = cycle_graph(8);
+  const QaoaParams params = *fixed_angles(2, 1);
+  double previous = 1e18;
+  for (double rate : {0.0, 0.02, 0.1}) {
+    NoiseModel noise;
+    noise.two_qubit_error = rate;
+    noise.single_qubit_error = rate / 10.0;
+    Rng nrng(17);
+    const double e = noisy_expectation(g, params, noise,
+                                       rate == 0.0 ? 1 : 150, nrng);
+    EXPECT_LT(e, previous + 0.05) << "rate " << rate;
+    previous = e;
+  }
+}
+
+TEST(NoisyExpectation, Validation) {
+  Rng rng(1);
+  const Graph g = cycle_graph(4);
+  NoiseModel bad;
+  bad.two_qubit_error = 1.5;
+  EXPECT_THROW(
+      noisy_qaoa_trajectory(g, QaoaParams::single(0.1, 0.1), bad, rng),
+      InvalidArgument);
+  NoiseModel ok;
+  EXPECT_THROW(
+      noisy_expectation(g, QaoaParams::single(0.1, 0.1), ok, 0, rng),
+      InvalidArgument);
+}
+
+TEST(NoiseModel, NoiselessDetection) {
+  NoiseModel m;
+  EXPECT_FALSE(m.is_noiseless());  // defaults are nonzero
+  m.single_qubit_error = 0.0;
+  m.two_qubit_error = 0.0;
+  EXPECT_TRUE(m.is_noiseless());
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+PipelineConfig tiny_pipeline() {
+  PipelineConfig config;
+  config.dataset.num_instances = 24;
+  config.dataset.min_nodes = 3;
+  config.dataset.max_nodes = 8;
+  config.dataset.optimizer_evaluations = 40;
+  config.dataset.seed = 5;
+  config.test_count = 6;
+  config.model.hidden_dim = 8;
+  config.model.num_layers = 2;
+  config.model.dropout = 0.2;
+  config.trainer.epochs = 10;
+  config.trainer.learning_rate = 5e-3;
+  config.trainer.validation_fraction = 0.0;
+  config.seed = 99;
+  return config;
+}
+
+TEST(PrepareData, SplitsAndReports) {
+  const PipelineConfig config = tiny_pipeline();
+  const PreparedData data = prepare_data(config);
+  EXPECT_EQ(data.test.size(), 6u);
+  EXPECT_LE(data.train.size(), 18u);  // SDP may prune some
+  EXPECT_GT(data.train.size(), 0u);
+  EXPECT_EQ(data.sdp_report.kept, data.train.size());
+}
+
+TEST(PrepareData, AuditRunsWhenEnabled) {
+  PipelineConfig config = tiny_pipeline();
+  config.apply_fixed_angle_audit = true;
+  const PreparedData data = prepare_data(config);
+  // Every regular graph with degree >= 1 is covered by p=1 fixed angles.
+  EXPECT_EQ(data.audit_report.covered, 24u);
+}
+
+TEST(PrepareData, SkipsStagesWhenDisabled) {
+  PipelineConfig config = tiny_pipeline();
+  config.apply_fixed_angle_audit = false;
+  config.apply_sdp = false;
+  const PreparedData data = prepare_data(config);
+  EXPECT_EQ(data.audit_report.covered, 0u);
+  EXPECT_EQ(data.train.size(), 18u);
+}
+
+TEST(TrainArch, ProducesModelWithMatchingConfig) {
+  const PipelineConfig config = tiny_pipeline();
+  const PreparedData data = prepare_data(config);
+  const auto [model, report] = train_arch(GnnArch::kGCN, data, config);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->config().arch, GnnArch::kGCN);
+  EXPECT_EQ(model->config().output_dim, 2);
+  EXPECT_EQ(report.epochs.size(), 10u);
+}
+
+TEST(Baselines, SeriesSizesMatchTestSet) {
+  const PipelineConfig config = tiny_pipeline();
+  const PreparedData data = prepare_data(config);
+  const auto random_ars = random_baseline_ar(data.test, 1, 3);
+  EXPECT_EQ(random_ars.size(), 6u);
+  for (double ar : random_ars) {
+    EXPECT_GT(ar, 0.0);
+    EXPECT_LE(ar, 1.0 + 1e-9);
+  }
+  const auto [model, report] = train_arch(GnnArch::kGIN, data, config);
+  const auto gnn_ars = gnn_ar_series(*model, data.test);
+  EXPECT_EQ(gnn_ars.size(), 6u);
+  for (double ar : gnn_ars) {
+    EXPECT_GT(ar, 0.0);
+    EXPECT_LE(ar, 1.0 + 1e-9);
+  }
+}
+
+TEST(GnnInitializerTest, ProducesCanonicalParams) {
+  const PipelineConfig config = tiny_pipeline();
+  const PreparedData data = prepare_data(config);
+  auto [model, report] = train_arch(GnnArch::kGCN, data, config);
+  GnnInitializer init(model);
+  EXPECT_EQ(init.name(), "gnn:GCN");
+  const QaoaParams p = init.initialize(data.test[0].graph, 1);
+  EXPECT_GE(p.gammas[0], 0.0);
+  EXPECT_LT(p.gammas[0], 2 * 3.14159265358979323846);
+  EXPECT_GE(p.betas[0], 0.0);
+  EXPECT_LT(p.betas[0], 3.14159265358979323846);
+  // Depth mismatch rejected.
+  EXPECT_THROW(init.initialize(data.test[0].graph, 2), InvalidArgument);
+}
+
+TEST(GnnInitializerTest, RejectsNullModel) {
+  EXPECT_THROW(GnnInitializer(nullptr), InvalidArgument);
+}
+
+TEST(RunPipeline, FullReportIntegrity) {
+  const PipelineConfig config = tiny_pipeline();
+  const PipelineReport report =
+      run_pipeline(config, {GnnArch::kGCN, GnnArch::kGIN});
+  EXPECT_EQ(report.ar_random.size(), 6u);
+  ASSERT_EQ(report.archs.size(), 2u);
+  for (const ArchEvaluation& eval : report.archs) {
+    EXPECT_EQ(eval.ar_gnn.size(), 6u);
+    EXPECT_EQ(eval.improvement.size(), 6u);
+    // Improvement entries consistent with the two series.
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(eval.improvement[i],
+                  (eval.ar_gnn[i] - report.ar_random[i]) * 100.0, 1e-9);
+    }
+    EXPECT_GE(eval.std_improvement, 0.0);
+    EXPECT_GT(eval.mean_ar, 0.0);
+  }
+}
+
+TEST(RunPipeline, DeterministicForSeed) {
+  const PipelineConfig config = tiny_pipeline();
+  const PipelineReport a = run_pipeline(config, {GnnArch::kGCN});
+  const PipelineReport b = run_pipeline(config, {GnnArch::kGCN});
+  ASSERT_EQ(a.archs.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.archs[0].mean_improvement,
+                   b.archs[0].mean_improvement);
+  EXPECT_EQ(a.ar_random, b.ar_random);
+}
+
+TEST(RunPipeline, Depth2EndToEnd) {
+  // The whole pipeline at QAOA depth 2: labels have 4 angles, the GNN
+  // head widens to 4 outputs, and evaluation stays consistent.
+  PipelineConfig config = tiny_pipeline();
+  config.dataset.depth = 2;
+  config.dataset.num_instances = 16;
+  config.test_count = 4;
+  const PipelineReport report = run_pipeline(config, {GnnArch::kGCN});
+  ASSERT_EQ(report.archs.size(), 1u);
+  EXPECT_EQ(report.archs[0].ar_gnn.size(), 4u);
+  for (double ar : report.archs[0].ar_gnn) {
+    EXPECT_GT(ar, 0.0);
+    EXPECT_LE(ar, 1.0 + 1e-9);
+  }
+  // And the trained model indeed emits 4 outputs.
+  const auto [model, train_report] =
+      train_arch(GnnArch::kGCN, report.data, config);
+  EXPECT_EQ(model->config().output_dim, 4);
+  GnnInitializer init(model);
+  const QaoaParams p = init.initialize(report.data.test[0].graph, 2);
+  EXPECT_EQ(p.depth(), 2);
+}
+
+TEST(Convergence, ComparisonRunsAndCounts) {
+  const PipelineConfig config = tiny_pipeline();
+  const PreparedData data = prepare_data(config);
+  auto [model, report] = train_arch(GnnArch::kGCN, data, config);
+  const ConvergenceStats stats =
+      convergence_comparison(model, data.test, 0.6, 80, 7);
+  EXPECT_EQ(stats.total, 6);
+  EXPECT_GE(stats.reached_gnn, 0);
+  EXPECT_LE(stats.reached_gnn, 6);
+  EXPECT_THROW(convergence_comparison(model, data.test, 1.5, 80, 7),
+               InvalidArgument);
+  EXPECT_THROW(convergence_comparison(nullptr, data.test, 0.6, 80, 7),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgnn

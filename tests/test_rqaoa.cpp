@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "qaoa/fixed_angles.hpp"
+#include "qaoa/rqaoa.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+TEST(EdgeCorrelations, SignsMatchIntuitionOnSingleEdge) {
+  // At gamma = beta = 0 the state is |+>^n: <ZZ> = 0 on every edge. At
+  // the p=1 optimum of K2, the endpoints anti-correlate (<ZZ> < 0).
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto flat = edge_zz_correlations(g, QaoaParams::single(0.0, 0.0));
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_NEAR(flat[0].zz, 0.0, 1e-12);
+
+  const auto opt =
+      edge_zz_correlations(g, *fixed_angles(1, 1));  // AR = 1 point
+  EXPECT_NEAR(opt[0].zz, -1.0, 1e-9);
+}
+
+TEST(EdgeCorrelations, BoundedByOne) {
+  Rng rng(3);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const auto correlations =
+      edge_zz_correlations(g, *fixed_angles(3, 1));
+  EXPECT_EQ(correlations.size(), static_cast<std::size_t>(g.num_edges()));
+  for (const auto& c : correlations) {
+    EXPECT_LE(std::abs(c.zz), 1.0 + 1e-12);
+  }
+}
+
+TEST(ContractEdge, SameSideMergesNeighborhoods) {
+  // Path 0-1-2; contract 1 into 0 with sign +1: edge 0-1 vanishes,
+  // edge 1-2 becomes 0'-1' (relabeled 2 -> 1).
+  const Graph g = path_graph(3);
+  const Contraction c = contract_edge(g, 0, 1, +1);
+  EXPECT_EQ(c.graph.num_nodes(), 2);
+  EXPECT_EQ(c.graph.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(c.graph.edge_weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c.base_offset, 0.0);
+  EXPECT_EQ(c.node_map[1], c.node_map[0]);
+}
+
+TEST(ContractEdge, OppositeSideCreatesNegativeWeightsAndOffset) {
+  // Triangle; contract 1 into 0 with sign -1: the 0-1 edge is always cut
+  // (offset 1); 1-2 flips sign and merges with 0-2: weight 1 + (-1) = 0,
+  // plus offset 1 for the flipped edge.
+  const Graph g = cycle_graph(3);
+  const Contraction c = contract_edge(g, 0, 1, -1);
+  EXPECT_EQ(c.graph.num_nodes(), 2);
+  EXPECT_EQ(c.graph.num_edges(), 0);  // cancelled to zero weight
+  EXPECT_DOUBLE_EQ(c.base_offset, 2.0);
+}
+
+TEST(ContractEdge, CutValuesAreConsistent) {
+  // For every assignment of the contracted graph, the expanded original
+  // assignment has cut = contracted cut + base_offset.
+  Rng rng(5);
+  const Graph g = erdos_renyi_graph(7, 0.5, rng);
+  for (int sign : {+1, -1}) {
+    if (g.num_edges() == 0) continue;
+    const Edge e = g.edges()[0];
+    const Contraction c = contract_edge(g, e.u, e.v, sign);
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << c.graph.num_nodes());
+         ++a) {
+      // Expand the contracted assignment to the original nodes.
+      std::uint64_t original = 0;
+      for (int vtx = 0; vtx < g.num_nodes(); ++vtx) {
+        const int mapped = c.node_map[static_cast<std::size_t>(vtx)];
+        int bit = static_cast<int>((a >> mapped) & 1);
+        if (vtx == e.v && sign == -1) bit = 1 - bit;
+        if (bit) original |= std::uint64_t{1} << vtx;
+      }
+      EXPECT_NEAR(cut_value(g, original),
+                  cut_value(c.graph, a) + c.base_offset, 1e-9)
+          << "sign " << sign << " assignment " << a;
+    }
+  }
+}
+
+TEST(ContractEdge, Validation) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(contract_edge(g, 0, 0, 1), InvalidArgument);
+  EXPECT_THROW(contract_edge(g, 0, 5, 1), InvalidArgument);
+  EXPECT_THROW(contract_edge(g, 0, 1, 2), InvalidArgument);
+}
+
+TEST(Rqaoa, ExactOnBipartiteGraphs) {
+  // On bipartite graphs the full cut is optimal and strongly expressed in
+  // the correlations; RQAOA should recover it exactly.
+  Rng rng(7);
+  FixedAngleInitializer init;
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g = random_bipartite_regular_graph(5, 3, rng);
+    RqaoaConfig config;
+    config.cutoff = 4;
+    config.optimizer_evaluations = 80;
+    const RqaoaResult r = run_rqaoa(g, init, config, rng);
+    EXPECT_DOUBLE_EQ(r.cut.value, g.total_weight()) << "trial " << trial;
+    EXPECT_EQ(r.eliminations, g.num_nodes() - config.cutoff);
+  }
+}
+
+TEST(Rqaoa, ReportsConsistentCut) {
+  Rng rng(9);
+  const Graph g = random_regular_graph(10, 3, rng);
+  FixedAngleInitializer init;
+  RqaoaConfig config;
+  config.cutoff = 5;
+  const RqaoaResult r = run_rqaoa(g, init, config, rng);
+  EXPECT_DOUBLE_EQ(r.cut.value, cut_value(g, r.cut.assignment));
+  EXPECT_GT(r.total_evaluations, 0);
+  const Cut opt = max_cut_brute_force(g);
+  EXPECT_LE(r.cut.value, opt.value + 1e-12);
+  // RQAOA should do clearly better than a random cut.
+  EXPECT_GT(r.cut.value, g.total_weight() / 2.0);
+}
+
+TEST(Rqaoa, SmallGraphGoesStraightToBruteForce) {
+  const Graph g = cycle_graph(4);
+  FixedAngleInitializer init;
+  Rng rng(1);
+  RqaoaConfig config;
+  config.cutoff = 5;  // larger than the graph
+  const RqaoaResult r = run_rqaoa(g, init, config, rng);
+  EXPECT_EQ(r.eliminations, 0);
+  EXPECT_DOUBLE_EQ(r.cut.value, 4.0);  // exact
+}
+
+TEST(Rqaoa, FixedParameterModeUsesOneEvaluationPerRound) {
+  Rng rng(11);
+  const Graph g = random_regular_graph(9, 4, rng);
+  FixedAngleInitializer init;
+  RqaoaConfig config;
+  config.cutoff = 5;
+  config.optimize_each_round = false;
+  const RqaoaResult r = run_rqaoa(g, init, config, rng);
+  EXPECT_EQ(r.total_evaluations, r.eliminations);
+  EXPECT_GT(r.cut.value, 0.0);
+}
+
+TEST(SpectralRounding, FindsGoodCuts) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = erdos_renyi_graph(10, 0.4, rng);
+    if (g.num_edges() == 0) continue;
+    const Cut c = max_cut_spectral_rounding(g, 10, rng);
+    const Cut opt = max_cut_brute_force(g);
+    EXPECT_DOUBLE_EQ(c.value, cut_value(g, c.assignment));
+    EXPECT_LE(c.value, opt.value + 1e-12);
+    // Local-search polish guarantees at least a decent local optimum.
+    EXPECT_GE(c.value, 0.85 * opt.value);
+  }
+}
+
+TEST(SpectralRounding, ExactOnBipartite) {
+  Rng rng(15);
+  const Graph g = random_bipartite_regular_graph(5, 3, rng);
+  const Cut c = max_cut_spectral_rounding(g, 8, rng);
+  EXPECT_DOUBLE_EQ(c.value, g.total_weight());
+}
+
+TEST(SpectralRounding, EdgeCasesAndValidation) {
+  Rng rng(17);
+  EXPECT_DOUBLE_EQ(max_cut_spectral_rounding(Graph(3), 4, rng).value, 0.0);
+  EXPECT_THROW(max_cut_spectral_rounding(cycle_graph(4), 0, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgnn

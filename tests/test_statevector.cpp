@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/gates.hpp"
+#include "quantum/statevector.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+constexpr double kTol = 1e-12;
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(StateVector, StartsInZeroState) {
+  StateVector s(3);
+  EXPECT_EQ(s.num_qubits(), 3);
+  EXPECT_EQ(s.dimension(), 8u);
+  EXPECT_NEAR(s.probability(0), 1.0, kTol);
+  EXPECT_NEAR(s.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, PlusStateIsUniform) {
+  StateVector s = StateVector::plus_state(4);
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    EXPECT_NEAR(s.probability(k), 1.0 / 16.0, kTol);
+  }
+  EXPECT_NEAR(s.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, BasisState) {
+  StateVector s = StateVector::basis_state(3, 5);
+  EXPECT_NEAR(s.probability(5), 1.0, kTol);
+  EXPECT_THROW(StateVector::basis_state(2, 4), InvalidArgument);
+}
+
+TEST(StateVector, RejectsBadQubitCounts) {
+  EXPECT_THROW(StateVector(0), InvalidArgument);
+  EXPECT_THROW(StateVector(27), InvalidArgument);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector s(1);
+  s.apply_single_qubit(gates::hadamard(), 0);
+  EXPECT_NEAR(s.probability(0), 0.5, kTol);
+  EXPECT_NEAR(s.probability(1), 0.5, kTol);
+  // H twice is identity.
+  s.apply_single_qubit(gates::hadamard(), 0);
+  EXPECT_NEAR(s.probability(0), 1.0, kTol);
+}
+
+TEST(StateVector, XFlipsTargetOnly) {
+  StateVector s(3);
+  s.apply_single_qubit(gates::pauli_x(), 1);
+  EXPECT_NEAR(s.probability(0b010), 1.0, kTol);
+}
+
+TEST(StateVector, ControlledXActsWhenControlSet) {
+  // |10>: control q1 set -> CNOT flips q0 -> |11>.
+  StateVector s = StateVector::basis_state(2, 0b10);
+  s.apply_controlled(gates::pauli_x(), 1, 0);
+  EXPECT_NEAR(s.probability(0b11), 1.0, kTol);
+  // Control clear -> no action.
+  StateVector t = StateVector::basis_state(2, 0b00);
+  t.apply_controlled(gates::pauli_x(), 1, 0);
+  EXPECT_NEAR(t.probability(0b00), 1.0, kTol);
+}
+
+TEST(StateVector, ExpectationZ) {
+  StateVector s(2);
+  EXPECT_NEAR(s.expectation_z(0), 1.0, kTol);
+  s.apply_single_qubit(gates::pauli_x(), 0);
+  EXPECT_NEAR(s.expectation_z(0), -1.0, kTol);
+  EXPECT_NEAR(s.expectation_z(1), 1.0, kTol);
+  s.apply_single_qubit(gates::hadamard(), 1);
+  EXPECT_NEAR(s.expectation_z(1), 0.0, kTol);
+}
+
+TEST(StateVector, RotationAnglesMatchExpectation) {
+  // <Z> after RX(theta) on |0> is cos(theta).
+  for (double theta : {0.0, 0.3, kPi / 2, 1.7, kPi}) {
+    StateVector s(1);
+    s.apply_single_qubit(gates::rx(theta), 0);
+    EXPECT_NEAR(s.expectation_z(0), std::cos(theta), 1e-10) << theta;
+    EXPECT_NEAR(s.norm(), 1.0, kTol);
+  }
+}
+
+TEST(StateVector, RzzMatchesControlledDecomposition) {
+  // RZZ(theta) == CNOT(a,b) RZ_b(theta) CNOT(a,b) up to global phase:
+  // compare fidelities starting from a generic state.
+  const double theta = 0.731;
+  StateVector s1 = StateVector::plus_state(2);
+  s1.apply_single_qubit(gates::ry(0.4), 0);
+  StateVector s2 = s1;
+
+  s1.apply_rzz(theta, 0, 1);
+
+  s2.apply_controlled(gates::pauli_x(), 0, 1);
+  s2.apply_single_qubit(gates::rz(theta), 1);
+  s2.apply_controlled(gates::pauli_x(), 0, 1);
+
+  EXPECT_NEAR(s1.fidelity(s2), 1.0, 1e-10);
+}
+
+TEST(StateVector, RzzPhasesByParity) {
+  const double theta = 0.5;
+  StateVector s = StateVector::basis_state(2, 0b01);  // odd parity
+  s.apply_rzz(theta, 0, 1);
+  const Amplitude a = s.amplitude(0b01);
+  EXPECT_NEAR(a.real(), std::cos(theta / 2.0), kTol);
+  EXPECT_NEAR(a.imag(), std::sin(theta / 2.0), kTol);
+}
+
+TEST(StateVector, DiagonalPhasePreservesProbabilities) {
+  StateVector s = StateVector::plus_state(3);
+  std::vector<double> diag(8);
+  for (std::size_t k = 0; k < 8; ++k) diag[k] = static_cast<double>(k);
+  s.apply_diagonal_phase(diag, 0.37);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(s.probability(k), 1.0 / 8.0, kTol);
+  }
+  EXPECT_NEAR(s.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, ExpectationDiagonal) {
+  StateVector s = StateVector::plus_state(2);
+  const std::vector<double> diag{0.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(s.expectation_diagonal(diag), 1.5, kTol);
+  StateVector b = StateVector::basis_state(2, 2);
+  EXPECT_NEAR(b.expectation_diagonal(diag), 2.0, kTol);
+  EXPECT_THROW(s.expectation_diagonal(std::vector<double>(3, 0.0)),
+               InvalidArgument);
+}
+
+TEST(StateVector, InnerProductAndFidelity) {
+  StateVector a(2);
+  StateVector b = StateVector::basis_state(2, 1);
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 0.0, kTol);
+  EXPECT_NEAR(a.fidelity(a), 1.0, kTol);
+  StateVector c = StateVector::plus_state(2);
+  EXPECT_NEAR(c.fidelity(a), 0.25, kTol);
+}
+
+TEST(StateVector, SamplingMatchesDistribution) {
+  StateVector s(1);
+  s.apply_single_qubit(gates::ry(2.0 * std::acos(std::sqrt(0.8))), 0);
+  // P(0) = 0.8.
+  EXPECT_NEAR(s.probability(0), 0.8, 1e-10);
+  Rng rng(17);
+  const auto counts = s.sample_counts(rng, 20000);
+  const double frac0 =
+      static_cast<double>(counts.count(0) ? counts.at(0) : 0) / 20000.0;
+  EXPECT_NEAR(frac0, 0.8, 0.02);
+}
+
+class GateUnitarityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GateUnitarityTest, RotationsAreUnitary) {
+  const double theta = GetParam();
+  EXPECT_TRUE(gates::is_unitary(gates::rx(theta)));
+  EXPECT_TRUE(gates::is_unitary(gates::ry(theta)));
+  EXPECT_TRUE(gates::is_unitary(gates::rz(theta)));
+  EXPECT_TRUE(gates::is_unitary(gates::phase(theta)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AngleSweep, GateUnitarityTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0, kPi / 2, 2.0,
+                                           kPi, 4.0, 2 * kPi, -1.3));
+
+TEST(Gates, FixedGatesAreUnitary) {
+  EXPECT_TRUE(gates::is_unitary(gates::identity()));
+  EXPECT_TRUE(gates::is_unitary(gates::pauli_x()));
+  EXPECT_TRUE(gates::is_unitary(gates::pauli_y()));
+  EXPECT_TRUE(gates::is_unitary(gates::pauli_z()));
+  EXPECT_TRUE(gates::is_unitary(gates::hadamard()));
+  EXPECT_TRUE(gates::is_unitary(gates::s_gate()));
+  EXPECT_TRUE(gates::is_unitary(gates::t_gate()));
+}
+
+TEST(Gates, AlgebraicIdentities) {
+  // S^2 = Z, T^2 = S, HZH = X.
+  const auto s2 = gates::multiply(gates::s_gate(), gates::s_gate());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(s2[static_cast<std::size_t>(i)] -
+                         gates::pauli_z()[static_cast<std::size_t>(i)]),
+                0.0, kTol);
+  }
+  const auto hzh = gates::multiply(
+      gates::hadamard(),
+      gates::multiply(gates::pauli_z(), gates::hadamard()));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(hzh[static_cast<std::size_t>(i)] -
+                         gates::pauli_x()[static_cast<std::size_t>(i)]),
+                0.0, kTol);
+  }
+}
+
+class NormPreservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormPreservationTest, RandomGateSequencePreservesNorm) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  StateVector s = StateVector::plus_state(n);
+  for (int step = 0; step < 25; ++step) {
+    const int q = rng.uniform_int(0, n - 1);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        s.apply_single_qubit(gates::rx(rng.uniform(0, 6.28)), q);
+        break;
+      case 1:
+        s.apply_single_qubit(gates::hadamard(), q);
+        break;
+      case 2: {
+        int q2 = rng.uniform_int(0, n - 1);
+        if (q2 == q) q2 = (q2 + 1) % n;
+        s.apply_rzz(rng.uniform(0, 6.28), q, q2);
+        break;
+      }
+      default: {
+        int q2 = rng.uniform_int(0, n - 1);
+        if (q2 == q) q2 = (q2 + 1) % n;
+        s.apply_controlled(gates::pauli_x(), q, q2);
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(s.norm(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(QubitSweep, NormPreservationTest,
+                         ::testing::Values(2, 3, 5, 8, 10));
+
+}  // namespace
+}  // namespace qgnn

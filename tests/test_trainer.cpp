@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "gnn/trainer.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+namespace {
+
+constexpr FeatureConfig kFeatures{NodeFeatureKind::kDegreeScaledOneHot, 15};
+
+/// Learnable synthetic task: target = (mean degree / 10, edges / 20).
+/// Purely structural, so every architecture can fit it.
+std::vector<TrainSample> structural_task(int count, Rng& rng) {
+  std::vector<TrainSample> samples;
+  for (int i = 0; i < count; ++i) {
+    const int n = rng.uniform_int(4, 10);
+    std::vector<int> degrees;
+    for (int d = 1; d < n && d <= 6; ++d) {
+      if ((n * d) % 2 == 0) degrees.push_back(d);
+    }
+    const int d = degrees[rng.index(degrees.size())];
+    const Graph g = random_regular_graph(n, d, rng);
+    TrainSample s;
+    s.batch = make_graph_batch(g, kFeatures);
+    s.target = Matrix(1, 2);
+    s.target(0, 0) = static_cast<double>(d) / 10.0;
+    s.target(0, 1) = static_cast<double>(g.num_edges()) / 20.0;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+GnnModelConfig small_model(GnnArch arch) {
+  GnnModelConfig config;
+  config.arch = arch;
+  config.hidden_dim = 16;
+  config.num_layers = 2;
+  config.output_dim = 2;
+  config.dropout = 0.1;
+  return config;
+}
+
+TrainerConfig fast_trainer() {
+  TrainerConfig config;
+  config.epochs = 30;
+  config.learning_rate = 5e-3;
+  config.batch_size = 8;
+  config.validation_fraction = 0.2;
+  return config;
+}
+
+class TrainerArchTest : public ::testing::TestWithParam<GnnArch> {};
+
+TEST_P(TrainerArchTest, LossDecreasesOnLearnableTask) {
+  Rng rng(31);
+  auto samples = structural_task(40, rng);
+  GnnModel model(small_model(GetParam()), rng);
+  const TrainReport report = train_gnn(model, samples, fast_trainer(), rng);
+  ASSERT_EQ(report.epochs.size(), 30u);
+  const double first = report.epochs.front().train_loss;
+  const double last = report.final_train_loss;
+  EXPECT_LT(last, first * 0.8) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, TrainerArchTest,
+                         ::testing::ValuesIn(all_gnn_archs()),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Trainer, ValidationLossReported) {
+  Rng rng(32);
+  auto samples = structural_task(30, rng);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  TrainerConfig config = fast_trainer();
+  config.epochs = 5;
+  const TrainReport report = train_gnn(model, samples, config, rng);
+  for (const EpochStats& e : report.epochs) {
+    EXPECT_GE(e.validation_loss, 0.0);
+    EXPECT_GT(e.learning_rate, 0.0);
+  }
+}
+
+TEST(Trainer, ZeroWeightSamplesAreIgnored) {
+  Rng rng(33);
+  auto good = structural_task(20, rng);
+  // Poisoned samples with absurd targets but zero weight must not affect
+  // training.
+  auto poisoned = good;
+  for (int i = 0; i < 10; ++i) {
+    TrainSample bad;
+    bad.batch = good[static_cast<std::size_t>(i)].batch;
+    bad.target = Matrix(1, 2, 1000.0);
+    bad.weight = 0.0;
+    poisoned.push_back(std::move(bad));
+  }
+  TrainerConfig config = fast_trainer();
+  config.epochs = 10;
+  config.shuffle_each_epoch = false;
+  config.validation_fraction = 0.0;
+
+  Rng ra(77);
+  Rng rb(77);
+  GnnModel ma(small_model(GnnArch::kGIN), ra);
+  GnnModel mb(small_model(GnnArch::kGIN), rb);
+  Rng ta(55);
+  Rng tb(55);
+  // The two runs see different sample vectors, so losses are not expected
+  // to be identical step-for-step (shuffle order differs); both must
+  // simply converge to sane losses far from the poisoned scale.
+  const TrainReport rep_a = train_gnn(ma, good, config, ta);
+  const TrainReport rep_b = train_gnn(mb, poisoned, config, tb);
+  EXPECT_LT(rep_b.final_train_loss, 10.0);
+  EXPECT_LT(rep_a.final_train_loss, 10.0);
+}
+
+TEST(Trainer, SchedulerReducesOnPlateau) {
+  Rng rng(34);
+  auto samples = structural_task(10, rng);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  TrainerConfig config = fast_trainer();
+  config.epochs = 60;
+  config.learning_rate = 1e-2;
+  config.plateau.patience = 3;
+  config.plateau.factor = 0.2;
+  config.plateau.min_lr = 1e-5;
+  const TrainReport report = train_gnn(model, samples, config, rng);
+  // Learning rate must be non-increasing across epochs.
+  for (std::size_t e = 1; e < report.epochs.size(); ++e) {
+    EXPECT_LE(report.epochs[e].learning_rate,
+              report.epochs[e - 1].learning_rate + 1e-15);
+  }
+  EXPECT_GE(report.epochs.back().learning_rate, 1e-5);
+}
+
+TEST(Trainer, ValidatesInputs) {
+  Rng rng(35);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  TrainerConfig config = fast_trainer();
+  EXPECT_THROW(train_gnn(model, {}, config, rng), InvalidArgument);
+
+  auto samples = structural_task(5, rng);
+  samples[0].target = Matrix(1, 3);  // wrong width
+  EXPECT_THROW(train_gnn(model, samples, config, rng), InvalidArgument);
+
+  samples = structural_task(5, rng);
+  samples[0].weight = -1.0;
+  EXPECT_THROW(train_gnn(model, samples, config, rng), InvalidArgument);
+}
+
+TEST(Trainer, PeriodicLossTrainsToo) {
+  Rng rng(41);
+  auto samples = structural_task(30, rng);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  TrainerConfig config = fast_trainer();
+  config.epochs = 20;
+  config.loss = LossKind::kPeriodic;
+  config.periodic_periods = {6.283185307179586, 3.14159265358979323846};
+  const TrainReport report = train_gnn(model, samples, config, rng);
+  EXPECT_LT(report.final_train_loss, report.epochs.front().train_loss);
+}
+
+TEST(Trainer, PeriodicLossRequiresPeriods) {
+  Rng rng(42);
+  auto samples = structural_task(5, rng);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  TrainerConfig config = fast_trainer();
+  config.loss = LossKind::kPeriodic;  // periods left empty
+  EXPECT_THROW(train_gnn(model, samples, config, rng), InvalidArgument);
+}
+
+TEST(Trainer, EvaluateMseMatchesManualComputation) {
+  Rng rng(36);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  auto samples = structural_task(4, rng);
+  double manual = 0.0;
+  for (const TrainSample& s : samples) {
+    const Matrix pred = model.predict(s.batch);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      const double d = pred(0, j) - s.target(0, j);
+      acc += d * d;
+    }
+    manual += acc / 2.0;
+  }
+  manual /= 4.0;
+  EXPECT_NEAR(evaluate_mse(model, samples), manual, 1e-12);
+  EXPECT_DOUBLE_EQ(evaluate_mse(model, {}), 0.0);
+}
+
+TEST(Trainer, EarlyStoppingStopsAndRestoresBestWeights) {
+  Rng rng(51);
+  auto samples = structural_task(30, rng);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  TrainerConfig config = fast_trainer();
+  config.epochs = 200;
+  config.validation_fraction = 0.3;
+  config.early_stopping_patience = 3;
+  const TrainReport report = train_gnn(model, samples, config, rng);
+  // With a generous budget and small data, early stopping should fire.
+  EXPECT_TRUE(report.stopped_early);
+  EXPECT_LT(static_cast<int>(report.epochs.size()), 200);
+  EXPECT_LE(report.best_epoch,
+            static_cast<int>(report.epochs.size()) - 1);
+  // The restored weights must achieve the best recorded validation loss.
+  double best_seen = report.epochs.front().validation_loss;
+  for (const EpochStats& e : report.epochs) {
+    best_seen = std::min(best_seen, e.validation_loss);
+  }
+  EXPECT_NEAR(report.final_validation_loss, best_seen, 1e-9);
+}
+
+TEST(Trainer, EarlyStoppingRequiresValidationSplit) {
+  Rng rng(52);
+  auto samples = structural_task(10, rng);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  TrainerConfig config = fast_trainer();
+  config.validation_fraction = 0.0;
+  config.early_stopping_patience = 2;
+  EXPECT_THROW(train_gnn(model, samples, config, rng), InvalidArgument);
+}
+
+TEST(Trainer, EvaluateMetricsPerfectModelScoresR2One) {
+  // Constant-target task where predictions equal targets exactly is hard
+  // to build; instead verify the metric algebra on a crafted case: copy
+  // predictions as targets.
+  Rng rng(53);
+  GnnModel model(small_model(GnnArch::kGIN), rng);
+  auto samples = structural_task(6, rng);
+  for (TrainSample& s : samples) {
+    s.target = model.predict(s.batch);  // perfect by construction
+  }
+  const EvalMetrics metrics = evaluate_metrics(model, samples);
+  EXPECT_NEAR(metrics.mse, 0.0, 1e-18);
+  EXPECT_NEAR(metrics.r2, 1.0, 1e-12);
+  for (double mae : metrics.mae_per_output) EXPECT_NEAR(mae, 0.0, 1e-12);
+}
+
+TEST(Trainer, EvaluateMetricsShapesAndBounds) {
+  Rng rng(54);
+  GnnModel model(small_model(GnnArch::kGCN), rng);
+  const auto samples = structural_task(10, rng);
+  const EvalMetrics metrics = evaluate_metrics(model, samples);
+  EXPECT_EQ(metrics.mae_per_output.size(), 2u);
+  EXPECT_GE(metrics.mse, 0.0);
+  EXPECT_LE(metrics.r2, 1.0);
+  // Consistency with evaluate_mse.
+  EXPECT_NEAR(metrics.mse, evaluate_mse(model, samples), 1e-12);
+  // Empty set.
+  const EvalMetrics empty = evaluate_metrics(model, {});
+  EXPECT_DOUBLE_EQ(empty.mse, 0.0);
+}
+
+TEST(Trainer, GradAccumulationBatchSizesAgreeOnDirection) {
+  // Training with batch 1 vs batch 4 should both reduce the loss; exact
+  // trajectories differ but both must learn.
+  Rng rng(37);
+  auto samples = structural_task(24, rng);
+  for (int batch : {1, 4, 24}) {
+    Rng mrng(91);
+    GnnModel model(small_model(GnnArch::kGCN), mrng);
+    TrainerConfig config = fast_trainer();
+    config.epochs = 15;
+    config.batch_size = batch;
+    Rng trng(13);
+    const TrainReport report = train_gnn(model, samples, config, trng);
+    EXPECT_LT(report.final_train_loss, report.epochs.front().train_loss)
+        << "batch " << batch;
+  }
+}
+
+}  // namespace
+}  // namespace qgnn
