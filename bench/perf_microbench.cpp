@@ -2,9 +2,21 @@
 // scaling, the diagonal fast path vs the explicit gate circuit, GNN
 // forward/backward throughput per architecture, and the exact Max-Cut
 // solver. These back the design decisions in DESIGN.md SS4.
+//
+// The *Threads benchmarks sweep the thread-pool size (their Arg is the
+// lane count, surfaced again in the "threads" counter) over the
+// parallelized statevector kernels and the dataset labeller. For a
+// machine-readable trajectory that future PRs can diff, run:
+//   ./bench/perf_microbench --benchmark_format=json \
+//       --benchmark_out=perf_microbench.json
+// and track items_per_second per (benchmark, threads) pair.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <vector>
+
+#include "dataset/dataset.hpp"
 #include "gnn/model.hpp"
 #include "graph/generators.hpp"
 #include "graph/spectral.hpp"
@@ -14,6 +26,7 @@
 #include "qaoa/optimize.hpp"
 #include "quantum/density_matrix.hpp"
 #include "quantum/pauli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -209,6 +222,106 @@ void BM_RandomRegularGraph(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomRegularGraph)->Arg(8)->Arg(15);
+
+// ---- thread-pool scaling sweeps ----------------------------------------
+// 18 qubits (2^18 amplitudes) is the acceptance-criterion size: well above
+// the 2^14 serial threshold, so every kernel below actually fans out.
+
+constexpr int kThreadSweepQubits = 18;
+
+void BM_ApplyDiagonalPhaseThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  StateVector s = StateVector::plus_state(kThreadSweepQubits);
+  std::vector<double> diag(s.dimension());
+  for (std::uint64_t k = 0; k < s.dimension(); ++k) {
+    diag[k] = static_cast<double>(__builtin_popcountll(k));
+  }
+  for (auto _ : state) {
+    s.apply_diagonal_phase(diag, 0.01);
+    benchmark::DoNotOptimize(s.mutable_amplitudes().data());
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_ApplyDiagonalPhaseThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ExpectationDiagonalThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  const StateVector s = StateVector::plus_state(kThreadSweepQubits);
+  std::vector<double> diag(s.dimension());
+  for (std::uint64_t k = 0; k < s.dimension(); ++k) {
+    diag[k] = std::sin(static_cast<double>(k) * 1e-4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.expectation_diagonal(diag));
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_ExpectationDiagonalThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SingleQubitGateThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  StateVector s = StateVector::plus_state(kThreadSweepQubits);
+  const auto gate = gates::rx(0.3);
+  for (auto _ : state) {
+    s.apply_single_qubit(gate, 5);
+    benchmark::DoNotOptimize(s.mutable_amplitudes().data());
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_SingleQubitGateThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_RzzThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  StateVector s = StateVector::plus_state(kThreadSweepQubits);
+  for (auto _ : state) {
+    s.apply_rzz(0.4, 2, 11);
+    benchmark::DoNotOptimize(s.mutable_amplitudes().data());
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_RzzThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_DatasetLabellingThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  DatasetGenConfig config;
+  config.num_instances = 12;
+  config.min_nodes = 8;
+  config.max_nodes = 12;
+  config.optimizer_evaluations = 120;
+  config.seed = 17;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_dataset(config).size());
+  }
+  state.counters["threads"] = threads;
+  // Labelled graphs per second: the number production dataset generation
+  // cares about.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          config.num_instances);
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_DatasetLabellingThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

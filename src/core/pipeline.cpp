@@ -2,6 +2,7 @@
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qgnn {
 
@@ -49,27 +50,37 @@ std::pair<std::shared_ptr<GnnModel>, TrainReport> train_arch(
 
 std::vector<double> random_baseline_ar(const std::vector<DatasetEntry>& test,
                                        int depth, std::uint64_t seed) {
-  Rng rng(seed);
-  RandomInitializer init(rng.child());
-  std::vector<double> ars;
-  ars.reserve(test.size());
-  for (const DatasetEntry& e : test) {
-    QaoaAnsatz ansatz(e.graph);
-    const QaoaParams params = init.initialize(e.graph, depth);
-    ars.push_back(ansatz.approximation_ratio(params));
-  }
+  // Each test graph draws from its own (seed, index) stream, so the series
+  // is identical at any thread count and independent of evaluation order.
+  std::vector<double> ars(test.size(), 0.0);
+  ThreadPool::global().parallel_for(
+      0, test.size(), 1, [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const DatasetEntry& e = test[i];
+          Rng rng(derive_seed(seed, i));
+          RandomInitializer init(rng.child());
+          QaoaAnsatz ansatz(e.graph);
+          const QaoaParams params = init.initialize(e.graph, depth);
+          ars[i] = ansatz.approximation_ratio(params);
+        }
+      });
   return ars;
 }
 
 std::vector<double> gnn_ar_series(const GnnModel& model,
                                   const std::vector<DatasetEntry>& test) {
-  std::vector<double> ars;
-  ars.reserve(test.size());
-  for (const DatasetEntry& e : test) {
-    QaoaAnsatz ansatz(e.graph);
-    const QaoaParams params = target_to_params(model.predict(e.graph));
-    ars.push_back(ansatz.approximation_ratio(params));
-  }
+  // predict() is a pure read of the trained weights, so the test set can
+  // be scored concurrently.
+  std::vector<double> ars(test.size(), 0.0);
+  ThreadPool::global().parallel_for(
+      0, test.size(), 1, [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const DatasetEntry& e = test[i];
+          QaoaAnsatz ansatz(e.graph);
+          const QaoaParams params = target_to_params(model.predict(e.graph));
+          ars[i] = ansatz.approximation_ratio(params);
+        }
+      });
   return ars;
 }
 
@@ -113,8 +124,6 @@ ConvergenceStats convergence_comparison(std::shared_ptr<const GnnModel> model,
   QGNN_REQUIRE(target_ar > 0.0 && target_ar <= 1.0,
                "target AR out of (0, 1]");
   QGNN_REQUIRE(model != nullptr, "null GNN model");
-  Rng rng(seed);
-  RandomInitializer random_init(rng.child());
   GnnInitializer gnn_init(model);
 
   QaoaRunConfig run;
@@ -123,22 +132,39 @@ ConvergenceStats convergence_comparison(std::shared_ptr<const GnnModel> model,
   run.max_evaluations = max_evaluations;
   run.sample_shots = 0;
 
+  // Per-entry results, collected in parallel (both QAOA optimizations per
+  // entry are expensive) and folded into the stats serially in index order
+  // so the means are thread-count invariant.
+  std::vector<std::optional<int>> reach_random(test.size());
+  std::vector<std::optional<int>> reach_gnn(test.size());
+  ThreadPool::global().parallel_for(
+      0, test.size(), 1, [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const DatasetEntry& e = test[i];
+          Rng item_rng(derive_seed(seed, i));
+          RandomInitializer random_init(item_rng.child());
+          Rng sample_rng = item_rng.child();
+          const double target_value = target_ar * e.optimum;
+          const QaoaResult r_rand =
+              run_qaoa(e.graph, random_init, run, sample_rng);
+          const QaoaResult r_gnn = run_qaoa(e.graph, gnn_init, run, sample_rng);
+          reach_random[i] = evaluations_to_reach(r_rand.trace, target_value);
+          reach_gnn[i] = evaluations_to_reach(r_gnn.trace, target_value);
+        }
+      });
+
   ConvergenceStats stats;
   RunningStats evals_random;
   RunningStats evals_gnn;
-  Rng sample_rng = rng.child();
-  for (const DatasetEntry& e : test) {
-    const double target_value = target_ar * e.optimum;
-    const QaoaResult r_rand = run_qaoa(e.graph, random_init, run, sample_rng);
-    const QaoaResult r_gnn = run_qaoa(e.graph, gnn_init, run, sample_rng);
+  for (std::size_t i = 0; i < test.size(); ++i) {
     ++stats.total;
-    if (const auto n = evaluations_to_reach(r_rand.trace, target_value)) {
+    if (reach_random[i]) {
       ++stats.reached_random;
-      evals_random.add(static_cast<double>(*n));
+      evals_random.add(static_cast<double>(*reach_random[i]));
     }
-    if (const auto n = evaluations_to_reach(r_gnn.trace, target_value)) {
+    if (reach_gnn[i]) {
       ++stats.reached_gnn;
-      evals_gnn.add(static_cast<double>(*n));
+      evals_gnn.add(static_cast<double>(*reach_gnn[i]));
     }
   }
   stats.mean_evals_random = evals_random.mean();

@@ -1,6 +1,7 @@
 #include "dataset/features.hpp"
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qgnn {
 
@@ -39,14 +40,16 @@ std::vector<double> qaoa_angle_periods(int depth) {
 
 std::vector<TrainSample> to_train_samples(
     const std::vector<DatasetEntry>& entries, const FeatureConfig& config) {
-  std::vector<TrainSample> samples;
-  samples.reserve(entries.size());
-  for (const DatasetEntry& e : entries) {
-    TrainSample s;
-    s.batch = make_graph_batch(e.graph, config);
-    s.target = label_to_target(e.label);
-    samples.push_back(std::move(s));
-  }
+  // Feature extraction is independent per entry (spectral features cost
+  // an eigendecomposition each), so build samples in place in parallel.
+  std::vector<TrainSample> samples(entries.size());
+  ThreadPool::global().parallel_for(
+      0, entries.size(), 4, [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          samples[i].batch = make_graph_batch(entries[i].graph, config);
+          samples[i].target = label_to_target(entries[i].label);
+        }
+      });
   return samples;
 }
 

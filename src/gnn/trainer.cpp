@@ -4,8 +4,10 @@
 #include <cmath>
 #include <iostream>
 #include <limits>
+#include <mutex>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qgnn {
 
@@ -55,16 +57,24 @@ EvalMetrics evaluate_metrics(const GnnModel& model,
 double evaluate_mse(const GnnModel& model,
                     const std::vector<TrainSample>& samples) {
   if (samples.empty()) return 0.0;
-  double total = 0.0;
-  for (const TrainSample& s : samples) {
-    const Matrix pred = model.predict(s.batch);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < pred.cols(); ++j) {
-      const double d = pred(0, j) - s.target(0, j);
-      acc += d * d;
-    }
-    total += acc / static_cast<double>(pred.cols());
-  }
+  // Eval-mode forward passes only read the weights, so samples can be
+  // scored in parallel; the fixed chunk decomposition keeps the sum
+  // thread-count invariant.
+  const double total = ThreadPool::global().parallel_reduce(
+      0, samples.size(), 4, 0.0, [&](std::uint64_t lo, std::uint64_t hi) {
+        double chunk = 0.0;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const TrainSample& s = samples[i];
+          const Matrix pred = model.predict(s.batch);
+          double acc = 0.0;
+          for (std::size_t j = 0; j < pred.cols(); ++j) {
+            const double d = pred(0, j) - s.target(0, j);
+            acc += d * d;
+          }
+          chunk += acc / static_cast<double>(pred.cols());
+        }
+        return chunk;
+      });
   return total / static_cast<double>(samples.size());
 }
 
@@ -113,43 +123,83 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
   int best_epoch = 0;
   std::vector<Matrix> best_weights;
 
+  const std::vector<Var> params = optimizer.params();
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     if (config.shuffle_each_epoch) rng.shuffle(order);
+    // One draw per epoch seeds every sample's dropout stream via
+    // (epoch_seed, position), keeping masks independent of both thread
+    // count and batch completion order.
+    const std::uint64_t epoch_seed = rng.engine()();
 
     double epoch_loss = 0.0;
     double epoch_weight = 0.0;
-    std::size_t in_batch = 0;
     optimizer.zero_grad();
 
-    for (std::size_t k = 0; k < order.size(); ++k) {
-      const TrainSample& s = samples[order[k]];
-      if (s.weight == 0.0) continue;
-      const Var pred = model.forward(s.batch, /*training=*/true, rng);
-      Var loss = config.loss == LossKind::kPeriodic
-                     ? ag::periodic_loss(pred, s.target,
-                                         config.periodic_periods)
-                     : ag::mse_loss(pred, s.target);
-      if (s.weight != 1.0) loss = ag::scalar_mul(loss, s.weight);
-      loss.backward();
-      epoch_loss += loss.value()(0, 0);
-      epoch_weight += s.weight;
-      ++in_batch;
+    for (std::size_t batch_start = 0; batch_start < order.size();
+         batch_start += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t batch_end =
+          std::min(order.size(),
+                   batch_start + static_cast<std::size_t>(config.batch_size));
+      // Positions with nonzero weight actually contribute to this batch.
+      std::vector<std::size_t> slots;
+      slots.reserve(batch_end - batch_start);
+      for (std::size_t k = batch_start; k < batch_end; ++k) {
+        if (samples[order[k]].weight != 0.0) slots.push_back(k);
+      }
+      if (slots.empty()) continue;
 
-      const bool last = (k + 1 == order.size());
-      if (in_batch == static_cast<std::size_t>(config.batch_size) || last) {
-        if (in_batch > 0) {
-          // Average the accumulated gradients over the mini-batch.
-          for (Var p : optimizer.params()) {
-            p.node()->grad *= 1.0 / static_cast<double>(in_batch);
-          }
-          if (config.grad_clip_norm > 0.0) {
-            ag::clip_grad_norm(optimizer.params(), config.grad_clip_norm);
-          }
-          optimizer.step();
-          optimizer.zero_grad();
-          in_batch = 0;
+      // Forward passes run in parallel (they only read the weights and
+      // build sample-local tape nodes); backward accumulates into the
+      // shared parameter gradients, so it is serialized and its per-sample
+      // result captured per slot. Summing those captures in slot order
+      // afterwards makes the batch gradient thread-count invariant.
+      std::vector<std::vector<Matrix>> slot_grads(slots.size());
+      std::vector<double> slot_loss(slots.size(), 0.0);
+      std::mutex backward_mutex;
+      ThreadPool::global().parallel_for(
+          0, slots.size(), 1, [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t si = lo; si < hi; ++si) {
+              const std::size_t k = slots[si];
+              const TrainSample& s = samples[order[k]];
+              Rng dropout_rng(derive_seed(epoch_seed, k));
+              const Var pred =
+                  model.forward(s.batch, /*training=*/true, dropout_rng);
+              Var loss = config.loss == LossKind::kPeriodic
+                             ? ag::periodic_loss(pred, s.target,
+                                                 config.periodic_periods)
+                             : ag::mse_loss(pred, s.target);
+              if (s.weight != 1.0) loss = ag::scalar_mul(loss, s.weight);
+              slot_loss[si] = loss.value()(0, 0);
+
+              std::lock_guard<std::mutex> lk(backward_mutex);
+              loss.backward();
+              std::vector<Matrix>& grads = slot_grads[si];
+              grads.reserve(params.size());
+              for (const Var& p : params) {
+                grads.push_back(p.node()->grad);
+                p.node()->grad.fill(0.0);
+              }
+            }
+          });
+
+      for (std::size_t si = 0; si < slots.size(); ++si) {
+        epoch_loss += slot_loss[si];
+        epoch_weight += samples[order[slots[si]]].weight;
+        for (std::size_t pi = 0; pi < params.size(); ++pi) {
+          params[pi].node()->grad += slot_grads[si][pi];
         }
       }
+
+      // Average the accumulated gradients over the mini-batch.
+      for (const Var& p : params) {
+        p.node()->grad *= 1.0 / static_cast<double>(slots.size());
+      }
+      if (config.grad_clip_norm > 0.0) {
+        ag::clip_grad_norm(params, config.grad_clip_norm);
+      }
+      optimizer.step();
+      optimizer.zero_grad();
     }
 
     EpochStats stats;

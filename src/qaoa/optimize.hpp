@@ -10,6 +10,15 @@ namespace qgnn {
 
 /// Objective to MAXIMIZE over a flat parameter vector (QAOA convention:
 /// maximize <C>). All optimizers below share this signature.
+///
+/// Thread-safety contract: every optimizer in this header is deterministic
+/// and draws no random numbers — given the same start point it evaluates
+/// the same sequence of parameter vectors. The parallel dataset labeller
+/// relies on this: randomness enters only through the per-item
+/// ParameterInitializer stream (seeded via derive_seed(seed, index)), so
+/// concurrent label optimizations never share RNG state. Keep new
+/// optimizers RNG-free, or take an explicit Rng& so callers can scope it
+/// per work unit.
 using Objective = std::function<double(const std::vector<double>&)>;
 
 /// Result of one optimization run. `trace` holds the best objective value

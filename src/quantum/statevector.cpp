@@ -1,11 +1,51 @@
 #include "quantum/statevector.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qgnn {
+
+namespace {
+
+/// States at or above this dimension run their kernels on the global
+/// thread pool; smaller states stay serial because the per-job wakeup
+/// cost exceeds the loop itself. 2^14 amplitudes (~256 KiB) is where the
+/// crossover sits on commodity cores.
+constexpr std::uint64_t kParallelDim = std::uint64_t{1} << 14;
+
+/// Elements per chunk. Large enough that a chunk amortizes scheduling,
+/// small enough that 4-8 lanes stay busy at the threshold dimension.
+constexpr std::uint64_t kGrain = std::uint64_t{1} << 12;
+
+/// Run body(lo, hi) over [0, dim), parallel above the threshold.
+/// Elementwise bodies produce bit-identical amplitudes at any lane count.
+template <typename Body>
+void for_each_index(std::uint64_t dim, const Body& body) {
+  if (dim >= kParallelDim) {
+    ThreadPool::global().parallel_for(0, dim, kGrain, body);
+  } else {
+    body(0, dim);
+  }
+}
+
+/// Chunked sum of chunk_sum(lo, hi) over [0, dim). Below the threshold the
+/// range is a single serial chunk; above it, parallel_reduce combines the
+/// fixed-boundary partials in chunk order — either way the result for a
+/// given dimension is bit-identical at any lane count.
+template <typename T, typename ChunkFn>
+T reduce_index(std::uint64_t dim, T zero, const ChunkFn& chunk_sum) {
+  if (dim >= kParallelDim) {
+    return ThreadPool::global().parallel_reduce(0, dim, kGrain, zero,
+                                                chunk_sum);
+  }
+  return chunk_sum(0, dim);
+}
+
+}  // namespace
 
 StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
   QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
@@ -43,15 +83,18 @@ void StateVector::apply_single_qubit(const std::array<Amplitude, 4>& m,
                                      int target) {
   check_qubit(target);
   const std::uint64_t bit = std::uint64_t{1} << target;
-  const std::uint64_t dim = dimension();
-  for (std::uint64_t base = 0; base < dim; ++base) {
-    if (base & bit) continue;  // visit each |..0..>, |..1..> pair once
-    const std::uint64_t hi = base | bit;
-    const Amplitude a0 = amps_[base];
-    const Amplitude a1 = amps_[hi];
-    amps_[base] = m[0] * a0 + m[1] * a1;
-    amps_[hi] = m[2] * a0 + m[3] * a1;
-  }
+  // Each pair is owned by the chunk containing its low index; the high
+  // index is skipped wherever it falls, so chunks never share a pair.
+  for_each_index(dimension(), [&](std::uint64_t lo, std::uint64_t hi_end) {
+    for (std::uint64_t base = lo; base < hi_end; ++base) {
+      if (base & bit) continue;  // visit each |..0..>, |..1..> pair once
+      const std::uint64_t hi = base | bit;
+      const Amplitude a0 = amps_[base];
+      const Amplitude a1 = amps_[hi];
+      amps_[base] = m[0] * a0 + m[1] * a1;
+      amps_[hi] = m[2] * a0 + m[3] * a1;
+    }
+  });
 }
 
 void StateVector::apply_controlled(const std::array<Amplitude, 4>& m,
@@ -61,15 +104,16 @@ void StateVector::apply_controlled(const std::array<Amplitude, 4>& m,
   QGNN_REQUIRE(control != target, "control equals target");
   const std::uint64_t cbit = std::uint64_t{1} << control;
   const std::uint64_t tbit = std::uint64_t{1} << target;
-  const std::uint64_t dim = dimension();
-  for (std::uint64_t base = 0; base < dim; ++base) {
-    if ((base & tbit) || !(base & cbit)) continue;
-    const std::uint64_t hi = base | tbit;
-    const Amplitude a0 = amps_[base];
-    const Amplitude a1 = amps_[hi];
-    amps_[base] = m[0] * a0 + m[1] * a1;
-    amps_[hi] = m[2] * a0 + m[3] * a1;
-  }
+  for_each_index(dimension(), [&](std::uint64_t lo, std::uint64_t hi_end) {
+    for (std::uint64_t base = lo; base < hi_end; ++base) {
+      if ((base & tbit) || !(base & cbit)) continue;
+      const std::uint64_t hi = base | tbit;
+      const Amplitude a0 = amps_[base];
+      const Amplitude a1 = amps_[hi];
+      amps_[base] = m[0] * a0 + m[1] * a1;
+      amps_[hi] = m[2] * a0 + m[3] * a1;
+    }
+  });
 }
 
 void StateVector::apply_rzz(double theta, int a, int b) {
@@ -81,22 +125,24 @@ void StateVector::apply_rzz(double theta, int a, int b) {
   // exp(-i theta/2) on even parity, exp(+i theta/2) on odd parity.
   const Amplitude even{std::cos(theta / 2.0), -std::sin(theta / 2.0)};
   const Amplitude odd{std::cos(theta / 2.0), std::sin(theta / 2.0)};
-  const std::uint64_t dim = dimension();
-  for (std::uint64_t k = 0; k < dim; ++k) {
-    const bool parity = ((k & abit) != 0) != ((k & bbit) != 0);
-    amps_[k] *= parity ? odd : even;
-  }
+  for_each_index(dimension(), [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t k = lo; k < hi; ++k) {
+      const bool parity = ((k & abit) != 0) != ((k & bbit) != 0);
+      amps_[k] *= parity ? odd : even;
+    }
+  });
 }
 
 void StateVector::apply_diagonal_phase(std::span<const double> diag,
                                        double gamma) {
   QGNN_REQUIRE(diag.size() == dimension(),
                "diagonal length must equal state dimension");
-  const std::uint64_t dim = dimension();
-  for (std::uint64_t k = 0; k < dim; ++k) {
-    const double phi = -gamma * diag[k];
-    amps_[k] *= Amplitude{std::cos(phi), std::sin(phi)};
-  }
+  for_each_index(dimension(), [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t k = lo; k < hi; ++k) {
+      const double phi = -gamma * diag[k];
+      amps_[k] *= Amplitude{std::cos(phi), std::sin(phi)};
+    }
+  });
 }
 
 double StateVector::probability(std::uint64_t index) const {
@@ -107,24 +153,28 @@ double StateVector::probability(std::uint64_t index) const {
 double StateVector::expectation_diagonal(std::span<const double> diag) const {
   QGNN_REQUIRE(diag.size() == dimension(),
                "diagonal length must equal state dimension");
-  double acc = 0.0;
-  const std::uint64_t dim = dimension();
-  for (std::uint64_t k = 0; k < dim; ++k) {
-    acc += std::norm(amps_[k]) * diag[k];
-  }
-  return acc;
+  return reduce_index(dimension(), 0.0,
+                      [&](std::uint64_t lo, std::uint64_t hi) {
+                        double acc = 0.0;
+                        for (std::uint64_t k = lo; k < hi; ++k) {
+                          acc += std::norm(amps_[k]) * diag[k];
+                        }
+                        return acc;
+                      });
 }
 
 double StateVector::expectation_z(int qubit) const {
   check_qubit(qubit);
   const std::uint64_t bit = std::uint64_t{1} << qubit;
-  double acc = 0.0;
-  const std::uint64_t dim = dimension();
-  for (std::uint64_t k = 0; k < dim; ++k) {
-    const double p = std::norm(amps_[k]);
-    acc += (k & bit) ? -p : p;
-  }
-  return acc;
+  return reduce_index(dimension(), 0.0,
+                      [&](std::uint64_t lo, std::uint64_t hi) {
+                        double acc = 0.0;
+                        for (std::uint64_t k = lo; k < hi; ++k) {
+                          const double p = std::norm(amps_[k]);
+                          acc += (k & bit) ? -p : p;
+                        }
+                        return acc;
+                      });
 }
 
 std::uint64_t StateVector::sample(Rng& rng) const {
@@ -145,20 +195,29 @@ std::map<std::uint64_t, std::size_t> StateVector::sample_counts(
 }
 
 double StateVector::norm() const {
-  double acc = 0.0;
-  for (const Amplitude& a : amps_) acc += std::norm(a);
+  const double acc =
+      reduce_index(dimension(), 0.0,
+                   [&](std::uint64_t lo, std::uint64_t hi) {
+                     double sum = 0.0;
+                     for (std::uint64_t k = lo; k < hi; ++k) {
+                       sum += std::norm(amps_[k]);
+                     }
+                     return sum;
+                   });
   return std::sqrt(acc);
 }
 
 Amplitude StateVector::inner_product(const StateVector& other) const {
   QGNN_REQUIRE(num_qubits_ == other.num_qubits_,
                "inner product of different-size states");
-  Amplitude acc{0.0, 0.0};
-  const std::uint64_t dim = dimension();
-  for (std::uint64_t k = 0; k < dim; ++k) {
-    acc += std::conj(amps_[k]) * other.amps_[k];
-  }
-  return acc;
+  return reduce_index(dimension(), Amplitude{0.0, 0.0},
+                      [&](std::uint64_t lo, std::uint64_t hi) {
+                        Amplitude acc{0.0, 0.0};
+                        for (std::uint64_t k = lo; k < hi; ++k) {
+                          acc += std::conj(amps_[k]) * other.amps_[k];
+                        }
+                        return acc;
+                      });
 }
 
 double StateVector::fidelity(const StateVector& other) const {

@@ -8,6 +8,19 @@
 
 namespace qgnn {
 
+/// Stateless seed derivation for parallel work: mixes (seed, index) through
+/// a splitmix64-style finalizer so each unit of work (graph, sample, ...)
+/// gets its own independent stream. Unlike Rng::child(), the result does
+/// not depend on how many streams were derived before it, so work items
+/// can be seeded identically regardless of scheduling order or thread
+/// count.
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic random number generator used by every stochastic component
 /// in the library. Wraps std::mt19937_64 with convenience draws and a
 /// `child()` derivation scheme so independent subsystems can be seeded from

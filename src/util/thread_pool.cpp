@@ -1,0 +1,145 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+namespace {
+
+/// Set while a thread is executing chunk bodies, so nested parallel_for
+/// calls (from a worker or from the caller's own participation) run
+/// serially instead of re-entering the pool.
+thread_local bool tl_in_parallel_region = false;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  QGNN_REQUIRE(num_threads >= 1, "thread pool needs at least one lane");
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int t = 0; t < num_threads - 1; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::participate(Job& job) {
+  const bool was_in_region = tl_in_parallel_region;
+  tl_in_parallel_region = true;
+  std::uint64_t c;
+  while ((c = job.next.fetch_add(1, std::memory_order_relaxed)) <
+         job.chunks) {
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      const std::uint64_t lo = job.begin + c * job.grain;
+      const std::uint64_t hi = std::min(job.end, lo + job.grain);
+      try {
+        (*job.body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.chunks) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      done_.notify_all();
+    }
+  }
+  tl_in_parallel_region = was_in_region;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      wake_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    participate(*job);
+  }
+}
+
+void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
+                              std::uint64_t grain, const RangeBody& body) {
+  if (end <= begin) return;
+  const std::uint64_t g = std::max<std::uint64_t>(1, grain);
+  const std::uint64_t chunks = (end - begin + g - 1) / g;
+  if (num_threads_ <= 1 || chunks <= 1 || tl_in_parallel_region) {
+    body(begin, end);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lk(submit_mutex_);
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = g;
+  job->chunks = chunks;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = job;
+    ++job_epoch_;
+  }
+  wake_.notify_all();
+
+  participate(*job);
+
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_.wait(lk, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->chunks;
+    });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(configured_threads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(int num_threads) {
+  QGNN_REQUIRE(num_threads >= 1, "thread pool needs at least one lane");
+  std::lock_guard<std::mutex> lk(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+int ThreadPool::configured_threads() {
+  if (const char* env = std::getenv("QGNN_NUM_THREADS")) {
+    try {
+      const int n = std::stoi(std::string(env));
+      if (n >= 1) return std::min(n, 256);
+    } catch (...) {
+      // Fall through to the hardware default on unparsable values.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 256u));
+}
+
+}  // namespace qgnn

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qgnn {
+
+/// Fixed pool of worker threads running chunked parallel-for loops.
+///
+/// Design goals, in order:
+///  1. Determinism: chunk boundaries depend only on the range and the
+///     grain, never on the pool size, so any per-chunk combination step
+///     (see parallel_reduce) is bit-identical at 1, 2, or N threads.
+///  2. Safety: exceptions thrown by a body are captured and rethrown on
+///     the calling thread; re-entrant calls from inside a worker degrade
+///     to serial execution instead of deadlocking.
+///  3. Low overhead: workers are started once and woken per job; the
+///     calling thread participates, so a pool of size 1 spawns no threads
+///     at all and runs every body inline.
+///
+/// The process-wide instance (global()) is sized by the QGNN_NUM_THREADS
+/// environment variable, defaulting to std::thread::hardware_concurrency().
+class ThreadPool {
+ public:
+  using RangeBody = std::function<void(std::uint64_t, std::uint64_t)>;
+
+  /// Spawns `num_threads - 1` workers (the caller is the remaining lane).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes, including the calling thread.
+  int size() const { return num_threads_; }
+
+  /// Split [begin, end) into chunks of at most `grain` elements and run
+  /// body(chunk_begin, chunk_end) across the pool. Blocks until every
+  /// chunk has finished. The first exception thrown by a body is rethrown
+  /// here (remaining chunks are skipped). Calls made from inside a worker
+  /// run the whole range serially on that worker.
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    std::uint64_t grain, const RangeBody& body);
+
+  /// Deterministic chunked sum: chunk_sum(chunk_begin, chunk_end) returns
+  /// one partial per chunk; partials are combined serially in chunk order,
+  /// so the result is bit-identical for every pool size, including 1.
+  template <typename T, typename ChunkFn>
+  T parallel_reduce(std::uint64_t begin, std::uint64_t end,
+                    std::uint64_t grain, T zero, const ChunkFn& chunk_sum) {
+    if (end <= begin) return zero;
+    const std::uint64_t g = std::max<std::uint64_t>(1, grain);
+    const std::uint64_t chunks = (end - begin + g - 1) / g;
+    std::vector<T> partial(chunks, zero);
+    parallel_for(0, chunks, 1,
+                 [&](std::uint64_t cb, std::uint64_t ce) {
+                   for (std::uint64_t c = cb; c < ce; ++c) {
+                     const std::uint64_t lo = begin + c * g;
+                     const std::uint64_t hi = std::min(end, lo + g);
+                     partial[c] = chunk_sum(lo, hi);
+                   }
+                 });
+    T acc = zero;
+    for (const T& p : partial) acc += p;
+    return acc;
+  }
+
+  /// Process-wide pool, created on first use with configured_threads().
+  static ThreadPool& global();
+
+  /// Replace the global pool with one of `num_threads` lanes. Intended for
+  /// tests and benchmarks; must not race with parallel work in flight.
+  static void set_global_threads(int num_threads);
+
+  /// Lane count from QGNN_NUM_THREADS (clamped to [1, 256]); falls back to
+  /// hardware_concurrency(), which itself falls back to 1.
+  static int configured_threads();
+
+ private:
+  struct Job {
+    std::uint64_t begin = 0;
+    std::uint64_t grain = 1;
+    std::uint64_t end = 0;
+    std::uint64_t chunks = 0;
+    const RangeBody* body = nullptr;
+    std::atomic<std::uint64_t> next{0};       // next chunk to claim
+    std::atomic<std::uint64_t> completed{0};  // chunks fully accounted for
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  /// Claim and run chunks of `job` until none remain. Every claimed chunk
+  /// is counted in `completed` even when skipped after a failure.
+  void participate(Job& job);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::shared_ptr<Job> job_;    // job being executed, null when idle
+  std::uint64_t job_epoch_ = 0; // bumped per job so workers never re-join one
+  bool stop_ = false;
+
+  std::mutex submit_mutex_;  // serializes parallel_for calls across threads
+};
+
+}  // namespace qgnn

@@ -1,0 +1,322 @@
+// Thread-count-invariance suite: every parallelized layer must produce
+// results independent of QGNN_NUM_THREADS. Gate kernels are elementwise
+// and must match bit-for-bit; reductions use a fixed chunk decomposition
+// and must match bit-for-bit too (asserted exactly, well inside the 1e-12
+// acceptance bound); the dataset labeller must emit byte-identical
+// records; the trainer must land on identical weights.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/features.hpp"
+#include "dataset/storage.hpp"
+#include "gnn/trainer.hpp"
+#include "graph/generators.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/statevector.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qgnn {
+namespace {
+
+/// Restores the global pool to the environment-configured size when a
+/// test that resizes it finishes.
+struct GlobalPoolGuard {
+  ~GlobalPoolGuard() {
+    ThreadPool::set_global_threads(ThreadPool::configured_threads());
+  }
+};
+
+constexpr int kStateQubits = 16;  // 2^16 amps: above the parallel threshold
+
+/// Apply a deterministic pseudo-random sequence of mixed gates.
+void apply_mixed_gates(StateVector& s, int count, std::uint64_t seq_seed) {
+  Rng rng(seq_seed);
+  const int n = s.num_qubits();
+  std::vector<double> diag(s.dimension());
+  for (std::uint64_t k = 0; k < s.dimension(); ++k) {
+    diag[k] = static_cast<double>(__builtin_popcountll(k));
+  }
+  for (int i = 0; i < count; ++i) {
+    const int kind = rng.uniform_int(0, 4);
+    const int a = rng.uniform_int(0, n - 1);
+    int b = rng.uniform_int(0, n - 2);
+    if (b >= a) ++b;
+    const double theta = rng.uniform(0.0, 3.0);
+    switch (kind) {
+      case 0:
+        s.apply_single_qubit(gates::rx(theta), a);
+        break;
+      case 1:
+        s.apply_single_qubit(gates::hadamard(), a);
+        break;
+      case 2:
+        s.apply_controlled(gates::rx(theta), a, b);
+        break;
+      case 3:
+        s.apply_rzz(theta, a, b);
+        break;
+      default:
+        s.apply_diagonal_phase(diag, theta * 0.1);
+        break;
+    }
+  }
+}
+
+StateVector evolved_state(int threads, int gate_count) {
+  ThreadPool::set_global_threads(threads);
+  StateVector s = StateVector::plus_state(kStateQubits);
+  apply_mixed_gates(s, gate_count, /*seq_seed=*/123);
+  return s;
+}
+
+TEST(ParallelStateVector, AmplitudesBitIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  const StateVector s1 = evolved_state(1, 40);
+  const StateVector s2 = evolved_state(2, 40);
+  const StateVector s8 = evolved_state(8, 40);
+  for (std::uint64_t k = 0; k < s1.dimension(); ++k) {
+    ASSERT_EQ(s1.amplitude(k), s2.amplitude(k)) << "index " << k;
+    ASSERT_EQ(s1.amplitude(k), s8.amplitude(k)) << "index " << k;
+  }
+}
+
+TEST(ParallelStateVector, ReductionsBitIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  std::vector<double> diag(std::uint64_t{1} << kStateQubits);
+  for (std::uint64_t k = 0; k < diag.size(); ++k) {
+    diag[k] = std::sin(static_cast<double>(k) * 1e-3);
+  }
+
+  double exp1 = 0.0, exp2 = 0.0, exp8 = 0.0;
+  double norm1 = 0.0, norm8 = 0.0;
+  double z1 = 0.0, z8 = 0.0;
+  Amplitude ip1, ip8;
+  for (const int t : {1, 2, 8}) {
+    const StateVector s = evolved_state(t, 25);
+    const StateVector ref = StateVector::plus_state(kStateQubits);
+    const double e = s.expectation_diagonal(diag);
+    if (t == 1) {
+      exp1 = e;
+      norm1 = s.norm();
+      z1 = s.expectation_z(3);
+      ip1 = s.inner_product(ref);
+    } else if (t == 2) {
+      exp2 = e;
+    } else {
+      exp8 = e;
+      norm8 = s.norm();
+      z8 = s.expectation_z(3);
+      ip8 = s.inner_product(ref);
+    }
+  }
+  EXPECT_EQ(exp1, exp2);
+  EXPECT_EQ(exp1, exp8);
+  EXPECT_NEAR(exp1, exp8, 1e-12);  // the acceptance-criterion bound
+  EXPECT_EQ(norm1, norm8);
+  EXPECT_EQ(z1, z8);
+  EXPECT_EQ(ip1, ip8);
+}
+
+TEST(ParallelStateVector, StressManyMixedGatesMatchesSerialPath) {
+  GlobalPoolGuard guard;
+  // Serial reference (one lane = every kernel runs inline) vs a
+  // heavily-threaded run of the same 200-gate program.
+  const StateVector serial = evolved_state(1, 200);
+  const StateVector parallel = evolved_state(8, 200);
+  ASSERT_EQ(serial.dimension(), parallel.dimension());
+  for (std::uint64_t k = 0; k < serial.dimension(); ++k) {
+    ASSERT_EQ(serial.amplitude(k), parallel.amplitude(k)) << "index " << k;
+  }
+  EXPECT_NEAR(serial.norm(), 1.0, 1e-9);
+}
+
+DatasetGenConfig labelling_config() {
+  DatasetGenConfig config;
+  config.num_instances = 8;
+  config.min_nodes = 4;
+  config.max_nodes = 8;
+  config.optimizer_evaluations = 60;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ParallelDataset, LabelsIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_threads(1);
+  const auto serial = generate_dataset(labelling_config());
+  ThreadPool::set_global_threads(2);
+  const auto two = generate_dataset(labelling_config());
+  ThreadPool::set_global_threads(8);
+  const auto eight = generate_dataset(labelling_config());
+
+  ASSERT_EQ(serial.size(), two.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label.gammas, two[i].label.gammas);
+    EXPECT_EQ(serial[i].label.betas, two[i].label.betas);
+    EXPECT_EQ(serial[i].label.gammas, eight[i].label.gammas);
+    EXPECT_EQ(serial[i].label.betas, eight[i].label.betas);
+    EXPECT_EQ(serial[i].expectation, eight[i].expectation);
+    EXPECT_EQ(serial[i].optimum, eight[i].optimum);
+    EXPECT_EQ(serial[i].approximation_ratio, eight[i].approximation_ratio);
+    EXPECT_EQ(serial[i].degree, eight[i].degree);
+  }
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ParallelDataset, SavedRecordsByteIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  const std::string dir1 = ::testing::TempDir() + "/qgnn_parallel_ds1";
+  const std::string dir8 = ::testing::TempDir() + "/qgnn_parallel_ds8";
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir8);
+
+  ThreadPool::set_global_threads(1);
+  save_dataset(dir1, generate_dataset(labelling_config()));
+  ThreadPool::set_global_threads(8);
+  save_dataset(dir8, generate_dataset(labelling_config()));
+
+  const std::string manifest1 = slurp(dir1 + "/manifest.csv");
+  const std::string manifest8 = slurp(dir8 + "/manifest.csv");
+  ASSERT_FALSE(manifest1.empty());
+  EXPECT_EQ(manifest1, manifest8);
+
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir1 + "/graphs")) {
+    const auto name = entry.path().filename();
+    EXPECT_EQ(slurp(entry.path()),
+              slurp(std::filesystem::path(dir8) / "graphs" / name))
+        << name;
+  }
+}
+
+TEST(ParallelDataset, FeatureExtractionIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_threads(1);
+  const auto entries = generate_dataset(labelling_config());
+  FeatureConfig features;
+  const auto serial = to_train_samples(entries, features);
+  ThreadPool::set_global_threads(8);
+  const auto parallel = to_train_samples(entries, features);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].target.cols(), parallel[i].target.cols());
+    for (std::size_t j = 0; j < serial[i].target.cols(); ++j) {
+      EXPECT_EQ(serial[i].target(0, j), parallel[i].target(0, j));
+    }
+    ASSERT_EQ(serial[i].batch.num_nodes, parallel[i].batch.num_nodes);
+    EXPECT_EQ(serial[i].batch.edge_src, parallel[i].batch.edge_src);
+  }
+}
+
+TEST(ParallelPipeline, RandomBaselineIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  DatasetGenConfig config = labelling_config();
+  const auto graphs = generate_graphs(config);
+  std::vector<DatasetEntry> entries(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    entries[i].graph = graphs[i];
+  }
+  ThreadPool::set_global_threads(1);
+  const auto serial = random_baseline_ar(entries, 1, 77);
+  ThreadPool::set_global_threads(8);
+  const auto parallel = random_baseline_ar(entries, 1, 77);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "entry " << i;
+  }
+}
+
+/// Final weight matrices after a short training run at `threads` lanes.
+std::vector<Matrix> trained_weights(int threads) {
+  ThreadPool::set_global_threads(threads);
+
+  Rng data_rng(21);
+  std::vector<TrainSample> samples;
+  GnnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  model_config.features.max_nodes = 8;
+  model_config.dropout = 0.3;  // exercise the per-slot dropout streams
+  for (int i = 0; i < 12; ++i) {
+    const Graph g = random_regular_graph(6 + 2 * (i % 2), 3, data_rng);
+    TrainSample s;
+    s.batch = make_graph_batch(g, model_config.features);
+    s.target = Matrix(1, 2, 0.1 * static_cast<double>(i % 5));
+    samples.push_back(std::move(s));
+  }
+
+  Rng model_rng(7);
+  GnnModel model(model_config, model_rng);
+  TrainerConfig config;
+  config.epochs = 4;
+  config.batch_size = 5;
+  config.validation_fraction = 0.2;
+  Rng train_rng(13);
+  train_gnn(model, samples, config, train_rng);
+
+  std::vector<Matrix> weights;
+  for (const ag::Var& p : model.params()) weights.push_back(p.value());
+  return weights;
+}
+
+TEST(ParallelTrainer, FinalWeightsIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  const auto serial = trained_weights(1);
+  const auto four = trained_weights(4);
+  const auto eight = trained_weights(8);
+  ASSERT_EQ(serial.size(), four.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    ASSERT_EQ(serial[p].rows(), four[p].rows());
+    ASSERT_EQ(serial[p].cols(), four[p].cols());
+    for (std::size_t r = 0; r < serial[p].rows(); ++r) {
+      for (std::size_t c = 0; c < serial[p].cols(); ++c) {
+        ASSERT_EQ(serial[p](r, c), four[p](r, c))
+            << "param " << p << " (" << r << "," << c << ") at 4 threads";
+        ASSERT_EQ(serial[p](r, c), eight[p](r, c))
+            << "param " << p << " (" << r << "," << c << ") at 8 threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelTrainer, EvaluateMseIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  Rng data_rng(31);
+  GnnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  model_config.features.max_nodes = 8;
+  std::vector<TrainSample> samples;
+  for (int i = 0; i < 9; ++i) {
+    const Graph g = random_regular_graph(6, 3, data_rng);
+    TrainSample s;
+    s.batch = make_graph_batch(g, model_config.features);
+    s.target = Matrix(1, 2, 0.25);
+    samples.push_back(std::move(s));
+  }
+  Rng model_rng(5);
+  const GnnModel model(model_config, model_rng);
+
+  ThreadPool::set_global_threads(1);
+  const double serial = evaluate_mse(model, samples);
+  ThreadPool::set_global_threads(8);
+  const double parallel = evaluate_mse(model, samples);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qgnn {
+namespace {
+
+TEST(ThreadPool, RejectsZeroLanes) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+  EXPECT_THROW(ThreadPool(-3), InvalidArgument);
+}
+
+TEST(ThreadPool, SizeOneRunsSerially) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(0, 100, 8, [&](std::uint64_t lo, std::uint64_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::uint64_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 20000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, 64, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeNeverCallsBody) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  pool.parallel_for(7, 3, 1, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  ThreadPool pool(4);
+  int value = 0;
+  pool.parallel_for(41, 42, 16, [&](std::uint64_t lo, std::uint64_t hi) {
+    EXPECT_EQ(lo, 41u);
+    EXPECT_EQ(hi, 42u);
+    ++value;
+  });
+  EXPECT_EQ(value, 1);
+}
+
+TEST(ThreadPool, ZeroGrainIsClampedToOne) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 10, 0, [&](std::uint64_t lo, std::uint64_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  auto boom = [&](std::uint64_t lo, std::uint64_t) {
+    if (lo >= 500) throw std::runtime_error("chunk failed");
+  };
+  EXPECT_THROW(pool.parallel_for(0, 1000, 10, boom), std::runtime_error);
+
+  // The pool must stay usable after a failed job.
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 1000, 10, [&](std::uint64_t lo, std::uint64_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, ExceptionOnSerialPathPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 10, 1,
+                                 [](std::uint64_t, std::uint64_t) {
+                                   throw std::runtime_error("serial");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  pool.parallel_for(0, 16, 1, [&](std::uint64_t olo, std::uint64_t ohi) {
+    for (std::uint64_t o = olo; o < ohi; ++o) {
+      // Re-entrant call from a chunk body: must degrade to serial, not
+      // deadlock on the pool it is already running on.
+      pool.parallel_for(o * 16, (o + 1) * 16, 2,
+                        [&](std::uint64_t lo, std::uint64_t hi) {
+                          for (std::uint64_t i = lo; i < hi; ++i) {
+                            hits[i].fetch_add(1, std::memory_order_relaxed);
+                          }
+                        });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmitsAreSerialized) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4000);
+  auto submit = [&](std::uint64_t base) {
+    pool.parallel_for(base, base + 2000, 32,
+                      [&](std::uint64_t lo, std::uint64_t hi) {
+                        for (std::uint64_t i = lo; i < hi; ++i) {
+                          hits[i].fetch_add(1, std::memory_order_relaxed);
+                        }
+                      });
+  };
+  std::thread other([&] { submit(0); });
+  submit(2000);
+  other.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReduceMatchesSerialSum) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kN = 10000;
+  const double expected = static_cast<double>(kN * (kN - 1) / 2);
+  const double got = pool.parallel_reduce(
+      0, kN, 128, 0.0, [](std::uint64_t lo, std::uint64_t hi) {
+        double acc = 0.0;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          acc += static_cast<double>(i);
+        }
+        return acc;
+      });
+  EXPECT_DOUBLE_EQ(got, expected);
+}
+
+TEST(ThreadPool, ReduceIsBitIdenticalAcrossPoolSizes) {
+  // Non-associative float sum: identical only because chunk boundaries and
+  // the combination order are fixed regardless of lane count.
+  auto chunk_sum = [](std::uint64_t lo, std::uint64_t hi) {
+    double acc = 0.0;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      acc += 1.0 / static_cast<double>(i + 1);
+    }
+    return acc;
+  };
+  ThreadPool p1(1);
+  ThreadPool p2(2);
+  ThreadPool p8(8);
+  const double r1 = p1.parallel_reduce(0, 100003, 97, 0.0, chunk_sum);
+  const double r2 = p2.parallel_reduce(0, 100003, 97, 0.0, chunk_sum);
+  const double r8 = p8.parallel_reduce(0, 100003, 97, 0.0, chunk_sum);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r8);
+}
+
+TEST(ThreadPool, ReduceEmptyRangeReturnsZero) {
+  ThreadPool pool(4);
+  const double r = pool.parallel_reduce(
+      9, 9, 4, 0.0, [](std::uint64_t, std::uint64_t) { return 1.0; });
+  EXPECT_EQ(r, 0.0);
+}
+
+TEST(ThreadPool, ConfiguredThreadsReadsEnvironment) {
+  const char* saved = std::getenv("QGNN_NUM_THREADS");
+  const std::string restore = saved ? saved : "";
+
+  ::setenv("QGNN_NUM_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), 3);
+  ::setenv("QGNN_NUM_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::configured_threads(), 1);  // invalid -> hardware
+  ::setenv("QGNN_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::configured_threads(), 1);
+  ::setenv("QGNN_NUM_THREADS", "99999", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), 256);  // clamped
+
+  if (saved) {
+    ::setenv("QGNN_NUM_THREADS", restore.c_str(), 1);
+  } else {
+    ::unsetenv("QGNN_NUM_THREADS");
+  }
+}
+
+TEST(ThreadPool, SetGlobalThreadsRebuildsPool) {
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().size(), 2);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().size(), 1);
+}
+
+TEST(ThreadPool, ManySmallJobsBackToBack) {
+  // Stress the wake/sleep cycle: a missed wakeup or a stale job pointer
+  // shows up as a hang or a lost chunk here.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 16, 1, [&](std::uint64_t lo, std::uint64_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(total.load(), 16);
+  }
+}
+
+}  // namespace
+}  // namespace qgnn
