@@ -1,0 +1,219 @@
+// Load generator for the warm-start inference service. Four shapes:
+//
+//  - BM_ServeBulk: the headline micro-batching comparison. One caller
+//    pushes >= 1k requests through ServeHandle::predict_many with the
+//    cache disabled; max_batch=W coalesces W requests per forward pass.
+//    W=1 is literally one forward per request, so the W=1 row IS the
+//    one-forward-per-request baseline and W>=8 beating it is the
+//    micro-batching win in isolation (no scheduler noise: the identical
+//    request stream, one thread, same cache-off configuration).
+//
+//  - BM_ServeThroughput: closed-loop sweep over (max_batch, clients). Each
+//    iteration pushes >= 1k requests through a ServeHandle from `clients`
+//    concurrent threads with the prediction cache disabled, so every
+//    request pays a real forward pass. This exercises the concurrent
+//    MicroBatcher; on few-core hosts the blocking-follower context
+//    switches eat part of the coalescing win, which is exactly what this
+//    sweep measures and future perf PRs should diff against.
+//
+//  - BM_ServeOpenLoop: requests arrive on a fixed schedule (an offered
+//    rate in req/s) regardless of completion times, like an external
+//    client population would. Latency percentiles under offered load are
+//    surfaced as counters.
+//
+//  - BM_ServeCacheHit: steady-state cache-hit path (canonical hash +
+//    LRU lookup, no forward).
+//
+// Machine-readable baseline (committed as BENCH_serve.json):
+//   ./bench/serve_bench --benchmark_format=json \
+//       --benchmark_out=BENCH_serve.json
+// Track items_per_second per (max_batch, clients) pair across PRs.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gnn/model.hpp"
+#include "graph/generators.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qgnn;
+
+std::vector<Graph> request_pool() {
+  Rng rng(2024);
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 64; ++i) {
+    const int n = 8 + i % 7;  // 8..14 nodes, paper regime
+    const int d = n % 2 == 0 ? 3 : 4;
+    graphs.push_back(random_regular_graph(n, d, rng));
+  }
+  return graphs;
+}
+
+GnnModel bench_model() {
+  GnnModelConfig config;
+  Rng rng(7);
+  return GnnModel(config, rng);
+}
+
+std::unique_ptr<serve::ServeHandle> make_handle(int max_batch,
+                                                std::size_t cache_capacity) {
+  serve::ServeConfig config;
+  config.max_batch = max_batch;
+  config.max_queue_delay = std::chrono::microseconds(300);
+  config.cache_capacity = cache_capacity;
+  auto handle = std::make_unique<serve::ServeHandle>(config);
+  handle->register_model("default", bench_model());
+  return handle;
+}
+
+void attach_stats_counters(benchmark::State& state,
+                           const serve::ServeStats& stats) {
+  state.counters["mean_batch"] = stats.mean_batch_size;
+  state.counters["latency_us_p50"] = stats.latency_us_p50;
+  state.counters["latency_us_p99"] = stats.latency_us_p99;
+}
+
+void BM_ServeBulk(benchmark::State& state) {
+  const int max_batch = static_cast<int>(state.range(0));
+  const int kRequests = 1024;
+
+  const auto serve = make_handle(max_batch, /*cache_capacity=*/0);
+  const std::vector<Graph> pool = request_pool();
+  // The full 1024-request stream, materialized once; predict_many chunks
+  // it into forward passes of max_batch graphs (1 request per forward
+  // when max_batch == 1).
+  std::vector<Graph> requests;
+  requests.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    requests.push_back(pool[static_cast<std::size_t>(i) % pool.size()]);
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve->predict_many(requests));
+  }
+
+  state.SetItemsProcessed(state.iterations() * kRequests);
+  state.counters["max_batch"] = max_batch;
+  attach_stats_counters(state, serve->stats());
+}
+BENCHMARK(BM_ServeBulk)
+    ->ArgNames({"max_batch"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeThroughput(benchmark::State& state) {
+  const int max_batch = static_cast<int>(state.range(0));
+  const int clients = static_cast<int>(state.range(1));
+  const int kRequests = 1024;
+
+  const auto serve = make_handle(max_batch, /*cache_capacity=*/0);
+  const std::vector<Graph> graphs = request_pool();
+
+  for (auto _ : state) {
+    std::atomic<int> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        int i;
+        while ((i = next.fetch_add(1)) < kRequests) {
+          benchmark::DoNotOptimize(serve->predict(
+              graphs[static_cast<std::size_t>(i) % graphs.size()]));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  state.SetItemsProcessed(state.iterations() * kRequests);
+  state.counters["max_batch"] = max_batch;
+  state.counters["clients"] = clients;
+  attach_stats_counters(state, serve->stats());
+}
+BENCHMARK(BM_ServeThroughput)
+    ->ArgNames({"max_batch", "clients"})
+    ->Args({1, 8})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Args({16, 8})
+    ->Args({32, 8})
+    ->Args({1, 16})
+    ->Args({8, 16})
+    ->Args({16, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeOpenLoop(benchmark::State& state) {
+  const int rate_hz = static_cast<int>(state.range(0));
+  const int kRequests = 1024;
+  const int kSenders = 16;
+
+  const auto serve = make_handle(/*max_batch=*/16, /*cache_capacity=*/0);
+  const std::vector<Graph> graphs = request_pool();
+
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto interval =
+        std::chrono::nanoseconds(1'000'000'000LL / rate_hz);
+    std::vector<std::thread> senders;
+    senders.reserve(kSenders);
+    for (int s = 0; s < kSenders; ++s) {
+      senders.emplace_back([&, s] {
+        // Sender s owns requests s, s+kSenders, ... Each fires at its
+        // scheduled arrival time even if earlier requests are still in
+        // flight -- open-loop, not closed-loop.
+        for (int i = s; i < kRequests; i += kSenders) {
+          std::this_thread::sleep_until(start + interval * i);
+          benchmark::DoNotOptimize(serve->predict(
+              graphs[static_cast<std::size_t>(i) % graphs.size()]));
+        }
+      });
+    }
+    for (auto& t : senders) t.join();
+  }
+
+  state.SetItemsProcessed(state.iterations() * kRequests);
+  state.counters["offered_rate_hz"] = rate_hz;
+  attach_stats_counters(state, serve->stats());
+}
+BENCHMARK(BM_ServeOpenLoop)
+    ->ArgNames({"rate_hz"})
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeCacheHit(benchmark::State& state) {
+  const auto serve = make_handle(/*max_batch=*/1, /*cache_capacity=*/256);
+  const std::vector<Graph> graphs = request_pool();
+  // Warm the cache so the measured loop is all hits.
+  for (const Graph& g : graphs) serve->predict(g);
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve->predict(graphs[i % graphs.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const auto stats = serve->stats();
+  state.counters["cache_hits"] =
+      static_cast<double>(stats.cache_hits);
+}
+BENCHMARK(BM_ServeCacheHit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

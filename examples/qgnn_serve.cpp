@@ -1,0 +1,110 @@
+// qgnn_serve: warm-start inference server speaking newline-delimited JSON
+// over stdin/stdout.
+//
+// Each input line is one request:
+//   {"id": 1, "model": "default", "nodes": 5,
+//    "edges": [[0,1],[1,2],[2,3],[3,4],[4,0]]}
+// and each output line is the matching response:
+//   {"id": 1, "ok": true, "model": "default", "generation": 1,
+//    "cached": false, "batch_size": 3, "latency_us": 412.0,
+//    "values": [0.41, -0.12, ...]}
+// Malformed lines produce {"id": ..., "ok": false, "error": "..."} and the
+// stream keeps going. Responses are flushed per line so the binary can sit
+// behind a pipe.
+//
+// Usage:
+//   qgnn_serve --models <dir>              load every *.txt / *.model file
+//   qgnn_serve --demo                      register a fresh random model
+//   qgnn_serve --demo --arch gat           ... with a specific architecture
+// Options:
+//   --default-model <name>   model used when a request omits "model"
+//   --max-batch <n>          micro-batch size cap            (default 16)
+//   --max-delay-us <n>       batching window in microseconds (default 500)
+//   --cache <n>              LRU cache capacity, 0 disables  (default 4096)
+//   --workers <n>            request pipeline width; >1 lets concurrent
+//                            lines coalesce into one forward (default 4)
+// Final serving stats are printed to stderr at EOF.
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "gnn/layers.hpp"
+#include "gnn/model.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::string lowercase(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+qgnn::GnnArch parse_arch(const std::string& name) {
+  const std::string wanted = lowercase(name);
+  for (const qgnn::GnnArch arch : qgnn::all_gnn_archs()) {
+    if (lowercase(qgnn::to_string(arch)) == wanted) return arch;
+  }
+  if (wanted == "sage") return qgnn::GnnArch::kSAGE;
+  throw qgnn::InvalidArgument("unknown --arch '" + name +
+                              "' (try gcn, graphsage, gat, gin)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qgnn;
+  const CliArgs args(argc, argv);
+  try {
+    serve::ServeConfig config;
+    config.max_batch = args.get_int("max-batch", config.max_batch);
+    config.max_queue_delay = std::chrono::microseconds(
+        args.get_int("max-delay-us",
+                     static_cast<int>(config.max_queue_delay.count())));
+    config.cache_capacity = static_cast<std::size_t>(
+        args.get_int("cache", static_cast<int>(config.cache_capacity)));
+    config.default_model = args.get("default-model", config.default_model);
+
+    serve::ServeHandle serve(config);
+    if (args.has("models")) {
+      const std::size_t n = serve.load_models(args.get("models", ""));
+      std::fprintf(stderr, "qgnn_serve: loaded %zu model(s) from %s\n", n,
+                   args.get("models", "").c_str());
+    }
+    if (args.has("demo") || !args.has("models")) {
+      GnnModelConfig model_config;
+      model_config.arch = parse_arch(args.get("arch", "gcn"));
+      Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+      serve.register_model(config.default_model,
+                           GnnModel(model_config, rng));
+      std::fprintf(stderr,
+                   "qgnn_serve: registered demo model '%s' (arch=%s)\n",
+                   config.default_model.c_str(),
+                   to_string(model_config.arch).c_str());
+    }
+
+    const int workers = args.get_int("workers", 4);
+    const std::size_t handled =
+        serve::run_ndjson_server(std::cin, std::cout, serve, workers);
+
+    const serve::ServeStats stats = serve.stats();
+    std::fprintf(stderr,
+                 "qgnn_serve: %zu line(s), %zu request(s), "
+                 "%zu batch(es), mean batch %.2f, cache %zu/%zu hit/miss, "
+                 "p50 %.0f us, p99 %.0f us, %.0f req/s\n",
+                 handled, stats.requests, stats.batches,
+                 stats.mean_batch_size, stats.cache_hits, stats.cache_misses,
+                 stats.latency_us_p50, stats.latency_us_p99,
+                 stats.requests_per_second);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "qgnn_serve: error: %s\n", e.what());
+    return 1;
+  }
+}

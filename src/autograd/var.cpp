@@ -105,7 +105,11 @@ void Var::backward() {
 
 namespace {
 
-/// Create a non-leaf node wired to its parents.
+thread_local bool t_grad_enabled = true;
+
+/// Create a non-leaf node wired to its parents. In inference mode
+/// (NoGradGuard alive) the parent links and backward closure are dropped,
+/// so the returned Var keeps only its own value alive.
 Var make_op(Matrix value, std::vector<Var> parents,
             std::function<void(Node&)> backward_fn) {
   auto n = std::make_shared<Node>();
@@ -113,6 +117,9 @@ Var make_op(Matrix value, std::vector<Var> parents,
   n->requires_grad = false;
   for (const Var& p : parents) {
     QGNN_REQUIRE(p.defined(), "op input is undefined");
+  }
+  if (!t_grad_enabled) return Var::from_node(std::move(n));
+  for (const Var& p : parents) {
     n->parents.push_back(p.node());
     if (p.node()->requires_grad) n->requires_grad = true;
   }
@@ -121,6 +128,14 @@ Var make_op(Matrix value, std::vector<Var> parents,
 }
 
 }  // namespace
+
+bool grad_enabled() { return t_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_enabled) {
+  t_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { t_grad_enabled = previous_; }
 
 Var matmul(const Var& a, const Var& b) {
   QGNN_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
@@ -347,6 +362,100 @@ Var scatter_add_rows(const Var& a, const std::vector<int>& index,
   });
 }
 
+Var affine(const Var& a, const Var& w, const Var& bias) {
+  QGNN_REQUIRE(a.cols() == w.rows(), "affine inner dimension mismatch");
+  QGNN_REQUIRE(bias.rows() == 1 && bias.cols() == w.cols(),
+               "bias must be 1 x cols(w)");
+  Matrix out = a.value().matmul(w.value());
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) += bias.value()(0, j);
+    }
+  }
+  auto an = a.node();
+  auto wn = w.node();
+  auto bn = bias.node();
+  return make_op(std::move(out), {a, w, bias}, [an, wn, bn](Node& self) {
+    an->accumulate(self.grad.matmul(wn->value.transposed()));
+    wn->accumulate(an->value.transposed().matmul(self.grad));
+    Matrix db(1, self.grad.cols());
+    for (std::size_t i = 0; i < self.grad.rows(); ++i) {
+      for (std::size_t j = 0; j < self.grad.cols(); ++j) {
+        db(0, j) += self.grad(i, j);
+      }
+    }
+    bn->accumulate(db);
+  });
+}
+
+Var add_scaled_rows(const Var& a, const Var& b,
+                    const std::vector<double>& coeffs) {
+  QGNN_REQUIRE(a.value().same_shape(b.value()),
+               "add_scaled_rows shape mismatch");
+  QGNN_REQUIRE(coeffs.size() == b.rows(),
+               "add_scaled_rows coefficient mismatch");
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) += b.value()(i, j) * coeffs[i];
+    }
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(std::move(out), {a, b}, [an, bn, coeffs](Node& self) {
+    an->accumulate(self.grad);
+    Matrix db(self.grad.rows(), self.grad.cols());
+    for (std::size_t i = 0; i < db.rows(); ++i) {
+      for (std::size_t j = 0; j < db.cols(); ++j) {
+        db(i, j) = self.grad(i, j) * coeffs[i];
+      }
+    }
+    bn->accumulate(db);
+  });
+}
+
+Var scatter_add_gathered_rows(const Var& a, const std::vector<int>& src,
+                              const std::vector<int>& dst,
+                              const std::vector<double>& coeff,
+                              std::size_t num_rows) {
+  QGNN_REQUIRE(src.size() == dst.size(),
+               "scatter_add_gathered_rows src/dst size mismatch");
+  QGNN_REQUIRE(coeff.empty() || coeff.size() == src.size(),
+               "scatter_add_gathered_rows coefficient count mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t cols = a.cols();
+  Matrix out = Matrix::zeros(num_rows, cols);
+  for (std::size_t e = 0; e < src.size(); ++e) {
+    QGNN_REQUIRE(src[e] >= 0 && static_cast<std::size_t>(src[e]) < n,
+                 "gather index out of range");
+    QGNN_REQUIRE(dst[e] >= 0 && static_cast<std::size_t>(dst[e]) < num_rows,
+                 "scatter index out of range");
+    const auto s = static_cast<std::size_t>(src[e]);
+    const auto d = static_cast<std::size_t>(dst[e]);
+    if (coeff.empty()) {
+      for (std::size_t j = 0; j < cols; ++j) out(d, j) += a.value()(s, j);
+    } else {
+      const double c = coeff[e];
+      for (std::size_t j = 0; j < cols; ++j) out(d, j) += a.value()(s, j) * c;
+    }
+  }
+  auto an = a.node();
+  return make_op(std::move(out), {a},
+                 [an, src, dst, coeff](Node& self) {
+                   Matrix da =
+                       Matrix::zeros(an->value.rows(), an->value.cols());
+                   for (std::size_t e = 0; e < src.size(); ++e) {
+                     const auto s = static_cast<std::size_t>(src[e]);
+                     const auto d = static_cast<std::size_t>(dst[e]);
+                     const double c = coeff.empty() ? 1.0 : coeff[e];
+                     for (std::size_t j = 0; j < da.cols(); ++j) {
+                       da(s, j) += self.grad(d, j) * c;
+                     }
+                   }
+                   an->accumulate(da);
+                 });
+}
+
 Var scale_rows(const Var& a, const std::vector<double>& coeffs) {
   QGNN_REQUIRE(coeffs.size() == a.rows(), "scale_rows coefficient mismatch");
   Matrix out = a.value();
@@ -484,6 +593,44 @@ Var mean_rows(const Var& a) {
     for (std::size_t i = 0; i < da.rows(); ++i) {
       for (std::size_t j = 0; j < da.cols(); ++j) {
         da(i, j) = self.grad(0, j) * inv;
+      }
+    }
+    an->accumulate(da);
+  });
+}
+
+Var segment_mean_rows(const Var& a, const std::vector<int>& offsets) {
+  QGNN_REQUIRE(offsets.size() >= 2, "segment_mean_rows needs >= 1 segment");
+  QGNN_REQUIRE(offsets.front() == 0, "segment offsets must start at 0");
+  QGNN_REQUIRE(offsets.back() == static_cast<int>(a.rows()),
+               "segment offsets must end at the row count");
+  const std::size_t segments = offsets.size() - 1;
+  Matrix out(segments, a.cols());
+  for (std::size_t s = 0; s < segments; ++s) {
+    const int lo = offsets[s];
+    const int hi = offsets[s + 1];
+    QGNN_REQUIRE(lo < hi, "segment offsets must be strictly ascending");
+    // Mirror mean_rows: column-major outer loop, ascending row sum, one
+    // divide — so a single segment pools bit-identically to mean_rows.
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      double sum = 0.0;
+      for (int i = lo; i < hi; ++i) {
+        sum += a.value()(static_cast<std::size_t>(i), j);
+      }
+      out(s, j) = sum / static_cast<double>(hi - lo);
+    }
+  }
+  auto an = a.node();
+  return make_op(std::move(out), {a}, [an, offsets](Node& self) {
+    Matrix da(an->value.rows(), an->value.cols());
+    for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+      const int lo = offsets[s];
+      const int hi = offsets[s + 1];
+      const double inv = 1.0 / static_cast<double>(hi - lo);
+      for (int i = lo; i < hi; ++i) {
+        for (std::size_t j = 0; j < da.cols(); ++j) {
+          da(static_cast<std::size_t>(i), j) = self.grad(s, j) * inv;
+        }
       }
     }
     an->accumulate(da);

@@ -58,6 +58,27 @@ class Var {
   std::shared_ptr<Node> node_;
 };
 
+/// True unless a NoGradGuard is alive on the current thread.
+bool grad_enabled();
+
+/// RAII inference mode, per thread. While a guard is alive, ops produce
+/// value-only nodes: no parent links and no backward closures are recorded,
+/// so intermediate results are freed as soon as the last Var referencing
+/// them goes out of scope instead of living until the whole tape dies.
+/// That keeps the working set cache-sized for large batched forwards.
+/// Calling backward() on a Var produced under the guard is a no-op beyond
+/// its own node. Guards nest; the previous state is restored on destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 // ---- op set -------------------------------------------------------------
 // Every op returns a fresh Var wired into the tape. Index/segment/coefficient
 // arguments are constants (no gradient flows into them).
@@ -85,8 +106,26 @@ Var scatter_add_rows(const Var& a, const std::vector<int>& index,
                      std::size_t num_rows);
 /// Row i scaled by constant coeffs[i] (no grad into coeffs).
 Var scale_rows(const Var& a, const std::vector<double>& coeffs);
+/// Fused gather -> scale -> scatter-add over an edge list:
+///   out (num_rows x C); out[dst[e]] += coeff[e] * a[src[e]]
+/// with edges processed in order, so the result is bit-identical to the
+/// unfused gather_rows + scale_rows + scatter_add_rows chain while never
+/// materialising the (E x C) intermediates. An empty `coeff` means all
+/// ones (and multiplies by nothing, matching plain gather + scatter).
+/// Backward: da[src[e]] += coeff[e] * grad[dst[e]]; no grad into coeff.
+Var scatter_add_gathered_rows(const Var& a, const std::vector<int>& src,
+                              const std::vector<int>& dst,
+                              const std::vector<double>& coeff,
+                              std::size_t num_rows);
 /// a (E x C) with each row scaled by col (E x 1); grads flow to both.
 Var mul_col(const Var& a, const Var& col);
+/// Fused a.matmul(w) + bias broadcast, bit-identical to
+/// add_bias(matmul(a, w), bias) without the intermediate product matrix.
+Var affine(const Var& a, const Var& w, const Var& bias);
+/// out = a + b with row i of b scaled by constant coeffs[i]; bit-identical
+/// to add(a, scale_rows(b, coeffs)) without materialising the scaled copy.
+Var add_scaled_rows(const Var& a, const Var& b,
+                    const std::vector<double>& coeffs);
 /// Softmax of scores (E x 1) within segments: rows sharing segment[e]
 /// normalize together. Empty segments are fine (no rows).
 Var segment_softmax(const Var& scores, const std::vector<int>& segment,
@@ -97,6 +136,13 @@ Var segment_max(const Var& a, const std::vector<int>& segment,
                 std::size_t num_segments);
 /// Column means over rows: (N x C) -> (1 x C). The readout of Eq. 9.
 Var mean_rows(const Var& a);
+/// Per-segment column means for a block-diagonal multi-graph batch:
+/// rows [offsets[s], offsets[s+1]) of a (N x C) input average into output
+/// row s, giving (S x C) with S = offsets.size() - 1. Offsets must start
+/// at 0, end at N, and be strictly ascending (no empty segments). The
+/// per-segment summation order matches mean_rows exactly, so pooling a
+/// single-segment batch is bit-identical to mean_rows.
+Var segment_mean_rows(const Var& a, const std::vector<int>& offsets);
 /// Sum of all entries -> (1 x 1).
 Var sum_all(const Var& a);
 /// Mean squared error between pred and constant target -> (1 x 1).

@@ -7,6 +7,78 @@
 
 namespace qgnn {
 
+namespace {
+
+/// Write one graph's features, edges, and normalization coefficients into
+/// `out` with its nodes occupying rows [offset, offset + n). Both the
+/// single-graph builder (offset 0) and the direct union builder call this,
+/// so the block-diagonal batch is bit-identical to concatenating
+/// independently-built parts — the same code computes every entry.
+void append_graph(const Graph& g, const FeatureConfig& config, int offset,
+                  GraphBatch& out) {
+  const int n = g.num_nodes();
+  QGNN_REQUIRE(n >= 1, "empty graph");
+  QGNN_REQUIRE(n <= config.max_nodes,
+               "graph larger than feature config max_nodes");
+
+  const int dim = config.dimension();
+  EigenResult eigen;
+  if (config.kind == NodeFeatureKind::kLaplacianEigen) {
+    eigen = jacobi_eigen(laplacian_matrix(g), n);
+  }
+  for (int v = 0; v < n; ++v) {
+    // Feature columns use the LOCAL node id: one-hot ids restart per
+    // member graph of a union batch.
+    const auto row = static_cast<std::size_t>(offset + v);
+    switch (config.kind) {
+      case NodeFeatureKind::kOneHotId:
+        out.features(row, static_cast<std::size_t>(v)) = 1.0;
+        break;
+      case NodeFeatureKind::kDegreeScaledOneHot:
+        out.features(row, static_cast<std::size_t>(v)) =
+            static_cast<double>(g.degree(v));
+        break;
+      case NodeFeatureKind::kDegreeConcatOneHot:
+        out.features(row, 0) = static_cast<double>(g.degree(v)) /
+                               static_cast<double>(config.max_nodes);
+        out.features(row, static_cast<std::size_t>(v) + 1) = 1.0;
+        break;
+      case NodeFeatureKind::kLaplacianEigen:
+        out.features(row, 0) = static_cast<double>(g.degree(v)) /
+                               static_cast<double>(config.max_nodes);
+        for (int k = 0; k < n && k + 1 < dim; ++k) {
+          out.features(row, static_cast<std::size_t>(k) + 1) =
+              eigen.vector_entry(v, k);
+        }
+        break;
+    }
+  }
+
+  const std::size_t first_edge = out.edge_src.size();
+  for (const Edge& e : g.edges()) {
+    out.edge_src.push_back(e.u + offset);
+    out.edge_dst.push_back(e.v + offset);
+    out.edge_weight.push_back(e.weight);
+    out.edge_src.push_back(e.v + offset);
+    out.edge_dst.push_back(e.u + offset);
+    out.edge_weight.push_back(e.weight);
+  }
+
+  for (std::size_t k = first_edge; k < out.edge_src.size(); ++k) {
+    const double du =
+        static_cast<double>(g.degree(out.edge_src[k] - offset)) + 1.0;
+    const double dv =
+        static_cast<double>(g.degree(out.edge_dst[k] - offset)) + 1.0;
+    out.gcn_coeff.push_back(1.0 / std::sqrt(du * dv));
+  }
+  for (int v = 0; v < n; ++v) {
+    out.gcn_self_coeff.push_back(1.0 /
+                                 (static_cast<double>(g.degree(v)) + 1.0));
+  }
+}
+
+}  // namespace
+
 GraphBatch make_graph_batch(const Graph& g, const FeatureConfig& config) {
   const int n = g.num_nodes();
   QGNN_REQUIRE(n >= 1, "empty graph");
@@ -15,61 +87,109 @@ GraphBatch make_graph_batch(const Graph& g, const FeatureConfig& config) {
 
   GraphBatch batch;
   batch.num_nodes = n;
-
-  const int dim = config.dimension();
-  batch.features = Matrix::zeros(static_cast<std::size_t>(n),
-                                 static_cast<std::size_t>(dim));
-  EigenResult eigen;
-  if (config.kind == NodeFeatureKind::kLaplacianEigen) {
-    eigen = jacobi_eigen(laplacian_matrix(g), n);
-  }
-  for (int v = 0; v < n; ++v) {
-    const auto row = static_cast<std::size_t>(v);
-    switch (config.kind) {
-      case NodeFeatureKind::kOneHotId:
-        batch.features(row, static_cast<std::size_t>(v)) = 1.0;
-        break;
-      case NodeFeatureKind::kDegreeScaledOneHot:
-        batch.features(row, static_cast<std::size_t>(v)) =
-            static_cast<double>(g.degree(v));
-        break;
-      case NodeFeatureKind::kDegreeConcatOneHot:
-        batch.features(row, 0) = static_cast<double>(g.degree(v)) /
-                                 static_cast<double>(config.max_nodes);
-        batch.features(row, static_cast<std::size_t>(v) + 1) = 1.0;
-        break;
-      case NodeFeatureKind::kLaplacianEigen:
-        batch.features(row, 0) = static_cast<double>(g.degree(v)) /
-                                 static_cast<double>(config.max_nodes);
-        for (int k = 0; k < n && k + 1 < dim; ++k) {
-          batch.features(row, static_cast<std::size_t>(k) + 1) =
-              eigen.vector_entry(v, k);
-        }
-        break;
-    }
-  }
-
-  for (const Edge& e : g.edges()) {
-    batch.edge_src.push_back(e.u);
-    batch.edge_dst.push_back(e.v);
-    batch.edge_weight.push_back(e.weight);
-    batch.edge_src.push_back(e.v);
-    batch.edge_dst.push_back(e.u);
-    batch.edge_weight.push_back(e.weight);
-  }
-
-  batch.gcn_coeff.reserve(batch.edge_src.size());
-  for (std::size_t k = 0; k < batch.edge_src.size(); ++k) {
-    const double du = static_cast<double>(g.degree(batch.edge_src[k])) + 1.0;
-    const double dv = static_cast<double>(g.degree(batch.edge_dst[k])) + 1.0;
-    batch.gcn_coeff.push_back(1.0 / std::sqrt(du * dv));
-  }
+  batch.features =
+      Matrix::zeros(static_cast<std::size_t>(n),
+                    static_cast<std::size_t>(config.dimension()));
+  batch.edge_src.reserve(2 * g.edges().size());
+  batch.edge_dst.reserve(2 * g.edges().size());
+  batch.edge_weight.reserve(2 * g.edges().size());
+  batch.gcn_coeff.reserve(2 * g.edges().size());
   batch.gcn_self_coeff.reserve(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) {
-    batch.gcn_self_coeff.push_back(1.0 /
-                                   (static_cast<double>(g.degree(v)) + 1.0));
-  }
+  append_graph(g, config, /*offset=*/0, batch);
   return batch;
+}
+
+GraphBatch concat_graph_batches(const std::vector<GraphBatch>& parts) {
+  QGNN_REQUIRE(!parts.empty(), "concat of zero graph batches");
+  int total_nodes = 0;
+  std::size_t total_edges = 0;
+  const std::size_t dim = parts.front().features.cols();
+  for (const GraphBatch& p : parts) {
+    QGNN_REQUIRE(p.graph_offsets.empty(),
+                 "concat input must be single-graph batches");
+    QGNN_REQUIRE(p.features.cols() == dim,
+                 "feature dimension mismatch across batch parts");
+    total_nodes += p.num_nodes;
+    total_edges += p.edge_src.size();
+  }
+
+  GraphBatch out;
+  out.num_nodes = total_nodes;
+  out.features = Matrix::zeros(static_cast<std::size_t>(total_nodes), dim);
+  out.edge_src.reserve(total_edges);
+  out.edge_dst.reserve(total_edges);
+  out.edge_weight.reserve(total_edges);
+  out.gcn_coeff.reserve(total_edges);
+  out.gcn_self_coeff.reserve(static_cast<std::size_t>(total_nodes));
+  out.graph_offsets.reserve(parts.size() + 1);
+  out.graph_offsets.push_back(0);
+
+  int offset = 0;
+  for (const GraphBatch& p : parts) {
+    for (int v = 0; v < p.num_nodes; ++v) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        out.features(static_cast<std::size_t>(offset + v), j) =
+            p.features(static_cast<std::size_t>(v), j);
+      }
+    }
+    for (std::size_t k = 0; k < p.edge_src.size(); ++k) {
+      out.edge_src.push_back(p.edge_src[k] + offset);
+      out.edge_dst.push_back(p.edge_dst[k] + offset);
+      out.edge_weight.push_back(p.edge_weight[k]);
+      out.gcn_coeff.push_back(p.gcn_coeff[k]);
+    }
+    out.gcn_self_coeff.insert(out.gcn_self_coeff.end(),
+                              p.gcn_self_coeff.begin(),
+                              p.gcn_self_coeff.end());
+    offset += p.num_nodes;
+    out.graph_offsets.push_back(offset);
+  }
+  return out;
+}
+
+GraphBatch make_graph_batch(const std::vector<Graph>& graphs,
+                            const FeatureConfig& config) {
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  return make_graph_batch(ptrs, config);
+}
+
+GraphBatch make_graph_batch(const std::vector<const Graph*>& graphs,
+                            const FeatureConfig& config) {
+  QGNN_REQUIRE(!graphs.empty(), "empty multi-graph batch");
+  int total_nodes = 0;
+  std::size_t total_edges = 0;
+  for (const Graph* g : graphs) {
+    QGNN_REQUIRE(g != nullptr, "null graph in multi-graph batch");
+    total_nodes += g->num_nodes();
+    total_edges += 2 * g->edges().size();
+  }
+
+  // Build the union directly instead of concatenating per-graph parts:
+  // same arithmetic (append_graph), one feature-matrix allocation, no
+  // row-by-row copy. On the serving fast path this takes the concat out
+  // of every coalesced forward.
+  GraphBatch out;
+  out.num_nodes = total_nodes;
+  out.features =
+      Matrix::zeros(static_cast<std::size_t>(total_nodes),
+                    static_cast<std::size_t>(config.dimension()));
+  out.edge_src.reserve(total_edges);
+  out.edge_dst.reserve(total_edges);
+  out.edge_weight.reserve(total_edges);
+  out.gcn_coeff.reserve(total_edges);
+  out.gcn_self_coeff.reserve(static_cast<std::size_t>(total_nodes));
+  out.graph_offsets.reserve(graphs.size() + 1);
+  out.graph_offsets.push_back(0);
+
+  int offset = 0;
+  for (const Graph* g : graphs) {
+    append_graph(*g, config, offset, out);
+    offset += g->num_nodes();
+    out.graph_offsets.push_back(offset);
+  }
+  return out;
 }
 
 }  // namespace qgnn

@@ -59,12 +59,42 @@ struct GraphBatch {
   std::vector<double> edge_weight;
   std::vector<double> gcn_coeff;
   std::vector<double> gcn_self_coeff;
+  /// Multi-graph (block-diagonal) batches: node-offset boundaries per
+  /// member graph, size num_graphs + 1 with graph_offsets[0] == 0 and
+  /// graph_offsets.back() == num_nodes. Empty for a single-graph batch
+  /// built by the one-graph make_graph_batch overload.
+  std::vector<int> graph_offsets;
 
   int num_directed_edges() const { return static_cast<int>(edge_src.size()); }
+  /// Member graphs in this batch (1 when graph_offsets is empty).
+  int num_graphs() const {
+    return graph_offsets.empty() ? 1
+                                 : static_cast<int>(graph_offsets.size()) - 1;
+  }
 };
 
 /// Build the message-passing view of `g` under `config`. Throws when the
 /// graph has more than `config.max_nodes` nodes.
 GraphBatch make_graph_batch(const Graph& g, const FeatureConfig& config);
+
+/// Stack independently-built single-graph batches into one block-diagonal
+/// batch: features are concatenated row-wise, edge endpoints shifted by
+/// each graph's node offset, and graph_offsets records the boundaries.
+/// Message passing never crosses graph boundaries (no edges are added),
+/// so per-node results are bit-identical to running each part alone.
+GraphBatch concat_graph_batches(const std::vector<GraphBatch>& parts);
+
+/// Build the block-diagonal batch for several graphs under one config.
+/// Feature columns use each graph's local node ids (one-hot ids restart
+/// per graph), exactly as the single-graph overload produces them. The
+/// union is built directly — no intermediate per-graph batches — but is
+/// bit-identical to concat_graph_batches over single-graph batches.
+GraphBatch make_graph_batch(const std::vector<Graph>& graphs,
+                            const FeatureConfig& config);
+
+/// Same, from non-owning pointers (the serving executor holds requests by
+/// pointer). Every pointer must be non-null.
+GraphBatch make_graph_batch(const std::vector<const Graph*>& graphs,
+                            const FeatureConfig& config);
 
 }  // namespace qgnn

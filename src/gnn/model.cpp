@@ -38,11 +38,19 @@ Var GnnModel::forward(const GraphBatch& batch, bool training,
     h = ag::relu(layer->forward(batch, h));
     h = ag::dropout(h, config_.dropout, rng, training);
   }
-  const Var pooled = ag::mean_rows(h);  // Eq. 9 readout
+  // Eq. 9 readout. Block-diagonal multi-graph batches pool per member
+  // graph, yielding one prediction row per graph.
+  const Var pooled = batch.graph_offsets.empty()
+                         ? ag::mean_rows(h)
+                         : ag::segment_mean_rows(h, batch.graph_offsets);
   return head_->forward(pooled);
 }
 
 Matrix GnnModel::predict(const GraphBatch& batch) const {
+  // Inference never consumes the tape; dropping it frees each intermediate
+  // as soon as the next layer has consumed it, which keeps large union
+  // batches inside the cache hierarchy.
+  ag::NoGradGuard no_grad;
   Rng unused(0);
   return forward(batch, /*training=*/false, unused).value();
 }
@@ -92,6 +100,38 @@ void GnnModel::save(const std::string& path) const {
   if (!out) throw IoError("write failed: " + path);
 }
 
+namespace {
+
+// Strict whole-string parses for checkpoint fields: a corrupt value like
+// "banana" or "12garbage" must surface as a descriptive qgnn::Error, not
+// as std::invalid_argument leaking out of std::stoi (or worse, a partial
+// parse silently accepted).
+int parse_checkpoint_int(const std::string& v, const std::string& key) {
+  try {
+    std::size_t pos = 0;
+    const int x = std::stoi(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing garbage");
+    return x;
+  } catch (const std::exception&) {
+    throw IoError("model file: field '" + key +
+                  "' is not a valid integer: '" + v + "'");
+  }
+}
+
+double parse_checkpoint_double(const std::string& v, const std::string& key) {
+  try {
+    std::size_t pos = 0;
+    const double x = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing garbage");
+    return x;
+  } catch (const std::exception&) {
+    throw IoError("model file: field '" + key +
+                  "' is not a valid number: '" + v + "'");
+  }
+}
+
+}  // namespace
+
 GnnModel GnnModel::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw IoError("cannot open for reading: " + path);
@@ -102,23 +142,53 @@ GnnModel GnnModel::load(const std::string& path) {
   GnnModelConfig config;
   auto expect_key = [&in](const std::string& key) -> std::string {
     std::string k, v;
-    if (!(in >> k >> v)) throw IoError("truncated model file");
+    if (!(in >> k >> v)) {
+      throw IoError("truncated model file: missing field '" + key + "'");
+    }
     if (k != key) throw IoError("expected key '" + key + "', got '" + k + "'");
     return v;
   };
   config.arch = gnn_arch_from_string(expect_key("arch"));
-  config.features.kind =
-      static_cast<NodeFeatureKind>(std::stoi(expect_key("feature_kind")));
-  config.features.max_nodes = std::stoi(expect_key("max_nodes"));
-  config.hidden_dim = std::stoi(expect_key("hidden_dim"));
-  config.num_layers = std::stoi(expect_key("num_layers"));
-  config.output_dim = std::stoi(expect_key("output_dim"));
-  config.dropout = std::stod(expect_key("dropout"));
-  config.gat_heads = std::stoi(expect_key("gat_heads"));
-  const std::size_t num_params = std::stoul(expect_key("params"));
+  const int kind = parse_checkpoint_int(expect_key("feature_kind"),
+                                        "feature_kind");
+  if (kind < static_cast<int>(NodeFeatureKind::kOneHotId) ||
+      kind > static_cast<int>(NodeFeatureKind::kLaplacianEigen)) {
+    throw IoError("model file: unknown feature_kind " + std::to_string(kind));
+  }
+  config.features.kind = static_cast<NodeFeatureKind>(kind);
+  config.features.max_nodes =
+      parse_checkpoint_int(expect_key("max_nodes"), "max_nodes");
+  if (config.features.max_nodes < 1) {
+    throw IoError("model file: max_nodes must be positive");
+  }
+  config.hidden_dim =
+      parse_checkpoint_int(expect_key("hidden_dim"), "hidden_dim");
+  config.num_layers =
+      parse_checkpoint_int(expect_key("num_layers"), "num_layers");
+  config.output_dim =
+      parse_checkpoint_int(expect_key("output_dim"), "output_dim");
+  config.dropout = parse_checkpoint_double(expect_key("dropout"), "dropout");
+  config.gat_heads =
+      parse_checkpoint_int(expect_key("gat_heads"), "gat_heads");
+  const int declared_params = parse_checkpoint_int(expect_key("params"),
+                                                   "params");
+  if (declared_params < 1) {
+    throw IoError("model file: params count must be positive");
+  }
+  const auto num_params = static_cast<std::size_t>(declared_params);
 
   Rng init_rng(0);  // weights are overwritten below
-  GnnModel model(config, init_rng);
+  // The constructor re-validates the hyperparameters; map violations
+  // (e.g. hidden_dim 0 from a corrupt file) onto IoError with context.
+  auto model_or_throw = [&]() -> GnnModel {
+    try {
+      return GnnModel(config, init_rng);
+    } catch (const Error& e) {
+      throw IoError("model file has invalid config: " +
+                    std::string(e.what()));
+    }
+  };
+  GnnModel model = model_or_throw();
   const auto ps = model.params();
   if (ps.size() != num_params) {
     throw IoError("model parameter count mismatch");

@@ -36,8 +36,10 @@ class GnnModel {
   /// masks from `rng`).
   ag::Var forward(const GraphBatch& batch, bool training, Rng& rng) const;
 
-  /// Inference: forward in eval mode, returning the (1 x output_dim)
-  /// prediction values.
+  /// Inference: forward in eval mode, returning the (num_graphs x
+  /// output_dim) prediction values — (1 x output_dim) for a single-graph
+  /// batch, one row per member graph for a block-diagonal batch. Rows of
+  /// a multi-graph batch are bit-identical to predicting each graph alone.
   Matrix predict(const GraphBatch& batch) const;
 
   /// Convenience: build the batch from a raw graph using the stored

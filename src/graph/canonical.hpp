@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qgnn {
+
+/// Canonical, isomorphism-invariant 64-bit graph hash.
+///
+/// Strictly stronger than wl_hash: plain 1-WL color refinement leaves any
+/// d-regular graph uniformly colored, so every pair of d-regular graphs on
+/// the same node count collides — exactly the shape of the paper's dataset.
+/// canonical_hash therefore runs sorted degree/neighborhood refinement to a
+/// fixed point and then *individualizes* each node in turn (give it a
+/// unique color, re-refine, record the resulting color multiset). The
+/// sorted multiset of per-node signatures separates the classic 1-WL
+/// failure pairs (C6 vs. two triangles, K3,3 vs. the triangular prism) and
+/// every regular pair below the smallest strongly-regular twins (16 nodes,
+/// Shrikhande vs. 4x4 rook) — beyond the dataset's 15-node ceiling.
+///
+/// Cost is O(n^2 * m) worst case; negligible for serving-sized graphs.
+/// Edge weights are folded in by quantizing to 1e-9, matching wl_hash.
+///
+/// Guarantees:
+///  - isomorphic graphs (any relabelling, any edge insertion order) hash
+///    equal;
+///  - non-isomorphic graphs hash differently unless they are
+///    1-WL-with-individualization equivalent AND a 64-bit collision occurs.
+std::uint64_t canonical_hash(const Graph& g);
+
+/// Stable refined node colors of `g` after sorted neighborhood refinement
+/// with per-node individualization, sorted ascending. Two isomorphic
+/// graphs produce the same vector; exposed for tests and diagnostics.
+std::vector<std::uint64_t> canonical_colors(const Graph& g);
+
+}  // namespace qgnn

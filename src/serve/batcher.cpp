@@ -1,0 +1,90 @@
+#include "serve/batcher.hpp"
+
+#include "util/error.hpp"
+
+namespace qgnn::serve {
+
+MicroBatcher::MicroBatcher(int max_batch, std::chrono::microseconds max_delay,
+                           Executor executor)
+    : max_batch_(max_batch),
+      max_delay_(max_delay),
+      executor_(std::move(executor)) {
+  QGNN_REQUIRE(max_batch >= 1, "micro-batch size must be >= 1");
+  QGNN_REQUIRE(max_delay.count() >= 0, "max queue delay must be >= 0");
+  QGNN_REQUIRE(executor_ != nullptr, "micro-batcher needs an executor");
+}
+
+void MicroBatcher::run(BatchRequest& req) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  req.enqueue_time = std::chrono::steady_clock::now();
+  pending_.push_back(&req);
+  // Wake the filling leader only when the batch is actually full. Waking
+  // it per enqueue costs two context switches per request on a busy
+  // server; nobody else needs a signal here — if there is no active
+  // leader, this thread leads itself in the loop below.
+  if (static_cast<int>(pending_.size()) >= max_batch_) cv_.notify_all();
+
+  while (!req.done) {
+    // Lead only while requests are actually queued: our own request may
+    // already be inside a batch another leader is executing right now, in
+    // which case there may be nothing to drain and front() would be UB.
+    if (leader_active_ || pending_.empty()) {
+      cv_.wait(lk);
+      continue;
+    }
+    // Become leader. Wait for the batch to fill, but never let the OLDEST
+    // pending request (not necessarily ours) wait beyond max_delay.
+    leader_active_ = true;
+    while (static_cast<int>(pending_.size()) < max_batch_) {
+      const auto deadline = pending_.front()->enqueue_time + max_delay_;
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+          static_cast<int>(pending_.size()) < max_batch_) {
+        break;
+      }
+    }
+    std::vector<BatchRequest*> batch;
+    batch.reserve(static_cast<std::size_t>(max_batch_));
+    while (!pending_.empty() &&
+           static_cast<int>(batch.size()) < max_batch_) {
+      batch.push_back(pending_.front());
+      pending_.pop_front();
+    }
+    ++batches_executed_;
+    // Release leadership before executing so another caller can coalesce
+    // the next batch while this one runs the forward pass. A signal is
+    // only needed when requests overflowed this batch: their owners are
+    // asleep and one of them must take over as leader. (New arrivals see
+    // leader_active_ == false and lead themselves without being woken.)
+    leader_active_ = false;
+    if (!pending_.empty()) cv_.notify_all();
+    lk.unlock();
+
+    try {
+      executor_(batch);
+    } catch (...) {
+      // The executor is expected to record per-request errors itself;
+      // this is the backstop for exceptions escaping it (e.g. bad_alloc
+      // building the union batch) so followers are never stranded.
+      const std::exception_ptr error = std::current_exception();
+      for (BatchRequest* r : batch) {
+        if (!r->error) r->error = error;
+      }
+    }
+
+    lk.lock();
+    for (BatchRequest* r : batch) r->done = true;
+    cv_.notify_all();
+    // If the queue overflowed max_batch, our own request may not have
+    // been part of the batch we just led; loop and wait (or lead) again.
+  }
+  lk.unlock();
+
+  if (req.error) std::rethrow_exception(req.error);
+}
+
+std::uint64_t MicroBatcher::batches_executed() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return batches_executed_;
+}
+
+}  // namespace qgnn::serve

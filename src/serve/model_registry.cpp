@@ -1,0 +1,105 @@
+#include "serve/model_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace qgnn::serve {
+
+namespace {
+
+/// Sanity-check a freshly loaded/registered model: the serving layer only
+/// hands out 2*depth QAOA parameter vectors, and a checkpoint whose
+/// weights produce NaN on a trivial probe graph should be rejected at
+/// registration time, not at the first user request.
+void validate_model(const std::string& name, const GnnModel& model) {
+  const GnnModelConfig& config = model.config();
+  if (config.output_dim % 2 != 0) {
+    throw Error("model '" + name + "': output_dim " +
+                std::to_string(config.output_dim) +
+                " is not an even (gamma, beta) parameter vector");
+  }
+  const int probe_nodes = std::min(3, config.features.max_nodes);
+  const Matrix out = model.predict(path_graph(probe_nodes));
+  for (std::size_t j = 0; j < out.cols(); ++j) {
+    if (!std::isfinite(out(0, j))) {
+      throw Error("model '" + name +
+                  "': probe prediction is not finite (corrupt weights?)");
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t ModelRegistry::load_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw IoError("model directory does not exist: " + dir);
+  }
+  // Sort paths so load order (and therefore first-generation numbering)
+  // does not depend on directory enumeration order.
+  std::vector<fs::path> checkpoints;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".txt" || ext == ".model") {
+      checkpoints.push_back(entry.path());
+    }
+  }
+  std::sort(checkpoints.begin(), checkpoints.end());
+
+  std::size_t loaded = 0;
+  for (const fs::path& path : checkpoints) {
+    GnnModel model = GnnModel::load(path.string());
+    register_model(path.stem().string(), std::move(model));
+    ++loaded;
+  }
+  return loaded;
+}
+
+void ModelRegistry::register_model(const std::string& name, GnnModel model) {
+  QGNN_REQUIRE(!name.empty(), "model name must not be empty");
+  validate_model(name, model);
+
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->model = std::make_shared<const GnnModel>(std::move(model));
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = entries_.find(name);
+  entry->generation = it == entries_.end() ? 1 : it->second->generation + 1;
+  entries_[name] = std::move(entry);
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw InvalidArgument("unknown model: '" + name + "'");
+  }
+  return it->second;
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace qgnn::serve

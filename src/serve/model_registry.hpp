@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gnn/model.hpp"
+
+namespace qgnn::serve {
+
+/// One immutable registered model version. Entries are shared out as
+/// shared_ptr<const ModelEntry>: a hot-swap publishes a new entry under
+/// the same name, and in-flight batches keep using the snapshot they
+/// resolved — a batch can never mix generations.
+struct ModelEntry {
+  std::string name;
+  /// Monotonic per-name version counter, starting at 1. Bumped on every
+  /// hot-swap so responses (and cache keys) identify the exact weights
+  /// that produced them.
+  std::uint64_t generation = 0;
+  std::shared_ptr<const GnnModel> model;
+};
+
+/// Thread-safe name -> model map with generation-counted hot-swap.
+///
+/// The registry never removes names; `get` snapshots are immutable, so
+/// readers are wait-free after the shared_ptr copy and never observe a
+/// half-swapped model.
+class ModelRegistry {
+ public:
+  /// Load every checkpoint file (extension .txt or .model) in `dir` via
+  /// GnnModel::load; the registered name is the file stem. Each model is
+  /// validated (see register_model). Returns the number of models loaded.
+  /// Throws IoError when the directory is missing or a checkpoint fails
+  /// to load or validate.
+  std::size_t load_directory(const std::string& dir);
+
+  /// Insert `model` under `name`, or hot-swap the existing entry (the
+  /// generation counter increments). Validates the model first: the
+  /// output dimension must be an even 2*depth parameter vector and a
+  /// probe graph under the model's own FeatureConfig must predict finite
+  /// values. Throws qgnn::Error when validation fails.
+  void register_model(const std::string& name, GnnModel model);
+
+  /// Current entry for `name`; throws InvalidArgument for unknown names.
+  std::shared_ptr<const ModelEntry> get(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ModelEntry>>
+      entries_;
+};
+
+}  // namespace qgnn::serve

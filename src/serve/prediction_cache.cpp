@@ -1,0 +1,50 @@
+#include "serve/prediction_cache.hpp"
+
+namespace qgnn::serve {
+
+PredictionCache::PredictionCache(std::size_t capacity)
+    : capacity_(capacity) {}
+
+std::optional<Matrix> PredictionCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void PredictionCache::insert(const CacheKey& key, const Matrix& values) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent misses on the same graph can race to insert; keep the
+    // first value (they are identical for a given generation) and just
+    // refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, values);
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+PredictionCache::Counters PredictionCache::counters() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  Counters c;
+  c.hits = hits_;
+  c.misses = misses_;
+  c.evictions = evictions_;
+  c.size = lru_.size();
+  return c;
+}
+
+}  // namespace qgnn::serve

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "autograd/matrix.hpp"
+
+namespace qgnn::serve {
+
+/// Cache key: (model name, model generation, canonical graph hash).
+///
+/// The graph component is the canonical_hash from src/graph/canonical.hpp,
+/// so any two isomorphic request graphs share an entry — by design: the
+/// paper's dataset is regular graphs whose QAOA parameters depend only on
+/// structure, and the alternative (exact-labelled keying) would make the
+/// hit rate collapse under relabelled duplicates. Including the generation
+/// means a hot-swap naturally invalidates all of the old model's entries.
+struct CacheKey {
+  std::string model;
+  std::uint64_t generation = 0;
+  std::uint64_t graph_hash = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHasher {
+  std::size_t operator()(const CacheKey& k) const {
+    std::size_t h = std::hash<std::string>{}(k.model);
+    h ^= std::hash<std::uint64_t>{}(k.generation) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    h ^= std::hash<std::uint64_t>{}(k.graph_hash) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+/// Thread-safe LRU map from CacheKey to a (1 x output_dim) prediction row.
+/// A capacity of 0 disables the cache (lookups miss, inserts drop).
+class PredictionCache {
+ public:
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t size = 0;
+  };
+
+  explicit PredictionCache(std::size_t capacity);
+
+  /// Returns the cached prediction and refreshes recency, or nullopt.
+  /// Every call counts as a hit or a miss.
+  std::optional<Matrix> lookup(const CacheKey& key);
+
+  /// Insert (or refresh) an entry, evicting the least-recently-used one
+  /// when the cache is full. No-op at capacity 0.
+  void insert(const CacheKey& key, const Matrix& values);
+
+  std::size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+  Counters counters() const;
+
+ private:
+  using LruList = std::list<std::pair<CacheKey, Matrix>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHasher> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace qgnn::serve

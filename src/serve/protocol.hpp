@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "serve/service.hpp"
+
+namespace qgnn::serve {
+
+/// Minimal JSON value for the NDJSON wire protocol. Numbers are doubles
+/// (the protocol never needs 64-bit-exact integers on the wire).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  /// Member lookup on objects; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse one JSON document. Throws InvalidArgument on malformed input or
+/// trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+/// Serialize with stable key order (std::map) and shortest round-trip
+/// doubles; no insignificant whitespace, NDJSON-safe (single line).
+std::string to_json(const JsonValue& value);
+
+/// One parsed predict request.
+///
+/// Wire shape (one JSON object per line):
+///   {"id": 7, "model": "default", "nodes": 6,
+///    "edges": [[0,1], [1,2,0.5], ...]}
+/// `model` is optional (service default), edge weight defaults to 1.
+struct Request {
+  JsonValue id;  // echoed verbatim; null when the client sent none
+  std::string model;  // empty = service default
+  Graph graph;
+};
+
+/// Parse a request line. Throws InvalidArgument with a message suitable
+/// for the error response on any malformed request.
+Request parse_request(const std::string& line);
+
+/// Success response:
+///   {"id":7,"ok":true,"model":"default","generation":2,"cached":false,
+///    "batch_size":8,"latency_us":123.4,"values":[g0,b0]}
+std::string format_response(const JsonValue& id, const Prediction& p);
+
+/// Error response: {"id":7,"ok":false,"error":"..."}.
+std::string format_error(const JsonValue& id, const std::string& message);
+
+/// Drive `handle` from newline-delimited JSON requests on `in`, writing
+/// one response line per request to `out` (flushed per line). Blank lines
+/// are skipped; malformed lines produce error responses rather than
+/// aborting the stream. With workers > 1, lines are dispatched to that
+/// many client threads so concurrent requests can coalesce into micro-
+/// batches — responses then come back in completion order, matched to
+/// requests by the echoed id. Returns the number of requests handled.
+std::size_t run_ndjson_server(std::istream& in, std::ostream& out,
+                              ServeHandle& handle, int workers = 1);
+
+}  // namespace qgnn::serve

@@ -1,0 +1,296 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+
+#include "gnn/graph_batch.hpp"
+#include "graph/canonical.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qgnn::serve {
+
+namespace {
+
+/// Latency-sample retention cap: enough for any test or bench sweep while
+/// bounding memory for long-lived services (requests beyond the cap still
+/// count toward throughput, they just stop contributing percentiles).
+constexpr std::size_t kMaxLatencySamples = 1 << 20;
+
+double elapsed_us(std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
+
+ServeHandle::ServeHandle(ServeConfig config)
+    : config_(std::move(config)), cache_(config_.cache_capacity) {
+  QGNN_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
+  QGNN_REQUIRE(config_.max_queue_delay.count() >= 0,
+               "max_queue_delay must be >= 0");
+}
+
+void ServeHandle::register_model(const std::string& name, GnnModel model) {
+  registry_.register_model(name, std::move(model));
+}
+
+std::size_t ServeHandle::load_models(const std::string& dir) {
+  return registry_.load_directory(dir);
+}
+
+Prediction ServeHandle::predict(const Graph& g) {
+  return predict(config_.default_model, g);
+}
+
+Prediction ServeHandle::predict(const std::string& model_name,
+                                const Graph& g) {
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    if (!have_first_request_) {
+      have_first_request_ = true;
+      first_request_ = start;
+    }
+  }
+
+  // Fail fast (and per-request) on anything that would otherwise poison a
+  // whole coalesced batch inside the executor.
+  const auto entry = registry_.get(model_name);
+  QGNN_REQUIRE(g.num_nodes() >= 1, "cannot predict on an empty graph");
+  QGNN_REQUIRE(g.num_nodes() <= entry->model->config().features.max_nodes,
+               "graph exceeds the model's feature config max_nodes");
+
+  Prediction out;
+  out.model = model_name;
+
+  if (cache_.enabled()) {
+    const CacheKey key{model_name, entry->generation, canonical_hash(g)};
+    if (auto cached = cache_.lookup(key)) {
+      out.values = std::move(*cached);
+      out.generation = entry->generation;
+      out.cache_hit = true;
+      out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
+      record_latency(out.latency_us);
+      return out;
+    }
+  }
+
+  BatchRequest req(&g);
+  batcher_for(model_name).run(req);  // blocks; rethrows executor errors
+
+  out.values = std::move(req.result);
+  out.generation = req.generation;
+  out.batch_id = req.batch_id;
+  out.batch_size = req.batch_size;
+  out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
+  record_latency(out.latency_us);
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    ++batched_requests_;
+  }
+  return out;
+}
+
+std::vector<Prediction> ServeHandle::predict_many(
+    const std::vector<Graph>& graphs) {
+  return predict_many(config_.default_model, graphs);
+}
+
+std::vector<Prediction> ServeHandle::predict_many(
+    const std::string& model_name, const std::vector<Graph>& graphs) {
+  const auto start = std::chrono::steady_clock::now();
+  if (graphs.empty()) return {};
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    if (!have_first_request_) {
+      have_first_request_ = true;
+      first_request_ = start;
+    }
+  }
+
+  const auto entry = registry_.get(model_name);
+  const int max_nodes = entry->model->config().features.max_nodes;
+
+  std::vector<Prediction> out(graphs.size());
+  std::vector<std::size_t> misses;
+  misses.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    QGNN_REQUIRE(g.num_nodes() >= 1, "cannot predict on an empty graph");
+    QGNN_REQUIRE(g.num_nodes() <= max_nodes,
+                 "graph exceeds the model's feature config max_nodes");
+    out[i].model = model_name;
+    if (cache_.enabled()) {
+      const CacheKey key{model_name, entry->generation, canonical_hash(g)};
+      if (auto cached = cache_.lookup(key)) {
+        out[i].values = std::move(*cached);
+        out[i].generation = entry->generation;
+        out[i].cache_hit = true;
+        out[i].latency_us =
+            elapsed_us(start, std::chrono::steady_clock::now());
+        record_latency(out[i].latency_us);
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+
+  // Coalesce the misses into forward passes of up to max_batch graphs.
+  // execute_batch re-resolves the registry entry per pass, so a hot-swap
+  // between passes is visible but generations never mix within one.
+  const auto window = static_cast<std::size_t>(config_.max_batch);
+  for (std::size_t lo = 0; lo < misses.size(); lo += window) {
+    const std::size_t hi = std::min(misses.size(), lo + window);
+    std::vector<BatchRequest> reqs;
+    reqs.reserve(hi - lo);
+    for (std::size_t k = lo; k < hi; ++k) {
+      reqs.emplace_back(&graphs[misses[k]]);
+    }
+    std::vector<BatchRequest*> ptrs;
+    ptrs.reserve(reqs.size());
+    for (BatchRequest& r : reqs) ptrs.push_back(&r);
+    execute_batch(model_name, ptrs);
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++bulk_batches_;
+      batched_requests_ += hi - lo;
+    }
+    const auto done = std::chrono::steady_clock::now();
+    for (std::size_t k = lo; k < hi; ++k) {
+      BatchRequest& r = reqs[k - lo];
+      if (r.error) std::rethrow_exception(r.error);
+      Prediction& p = out[misses[k]];
+      p.values = std::move(r.result);
+      p.generation = r.generation;
+      p.batch_id = r.batch_id;
+      p.batch_size = r.batch_size;
+      p.latency_us = elapsed_us(start, done);
+      record_latency(p.latency_us);
+    }
+  }
+  return out;
+}
+
+MicroBatcher& ServeHandle::batcher_for(const std::string& model_name) {
+  std::lock_guard<std::mutex> lk(batchers_mutex_);
+  auto it = batchers_.find(model_name);
+  if (it == batchers_.end()) {
+    auto executor = [this, model_name](std::vector<BatchRequest*>& batch) {
+      execute_batch(model_name, batch);
+    };
+    it = batchers_
+             .emplace(model_name, std::make_unique<MicroBatcher>(
+                                      config_.max_batch,
+                                      config_.max_queue_delay,
+                                      std::move(executor)))
+             .first;
+  }
+  return *it->second;
+}
+
+void ServeHandle::execute_batch(const std::string& model_name,
+                                std::vector<BatchRequest*>& batch) {
+  // One registry resolution for the whole batch: every member gets the
+  // same generation even if register_model swaps the name mid-flight.
+  const auto entry = registry_.get(model_name);
+  const FeatureConfig& features = entry->model->config().features;
+
+  try {
+    GraphBatch union_batch;
+    if (ThreadPool::global().size() > 1 && batch.size() > 1) {
+      // Per-request feature extraction fans out on the PR-1 thread pool.
+      // Each part depends only on its own graph, so the result — and
+      // hence the union forward — is identical at any thread count.
+      std::vector<GraphBatch> parts(batch.size());
+      ThreadPool::global().parallel_for(
+          0, batch.size(), 1, [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t i = lo; i < hi; ++i) {
+              parts[i] = make_graph_batch(*batch[i]->graph, features);
+            }
+          });
+      union_batch = concat_graph_batches(parts);
+    } else {
+      // A single-lane pool gains nothing from the fan-out; build the
+      // union directly (bit-identical: the same append code computes
+      // every entry, minus the per-part copies).
+      std::vector<const Graph*> graphs;
+      graphs.reserve(batch.size());
+      for (const BatchRequest* r : batch) graphs.push_back(r->graph);
+      union_batch = make_graph_batch(graphs, features);
+    }
+    const Matrix rows = entry->model->predict(union_batch);
+
+    const std::uint64_t batch_id =
+        next_batch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Matrix row(1, rows.cols());
+      for (std::size_t j = 0; j < rows.cols(); ++j) row(0, j) = rows(i, j);
+      if (cache_.enabled()) {
+        cache_.insert(CacheKey{model_name, entry->generation,
+                               canonical_hash(*batch[i]->graph)},
+                      row);
+      }
+      batch[i]->result = std::move(row);
+      batch[i]->generation = entry->generation;
+      batch[i]->batch_id = batch_id;
+      batch[i]->batch_size = static_cast<int>(batch.size());
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (BatchRequest* r : batch) r->error = error;
+  }
+}
+
+void ServeHandle::record_latency(double latency_us) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  ++requests_;
+  last_completion_ = std::max(last_completion_, now);
+  if (latencies_us_.size() < kMaxLatencySamples) {
+    latencies_us_.push_back(latency_us);
+  }
+}
+
+ServeStats ServeHandle::stats() const {
+  ServeStats s;
+  const PredictionCache::Counters cache = cache_.counters();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_evictions = cache.evictions;
+
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    s.requests = requests_;
+    s.batched_requests = batched_requests_;
+    s.batches = bulk_batches_;
+    latencies = latencies_us_;
+    if (have_first_request_ && requests_ > 0 &&
+        last_completion_ > first_request_) {
+      const double span_s =
+          std::chrono::duration<double>(last_completion_ - first_request_)
+              .count();
+      s.requests_per_second = static_cast<double>(requests_) / span_s;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(batchers_mutex_);
+    for (const auto& [name, batcher] : batchers_) {
+      s.batches += batcher->batches_executed();
+    }
+  }
+  if (s.batches > 0) {
+    s.mean_batch_size = static_cast<double>(s.batched_requests) /
+                        static_cast<double>(s.batches);
+  }
+  if (!latencies.empty()) {
+    s.latency_us_mean = mean_of(latencies);
+    s.latency_us_p50 = percentile(latencies, 0.50);
+    s.latency_us_p90 = percentile(latencies, 0.90);
+    s.latency_us_p99 = percentile(latencies, 0.99);
+  }
+  return s;
+}
+
+}  // namespace qgnn::serve

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/prediction_cache.hpp"
+
+namespace qgnn::serve {
+
+struct ServeConfig {
+  /// Requests coalesced into one forward pass. 1 = no batching (the
+  /// baseline serve_bench compares against).
+  int max_batch = 16;
+  /// Longest a pending request waits for the batch to fill before the
+  /// leader flushes it anyway.
+  std::chrono::microseconds max_queue_delay{500};
+  /// LRU prediction-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  /// Model name used by the one-argument predict overload.
+  std::string default_model = "default";
+};
+
+/// Outcome of one predict call.
+struct Prediction {
+  Matrix values;  // (1 x output_dim): [gamma_0.., beta_0..]
+  std::string model;
+  std::uint64_t generation = 0;
+  /// Id of the coalesced forward pass that produced the values; 0 for
+  /// cache hits (no forward ran). All requests answered by one forward
+  /// share a batch_id and, by construction, a generation.
+  std::uint64_t batch_id = 0;
+  int batch_size = 0;  // 0 for cache hits
+  bool cache_hit = false;
+  double latency_us = 0.0;
+};
+
+/// Aggregate serving metrics; the perf baseline future PRs diff against.
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t batches = 0;          // coalesced forward passes
+  std::uint64_t batched_requests = 0; // requests answered by a forward
+  double mean_batch_size = 0.0;
+  double latency_us_mean = 0.0;
+  double latency_us_p50 = 0.0;
+  double latency_us_p90 = 0.0;
+  double latency_us_p99 = 0.0;
+  /// Completed requests divided by the wall-clock span from the first
+  /// request's start to the latest completion. 0 before any request.
+  double requests_per_second = 0.0;
+};
+
+/// In-process handle to the warm-start inference service: model registry +
+/// per-model micro-batcher + canonical-hash LRU cache. predict() is safe
+/// to call from any number of threads; the NDJSON CLI (examples/
+/// qgnn_serve.cpp), the tests, and serve_bench all drive this API.
+///
+/// Request life cycle: resolve the model entry -> canonical-hash the graph
+/// and probe the cache -> on miss, enqueue into the model's MicroBatcher;
+/// the batch leader re-resolves the entry ONCE for the whole batch (so a
+/// hot-swap never mixes generations within a batch), fans per-request
+/// feature extraction out on the PR-1 thread pool, runs one block-diagonal
+/// forward pass, and distributes the per-graph rows. Batched rows are
+/// bit-identical to single-request predictions at any thread count: the
+/// union batch shares no state across member graphs and every per-node
+/// kernel accumulates in the same order as the single-graph path.
+class ServeHandle {
+ public:
+  explicit ServeHandle(ServeConfig config = {});
+  ~ServeHandle() = default;
+
+  ServeHandle(const ServeHandle&) = delete;
+  ServeHandle& operator=(const ServeHandle&) = delete;
+
+  /// Register (or hot-swap) a model. Thread-safe, including while
+  /// predictions for the same name are in flight.
+  void register_model(const std::string& name, GnnModel model);
+  /// Load every checkpoint in `dir` into the registry (see
+  /// ModelRegistry::load_directory). Returns the number loaded.
+  std::size_t load_models(const std::string& dir);
+
+  /// Predict QAOA parameters for `g` with the named model. Blocks until
+  /// the answer is available (cache hit, or the coalescing forward pass
+  /// completes). Throws InvalidArgument for unknown models or graphs
+  /// larger than the model's FeatureConfig allows.
+  Prediction predict(const std::string& model_name, const Graph& g);
+  /// Same, with config.default_model.
+  Prediction predict(const Graph& g);
+
+  /// Bulk prediction from a single caller: resolve the model, probe the
+  /// cache for every graph, run the misses through coalesced forward
+  /// passes of up to config.max_batch graphs each, and return one
+  /// Prediction per input graph in input order. Result values are
+  /// bit-identical to calling predict() per graph, but no batcher wake
+  /// coordination is involved — with max_batch == 1 this is literally one
+  /// forward pass per request, which is the baseline serve_bench's bulk
+  /// sweep compares micro-batching against.
+  std::vector<Prediction> predict_many(const std::string& model_name,
+                                       const std::vector<Graph>& graphs);
+  /// Same, with config.default_model.
+  std::vector<Prediction> predict_many(const std::vector<Graph>& graphs);
+
+  ServeStats stats() const;
+  const ServeConfig& config() const { return config_; }
+  ModelRegistry& registry() { return registry_; }
+
+ private:
+  /// The per-model batcher, created on first use.
+  MicroBatcher& batcher_for(const std::string& model_name);
+  /// Coalesced forward pass for one drained batch (leader thread).
+  void execute_batch(const std::string& model_name,
+                     std::vector<BatchRequest*>& batch);
+  void record_latency(double latency_us);
+
+  const ServeConfig config_;
+  ModelRegistry registry_;
+  PredictionCache cache_;
+
+  mutable std::mutex batchers_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<MicroBatcher>> batchers_;
+
+  std::atomic<std::uint64_t> next_batch_id_{0};
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  std::uint64_t bulk_batches_ = 0;  // forward passes run by predict_many
+  std::vector<double> latencies_us_;
+  bool have_first_request_ = false;
+  std::chrono::steady_clock::time_point first_request_;
+  std::chrono::steady_clock::time_point last_completion_;
+};
+
+}  // namespace qgnn::serve

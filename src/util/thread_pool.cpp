@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -130,16 +132,25 @@ void ThreadPool::set_global_threads(int num_threads) {
 }
 
 int ThreadPool::configured_threads() {
-  if (const char* env = std::getenv("QGNN_NUM_THREADS")) {
-    try {
-      const int n = std::stoi(std::string(env));
-      if (n >= 1) return std::min(n, 256);
-    } catch (...) {
-      // Fall through to the hardware default on unparsable values.
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 256u));
+  const int fallback = hw == 0 ? 1 : static_cast<int>(std::min(hw, 256u));
+  const char* env = std::getenv("QGNN_NUM_THREADS");
+  if (!env) return fallback;
+
+  // Strict parse: the whole value must be one integer in [1, 256]. Anything
+  // else ("8cores", "0", "99999", "") falls back to the hardware default
+  // with a warning — silently clamping or truncating would hide typos.
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(env, &end, 10);
+  const bool parsed = end != env && *end == '\0' && errno == 0;
+  if (parsed && n >= 1 && n <= 256) return static_cast<int>(n);
+
+  std::fprintf(stderr,
+               "qgnn: warning: QGNN_NUM_THREADS='%s' is not an integer in "
+               "[1, 256]; using default of %d threads\n",
+               env, fallback);
+  return fallback;
 }
 
 }  // namespace qgnn

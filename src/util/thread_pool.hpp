@@ -80,8 +80,10 @@ class ThreadPool {
   /// tests and benchmarks; must not race with parallel work in flight.
   static void set_global_threads(int num_threads);
 
-  /// Lane count from QGNN_NUM_THREADS (clamped to [1, 256]); falls back to
-  /// hardware_concurrency(), which itself falls back to 1.
+  /// Lane count from QGNN_NUM_THREADS. The value must be a whole integer
+  /// in [1, 256]; non-numeric, partial, or out-of-range values emit a
+  /// warning on stderr and fall back to hardware_concurrency() (which
+  /// itself falls back to 1).
   static int configured_threads();
 
  private:

@@ -172,6 +172,116 @@ TEST(Autograd, ScaleRowsGradient) {
                   });
 }
 
+TEST(Autograd, ScatterAddGatheredRowsGradient) {
+  const std::vector<int> src{0, 1, 2, 2, 3};
+  const std::vector<int> dst{1, 0, 3, 1, 2};
+  const std::vector<double> coeff{0.5, -1.2, 2.0, 0.7, 1.1};
+  check_gradients({test_matrix(4, 3)},
+                  [&](const std::vector<Var>& in) {
+                    return scalarize(ag::scatter_add_gathered_rows(
+                        in[0], src, dst, coeff, 4));
+                  });
+}
+
+TEST(Autograd, ScatterAddGatheredRowsMatchesUnfusedChain) {
+  // The fused op promises bit-identity with gather -> scale -> scatter.
+  const std::vector<int> src{0, 1, 2, 2, 3, 0};
+  const std::vector<int> dst{1, 0, 3, 1, 2, 2};
+  const std::vector<double> coeff{0.5, -1.2, 2.0, 0.7, 1.1, -0.3};
+  const Var x(test_matrix(4, 3), false);
+  const Var fused = ag::scatter_add_gathered_rows(x, src, dst, coeff, 4);
+  const Var unfused = ag::scatter_add_rows(
+      ag::scale_rows(ag::gather_rows(x, src), coeff), dst, 4);
+  for (std::size_t i = 0; i < fused.rows(); ++i) {
+    for (std::size_t j = 0; j < fused.cols(); ++j) {
+      EXPECT_EQ(fused.value()(i, j), unfused.value()(i, j));
+    }
+  }
+  // Empty coeff means all ones: plain gather + scatter.
+  const Var fused1 = ag::scatter_add_gathered_rows(x, src, dst, {}, 4);
+  const Var unfused1 =
+      ag::scatter_add_rows(ag::gather_rows(x, src), dst, 4);
+  for (std::size_t i = 0; i < fused1.rows(); ++i) {
+    for (std::size_t j = 0; j < fused1.cols(); ++j) {
+      EXPECT_EQ(fused1.value()(i, j), unfused1.value()(i, j));
+    }
+  }
+}
+
+TEST(Autograd, AffineGradient) {
+  check_gradients({test_matrix(3, 4), test_matrix(4, 2), test_matrix(1, 2)},
+                  [](const std::vector<Var>& in) {
+                    return scalarize(ag::affine(in[0], in[1], in[2]));
+                  });
+}
+
+TEST(Autograd, AffineMatchesMatmulPlusBias) {
+  const Var a(test_matrix(3, 4), false);
+  const Var w(test_matrix(4, 2, 0.6), false);
+  const Var b(test_matrix(1, 2, 0.4), false);
+  const Var fused = ag::affine(a, w, b);
+  const Var unfused = ag::add_bias(ag::matmul(a, w), b);
+  for (std::size_t i = 0; i < fused.rows(); ++i) {
+    for (std::size_t j = 0; j < fused.cols(); ++j) {
+      EXPECT_EQ(fused.value()(i, j), unfused.value()(i, j));
+    }
+  }
+}
+
+TEST(Autograd, AddScaledRowsGradient) {
+  const std::vector<double> coeffs{0.25, -1.0, 1.75};
+  check_gradients({test_matrix(3, 2), test_matrix(3, 2, 0.9)},
+                  [&coeffs](const std::vector<Var>& in) {
+                    return scalarize(
+                        ag::add_scaled_rows(in[0], in[1], coeffs));
+                  });
+}
+
+TEST(Autograd, AddScaledRowsMatchesAddScaleChain) {
+  const std::vector<double> coeffs{0.25, -1.0, 1.75};
+  const Var a(test_matrix(3, 2), false);
+  const Var b(test_matrix(3, 2, 0.9), false);
+  const Var fused = ag::add_scaled_rows(a, b, coeffs);
+  const Var unfused = ag::add(a, ag::scale_rows(b, coeffs));
+  for (std::size_t i = 0; i < fused.rows(); ++i) {
+    for (std::size_t j = 0; j < fused.cols(); ++j) {
+      EXPECT_EQ(fused.value()(i, j), unfused.value()(i, j));
+    }
+  }
+}
+
+TEST(Autograd, NoGradGuardProducesValueOnlyNodes) {
+  const Var a(test_matrix(2, 2), true);
+  Matrix guarded_value;
+  {
+    ag::NoGradGuard guard;
+    EXPECT_FALSE(ag::grad_enabled());
+    const Var out = ag::matmul(a, a);
+    guarded_value = out.value();
+    EXPECT_FALSE(out.requires_grad());
+    EXPECT_TRUE(out.node()->parents.empty());
+  }
+  EXPECT_TRUE(ag::grad_enabled());
+  // Values match the recording mode bit for bit.
+  const Var recorded = ag::matmul(a, a);
+  for (std::size_t i = 0; i < recorded.rows(); ++i) {
+    for (std::size_t j = 0; j < recorded.cols(); ++j) {
+      EXPECT_EQ(guarded_value(i, j), recorded.value()(i, j));
+    }
+  }
+  EXPECT_TRUE(recorded.requires_grad());
+}
+
+TEST(Autograd, NoGradGuardNests) {
+  ag::NoGradGuard outer;
+  EXPECT_FALSE(ag::grad_enabled());
+  {
+    ag::NoGradGuard inner;
+    EXPECT_FALSE(ag::grad_enabled());
+  }
+  EXPECT_FALSE(ag::grad_enabled());
+}
+
 TEST(Autograd, MulColGradient) {
   check_gradients({test_matrix(4, 3), test_matrix(4, 1, 0.8, 0.2)},
                   [](const std::vector<Var>& in) {

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "graph/canonical.hpp"
+#include "graph/generators.hpp"
+#include "graph/hash.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn {
+namespace {
+
+Graph from_edges(int n, const std::vector<std::pair<int, int>>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+std::vector<int> random_permutation(int n, Rng& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    const int j = rng.uniform_int(0, i);
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+TEST(CanonicalHash, RelabelledIsomorphicGraphsHashEqual) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 6 + trial % 9;             // 6..14
+    const int degree = n % 2 == 0 ? 3 : 4;   // n * degree must be even
+    const Graph g = random_regular_graph(n, degree, rng);
+    const std::uint64_t h = canonical_hash(g);
+    for (int p = 0; p < 4; ++p) {
+      const Graph permuted = g.permuted(random_permutation(n, rng));
+      EXPECT_EQ(canonical_hash(permuted), h)
+          << "trial " << trial << " perm " << p << " on " << g.describe();
+    }
+  }
+}
+
+TEST(CanonicalHash, EdgeInsertionOrderIsIrrelevant) {
+  const Graph a = from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  const Graph b = from_edges(5, {{4, 0}, {2, 3}, {0, 1}, {3, 4}, {1, 2}});
+  EXPECT_EQ(canonical_hash(a), canonical_hash(b));
+}
+
+TEST(CanonicalHash, SeparatesHexagonFromTwoTriangles) {
+  // The classic 1-WL failure pair: both are 2-regular on 6 nodes, so
+  // plain color refinement (and wl_hash) cannot tell them apart.
+  const Graph hexagon = cycle_graph(6);
+  const Graph two_triangles =
+      from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  EXPECT_EQ(wl_hash(hexagon), wl_hash(two_triangles))
+      << "pair no longer exercises the 1-WL blind spot";
+  EXPECT_NE(canonical_hash(hexagon), canonical_hash(two_triangles));
+}
+
+TEST(CanonicalHash, SeparatesK33FromTriangularPrism) {
+  // Both 3-regular on 6 nodes; K3,3 is triangle-free, the prism is not.
+  const Graph k33 = from_edges(6, {{0, 3}, {0, 4}, {0, 5},
+                                   {1, 3}, {1, 4}, {1, 5},
+                                   {2, 3}, {2, 4}, {2, 5}});
+  const Graph prism = from_edges(6, {{0, 1}, {1, 2}, {2, 0},
+                                     {3, 4}, {4, 5}, {5, 3},
+                                     {0, 3}, {1, 4}, {2, 5}});
+  EXPECT_EQ(wl_hash(k33), wl_hash(prism));
+  EXPECT_NE(canonical_hash(k33), canonical_hash(prism));
+}
+
+TEST(CanonicalHash, NearMissGraphsHashDifferently) {
+  // Single edge rewired: same node count, same edge count, same degree
+  // sequence is not required — just distinct structures.
+  const Graph path5 = path_graph(5);
+  const Graph cycle5 = cycle_graph(5);
+  EXPECT_NE(canonical_hash(path5), canonical_hash(cycle5));
+
+  Graph a = cycle_graph(8);
+  Graph b = cycle_graph(8);
+  // a gets a chord (0,4); b gets a different chord (0,3) — both now have
+  // 9 edges and degree sequence {2,2,2,2,2,2,3,3}.
+  a.add_edge(0, 4);
+  b.add_edge(0, 3);
+  EXPECT_NE(canonical_hash(a), canonical_hash(b));
+}
+
+TEST(CanonicalHash, DistinctRegularGraphsGetDistinctHashes) {
+  // Sample many random 3-regular graphs on 10 nodes; wl_hash maps every
+  // one of them to the same value, canonical_hash should separate the
+  // non-isomorphic ones. There are only 21 isomorphism classes of
+  // 3-regular graphs on 10 vertices (19 connected), so 40 samples can
+  // cover at most 21 distinct values — seeing well over half of them
+  // shows the hash is not collapsing like 1-WL does.
+  Rng rng(7);
+  std::set<std::uint64_t> wl;
+  std::set<std::uint64_t> canonical;
+  for (int i = 0; i < 40; ++i) {
+    const Graph g = random_regular_graph(10, 3, rng);
+    wl.insert(wl_hash(g));
+    canonical.insert(canonical_hash(g));
+  }
+  EXPECT_EQ(wl.size(), 1u);  // documents the 1-WL collapse on regulars
+  EXPECT_GT(canonical.size(), 10u);
+  EXPECT_LE(canonical.size(), 21u);
+}
+
+TEST(CanonicalHash, EdgeWeightsAffectTheHash) {
+  Graph a(3);
+  a.add_edge(0, 1, 1.0);
+  a.add_edge(1, 2, 1.0);
+  Graph b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.5);
+  EXPECT_NE(canonical_hash(a), canonical_hash(b));
+
+  // But weight-permuted isomorphic graphs still agree.
+  Graph c(3);
+  c.add_edge(2, 1, 1.0);
+  c.add_edge(1, 0, 2.5);
+  EXPECT_EQ(canonical_hash(b), canonical_hash(c));
+}
+
+TEST(CanonicalHash, SizeAndEdgeCountAreSeparated) {
+  EXPECT_NE(canonical_hash(Graph(3)), canonical_hash(Graph(4)));
+  EXPECT_NE(canonical_hash(path_graph(4)), canonical_hash(cycle_graph(4)));
+}
+
+TEST(CanonicalColors, SortedAndPermutationInvariant) {
+  Rng rng(3);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const auto colors = canonical_colors(g);
+  EXPECT_EQ(colors.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(colors.begin(), colors.end()));
+  const Graph permuted = g.permuted(random_permutation(8, rng));
+  EXPECT_EQ(canonical_colors(permuted), colors);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "gnn/model.hpp"
 #include "graph/generators.hpp"
@@ -163,6 +166,97 @@ TEST(GnnModel, LoadRejectsCorruptFiles) {
   }
   EXPECT_THROW(GnnModel::load(path), IoError);
   EXPECT_THROW(GnnModel::load("/nonexistent/model.txt"), IoError);
+}
+
+// Helper for the corruption regression tests: save a valid checkpoint,
+// apply a line-level mutation, and return the mutated file's path.
+std::string corrupted_checkpoint(
+    const std::string& name,
+    const std::function<std::string(const std::string&)>& mutate_line,
+    int max_lines = -1) {
+  Rng rng(3);
+  const GnnModel model(small_config(GnnArch::kGCN), rng);
+  const std::string good = ::testing::TempDir() + "/qgnn_good_model.txt";
+  model.save(good);
+
+  const std::string bad = ::testing::TempDir() + "/" + name;
+  std::ifstream in(good);
+  std::ofstream out(bad);
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    if (max_lines >= 0 && count >= max_lines) break;
+    out << mutate_line(line) << '\n';
+    ++count;
+  }
+  return bad;
+}
+
+TEST(GnnModel, LoadRejectsTruncatedCheckpointWithNamedField) {
+  // Keep only the header + first two config fields; the error should say
+  // which field is missing rather than crash or mis-load.
+  const std::string path = corrupted_checkpoint(
+      "qgnn_truncated.txt", [](const std::string& l) { return l; }, 3);
+  try {
+    GnnModel::load(path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_nodes"), std::string::npos)
+        << "error should name the missing field, got: " << e.what();
+  }
+}
+
+TEST(GnnModel, LoadRejectsNonNumericFieldValue) {
+  const std::string path =
+      corrupted_checkpoint("qgnn_banana.txt", [](const std::string& l) {
+        return l.rfind("hidden_dim ", 0) == 0 ? "hidden_dim banana" : l;
+      });
+  try {
+    GnnModel::load(path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("hidden_dim"), std::string::npos) << what;
+    EXPECT_NE(what.find("banana"), std::string::npos) << what;
+  }
+}
+
+TEST(GnnModel, LoadRejectsOutOfRangeFeatureKind) {
+  const std::string path =
+      corrupted_checkpoint("qgnn_badkind.txt", [](const std::string& l) {
+        return l.rfind("feature_kind ", 0) == 0 ? "feature_kind 97" : l;
+      });
+  EXPECT_THROW(GnnModel::load(path), IoError);
+}
+
+TEST(GnnModel, LoadRejectsTruncatedWeightMatrix) {
+  // Drop the final line, leaving the last parameter matrix short a row.
+  Rng rng(3);
+  const GnnModel model(small_config(GnnArch::kGCN), rng);
+  const std::string good = ::testing::TempDir() + "/qgnn_good_model2.txt";
+  model.save(good);
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(good);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  const std::string bad = ::testing::TempDir() + "/qgnn_short_weights.txt";
+  {
+    std::ofstream out(bad);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << '\n';
+  }
+  EXPECT_THROW(GnnModel::load(bad), IoError);
+}
+
+TEST(GnnModel, LoadRejectsInvalidConfigCombination) {
+  // A syntactically valid file whose config fails GnnModel's own
+  // validation (zero layers) must surface as IoError, not a crash.
+  const std::string path =
+      corrupted_checkpoint("qgnn_zero_layers.txt", [](const std::string& l) {
+        return l.rfind("num_layers ", 0) == 0 ? "num_layers 0" : l;
+      });
+  EXPECT_THROW(GnnModel::load(path), IoError);
 }
 
 TEST(GnnModel, ZeroDropoutTrainingEqualsEval) {

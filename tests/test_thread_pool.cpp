@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -171,24 +172,66 @@ TEST(ThreadPool, ReduceEmptyRangeReturnsZero) {
   EXPECT_EQ(r, 0.0);
 }
 
-TEST(ThreadPool, ConfiguredThreadsReadsEnvironment) {
-  const char* saved = std::getenv("QGNN_NUM_THREADS");
-  const std::string restore = saved ? saved : "";
+class ConfiguredThreadsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* saved = std::getenv("QGNN_NUM_THREADS");
+    had_env_ = saved != nullptr;
+    restore_ = saved ? saved : "";
+    ::unsetenv("QGNN_NUM_THREADS");
+    default_threads_ = ThreadPool::configured_threads();
+  }
+  void TearDown() override {
+    if (had_env_) {
+      ::setenv("QGNN_NUM_THREADS", restore_.c_str(), 1);
+    } else {
+      ::unsetenv("QGNN_NUM_THREADS");
+    }
+  }
 
+  bool had_env_ = false;
+  std::string restore_;
+  int default_threads_ = 0;
+};
+
+TEST_F(ConfiguredThreadsTest, ValidValueIsUsed) {
   ::setenv("QGNN_NUM_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::configured_threads(), 3);
-  ::setenv("QGNN_NUM_THREADS", "0", 1);
-  EXPECT_GE(ThreadPool::configured_threads(), 1);  // invalid -> hardware
-  ::setenv("QGNN_NUM_THREADS", "not-a-number", 1);
-  EXPECT_GE(ThreadPool::configured_threads(), 1);
-  ::setenv("QGNN_NUM_THREADS", "99999", 1);
-  EXPECT_EQ(ThreadPool::configured_threads(), 256);  // clamped
+  ::setenv("QGNN_NUM_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), 1);
+  ::setenv("QGNN_NUM_THREADS", "256", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), 256);
+}
 
-  if (saved) {
-    ::setenv("QGNN_NUM_THREADS", restore.c_str(), 1);
-  } else {
-    ::unsetenv("QGNN_NUM_THREADS");
-  }
+TEST_F(ConfiguredThreadsTest, NonNumericFallsBackToDefaultWithWarning) {
+  ::setenv("QGNN_NUM_THREADS", "not-a-number", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(ThreadPool::configured_threads(), default_threads_);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("QGNN_NUM_THREADS"), std::string::npos);
+  EXPECT_NE(warning.find("not-a-number"), std::string::npos);
+}
+
+TEST_F(ConfiguredThreadsTest, PartiallyNumericIsRejected) {
+  ::setenv("QGNN_NUM_THREADS", "8cores", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(ThreadPool::configured_threads(), default_threads_);
+  ::testing::internal::GetCapturedStderr();
+}
+
+TEST_F(ConfiguredThreadsTest, OutOfRangeFallsBackInsteadOfClamping) {
+  ::testing::internal::CaptureStderr();
+  ::setenv("QGNN_NUM_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), default_threads_);
+  ::setenv("QGNN_NUM_THREADS", "-4", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), default_threads_);
+  // Over-limit values previously clamped to 256; now they are rejected so
+  // a typo like "99999" cannot silently oversubscribe the machine.
+  ::setenv("QGNN_NUM_THREADS", "99999", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), default_threads_);
+  ::setenv("QGNN_NUM_THREADS", "", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), default_threads_);
+  ::testing::internal::GetCapturedStderr();
 }
 
 TEST(ThreadPool, SetGlobalThreadsRebuildsPool) {
