@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared main for the google-benchmark binaries. benchmark::Initialize
+// rejects flags it does not know, so the repo-specific
+//   --trace-out <file>   (or --trace-out=<file>)
+// is stripped here first. When given, trace spans are recorded for the
+// whole run and written as Chrome trace_event JSON on exit — open the
+// file in about://tracing or ui.perfetto.dev.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+inline int qgnn_benchmark_main(int argc, char** argv) {
+  std::string trace_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  if (!trace_out.empty()) qgnn::obs::TraceCollector::global().start();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_out.empty()) {
+    auto& collector = qgnn::obs::TraceCollector::global();
+    collector.stop();
+    try {
+      collector.write_chrome_trace_file(trace_out);
+      std::fprintf(stderr, "wrote %zu trace event(s) to %s\n",
+                   collector.event_count(), trace_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write trace: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

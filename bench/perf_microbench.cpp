@@ -16,6 +16,7 @@
 #include <cmath>
 #include <vector>
 
+#include "bench_main.hpp"
 #include "dataset/dataset.hpp"
 #include "gnn/model.hpp"
 #include "graph/generators.hpp"
@@ -325,4 +326,4 @@ BENCHMARK(BM_DatasetLabellingThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return qgnn_benchmark_main(argc, argv); }

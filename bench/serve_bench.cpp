@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_main.hpp"
 #include "gnn/model.hpp"
 #include "graph/generators.hpp"
 #include "serve/service.hpp"
@@ -216,4 +217,4 @@ BENCHMARK(BM_ServeCacheHit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return qgnn_benchmark_main(argc, argv); }

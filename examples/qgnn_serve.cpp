@@ -12,6 +12,11 @@
 // stream keeps going. Responses are flushed per line so the binary can sit
 // behind a pipe.
 //
+// A line of {"cmd": "stats", "id": 99} returns the live ServeStats —
+// request/cache counters plus the per-stage latency histograms (queue
+// wait, batch formation, forward, cache lookup, batch size) — instead of
+// a prediction.
+//
 // Usage:
 //   qgnn_serve --models <dir>              load every *.txt / *.model file
 //   qgnn_serve --demo                      register a fresh random model
@@ -23,6 +28,9 @@
 //   --cache <n>              LRU cache capacity, 0 disables  (default 4096)
 //   --workers <n>            request pipeline width; >1 lets concurrent
 //                            lines coalesce into one forward (default 4)
+//   --trace-out <file>       record trace spans while serving and write a
+//                            Chrome trace_event JSON file at EOF; open it
+//                            in about://tracing or ui.perfetto.dev
 // Final serving stats are printed to stderr at EOF.
 
 #include <cctype>
@@ -33,6 +41,7 @@
 
 #include "gnn/layers.hpp"
 #include "gnn/model.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
@@ -89,9 +98,20 @@ int main(int argc, char** argv) {
                    to_string(model_config.arch).c_str());
     }
 
+    const std::string trace_out = args.get("trace-out", "");
+    if (!trace_out.empty()) obs::TraceCollector::global().start();
+
     const int workers = args.get_int("workers", 4);
     const std::size_t handled =
         serve::run_ndjson_server(std::cin, std::cout, serve, workers);
+
+    if (!trace_out.empty()) {
+      obs::TraceCollector::global().stop();
+      obs::TraceCollector::global().write_chrome_trace_file(trace_out);
+      std::fprintf(stderr, "qgnn_serve: wrote %zu trace event(s) to %s\n",
+                   obs::TraceCollector::global().event_count(),
+                   trace_out.c_str());
+    }
 
     const serve::ServeStats stats = serve.stats();
     std::fprintf(stderr,
@@ -104,6 +124,10 @@ int main(int argc, char** argv) {
                  stats.requests_per_second);
     return 0;
   } catch (const Error& e) {
+    std::fprintf(stderr, "qgnn_serve: error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // e.g. an unwritable --trace-out path
     std::fprintf(stderr, "qgnn_serve: error: %s\n", e.what());
     return 1;
   }

@@ -1,17 +1,29 @@
 #include "gnn/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <limits>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qgnn {
 
 using ag::Var;
+
+namespace {
+
+double stage_us(std::chrono::steady_clock::time_point begin,
+                std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - begin).count();
+}
+
+}  // namespace
 
 EvalMetrics evaluate_metrics(const GnnModel& model,
                              const std::vector<TrainSample>& samples) {
@@ -125,7 +137,27 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
 
   const std::vector<Var> params = optimizer.params();
 
+  // Per-epoch wall-clock breakdown, recorded into the process registry.
+  // The flag is sampled once per run so an epoch never records a partial
+  // stage set.
+  const bool obs_on = obs::enabled();
+  auto& obs_registry = obs::MetricsRegistry::global();
+  obs::LatencyHistogram& h_epoch = obs_registry.histogram("train.epoch_us");
+  obs::LatencyHistogram& h_forward =
+      obs_registry.histogram("train.forward_us");
+  obs::LatencyHistogram& h_backward =
+      obs_registry.histogram("train.backward_us");
+  obs::LatencyHistogram& h_optimizer =
+      obs_registry.histogram("train.optimizer_us");
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    QGNN_TRACE_SPAN("train.epoch");
+    const auto epoch_start = obs_on
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+    double epoch_forward_us = 0.0;
+    double epoch_backward_us = 0.0;
+    double epoch_optimizer_us = 0.0;
     if (config.shuffle_each_epoch) rng.shuffle(order);
     // One draw per epoch seeds every sample's dropout stream via
     // (epoch_seed, position), keeping masks independent of both thread
@@ -156,6 +188,15 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
       // afterwards makes the batch gradient thread-count invariant.
       std::vector<std::vector<Matrix>> slot_grads(slots.size());
       std::vector<double> slot_loss(slots.size(), 0.0);
+      // Slot-local stage timings: each lane writes only its own slots, so
+      // summing afterwards needs no synchronization and the timings do not
+      // perturb the deterministic chunking.
+      std::vector<double> slot_forward_us;
+      std::vector<double> slot_backward_us;
+      if (obs_on) {
+        slot_forward_us.assign(slots.size(), 0.0);
+        slot_backward_us.assign(slots.size(), 0.0);
+      }
       std::mutex backward_mutex;
       ThreadPool::global().parallel_for(
           0, slots.size(), 1, [&](std::uint64_t lo, std::uint64_t hi) {
@@ -163,6 +204,9 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
               const std::size_t k = slots[si];
               const TrainSample& s = samples[order[k]];
               Rng dropout_rng(derive_seed(epoch_seed, k));
+              const auto t_forward =
+                  obs_on ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
               const Var pred =
                   model.forward(s.batch, /*training=*/true, dropout_rng);
               Var loss = config.loss == LossKind::kPeriodic
@@ -171,7 +215,14 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
                              : ag::mse_loss(pred, s.target);
               if (s.weight != 1.0) loss = ag::scalar_mul(loss, s.weight);
               slot_loss[si] = loss.value()(0, 0);
+              auto t_backward = std::chrono::steady_clock::time_point{};
+              if (obs_on) {
+                t_backward = std::chrono::steady_clock::now();
+                slot_forward_us[si] = stage_us(t_forward, t_backward);
+              }
 
+              // The backward stage includes the wait for the gradient
+              // mutex: that contention is exactly what the metric is for.
               std::lock_guard<std::mutex> lk(backward_mutex);
               loss.backward();
               std::vector<Matrix>& grads = slot_grads[si];
@@ -179,6 +230,10 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
               for (const Var& p : params) {
                 grads.push_back(p.node()->grad);
                 p.node()->grad.fill(0.0);
+              }
+              if (obs_on) {
+                slot_backward_us[si] =
+                    stage_us(t_backward, std::chrono::steady_clock::now());
               }
             }
           });
@@ -189,8 +244,15 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
         for (std::size_t pi = 0; pi < params.size(); ++pi) {
           params[pi].node()->grad += slot_grads[si][pi];
         }
+        if (obs_on) {
+          epoch_forward_us += slot_forward_us[si];
+          epoch_backward_us += slot_backward_us[si];
+        }
       }
 
+      const auto t_optimizer = obs_on
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
       // Average the accumulated gradients over the mini-batch.
       for (const Var& p : params) {
         p.node()->grad *= 1.0 / static_cast<double>(slots.size());
@@ -200,6 +262,18 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
       }
       optimizer.step();
       optimizer.zero_grad();
+      if (obs_on) {
+        epoch_optimizer_us +=
+            stage_us(t_optimizer, std::chrono::steady_clock::now());
+      }
+    }
+
+    if (obs_on) {
+      h_forward.record(epoch_forward_us);
+      h_backward.record(epoch_backward_us);
+      h_optimizer.record(epoch_optimizer_us);
+      h_epoch.record(
+          stage_us(epoch_start, std::chrono::steady_clock::now()));
     }
 
     EpochStats stats;

@@ -1,0 +1,111 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qgnn::obs {
+
+namespace {
+
+void append_number(std::string& out, double x) {
+  char buf[40];
+  if (!std::isfinite(x)) {
+    out += "null";
+  } else if (x == std::floor(x) && std::fabs(x) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", x);
+    out += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    out += buf;
+  }
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+void append_summary_json(std::string& out, const HistogramSummary& h) {
+  out += "{\"count\":";
+  append_number(out, static_cast<double>(h.count));
+  out += ",\"sum\":";
+  append_number(out, h.sum);
+  out += ",\"mean\":";
+  append_number(out, h.mean);
+  out += ",\"min\":";
+  append_number(out, h.min);
+  out += ",\"max\":";
+  append_number(out, h.max);
+  out += ",\"p50\":";
+  append_number(out, h.p50);
+  out += ",\"p90\":";
+  append_number(out, h.p90);
+  out += ",\"p99\":";
+  append_number(out, h.p99);
+  out += "}";
+}
+
+}  // namespace
+
+std::string render_text(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "counter  %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(line, sizeof(line), "gauge    %-32s %.6g\n", name.c_str(),
+                  value);
+    out += line;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "hist     %-32s count=%llu mean=%.6g min=%.6g max=%.6g "
+                  "p50=%.6g p90=%.6g p99=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean, h.min, h.max, h.p50, h.p90, h.p99);
+    out += line;
+  }
+  return out;
+}
+
+std::string render_json(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_quoted(out, name);
+    out.push_back(':');
+    append_number(out, static_cast<double>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_quoted(out, name);
+    out.push_back(':');
+    append_number(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_quoted(out, name);
+    out.push_back(':');
+    append_summary_json(out, h);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace qgnn::obs

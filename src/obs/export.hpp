@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace qgnn::obs {
+
+/// Human-readable metrics dump, one metric per line:
+///   counter  pool.chunks                 182934
+///   gauge    pool.max_chunks_in_job      64
+///   hist     serve.forward_us            count=812 mean=412.1 p50=...
+std::string render_text(const MetricsRegistry::Snapshot& snapshot);
+
+/// The same snapshot as a single-line JSON object:
+///   {"counters":{...},"gauges":{...},"histograms":{"name":
+///    {"count":N,"sum":...,"mean":...,"min":...,"max":...,
+///     "p50":...,"p90":...,"p99":...},...}}
+/// Self-contained (no dependency on the serve JSON layer) so any binary
+/// can dump metrics.
+std::string render_json(const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace qgnn::obs

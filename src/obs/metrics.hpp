@@ -1,0 +1,207 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qgnn::obs {
+
+/// Low-overhead process metrics: counters, gauges, and log-bucketed
+/// latency histograms, optionally grouped in a process-wide registry.
+///
+/// Hot-path contract:
+///  - Counter::add / Gauge ops / LatencyHistogram::record write relaxed
+///    atomics in a thread-indexed shard — no locks, no cross-thread
+///    cache-line sharing in steady state, TSan-clean by construction.
+///  - The primitives are always live. The process-wide on/off switch
+///    (enabled(), QGNN_OBS=0) is honored by the INSTRUMENTATION SITES:
+///    they check enabled() once and skip clock reads and record calls
+///    entirely, so disabled mode costs one relaxed load per site.
+///  - Reads (value(), summary(), snapshot()) merge the shards; they are
+///    meant for exporters and tests, not for hot paths.
+
+/// Process-wide instrumentation switch. Initialized from the QGNN_OBS
+/// environment variable ("0", "false", or "off" disable; anything else,
+/// including unset, enables) and overridable at runtime.
+bool enabled();
+void set_enabled(bool on);
+
+namespace detail {
+
+/// Shard count for per-thread striping. Threads are assigned shards
+/// round-robin; two threads sharing a shard stay correct (the slots are
+/// atomic), they just contend a little.
+inline constexpr std::size_t kShards = 16;
+
+/// Stable per-thread shard index in [0, kShards).
+std::size_t shard_index();
+
+struct alignas(64) ShardU64 {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(64) ShardF64 {
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace detail
+
+/// Monotonic event counter. add() is wait-free; value() sums the shards
+/// (and may miss adds that race with it, like any statistical counter).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[detail::shard_index()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  std::array<detail::ShardU64, detail::kShards> shards_;
+};
+
+/// Last-value-wins instantaneous metric with an atomic max variant for
+/// high-water marks (queue depths, in-flight counts).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  /// Raise the gauge to v if v is larger (high-water mark).
+  void record_max(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged view of a LatencyHistogram at one point in time.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Log-bucketed histogram for non-negative values (latencies in
+/// microseconds, batch sizes, amplitude counts — any positive magnitude).
+///
+/// Buckets are 8 linear sub-buckets per power of two across [2^-10, 2^30),
+/// plus underflow/overflow buckets, so quantiles carry at most ~7%
+/// relative error (half of the widest sub-bucket) regardless of how many
+/// samples stream in; memory is fixed at buckets x shards slots. record()
+/// is one relaxed fetch_add in the caller's shard plus sum/min/max
+/// bookkeeping; percentiles interpolate linearly inside the target bucket,
+/// clamped to the observed [min, max].
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 8;   // per power of two
+  static constexpr int kMinExp = -10;     // 2^-10 ~ 1e-3
+  static constexpr int kMaxExp = 30;      // 2^30 ~ 1.07e9
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  LatencyHistogram();
+
+  void record(double value);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Quantile q in [0, 1] by rank walk over the merged buckets.
+  double percentile(double q) const;
+  HistogramSummary summary() const;
+  /// Merge another histogram's buckets and extrema into this one.
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  /// Bucket index for a value; exposed for tests and exporters.
+  static std::size_t bucket_of(double value);
+  /// Inclusive lower / exclusive upper value bound of a bucket.
+  static double bucket_lo(std::size_t bucket);
+  static double bucket_hi(std::size_t bucket);
+
+ private:
+  std::uint64_t merged_bucket(std::size_t bucket) const;
+
+  /// counts_[bucket][shard]; bucket-major so a rank walk touches
+  /// contiguous memory per bucket.
+  std::vector<std::array<detail::ShardU64, detail::kShards>> counts_;
+  std::array<detail::ShardF64, detail::kShards> sums_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// RAII timer recording elapsed microseconds into a histogram on scope
+/// exit. Pass nullptr (e.g. when obs::enabled() is false) for a strict
+/// no-op that never reads the clock.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* hist)
+      : hist_(hist),
+        start_(hist ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    hist_->record(
+        std::chrono::duration<double, std::micro>(end - start_).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Name -> metric map with stable references: a metric, once created, is
+/// never moved or destroyed, so hot paths can cache the reference (the
+/// usual pattern is a function-local `static Counter& c = ...`). Lookup
+/// takes a mutex — do it once, not per event.
+///
+/// Naming scheme (see DESIGN.md §7): `<subsystem>.<metric>[_<unit>]`,
+/// e.g. `pool.chunks`, `quantum.kernel_us`, `train.epoch_us`.
+class MetricsRegistry {
+ public:
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSummary> histograms;
+  };
+
+  /// The process-wide registry used by the built-in instrumentation.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// Point-in-time merged view of every metric, sorted by name.
+  Snapshot snapshot() const;
+
+  /// Zero every metric without invalidating references. Intended for
+  /// tests and for delimiting measurement windows.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace qgnn::obs

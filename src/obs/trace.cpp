@@ -1,0 +1,196 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace qgnn::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Path from QGNN_TRACE, written at process exit when set.
+std::string& env_trace_path() {
+  static std::string path;
+  return path;
+}
+
+void write_env_trace_at_exit() {
+  try {
+    TraceCollector::global().write_chrome_trace_file(env_trace_path());
+    std::fprintf(stderr, "qgnn: wrote trace to %s (%zu event(s))\n",
+                 env_trace_path().c_str(),
+                 TraceCollector::global().event_count());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qgnn: failed to write QGNN_TRACE file: %s\n",
+                 e.what());
+  }
+}
+
+void append_escaped_name(std::string& out, const char* name) {
+  out.push_back('"');
+  for (const char* c = name; *c != '\0'; ++c) {
+    if (*c == '"' || *c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(*c) < 0x20) {
+      out.push_back('?');  // control chars never appear in span literals
+    } else {
+      out.push_back(*c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() {
+  const char* env = std::getenv("QGNN_TRACE");
+  if (env != nullptr && env[0] != '\0') {
+    env_trace_path() = env;
+    start();
+    std::atexit(write_env_trace_at_exit);
+  }
+}
+
+TraceCollector& TraceCollector::global() {
+  // Intentionally leaked: the constructor registers an atexit writer when
+  // QGNN_TRACE is set, and atexit handlers run after the destructor of a
+  // function-local static registered from inside its own constructor —
+  // the writer would lock a destroyed mutex. A leaked singleton has no
+  // destruction order to get wrong.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::start() {
+  std::lock_guard<std::mutex> lk(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> blk(buffer->mutex);
+    buffer->ring.clear();
+    buffer->next = 0;
+    buffer->size = 0;
+    buffer->dropped = 0;
+  }
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::stop() {
+  active_.store(false, std::memory_order_relaxed);
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::buffer_for_this_thread() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    fresh->tid = next_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lk(buffers_mutex_);
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void TraceCollector::record(const char* name,
+                            std::chrono::steady_clock::time_point begin,
+                            std::chrono::steady_clock::time_point end) {
+  if (!active()) return;
+  const std::int64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  const std::int64_t begin_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          begin.time_since_epoch())
+          .count();
+
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  Event event;
+  event.name = name;
+  event.ts_us = static_cast<double>(begin_ns - epoch) * 1e-3;
+  event.dur_us = std::chrono::duration<double, std::micro>(end - begin)
+                     .count();
+  event.tid = buffer.tid;
+
+  std::lock_guard<std::mutex> lk(buffer.mutex);
+  if (buffer.ring.size() < kRingCapacity) {
+    buffer.ring.push_back(event);
+    buffer.next = buffer.ring.size() % kRingCapacity;
+    buffer.size = buffer.ring.size();
+  } else {
+    buffer.ring[buffer.next] = event;  // overwrite oldest
+    buffer.next = (buffer.next + 1) % kRingCapacity;
+    ++buffer.dropped;
+  }
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::size_t total = 0;
+  std::lock_guard<std::mutex> lk(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> blk(buffer->mutex);
+    total += buffer->size;
+  }
+  return total;
+}
+
+std::uint64_t TraceCollector::dropped_events() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lk(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> blk(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& out) const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lk(buffers_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> blk(buffer->mutex);
+      events.insert(events.end(), buffer->ring.begin(),
+                    buffer->ring.begin() +
+                        static_cast<std::ptrdiff_t>(buffer->size));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+
+  std::string body;
+  body.reserve(events.size() * 96 + 64);
+  body += "{\"traceEvents\":[";
+  char scratch[160];
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) body.push_back(',');
+    first = false;
+    body += "{\"name\":";
+    append_escaped_name(body, e.name);
+    std::snprintf(scratch, sizeof(scratch),
+                  ",\"cat\":\"qgnn\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
+                  e.ts_us, e.dur_us, e.tid);
+    body += scratch;
+  }
+  body += "]}";
+  out << body << '\n';
+}
+
+void TraceCollector::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open trace output file: " + path);
+  }
+  write_chrome_trace(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing trace output file: " + path);
+  }
+}
+
+}  // namespace qgnn::obs

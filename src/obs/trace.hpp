@@ -1,0 +1,131 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qgnn::obs {
+
+/// Scoped trace spans recorded into per-thread ring buffers and exported
+/// as Chrome trace_event JSON — load the file in about://tracing (or
+/// ui.perfetto.dev) to see the per-thread timeline.
+///
+/// Usage:
+///   void ServeHandle::execute_batch(...) {
+///     QGNN_TRACE_SPAN("serve.forward");
+///     ...
+///   }
+/// When the collector is inactive (the default), a span costs one relaxed
+/// atomic load; no clock is read and nothing is stored. When active, each
+/// span records one complete ("ph":"X") event at scope exit under its
+/// thread's buffer mutex — uncontended except during export.
+///
+/// Span names must have static storage duration (string literals): the
+/// collector stores the pointer, not a copy.
+///
+/// Activation: call TraceCollector::global().start() (the `--trace-out`
+/// flag of qgnn_serve / serve_bench / perf_microbench does this), or set
+/// the QGNN_TRACE=<path> environment variable to trace any binary in the
+/// repo — the collector starts at first use and writes <path> at process
+/// exit.
+class TraceCollector {
+ public:
+  /// Events kept per thread; older events are overwritten ring-style and
+  /// counted in dropped_events(). 64k spans x 40 B ~ 2.5 MiB per thread.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+  struct Event {
+    const char* name;  // static storage (string literal)
+    double ts_us;      // begin, relative to the collector epoch
+    double dur_us;
+    int tid;
+  };
+
+  static TraceCollector& global();
+
+  /// Discard previously recorded events and begin recording.
+  void start();
+  void stop();
+  bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Record one complete span (normally via TraceSpan, not directly).
+  void record(const char* name,
+              std::chrono::steady_clock::time_point begin,
+              std::chrono::steady_clock::time_point end);
+
+  std::size_t event_count() const;
+  std::uint64_t dropped_events() const;
+
+  /// Write every recorded event as Chrome trace-format JSON:
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,
+  ///   "pid":...,"tid":...},...]}. Safe to call while spans are still
+  /// being recorded (each thread buffer is locked in turn), though a
+  /// quiescent stop() first gives a consistent file.
+  void write_chrome_trace(std::ostream& out) const;
+  /// Same, to a file. Throws std::runtime_error if the file cannot be
+  /// written.
+  void write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<Event> ring;
+    std::size_t next = 0;       // ring write cursor
+    std::size_t size = 0;       // valid events (<= kRingCapacity)
+    std::uint64_t dropped = 0;  // overwritten events
+    int tid = 0;
+  };
+
+  TraceCollector();
+  ThreadBuffer& buffer_for_this_thread();
+
+  std::atomic<bool> active_{false};
+  /// start() time as nanoseconds on the steady clock; atomic so record()
+  /// can read it without taking the buffers mutex.
+  std::atomic<std::int64_t> epoch_ns_{0};
+
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<int> next_tid_{0};
+};
+
+/// RAII span: records [construction, destruction) into the global
+/// collector when it is active. See QGNN_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), active_(TraceCollector::global().active()) {
+    if (active_) begin_ = std::chrono::steady_clock::now();
+  }
+  ~TraceSpan() {
+    if (active_) {
+      TraceCollector::global().record(name_, begin_,
+                                      std::chrono::steady_clock::now());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+#define QGNN_OBS_CONCAT_INNER(a, b) a##b
+#define QGNN_OBS_CONCAT(a, b) QGNN_OBS_CONCAT_INNER(a, b)
+
+/// Open a trace span covering the rest of the enclosing scope.
+/// `name` must be a string literal, conventionally "<subsystem>.<what>".
+#define QGNN_TRACE_SPAN(name) \
+  ::qgnn::obs::TraceSpan QGNN_OBS_CONCAT(qgnn_obs_span_, __LINE__){name}
+
+}  // namespace qgnn::obs

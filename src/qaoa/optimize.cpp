@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace qgnn {
@@ -28,6 +29,14 @@ class EvalTracker {
   }
 
   OptResult finish(bool converged) && {
+    if (obs::enabled()) {
+      // One registry update per optimization run, not per ⟨C⟩ evaluation,
+      // so the objective hot loop stays untouched.
+      auto& registry = obs::MetricsRegistry::global();
+      registry.counter("qaoa.evaluations")
+          .add(static_cast<std::uint64_t>(count_));
+      registry.counter("qaoa.optimizations").add(1);
+    }
     OptResult r;
     r.best_params = std::move(best_params_);
     r.best_value = best_value_;

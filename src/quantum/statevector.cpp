@@ -4,12 +4,27 @@
 #include <array>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qgnn {
 
 namespace {
+
+/// Registry handles cached once; kernels run thousands of times per
+/// optimization and must not take the registry mutex per call.
+obs::Counter& amps_touched_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("quantum.amps_touched");
+  return c;
+}
+
+obs::LatencyHistogram& kernel_histogram() {
+  static obs::LatencyHistogram& h =
+      obs::MetricsRegistry::global().histogram("quantum.kernel_us");
+  return h;
+}
 
 /// States at or above this dimension run their kernels on the global
 /// thread pool; smaller states stay serial because the per-job wakeup
@@ -25,7 +40,12 @@ constexpr std::uint64_t kGrain = std::uint64_t{1} << 12;
 /// Elementwise bodies produce bit-identical amplitudes at any lane count.
 template <typename Body>
 void for_each_index(std::uint64_t dim, const Body& body) {
+  const bool obs_on = obs::enabled();
+  if (obs_on) amps_touched_counter().add(dim);
   if (dim >= kParallelDim) {
+    // Only the pool-dispatched kernels are worth a clock read: serial
+    // kernels below the threshold finish in a few microseconds each.
+    obs::ScopedTimer timer(obs_on ? &kernel_histogram() : nullptr);
     ThreadPool::global().parallel_for(0, dim, kGrain, body);
   } else {
     body(0, dim);
@@ -38,7 +58,10 @@ void for_each_index(std::uint64_t dim, const Body& body) {
 /// given dimension is bit-identical at any lane count.
 template <typename T, typename ChunkFn>
 T reduce_index(std::uint64_t dim, T zero, const ChunkFn& chunk_sum) {
+  const bool obs_on = obs::enabled();
+  if (obs_on) amps_touched_counter().add(dim);
   if (dim >= kParallelDim) {
+    obs::ScopedTimer timer(obs_on ? &kernel_histogram() : nullptr);
     return ThreadPool::global().parallel_reduce(0, dim, kGrain, zero,
                                                 chunk_sum);
   }

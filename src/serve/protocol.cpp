@@ -281,26 +281,35 @@ int require_int(const JsonValue& v, const std::string& what) {
   return static_cast<int>(v.number);
 }
 
-}  // namespace
-
-const JsonValue* JsonValue::find(const std::string& key) const {
-  if (kind != Kind::kObject) return nullptr;
-  auto it = object.find(key);
-  return it == object.end() ? nullptr : &it->second;
+JsonValue json_bool(bool b) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kBool;
+  v.boolean = b;
+  return v;
 }
 
-JsonValue parse_json(const std::string& text) {
-  return JsonParser(text).parse_document();
+JsonValue json_number(double x) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kNumber;
+  v.number = x;
+  return v;
 }
 
-std::string to_json(const JsonValue& value) {
-  std::string out;
-  append_json(out, value);
-  return out;
+JsonValue json_summary(const obs::HistogramSummary& h) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kObject;
+  v.object["count"] = json_number(static_cast<double>(h.count));
+  v.object["sum"] = json_number(h.sum);
+  v.object["mean"] = json_number(h.mean);
+  v.object["min"] = json_number(h.min);
+  v.object["max"] = json_number(h.max);
+  v.object["p50"] = json_number(h.p50);
+  v.object["p90"] = json_number(h.p90);
+  v.object["p99"] = json_number(h.p99);
+  return v;
 }
 
-Request parse_request(const std::string& line) {
-  const JsonValue doc = parse_json(line);
+Request parse_request_doc(const JsonValue& doc) {
   if (!doc.is_object()) throw InvalidArgument("request must be an object");
 
   Request req;
@@ -339,6 +348,28 @@ Request parse_request(const std::string& line) {
     req.graph.add_edge(u, v, w);  // validates range/self-loops/duplicates
   }
   return req;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+std::string to_json(const JsonValue& value) {
+  std::string out;
+  append_json(out, value);
+  return out;
+}
+
+Request parse_request(const std::string& line) {
+  return parse_request_doc(parse_json(line));
 }
 
 std::string format_response(const JsonValue& id, const Prediction& p) {
@@ -395,6 +426,41 @@ std::string format_error(const JsonValue& id, const std::string& message) {
   return to_json(resp);
 }
 
+std::string format_stats_response(const JsonValue& id,
+                                  const ServeStats& stats) {
+  JsonValue body;
+  body.kind = JsonValue::Kind::kObject;
+  body.object["requests"] = json_number(static_cast<double>(stats.requests));
+  body.object["cache_hits"] =
+      json_number(static_cast<double>(stats.cache_hits));
+  body.object["cache_misses"] =
+      json_number(static_cast<double>(stats.cache_misses));
+  body.object["cache_evictions"] =
+      json_number(static_cast<double>(stats.cache_evictions));
+  body.object["batches"] = json_number(static_cast<double>(stats.batches));
+  body.object["batched_requests"] =
+      json_number(static_cast<double>(stats.batched_requests));
+  body.object["mean_batch_size"] = json_number(stats.mean_batch_size);
+  body.object["latency_us_mean"] = json_number(stats.latency_us_mean);
+  body.object["latency_us_p50"] = json_number(stats.latency_us_p50);
+  body.object["latency_us_p90"] = json_number(stats.latency_us_p90);
+  body.object["latency_us_p99"] = json_number(stats.latency_us_p99);
+  body.object["requests_per_second"] =
+      json_number(stats.requests_per_second);
+  body.object["queue_wait_us"] = json_summary(stats.queue_wait_us);
+  body.object["batch_form_us"] = json_summary(stats.batch_form_us);
+  body.object["forward_us"] = json_summary(stats.forward_us);
+  body.object["cache_lookup_us"] = json_summary(stats.cache_lookup_us);
+  body.object["batch_size"] = json_summary(stats.batch_size);
+
+  JsonValue resp;
+  resp.kind = JsonValue::Kind::kObject;
+  resp.object["id"] = id;
+  resp.object["ok"] = json_bool(true);
+  resp.object["stats"] = std::move(body);
+  return to_json(resp);
+}
+
 std::size_t run_ndjson_server(std::istream& in, std::ostream& out,
                               ServeHandle& handle, int workers) {
   QGNN_REQUIRE(workers >= 1, "NDJSON server needs >= 1 worker");
@@ -404,18 +470,25 @@ std::size_t run_ndjson_server(std::istream& in, std::ostream& out,
     JsonValue id;
     std::string response;
     try {
-      Request req = parse_request(line);
-      const Prediction p = req.model.empty()
-                               ? handle.predict(req.graph)
-                               : handle.predict(req.model, req.graph);
-      response = format_response(req.id, p);
-    } catch (const std::exception& e) {
-      try {
-        const JsonValue doc = parse_json(line);
-        if (const JsonValue* found = doc.find("id")) id = *found;
-      } catch (...) {
-        // Unparsable line: respond with a null id.
+      const JsonValue doc = parse_json(line);
+      if (const JsonValue* found = doc.find("id")) id = *found;
+      if (const JsonValue* cmd = doc.find("cmd")) {
+        // Control command, not a prediction request.
+        if (!cmd->is_string()) {
+          throw InvalidArgument("'cmd' must be a string");
+        }
+        if (cmd->string != "stats") {
+          throw InvalidArgument("unknown cmd '" + cmd->string + "'");
+        }
+        response = format_stats_response(id, handle.stats());
+      } else {
+        Request req = parse_request_doc(doc);
+        const Prediction p = req.model.empty()
+                                 ? handle.predict(req.graph)
+                                 : handle.predict(req.model, req.graph);
+        response = format_response(req.id, p);
       }
+    } catch (const std::exception& e) {
       response = format_error(id, e.what());
     }
     std::lock_guard<std::mutex> lk(out_mutex);

@@ -64,10 +64,21 @@ std::string format_response(const JsonValue& id, const Prediction& p);
 /// Error response: {"id":7,"ok":false,"error":"..."}.
 std::string format_error(const JsonValue& id, const std::string& message);
 
+/// Response to the {"cmd":"stats"} control command:
+///   {"id":99,"ok":true,"stats":{"requests":N,"cache_hits":N,...,
+///    "forward_us":{"count":N,"sum":...,"mean":...,"min":...,"max":...,
+///                  "p50":...,"p90":...,"p99":...}, ...}}
+/// Scalar ServeStats fields appear by their struct names; the per-stage
+/// histograms appear as sub-objects (all-zero unless observability was on
+/// while the requests ran).
+std::string format_stats_response(const JsonValue& id,
+                                  const ServeStats& stats);
+
 /// Drive `handle` from newline-delimited JSON requests on `in`, writing
 /// one response line per request to `out` (flushed per line). Blank lines
 /// are skipped; malformed lines produce error responses rather than
-/// aborting the stream. With workers > 1, lines are dispatched to that
+/// aborting the stream. A line carrying {"cmd":"stats"} (plus an optional
+/// id) is answered with format_stats_response instead of a prediction. With workers > 1, lines are dispatched to that
 /// many client threads so concurrent requests can coalesce into micro-
 /// batches — responses then come back in completion order, matched to
 /// requests by the echoed id. Returns the number of requests handled.

@@ -4,18 +4,13 @@
 
 #include "gnn/graph_batch.hpp"
 #include "graph/canonical.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
-#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qgnn::serve {
 
 namespace {
-
-/// Latency-sample retention cap: enough for any test or bench sweep while
-/// bounding memory for long-lived services (requests beyond the cap still
-/// count toward throughput, they just stop contributing percentiles).
-constexpr std::size_t kMaxLatencySamples = 1 << 20;
 
 double elapsed_us(std::chrono::steady_clock::time_point start,
                   std::chrono::steady_clock::time_point end) {
@@ -45,6 +40,7 @@ Prediction ServeHandle::predict(const Graph& g) {
 
 Prediction ServeHandle::predict(const std::string& model_name,
                                 const Graph& g) {
+  QGNN_TRACE_SPAN("serve.predict");
   const auto start = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lk(stats_mutex_);
@@ -65,8 +61,16 @@ Prediction ServeHandle::predict(const std::string& model_name,
   out.model = model_name;
 
   if (cache_.enabled()) {
+    const bool obs_on = obs::enabled();
+    const auto lookup_start = obs_on ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
     const CacheKey key{model_name, entry->generation, canonical_hash(g)};
-    if (auto cached = cache_.lookup(key)) {
+    auto cached = cache_.lookup(key);
+    if (obs_on) {
+      cache_lookup_us_.record(
+          elapsed_us(lookup_start, std::chrono::steady_clock::now()));
+    }
+    if (cached) {
       out.values = std::move(*cached);
       out.generation = entry->generation;
       out.cache_hit = true;
@@ -122,8 +126,17 @@ std::vector<Prediction> ServeHandle::predict_many(
                  "graph exceeds the model's feature config max_nodes");
     out[i].model = model_name;
     if (cache_.enabled()) {
+      const bool obs_on = obs::enabled();
+      const auto lookup_start =
+          obs_on ? std::chrono::steady_clock::now()
+                 : std::chrono::steady_clock::time_point{};
       const CacheKey key{model_name, entry->generation, canonical_hash(g)};
-      if (auto cached = cache_.lookup(key)) {
+      auto cached = cache_.lookup(key);
+      if (obs_on) {
+        cache_lookup_us_.record(
+            elapsed_us(lookup_start, std::chrono::steady_clock::now()));
+      }
+      if (cached) {
         out[i].values = std::move(*cached);
         out[i].generation = entry->generation;
         out[i].cache_hit = true;
@@ -144,8 +157,10 @@ std::vector<Prediction> ServeHandle::predict_many(
     const std::size_t hi = std::min(misses.size(), lo + window);
     std::vector<BatchRequest> reqs;
     reqs.reserve(hi - lo);
+    const auto enqueue = std::chrono::steady_clock::now();
     for (std::size_t k = lo; k < hi; ++k) {
       reqs.emplace_back(&graphs[misses[k]]);
+      reqs.back().enqueue_time = enqueue;  // queue-wait stage starts here
     }
     std::vector<BatchRequest*> ptrs;
     ptrs.reserve(reqs.size());
@@ -196,30 +211,56 @@ void ServeHandle::execute_batch(const std::string& model_name,
   const auto entry = registry_.get(model_name);
   const FeatureConfig& features = entry->model->config().features;
 
+  const bool obs_on = obs::enabled();
+  auto stage_start = std::chrono::steady_clock::time_point{};
+  if (obs_on) {
+    stage_start = std::chrono::steady_clock::now();
+    for (const BatchRequest* r : batch) {
+      queue_wait_us_.record(elapsed_us(r->enqueue_time, stage_start));
+    }
+    batch_size_hist_.record(static_cast<double>(batch.size()));
+  }
+
   try {
     GraphBatch union_batch;
-    if (ThreadPool::global().size() > 1 && batch.size() > 1) {
-      // Per-request feature extraction fans out on the PR-1 thread pool.
-      // Each part depends only on its own graph, so the result — and
-      // hence the union forward — is identical at any thread count.
-      std::vector<GraphBatch> parts(batch.size());
-      ThreadPool::global().parallel_for(
-          0, batch.size(), 1, [&](std::uint64_t lo, std::uint64_t hi) {
-            for (std::uint64_t i = lo; i < hi; ++i) {
-              parts[i] = make_graph_batch(*batch[i]->graph, features);
-            }
-          });
-      union_batch = concat_graph_batches(parts);
-    } else {
-      // A single-lane pool gains nothing from the fan-out; build the
-      // union directly (bit-identical: the same append code computes
-      // every entry, minus the per-part copies).
-      std::vector<const Graph*> graphs;
-      graphs.reserve(batch.size());
-      for (const BatchRequest* r : batch) graphs.push_back(r->graph);
-      union_batch = make_graph_batch(graphs, features);
+    {
+      QGNN_TRACE_SPAN("serve.batch_form");
+      if (ThreadPool::global().size() > 1 && batch.size() > 1) {
+        // Per-request feature extraction fans out on the PR-1 thread pool.
+        // Each part depends only on its own graph, so the result — and
+        // hence the union forward — is identical at any thread count.
+        std::vector<GraphBatch> parts(batch.size());
+        ThreadPool::global().parallel_for(
+            0, batch.size(), 1, [&](std::uint64_t lo, std::uint64_t hi) {
+              for (std::uint64_t i = lo; i < hi; ++i) {
+                parts[i] = make_graph_batch(*batch[i]->graph, features);
+              }
+            });
+        union_batch = concat_graph_batches(parts);
+      } else {
+        // A single-lane pool gains nothing from the fan-out; build the
+        // union directly (bit-identical: the same append code computes
+        // every entry, minus the per-part copies).
+        std::vector<const Graph*> graphs;
+        graphs.reserve(batch.size());
+        for (const BatchRequest* r : batch) graphs.push_back(r->graph);
+        union_batch = make_graph_batch(graphs, features);
+      }
     }
-    const Matrix rows = entry->model->predict(union_batch);
+    auto forward_start = std::chrono::steady_clock::time_point{};
+    if (obs_on) {
+      forward_start = std::chrono::steady_clock::now();
+      batch_form_us_.record(elapsed_us(stage_start, forward_start));
+    }
+    Matrix rows;
+    {
+      QGNN_TRACE_SPAN("serve.forward");
+      rows = entry->model->predict(union_batch);
+    }
+    if (obs_on) {
+      forward_us_.record(
+          elapsed_us(forward_start, std::chrono::steady_clock::now()));
+    }
 
     const std::uint64_t batch_id =
         next_batch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -244,12 +285,10 @@ void ServeHandle::execute_batch(const std::string& model_name,
 
 void ServeHandle::record_latency(double latency_us) {
   const auto now = std::chrono::steady_clock::now();
+  latency_us_.record(latency_us);
   std::lock_guard<std::mutex> lk(stats_mutex_);
   ++requests_;
   last_completion_ = std::max(last_completion_, now);
-  if (latencies_us_.size() < kMaxLatencySamples) {
-    latencies_us_.push_back(latency_us);
-  }
 }
 
 ServeStats ServeHandle::stats() const {
@@ -259,13 +298,11 @@ ServeStats ServeHandle::stats() const {
   s.cache_misses = cache.misses;
   s.cache_evictions = cache.evictions;
 
-  std::vector<double> latencies;
   {
     std::lock_guard<std::mutex> lk(stats_mutex_);
     s.requests = requests_;
     s.batched_requests = batched_requests_;
     s.batches = bulk_batches_;
-    latencies = latencies_us_;
     if (have_first_request_ && requests_ > 0 &&
         last_completion_ > first_request_) {
       const double span_s =
@@ -284,12 +321,20 @@ ServeStats ServeHandle::stats() const {
     s.mean_batch_size = static_cast<double>(s.batched_requests) /
                         static_cast<double>(s.batches);
   }
-  if (!latencies.empty()) {
-    s.latency_us_mean = mean_of(latencies);
-    s.latency_us_p50 = percentile(latencies, 0.50);
-    s.latency_us_p90 = percentile(latencies, 0.90);
-    s.latency_us_p99 = percentile(latencies, 0.99);
-  }
+  // Request-latency percentiles come from the shared log-bucketed
+  // histogram: bounded memory regardless of request count, and the same
+  // quantile math every exporter (serve_bench, the stats command) sees.
+  const obs::HistogramSummary latency = latency_us_.summary();
+  s.latency_us_mean = latency.mean;
+  s.latency_us_p50 = latency.p50;
+  s.latency_us_p90 = latency.p90;
+  s.latency_us_p99 = latency.p99;
+
+  s.queue_wait_us = queue_wait_us_.summary();
+  s.batch_form_us = batch_form_us_.summary();
+  s.forward_us = forward_us_.summary();
+  s.cache_lookup_us = cache_lookup_us_.summary();
+  s.batch_size = batch_size_hist_.summary();
   return s;
 }
 

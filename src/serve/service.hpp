@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/prediction_cache.hpp"
@@ -58,6 +59,16 @@ struct ServeStats {
   /// Completed requests divided by the wall-clock span from the first
   /// request's start to the latest completion. 0 before any request.
   double requests_per_second = 0.0;
+
+  /// Per-stage distributions, populated only while observability is on
+  /// (obs::enabled()); all-zero summaries otherwise. Units are
+  /// microseconds except batch_size, which counts requests per coalesced
+  /// forward pass — its `sum` equals batched_requests.
+  obs::HistogramSummary queue_wait_us;    // enqueue -> batch formation
+  obs::HistogramSummary batch_form_us;    // union GraphBatch construction
+  obs::HistogramSummary forward_us;       // model forward pass
+  obs::HistogramSummary cache_lookup_us;  // canonical hash + LRU probe
+  obs::HistogramSummary batch_size;
 };
 
 /// In-process handle to the warm-start inference service: model registry +
@@ -135,7 +146,19 @@ class ServeHandle {
   std::uint64_t requests_ = 0;
   std::uint64_t batched_requests_ = 0;
   std::uint64_t bulk_batches_ = 0;  // forward passes run by predict_many
-  std::vector<double> latencies_us_;
+
+  // Stage histograms are per-handle (not in the global MetricsRegistry):
+  // serve_bench and the tests create many handles with different configs
+  // in one process, and shared histograms would blend their percentiles.
+  // Request latency is always recorded (it feeds the pre-existing
+  // ServeStats percentiles); the stage histograms honour obs::enabled().
+  obs::LatencyHistogram latency_us_;
+  obs::LatencyHistogram queue_wait_us_;
+  obs::LatencyHistogram batch_form_us_;
+  obs::LatencyHistogram forward_us_;
+  obs::LatencyHistogram cache_lookup_us_;
+  obs::LatencyHistogram batch_size_hist_;
+
   bool have_first_request_ = false;
   std::chrono::steady_clock::time_point first_request_;
   std::chrono::steady_clock::time_point last_completion_;

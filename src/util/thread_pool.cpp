@@ -1,10 +1,12 @@
 #include "util/thread_pool.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace qgnn {
@@ -23,6 +25,11 @@ std::unique_ptr<ThreadPool> g_global_pool;
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   QGNN_REQUIRE(num_threads >= 1, "thread pool needs at least one lane");
+  auto& registry = obs::MetricsRegistry::global();
+  obs_jobs_ = &registry.counter("pool.jobs");
+  obs_chunks_ = &registry.counter("pool.chunks");
+  obs_idle_us_ = &registry.counter("pool.worker_idle_us");
+  obs_max_chunks_ = &registry.gauge("pool.max_chunks_in_job");
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int t = 0; t < num_threads - 1; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -69,10 +76,23 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
+      // Idle accounting reads the clock only when observability is on.
+      const bool timed = obs::enabled();
+      const auto idle_begin = timed ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
       std::unique_lock<std::mutex> lk(mutex_);
       wake_.wait(lk, [&] {
         return stop_ || (job_ != nullptr && job_epoch_ != seen_epoch);
       });
+      if (timed) {
+        const auto idle_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - idle_begin)
+                .count();
+        worker_idle_us_.fetch_add(static_cast<std::uint64_t>(idle_us),
+                                  std::memory_order_relaxed);
+        obs_idle_us_->add(static_cast<std::uint64_t>(idle_us));
+      }
       if (stop_) return;
       seen_epoch = job_epoch_;
       job = job_;
@@ -86,9 +106,23 @@ void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
   if (end <= begin) return;
   const std::uint64_t g = std::max<std::uint64_t>(1, grain);
   const std::uint64_t chunks = (end - begin + g - 1) / g;
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) obs_jobs_->add(1);
   if (num_threads_ <= 1 || chunks <= 1 || tl_in_parallel_region) {
+    chunks_executed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) obs_chunks_->add(1);
     body(begin, end);
     return;
+  }
+
+  parallel_jobs_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen_max = max_chunks_in_job_.load(std::memory_order_relaxed);
+  while (chunks > seen_max &&
+         !max_chunks_in_job_.compare_exchange_weak(
+             seen_max, chunks, std::memory_order_relaxed)) {
+  }
+  if (obs::enabled()) {
+    obs_max_chunks_->record_max(static_cast<double>(chunks));
   }
 
   std::lock_guard<std::mutex> submit_lk(submit_mutex_);
@@ -114,7 +148,19 @@ void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
     });
     job_ = nullptr;
   }
+  chunks_executed_.fetch_add(chunks, std::memory_order_relaxed);
+  if (obs::enabled()) obs_chunks_->add(chunks);
   if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool::Counters ThreadPool::counters() const {
+  Counters c;
+  c.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  c.parallel_jobs = parallel_jobs_.load(std::memory_order_relaxed);
+  c.chunks_executed = chunks_executed_.load(std::memory_order_relaxed);
+  c.max_chunks_in_job = max_chunks_in_job_.load(std::memory_order_relaxed);
+  c.worker_idle_us = worker_idle_us_.load(std::memory_order_relaxed);
+  return c;
 }
 
 ThreadPool& ThreadPool::global() {

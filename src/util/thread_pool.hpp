@@ -11,6 +11,11 @@
 #include <thread>
 #include <vector>
 
+namespace qgnn::obs {
+class Counter;
+class Gauge;
+}  // namespace qgnn::obs
+
 namespace qgnn {
 
 /// Fixed pool of worker threads running chunked parallel-for loops.
@@ -41,6 +46,20 @@ class ThreadPool {
 
   /// Total execution lanes, including the calling thread.
   int size() const { return num_threads_; }
+
+  /// Lifetime counters for this pool, monotonic since construction.
+  /// Mirrored into the process-wide metrics registry under pool.* names
+  /// (pool.jobs, pool.chunks, pool.worker_idle_us, pool.max_chunks_in_job)
+  /// when observability is enabled; these per-pool values are always
+  /// maintained — they cost one relaxed increment per job, not per chunk.
+  struct Counters {
+    std::uint64_t jobs_submitted = 0;   // non-empty parallel_for calls
+    std::uint64_t parallel_jobs = 0;    // jobs that fanned out to workers
+    std::uint64_t chunks_executed = 0;  // serial jobs count as one chunk
+    std::uint64_t max_chunks_in_job = 0;
+    std::uint64_t worker_idle_us = 0;   // workers' time blocked waiting
+  };
+  Counters counters() const;
 
   /// Split [begin, end) into chunks of at most `grain` elements and run
   /// body(chunk_begin, chunk_end) across the pool. Blocks until every
@@ -116,6 +135,19 @@ class ThreadPool {
   bool stop_ = false;
 
   std::mutex submit_mutex_;  // serializes parallel_for calls across threads
+
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> parallel_jobs_{0};
+  std::atomic<std::uint64_t> chunks_executed_{0};
+  std::atomic<std::uint64_t> max_chunks_in_job_{0};
+  std::atomic<std::uint64_t> worker_idle_us_{0};
+
+  // Registry mirrors, resolved once in the constructor so the registry
+  // outlives the pool's worker threads (static destruction order).
+  obs::Counter* obs_jobs_ = nullptr;
+  obs::Counter* obs_chunks_ = nullptr;
+  obs::Counter* obs_idle_us_ = nullptr;
+  obs::Gauge* obs_max_chunks_ = nullptr;
 };
 
 }  // namespace qgnn

@@ -1,0 +1,470 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gnn/trainer.hpp"
+#include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "qaoa/optimize.hpp"
+#include "quantum/statevector.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qgnn {
+namespace {
+
+/// Restores the process-wide observability switch on scope exit.
+struct ObsEnabledGuard {
+  bool saved = obs::enabled();
+  ~ObsEnabledGuard() { obs::set_enabled(saved); }
+};
+
+// ---- Counter ------------------------------------------------------------
+
+TEST(ObsCounter, AddsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, ConcurrentAddsFromEightThreadsAreExact) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Shards merge losslessly: every relaxed increment lands in some shard.
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+}
+
+// ---- Gauge --------------------------------------------------------------
+
+TEST(ObsGauge, SetAddAndHighWaterMark) {
+  obs::Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.record_max(2.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.record_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ---- LatencyHistogram ---------------------------------------------------
+
+TEST(ObsHistogram, CountSumMinMaxExact) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  const std::vector<double> values{0.5, 12.0, 12.0, 400.0, 1e6};
+  for (double v : values) h.record(v);
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 12.0 + 12.0 + 400.0 + 1e6);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  const obs::HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, values.size());
+  EXPECT_DOUBLE_EQ(s.mean, h.sum() / 5.0);
+}
+
+TEST(ObsHistogram, BucketBoundsContainTheirValues) {
+  for (double v : {1e-4, 0.01, 0.7, 1.0, 3.0, 127.0, 4096.5, 1e7, 2e9}) {
+    const std::size_t b = obs::LatencyHistogram::bucket_of(v);
+    EXPECT_LE(obs::LatencyHistogram::bucket_lo(b), v) << "value " << v;
+    EXPECT_LT(v, obs::LatencyHistogram::bucket_hi(b)) << "value " << v;
+  }
+  // Non-positive and non-finite values land in the underflow bucket.
+  EXPECT_EQ(obs::LatencyHistogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(obs::LatencyHistogram::bucket_of(-3.0), 0u);
+}
+
+TEST(ObsHistogram, PercentilesTrackSerialReferenceWithin15Percent) {
+  // Log-spaced latencies spanning five decades: the regime histogram
+  // quantiles are hardest for. The reference is the exact ceil-rank
+  // order statistic on the sorted samples.
+  Rng rng(99);
+  std::vector<double> values;
+  values.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(std::pow(10.0, rng.uniform(0.0, 5.0)));
+  }
+  obs::LatencyHistogram h;
+  for (double v : values) h.record(v);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(std::max<double>(
+        1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+    const double reference = sorted[rank - 1];
+    const double estimate = h.percentile(q);
+    EXPECT_NEAR(estimate, reference, 0.15 * reference) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, PercentilesAreMonotoneAndClampedToExtrema) {
+  obs::LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.record(rng.uniform(3.0, 7000.0));
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    EXPECT_GE(p, h.min());
+    EXPECT_LE(p, h.max());
+    prev = p;
+  }
+}
+
+TEST(ObsHistogram, ConcurrentIntegerRecordsKeepExactCountAndSum) {
+  obs::LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(1 + (t * kPerThread + i) % 1024));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  // Integer-valued samples sum exactly in doubles, and per-shard partial
+  // sums merge losslessly, so the total is exact, not approximate.
+  double expected = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      expected += static_cast<double>(1 + (t * kPerThread + i) % 1024);
+    }
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), expected);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1024.0);
+}
+
+TEST(ObsHistogram, MergeCombinesCountsAndExtrema) {
+  obs::LatencyHistogram a;
+  obs::LatencyHistogram b;
+  for (double v : {1.0, 2.0, 3.0}) a.record(v);
+  for (double v : {100.0, 200.0}) b.record(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 306.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+}
+
+// ---- MetricsRegistry ----------------------------------------------------
+
+TEST(ObsRegistry, ReferencesAreStableAndSnapshotMatches) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c1 = registry.counter("test.counter");
+  obs::Counter& c2 = registry.counter("test.counter");
+  EXPECT_EQ(&c1, &c2);  // same name -> same metric, forever
+  c1.add(7);
+  registry.gauge("test.gauge").set(2.5);
+  registry.histogram("test.hist").record(10.0);
+
+  const obs::MetricsRegistry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.count("test.counter"), 1u);
+  EXPECT_EQ(snap.counters.at("test.counter"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.gauge"), 2.5);
+  EXPECT_EQ(snap.histograms.at("test.hist").count, 1u);
+
+  registry.reset();
+  EXPECT_EQ(c1.value(), 0u);  // reset zeroes, references stay valid
+  EXPECT_EQ(registry.snapshot().counters.at("test.counter"), 0u);
+}
+
+TEST(ObsExport, TextAndJsonRenderTheSnapshot) {
+  obs::MetricsRegistry registry;
+  registry.counter("demo.requests").add(42);
+  registry.gauge("demo.depth").set(3.0);
+  registry.histogram("demo.lat_us").record(100.0);
+
+  const auto snap = registry.snapshot();
+  const std::string text = obs::render_text(snap);
+  EXPECT_NE(text.find("demo.requests"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("demo.lat_us"), std::string::npos);
+
+  // The JSON form must round-trip through the repo's own parser.
+  const serve::JsonValue doc = serve::parse_json(obs::render_json(snap));
+  ASSERT_TRUE(doc.is_object());
+  const serve::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("demo.requests")->number, 42.0);
+  const serve::JsonValue* hist = doc.find("histograms")->find("demo.lat_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(hist->find("min")->number, 100.0);
+}
+
+// ---- Tracing ------------------------------------------------------------
+
+TEST(ObsTrace, ChromeTraceJsonIsValidAndCarriesMultiThreadSpans) {
+  auto& collector = obs::TraceCollector::global();
+  collector.start();
+  {
+    QGNN_TRACE_SPAN("test.outer");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([] {
+        for (int i = 0; i < 5; ++i) {
+          QGNN_TRACE_SPAN("test.worker");
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  collector.stop();
+  EXPECT_GE(collector.event_count(), 16u);  // 1 outer + 3x5 workers
+
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+  const serve::JsonValue doc = serve::parse_json(out.str());
+  ASSERT_TRUE(doc.is_object());
+  const serve::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GE(events->array.size(), 16u);
+  std::set<double> tids;
+  bool saw_worker = false;
+  for (const serve::JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_TRUE(e.find("name")->is_string());
+    EXPECT_EQ(e.find("ph")->string, "X");
+    EXPECT_TRUE(e.find("ts")->is_number());
+    EXPECT_TRUE(e.find("dur")->is_number());
+    EXPECT_GE(e.find("dur")->number, 0.0);
+    tids.insert(e.find("tid")->number);
+    if (e.find("name")->string == "test.worker") saw_worker = true;
+  }
+  EXPECT_TRUE(saw_worker);
+  EXPECT_GE(tids.size(), 3u);  // the three worker threads are distinct
+}
+
+TEST(ObsTrace, RingBufferBoundsEventsAndCountsDrops) {
+  auto& collector = obs::TraceCollector::global();
+  collector.start();
+  const auto now = std::chrono::steady_clock::now();
+  const std::size_t overshoot = obs::TraceCollector::kRingCapacity + 1000;
+  for (std::size_t i = 0; i < overshoot; ++i) {
+    collector.record("test.flood", now, now);
+  }
+  collector.stop();
+  EXPECT_LE(collector.event_count(), obs::TraceCollector::kRingCapacity);
+  EXPECT_GE(collector.dropped_events(), 1000u);
+  collector.start();  // clears the flood for any later trace test
+  collector.stop();
+}
+
+TEST(ObsTrace, InactiveCollectorRecordsNothing) {
+  auto& collector = obs::TraceCollector::global();
+  collector.start();
+  collector.stop();
+  {
+    QGNN_TRACE_SPAN("test.ignored");
+  }
+  EXPECT_EQ(collector.event_count(), 0u);
+}
+
+// ---- Wiring: thread pool, quantum kernels, QAOA, trainer ---------------
+
+TEST(ObsWiring, ThreadPoolReportsIntoRegistry) {
+  ObsEnabledGuard guard;
+  obs::set_enabled(true);
+  const std::uint64_t jobs_before =
+      obs::MetricsRegistry::global().counter("pool.jobs").value();
+  const std::uint64_t chunks_before =
+      obs::MetricsRegistry::global().counter("pool.chunks").value();
+
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(0, 100, 10, [&](std::uint64_t lo, std::uint64_t hi) {
+    sum.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(sum.load(), 100u);
+
+  auto& registry = obs::MetricsRegistry::global();
+  EXPECT_EQ(registry.counter("pool.jobs").value(), jobs_before + 1);
+  EXPECT_EQ(registry.counter("pool.chunks").value(), chunks_before + 10);
+  EXPECT_GE(registry.gauge("pool.max_chunks_in_job").value(), 10.0);
+}
+
+TEST(ObsWiring, StatevectorKernelsCountAmplitudesAndTime) {
+  ObsEnabledGuard guard;
+  obs::set_enabled(true);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t amps_before =
+      registry.counter("quantum.amps_touched").value();
+  const std::uint64_t kernels_before =
+      registry.histogram("quantum.kernel_us").count();
+
+  // 14 qubits = 2^14 amplitudes: exactly the parallel-dispatch threshold,
+  // so norm() must both count its amplitudes and time the kernel.
+  const StateVector state = StateVector::plus_state(14);
+  EXPECT_NEAR(state.norm(), 1.0, 1e-12);
+
+  EXPECT_GE(registry.counter("quantum.amps_touched").value(),
+            amps_before + (std::uint64_t{1} << 14));
+  EXPECT_GE(registry.histogram("quantum.kernel_us").count(),
+            kernels_before + 1);
+}
+
+TEST(ObsWiring, StatevectorCountsNothingWhenDisabled) {
+  ObsEnabledGuard guard;
+  obs::set_enabled(false);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t amps_before =
+      registry.counter("quantum.amps_touched").value();
+  const StateVector state = StateVector::plus_state(14);
+  EXPECT_NEAR(state.norm(), 1.0, 1e-12);
+  EXPECT_EQ(registry.counter("quantum.amps_touched").value(), amps_before);
+}
+
+TEST(ObsWiring, QaoaOptimizerCountsEvaluationsAndRuns) {
+  ObsEnabledGuard guard;
+  obs::set_enabled(true);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t evals_before =
+      registry.counter("qaoa.evaluations").value();
+  const std::uint64_t runs_before =
+      registry.counter("qaoa.optimizations").value();
+
+  GridSearchConfig config;
+  config.gamma_steps = 3;
+  config.beta_steps = 4;
+  const Objective objective = [](const std::vector<double>& x) {
+    return -(x[0] - 0.4) * (x[0] - 0.4) - (x[1] - 0.2) * (x[1] - 0.2);
+  };
+  const OptResult result = grid_search_maximize_2d(objective, config);
+  EXPECT_EQ(result.evaluations, 12);
+
+  EXPECT_EQ(registry.counter("qaoa.evaluations").value(),
+            evals_before + 12);
+  EXPECT_EQ(registry.counter("qaoa.optimizations").value(), runs_before + 1);
+}
+
+TEST(ObsWiring, TrainerRecordsPerEpochStageTimings) {
+  ObsEnabledGuard guard;
+  obs::set_enabled(true);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t epochs_before =
+      registry.histogram("train.epoch_us").count();
+  const std::uint64_t forward_before =
+      registry.histogram("train.forward_us").count();
+
+  constexpr FeatureConfig kFeatures{NodeFeatureKind::kDegreeScaledOneHot,
+                                    15};
+  Rng rng(17);
+  std::vector<TrainSample> samples;
+  for (int i = 0; i < 8; ++i) {
+    const Graph g = random_regular_graph(6, 3, rng);
+    TrainSample s;
+    s.batch = make_graph_batch(g, kFeatures);
+    s.target = Matrix(1, 2);
+    s.target(0, 0) = 0.1;
+    s.target(0, 1) = 0.2;
+    samples.push_back(std::move(s));
+  }
+  GnnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  model_config.num_layers = 1;
+  model_config.output_dim = 2;
+  GnnModel model(model_config, rng);
+  TrainerConfig trainer_config;
+  trainer_config.epochs = 2;
+  trainer_config.batch_size = 4;
+  trainer_config.validation_fraction = 0.25;
+  train_gnn(model, samples, trainer_config, rng);
+
+  EXPECT_EQ(registry.histogram("train.epoch_us").count(), epochs_before + 2);
+  EXPECT_EQ(registry.histogram("train.forward_us").count(),
+            forward_before + 2);
+  EXPECT_GT(registry.histogram("train.epoch_us").max(), 0.0);
+}
+
+// ---- Disabled mode: no stage records, bit-identical serve outputs ------
+
+TEST(ObsGating, DisabledServeRecordsNoStagesAndMatchesEnabledBitExact) {
+  ObsEnabledGuard guard;
+
+  GnnModelConfig model_config;
+  Rng graph_rng(404);
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 12; ++i) {
+    graphs.push_back(random_regular_graph(8, 3, graph_rng));
+  }
+
+  auto run = [&](bool enabled) {
+    obs::set_enabled(enabled);
+    serve::ServeConfig config;
+    config.max_batch = 4;
+    config.cache_capacity = 16;
+    serve::ServeHandle handle(config);
+    Rng model_rng(5);
+    handle.register_model(config.default_model,
+                          GnnModel(model_config, model_rng));
+    std::vector<Matrix> values;
+    for (const Graph& g : graphs) {
+      values.push_back(handle.predict(g).values);
+    }
+    return std::make_pair(std::move(values), handle.stats());
+  };
+
+  const auto [disabled_values, disabled_stats] = run(false);
+  const auto [enabled_values, enabled_stats] = run(true);
+
+  // Observability must never perturb results: predictions are identical
+  // to the bit with the switch on or off.
+  ASSERT_EQ(disabled_values.size(), enabled_values.size());
+  for (std::size_t i = 0; i < disabled_values.size(); ++i) {
+    ASSERT_EQ(disabled_values[i].cols(), enabled_values[i].cols());
+    for (std::size_t j = 0; j < disabled_values[i].cols(); ++j) {
+      EXPECT_EQ(disabled_values[i](0, j), enabled_values[i](0, j));
+    }
+  }
+
+  // Disabled mode records no stage samples at all...
+  EXPECT_EQ(disabled_stats.forward_us.count, 0u);
+  EXPECT_EQ(disabled_stats.batch_form_us.count, 0u);
+  EXPECT_EQ(disabled_stats.queue_wait_us.count, 0u);
+  EXPECT_EQ(disabled_stats.cache_lookup_us.count, 0u);
+  EXPECT_EQ(disabled_stats.batch_size.count, 0u);
+  // ...while the pre-existing request accounting still works.
+  EXPECT_EQ(disabled_stats.requests, graphs.size());
+
+  // Enabled mode populates the stages.
+  EXPECT_GT(enabled_stats.forward_us.count, 0u);
+  EXPECT_GT(enabled_stats.cache_lookup_us.count, 0u);
+  EXPECT_EQ(enabled_stats.batch_size.sum,
+            static_cast<double>(enabled_stats.batched_requests));
+}
+
+}  // namespace
+}  // namespace qgnn

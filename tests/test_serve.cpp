@@ -19,6 +19,7 @@
 #include "serve/model_registry.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "serve/service.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -69,6 +70,12 @@ struct PoolSizeGuard {
   ~PoolSizeGuard() {
     ThreadPool::set_global_threads(ThreadPool::configured_threads());
   }
+};
+
+/// Restores the global observability switch on scope exit.
+struct ObsEnabledGuard {
+  bool saved = obs::enabled();
+  ~ObsEnabledGuard() { obs::set_enabled(saved); }
 };
 
 // ---- acceptance: batched == single, at any thread count -----------------
@@ -439,6 +446,115 @@ TEST(Serve, NdjsonPipelinedWorkersAnswerEveryRequest) {
     ids.insert(static_cast<int>(resp.find("id")->number));
   }
   EXPECT_EQ(ids.size(), 40u) << "every id answered exactly once";
+}
+
+TEST(Serve, NdjsonStatsCommandRoundTrip) {
+  ObsEnabledGuard obs_guard;
+  obs::set_enabled(true);
+  ServeConfig config;
+  config.max_batch = 4;
+  config.cache_capacity = 64;
+  ServeHandle serve(config);
+  serve.register_model("default", make_model(GnnArch::kGCN, 21));
+
+  // Three predicts (the third repeats the first, so it is a cache hit)
+  // followed by the stats command; workers=1 keeps responses in order.
+  std::istringstream in(
+      "{\"id\": 1, \"nodes\": 4, \"edges\": [[0,1],[1,2],[2,3],[3,0]]}\n"
+      "{\"id\": 2, \"nodes\": 3, \"edges\": [[0,1],[1,2],[2,0]]}\n"
+      "{\"id\": 1, \"nodes\": 4, \"edges\": [[0,1],[1,2],[2,3],[3,0]]}\n"
+      "{\"cmd\": \"stats\", \"id\": 99}\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve::run_ndjson_server(in, out, serve, /*workers=*/1), 4u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<serve::JsonValue> responses;
+  while (std::getline(lines, line)) {
+    responses.push_back(serve::parse_json(line));
+  }
+  ASSERT_EQ(responses.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(responses[static_cast<std::size_t>(i)].find("ok")->boolean);
+  }
+
+  const serve::JsonValue& reply = responses[3];
+  EXPECT_EQ(reply.find("id")->number, 99.0);
+  EXPECT_TRUE(reply.find("ok")->boolean);
+  const serve::JsonValue* stats = reply.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->find("requests")->number, 3.0);
+  EXPECT_EQ(stats->find("cache_hits")->number, 1.0);
+  EXPECT_EQ(stats->find("cache_misses")->number, 2.0);
+  EXPECT_GT(stats->find("latency_us_p50")->number, 0.0);
+
+  // The per-stage histograms are populated while observability is on.
+  const serve::JsonValue* forward = stats->find("forward_us");
+  ASSERT_NE(forward, nullptr);
+  EXPECT_GE(forward->find("count")->number, 1.0);
+  EXPECT_GT(forward->find("mean")->number, 0.0);
+  const serve::JsonValue* queue_wait = stats->find("queue_wait_us");
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_GE(queue_wait->find("count")->number, 2.0);
+  EXPECT_EQ(stats->find("batch_size")->find("sum")->number,
+            stats->find("batched_requests")->number);
+}
+
+TEST(Serve, UnknownCmdProducesErrorResponse) {
+  ServeHandle serve;
+  serve.register_model("default", make_model(GnnArch::kGCN, 22));
+  std::istringstream in("{\"cmd\": \"selfdestruct\", \"id\": 5}\n");
+  std::ostringstream out;
+  serve::run_ndjson_server(in, out, serve);
+  const auto resp = serve::parse_json(out.str());
+  EXPECT_EQ(resp.find("id")->number, 5.0);
+  EXPECT_FALSE(resp.find("ok")->boolean);
+  EXPECT_NE(resp.find("error")->string.find("unknown cmd"),
+            std::string::npos);
+}
+
+TEST(Serve, ConcurrentPredictAccountingIsExact) {
+  ObsEnabledGuard obs_guard;
+  obs::set_enabled(true);
+  ServeConfig config;
+  config.max_batch = 8;
+  config.max_queue_delay = std::chrono::microseconds(500);
+  config.cache_capacity = 256;
+  ServeHandle serve(config);
+  serve.register_model("default", make_model(GnnArch::kGCN, 23));
+
+  // 16 distinct graphs requested many times over from 8 threads: plenty
+  // of duplicates, so hits, misses, and coalesced batches all occur.
+  const auto graphs = test_graphs(16, 77);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&serve, &graphs, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        serve.predict(
+            graphs[static_cast<std::size_t>(t * 7 + i) % graphs.size()]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = serve.stats();
+  const auto total =
+      static_cast<std::uint64_t>(kThreads) * static_cast<std::uint64_t>(
+                                                 kPerThread);
+  // Exactness under concurrency: every request does exactly one cache
+  // probe (hit XOR miss), and every miss is answered by exactly one
+  // coalesced forward pass.
+  EXPECT_EQ(stats.requests, total);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, total);
+  EXPECT_EQ(stats.batched_requests, stats.cache_misses);
+  // The batch-size histogram counts one sample per forward pass and its
+  // sum is the number of requests those passes answered.
+  EXPECT_EQ(stats.batch_size.count, stats.batches);
+  EXPECT_EQ(stats.batch_size.sum,
+            static_cast<double>(stats.batched_requests));
 }
 
 TEST(Serve, JsonParserRejectsGarbage) {

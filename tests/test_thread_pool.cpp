@@ -241,6 +241,27 @@ TEST(ThreadPool, SetGlobalThreadsRebuildsPool) {
   EXPECT_EQ(ThreadPool::global().size(), 1);
 }
 
+TEST(ThreadPool, LifetimeCountersTrackJobsAndChunks) {
+  ThreadPool pool(4);
+  // Parallel job: 100 indices at grain 10 -> 10 chunks across the lanes.
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 100, 10, [&](std::uint64_t lo, std::uint64_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  // Serial job: 5 indices fit in one grain-10 chunk, so parallel_for runs
+  // it inline on the caller without waking the lanes.
+  pool.parallel_for(0, 5, 10, [&](std::uint64_t lo, std::uint64_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 105);
+
+  const ThreadPool::Counters counters = pool.counters();
+  EXPECT_EQ(counters.jobs_submitted, 2u);
+  EXPECT_EQ(counters.parallel_jobs, 1u);
+  EXPECT_EQ(counters.chunks_executed, 11u);
+  EXPECT_EQ(counters.max_chunks_in_job, 10u);
+}
+
 TEST(ThreadPool, ManySmallJobsBackToBack) {
   // Stress the wake/sleep cycle: a missed wakeup or a stale job pointer
   // shows up as a hang or a lost chunk here.
