@@ -224,6 +224,126 @@ void BM_RandomRegularGraph(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomRegularGraph)->Arg(8)->Arg(15);
 
+// ---- QAOA evaluation engine --------------------------------------------
+// Engine fast paths (phase table + fused RX layer + workspace reuse) vs
+// the pre-engine generic path (per-amplitude sincos diagonal, per-qubit
+// 2x2 mixer gates, fresh allocation per evaluation). Single-threaded so
+// the ratio isolates the kernel work; the acceptance criterion is >= 3x
+// labelling throughput at n = 14, depth = 1. items_per_second counts
+// evaluations (or value+gradient passes) per second.
+
+QaoaParams bench_params(int depth) {
+  std::vector<double> gammas(static_cast<std::size_t>(depth));
+  std::vector<double> betas(static_cast<std::size_t>(depth));
+  for (int l = 0; l < depth; ++l) {
+    gammas[static_cast<std::size_t>(l)] = 0.6 + 0.07 * l;
+    betas[static_cast<std::size_t>(l)] = 0.35 - 0.04 * l;
+  }
+  return QaoaParams(std::move(gammas), std::move(betas));
+}
+
+void BM_QaoaEngineEval(benchmark::State& state) {
+  ThreadPool::set_global_threads(1);
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  const Graph g = bench_graph(n, 3);
+  const CostHamiltonian cost(g);
+  const QaoaParams params = bench_params(depth);
+  EvalWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.engine().expectation(params, ws));
+  }
+  state.counters["qubits"] = n;
+  state.counters["depth"] = depth;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_QaoaEngineEval)
+    ->ArgsProduct({{10, 14, 18}, {1, 2, 4}})->UseRealTime();
+
+void BM_QaoaGenericEval(benchmark::State& state) {
+  ThreadPool::set_global_threads(1);
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  const Graph g = bench_graph(n, 3);
+  const CostHamiltonian cost(g);
+  const QaoaParams params = bench_params(depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.engine().expectation_reference(params));
+  }
+  state.counters["qubits"] = n;
+  state.counters["depth"] = depth;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_QaoaGenericEval)
+    ->ArgsProduct({{10, 14, 18}, {1, 2, 4}})->UseRealTime();
+
+void BM_QaoaEngineEvalThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  // 18 qubits, matching the kThreadSweepQubits sweeps below.
+  const Graph g = bench_graph(18, 3);
+  const CostHamiltonian cost(g);
+  const QaoaParams params = bench_params(1);
+  EvalWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.engine().expectation(params, ws));
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_QaoaEngineEvalThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_QaoaAdjointGradient(benchmark::State& state) {
+  ThreadPool::set_global_threads(1);
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  const Graph g = bench_graph(n, 3);
+  const CostHamiltonian cost(g);
+  const QaoaParams params = bench_params(depth);
+  EvalWorkspace ws;
+  std::vector<double> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cost.engine().value_and_gradient(params, grad, ws));
+  }
+  state.counters["qubits"] = n;
+  state.counters["depth"] = depth;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_QaoaAdjointGradient)
+    ->ArgsProduct({{10, 14}, {1, 2, 4}})->UseRealTime();
+
+void BM_QaoaFdGradient(benchmark::State& state) {
+  // What one Adam iteration's gradient cost with central finite
+  // differences: 4*depth engine evaluations (plus the value itself in the
+  // optimizer loop, not counted here). Compare per-pass time directly
+  // against BM_QaoaAdjointGradient at equal (qubits, depth).
+  ThreadPool::set_global_threads(1);
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  const Graph g = bench_graph(n, 3);
+  const CostHamiltonian cost(g);
+  EvalWorkspace ws;
+  const Objective f = [&cost, &ws](const std::vector<double>& flat) {
+    return cost.engine().expectation(QaoaParams::from_flat(flat), ws);
+  };
+  const std::vector<double> x = bench_params(depth).flatten();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finite_difference_gradient(f, x).data());
+  }
+  state.counters["qubits"] = n;
+  state.counters["depth"] = depth;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_QaoaFdGradient)
+    ->ArgsProduct({{10, 14}, {1, 2, 4}})->UseRealTime();
+
 // ---- thread-pool scaling sweeps ----------------------------------------
 // 18 qubits (2^18 amplitudes) is the acceptance-criterion size: well above
 // the 2^14 serial threshold, so every kernel below actually fans out.

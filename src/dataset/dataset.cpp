@@ -65,7 +65,8 @@ std::vector<DatasetEntry> generate_dataset(const DatasetGenConfig& config,
                                            const ProgressFn& progress) {
   QGNN_REQUIRE(config.num_instances >= 1, "need at least one instance");
   QGNN_REQUIRE(config.min_nodes >= 2, "graphs need at least two nodes");
-  QGNN_REQUIRE(config.max_nodes <= 26, "max nodes exceeds simulator range");
+  QGNN_REQUIRE(config.max_nodes <= kMaxQubits,
+               "max nodes exceeds simulator range");
   QGNN_REQUIRE(config.min_nodes <= config.max_nodes, "node range inverted");
   QGNN_REQUIRE(config.depth >= 1, "QAOA depth must be at least 1");
 

@@ -12,7 +12,7 @@ IsingModel::IsingModel(int num_spins)
       couplings_(static_cast<std::size_t>(num_spins) *
                      static_cast<std::size_t>(num_spins),
                  0.0) {
-  QGNN_REQUIRE(num_spins >= 1 && num_spins <= 26,
+  QGNN_REQUIRE(num_spins >= 1 && num_spins <= kMaxQubits,
                "spin count out of simulable range");
 }
 
@@ -120,7 +120,8 @@ IsingModel maxcut_to_ising(const Graph& g) {
 
 IsingModel number_partitioning_ising(const std::vector<double>& weights) {
   QGNN_REQUIRE(weights.size() >= 2, "need at least two numbers");
-  QGNN_REQUIRE(weights.size() <= 26, "too many numbers to simulate");
+  QGNN_REQUIRE(weights.size() <= static_cast<std::size_t>(kMaxQubits),
+               "too many numbers to simulate");
   IsingModel model(static_cast<int>(weights.size()));
   double offset = 0.0;
   for (std::size_t i = 0; i < weights.size(); ++i) {

@@ -1,6 +1,5 @@
 #include "qaoa/ansatz.hpp"
 
-#include "quantum/gates.hpp"
 #include "util/error.hpp"
 
 namespace qgnn {
@@ -35,19 +34,16 @@ QaoaAnsatz::QaoaAnsatz(const Graph& g) : graph_(g), cost_(g) {}
 StateVector QaoaAnsatz::prepare_state(const QaoaParams& params) const {
   QGNN_REQUIRE(params.depth() >= 1, "QAOA depth must be at least 1");
   StateVector state = StateVector::plus_state(num_qubits());
-  for (int layer = 0; layer < params.depth(); ++layer) {
-    cost_.apply_phase(state, params.gammas[layer]);
-    // Mixer e^{-i beta B} = prod_v RX(2 beta) on v.
-    const auto rx = gates::rx(2.0 * params.betas[layer]);
-    for (int q = 0; q < num_qubits(); ++q) {
-      state.apply_single_qubit(rx, q);
-    }
-  }
+  std::vector<Amplitude> table;
+  cost_.engine().apply_ansatz(state, params, table);
   return state;
 }
 
 double QaoaAnsatz::expectation(const QaoaParams& params) const {
-  return cost_.expectation(prepare_state(params));
+  // Runs inside the calling thread's workspace: optimizer loops and the
+  // parallel dataset labeller evaluate thousands of parameter points with
+  // zero per-evaluation statevector allocations.
+  return cost_.engine().expectation(params);
 }
 
 double QaoaAnsatz::approximation_ratio(const QaoaParams& params) const {

@@ -4,41 +4,46 @@
 
 namespace qgnn {
 
-CostHamiltonian::CostHamiltonian(const Graph& g)
-    : num_qubits_(g.num_nodes()) {
-  QGNN_REQUIRE(num_qubits_ >= 1 && num_qubits_ <= 26,
-               "graph size out of simulable range [1, 26] nodes");
-  const std::uint64_t dim = dimension();
-  diag_.assign(dim, 0.0);
+std::vector<double> CostHamiltonian::cut_value_table(const Graph& g) {
+  QGNN_REQUIRE(g.num_nodes() >= 1 && g.num_nodes() <= kMaxQubits,
+               "graph size out of simulable range [1, kMaxQubits] nodes");
+  const std::uint64_t dim = std::uint64_t{1} << g.num_nodes();
+  std::vector<double> diag(dim, 0.0);
   // Incremental per-edge accumulation: for each edge, add w to all states
   // where the endpoints differ. O(2^n * m) total, done once per graph.
   for (const Edge& e : g.edges()) {
     const std::uint64_t ub = std::uint64_t{1} << e.u;
     const std::uint64_t vb = std::uint64_t{1} << e.v;
     for (std::uint64_t x = 0; x < dim; ++x) {
-      if (((x & ub) != 0) != ((x & vb) != 0)) diag_[x] += e.weight;
+      if (((x & ub) != 0) != ((x & vb) != 0)) diag[x] += e.weight;
     }
   }
+  return diag;
+}
+
+CostHamiltonian::CostHamiltonian(const Graph& g)
+    : engine_(g.num_nodes(), cut_value_table(g)) {
+  const std::span<const double> diag = engine_.diagonal();
   max_value_ = 0.0;
   argmax_ = 0;
-  for (std::uint64_t x = 0; x < dim; ++x) {
-    if (diag_[x] > max_value_) {
-      max_value_ = diag_[x];
+  for (std::uint64_t x = 0; x < diag.size(); ++x) {
+    if (diag[x] > max_value_) {
+      max_value_ = diag[x];
       argmax_ = x;
     }
   }
 }
 
 void CostHamiltonian::apply_phase(StateVector& state, double gamma) const {
-  QGNN_REQUIRE(state.num_qubits() == num_qubits_,
+  QGNN_REQUIRE(state.num_qubits() == num_qubits(),
                "state size does not match Hamiltonian");
-  state.apply_diagonal_phase(diag_, gamma);
+  state.apply_diagonal_phase(engine_.diagonal(), gamma);
 }
 
 double CostHamiltonian::expectation(const StateVector& state) const {
-  QGNN_REQUIRE(state.num_qubits() == num_qubits_,
+  QGNN_REQUIRE(state.num_qubits() == num_qubits(),
                "state size does not match Hamiltonian");
-  return state.expectation_diagonal(diag_);
+  return state.expectation_diagonal(engine_.diagonal());
 }
 
 }  // namespace qgnn

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "qaoa/eval_engine.hpp"
 #include "quantum/statevector.hpp"
 
 namespace qgnn {
@@ -13,19 +14,24 @@ namespace qgnn {
 ///
 /// C is diagonal in the computational basis: its eigenvalue on basis state
 /// |x> is exactly the cut value of the assignment x. The full diagonal is
-/// precomputed once per graph (O(2^n * m)), after which the QAOA cost layer
-/// and <C> evaluation are both O(2^n) — the fast path the simulator relies
-/// on.
+/// precomputed once per graph (O(2^n * m)) and handed to a QaoaEvalEngine,
+/// which owns the fast evaluation paths (phase-table cost layer, fused
+/// mixer, adjoint gradients). For unweighted graphs cut values are small
+/// integers, so the phase table is always active.
 class CostHamiltonian {
  public:
   explicit CostHamiltonian(const Graph& g);
 
-  int num_qubits() const { return num_qubits_; }
-  std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
+  int num_qubits() const { return engine_.num_qubits(); }
+  std::uint64_t dimension() const { return engine_.dimension(); }
 
   /// Eigenvalue (cut value) of basis state |x>.
-  double value(std::uint64_t x) const { return diag_[x]; }
-  std::span<const double> diagonal() const { return diag_; }
+  double value(std::uint64_t x) const { return engine_.diagonal()[x]; }
+  std::span<const double> diagonal() const { return engine_.diagonal(); }
+
+  /// The evaluation engine bound to this diagonal — the fast path for
+  /// whole-ansatz preparation, expectation, and analytic gradients.
+  const QaoaEvalEngine& engine() const { return engine_; }
 
   /// Largest eigenvalue = exact Max-Cut optimum (from the same table, so
   /// always consistent with the diagonal).
@@ -40,8 +46,9 @@ class CostHamiltonian {
   double expectation(const StateVector& state) const;
 
  private:
-  int num_qubits_;
-  std::vector<double> diag_;
+  static std::vector<double> cut_value_table(const Graph& g);
+
+  QaoaEvalEngine engine_;
   double max_value_ = 0.0;
   std::uint64_t argmax_ = 0;
 };

@@ -1,42 +1,33 @@
 #include "qaoa/diagonal_qaoa.hpp"
 
-#include "quantum/gates.hpp"
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace qgnn {
 
 DiagonalQaoa::DiagonalQaoa(int num_qubits, std::vector<double> diagonal)
-    : num_qubits_(num_qubits), diag_(std::move(diagonal)) {
-  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
-               "qubit count out of range");
-  QGNN_REQUIRE(diag_.size() == (std::size_t{1} << num_qubits),
-               "diagonal length must be 2^n");
-  max_value_ = diag_[0];
+    : engine_(num_qubits, std::move(diagonal)) {
+  const std::span<const double> diag = engine_.diagonal();
+  max_value_ = diag[0];
   argmax_ = 0;
-  for (std::uint64_t k = 1; k < diag_.size(); ++k) {
-    if (diag_[k] > max_value_) {
-      max_value_ = diag_[k];
+  for (std::uint64_t k = 1; k < diag.size(); ++k) {
+    if (diag[k] > max_value_) {
+      max_value_ = diag[k];
       argmax_ = k;
     }
   }
 }
 
 StateVector DiagonalQaoa::prepare_state(const QaoaParams& params) const {
-  StateVector state = StateVector::plus_state(num_qubits_);
-  for (int layer = 0; layer < params.depth(); ++layer) {
-    state.apply_diagonal_phase(
-        diag_, params.gammas[static_cast<std::size_t>(layer)]);
-    const auto rx =
-        gates::rx(2.0 * params.betas[static_cast<std::size_t>(layer)]);
-    for (int q = 0; q < num_qubits_; ++q) {
-      state.apply_single_qubit(rx, q);
-    }
-  }
+  StateVector state = StateVector::plus_state(num_qubits());
+  std::vector<Amplitude> table;
+  engine_.apply_ansatz(state, params, table);
   return state;
 }
 
 double DiagonalQaoa::expectation(const QaoaParams& params) const {
-  return prepare_state(params).expectation_diagonal(diag_);
+  return engine_.expectation(params);
 }
 
 double DiagonalQaoa::approximation_ratio(const QaoaParams& params) const {

@@ -3,7 +3,7 @@
 #include <span>
 #include <vector>
 
-#include "qaoa/ansatz.hpp"
+#include "qaoa/eval_engine.hpp"
 
 namespace qgnn {
 
@@ -12,15 +12,20 @@ namespace qgnn {
 /// approaches could be applied to other problems"). The ansatz is
 /// identical — |+>^n, alternating e^{-i gamma D} and RX mixers — with D
 /// given directly as its 2^n diagonal values. Maximization convention,
-/// matching QaoaAnsatz.
+/// matching QaoaAnsatz. Evaluation is delegated to a QaoaEvalEngine, so
+/// few-valued diagonals (Ising energies on small integer couplings, cut
+/// values, ...) automatically get the phase-table fast path.
 class DiagonalQaoa {
  public:
   DiagonalQaoa(int num_qubits, std::vector<double> diagonal);
 
-  int num_qubits() const { return num_qubits_; }
-  std::span<const double> diagonal() const { return diag_; }
+  int num_qubits() const { return engine_.num_qubits(); }
+  std::span<const double> diagonal() const { return engine_.diagonal(); }
   double max_value() const { return max_value_; }
   std::uint64_t argmax() const { return argmax_; }
+
+  /// The evaluation engine bound to this diagonal.
+  const QaoaEvalEngine& engine() const { return engine_; }
 
   StateVector prepare_state(const QaoaParams& params) const;
   double expectation(const QaoaParams& params) const;
@@ -29,8 +34,7 @@ class DiagonalQaoa {
   double approximation_ratio(const QaoaParams& params) const;
 
  private:
-  int num_qubits_;
-  std::vector<double> diag_;
+  QaoaEvalEngine engine_;
   double max_value_ = 0.0;
   std::uint64_t argmax_ = 0;
 };

@@ -66,6 +66,21 @@ struct AdamConfig {
 OptResult adam_maximize(const Objective& f, const std::vector<double>& start,
                         const AdamConfig& config = {});
 
+/// Objective with analytic gradient: returns f(x) and fills `grad`
+/// (resized by the callee) with df/dx. Same determinism contract as
+/// Objective.
+using GradientObjective =
+    std::function<double(const std::vector<double>&, std::vector<double>&)>;
+
+/// Adam ascent on an analytic gradient (e.g. QaoaEvalEngine's
+/// adjoint-mode value_and_gradient). One value-plus-gradient call per
+/// iteration instead of the 4p+1 objective evaluations the
+/// finite-difference variant needs; each call counts as one entry in the
+/// trace. `config.fd_step` is unused.
+OptResult adam_maximize(const GradientObjective& fg,
+                        const std::vector<double>& start,
+                        const AdamConfig& config = {});
+
 /// Exhaustive 2-D grid search for depth-1 QAOA over
 /// gamma in [0, gamma_max) x beta in [0, beta_max). Returns the best grid
 /// point; useful as a near-global-optimum reference on small graphs.

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+namespace qgnn {
+
+/// QAOA variational parameters for depth p: p cost angles (gamma) and p
+/// mixer angles (beta). The paper uses p = 1 (a single gamma, beta pair).
+struct QaoaParams {
+  std::vector<double> gammas;
+  std::vector<double> betas;
+
+  QaoaParams() = default;
+  QaoaParams(std::vector<double> g, std::vector<double> b);
+
+  int depth() const { return static_cast<int>(gammas.size()); }
+
+  /// Flatten to [gamma_0..gamma_{p-1}, beta_0..beta_{p-1}] for optimizers.
+  std::vector<double> flatten() const;
+  static QaoaParams from_flat(const std::vector<double>& flat);
+
+  /// Canonical single-layer constructor.
+  static QaoaParams single(double gamma, double beta);
+};
+
+}  // namespace qgnn

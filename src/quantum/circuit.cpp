@@ -8,8 +8,8 @@
 namespace qgnn {
 
 Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
-  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
-               "qubit count out of supported range [1, 26]");
+  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= kMaxQubits,
+               "qubit count out of supported range [1, kMaxQubits]");
 }
 
 void Circuit::check_qubit(int q) const {

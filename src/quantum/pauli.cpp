@@ -11,7 +11,7 @@ namespace qgnn {
 PauliString::PauliString(int num_qubits, double coefficient)
     : ops_(static_cast<std::size_t>(num_qubits), Pauli::I),
       coefficient_(coefficient) {
-  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
+  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= kMaxQubits,
                "qubit count out of range");
 }
 
@@ -126,7 +126,7 @@ std::string PauliString::to_string() const {
 }
 
 PauliSum::PauliSum(int num_qubits) : num_qubits_(num_qubits) {
-  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
+  QGNN_REQUIRE(num_qubits >= 1 && num_qubits <= kMaxQubits,
                "qubit count out of range");
 }
 

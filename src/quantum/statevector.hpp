@@ -13,7 +13,16 @@ namespace qgnn {
 
 using Amplitude = std::complex<double>;
 
-/// Exact statevector simulator for n-qubit pure states (n <= 26).
+/// Hard cap on simulable qubit counts, shared by every 2^n-sized component
+/// (StateVector, Circuit, CostHamiltonian, DiagonalQaoa, PauliString,
+/// IsingModel, dataset generation). 2^20 amplitudes is 16 MiB per state —
+/// large enough for every experiment in the repo (benches sweep to n = 18)
+/// while keeping per-thread evaluation workspaces cheap enough to cache.
+/// The bitmask-based Max-Cut brute-force solver has its own, higher cap
+/// (26) because it never materializes a statevector.
+inline constexpr int kMaxQubits = 20;
+
+/// Exact statevector simulator for n-qubit pure states (n <= kMaxQubits).
 ///
 /// Convention: qubit 0 is the least-significant bit of the basis-state
 /// index, so |q_{n-1} ... q_1 q_0> maps to index sum q_k 2^k. This matches
@@ -33,6 +42,11 @@ class StateVector {
 
   /// Computational basis state |index>.
   static StateVector basis_state(int num_qubits, std::uint64_t index);
+
+  /// Reset this state to |+>^n in place, reusing the existing buffer. The
+  /// workspace-reuse fast path: optimization loops re-prepare thousands of
+  /// QAOA states and must not reallocate 2^n amplitudes each time.
+  void set_plus_state();
 
   int num_qubits() const { return num_qubits_; }
   std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
@@ -55,6 +69,33 @@ class StateVector {
   /// Multiply each amplitude k by exp(-i gamma * diag[k]). `diag` must have
   /// `dimension()` entries. This is the whole-cost-layer fast path.
   void apply_diagonal_phase(std::span<const double> diag, double gamma);
+
+  /// Multiply each amplitude k by table[index[k]]: the phase-table cost
+  /// layer. `index` maps each basis state to its quantized diagonal level;
+  /// the caller precomputes `table[l] = exp(-i gamma * level_l)` once per
+  /// gamma, replacing 2^n sincos calls with 2^n table lookups.
+  void apply_phase_table(std::span<const std::uint16_t> index,
+                         std::span<const Amplitude> table);
+
+  /// Apply RX(theta) to EVERY qubit in one fused, cache-blocked sweep:
+  /// the whole QAOA mixer layer e^{-i (theta/2) sum_v X_v}. Equivalent to
+  /// n apply_single_qubit(rx(theta), q) calls (qubit order 0..n-1) but
+  /// specialized to RX's [[c, -is], [-is, c]] structure (4 real FMAs per
+  /// pair) and traversed block-wise so low-qubit passes stay L1-resident.
+  void apply_rx_layer(double theta);
+
+  /// amps[k] = scale[k] * src[k] for all k: builds the adjoint-gradient
+  /// seed lambda = D|psi> without a temporary.
+  void assign_scaled(const StateVector& src, std::span<const double> scale);
+
+  /// 2 * sum_k diag[k] * Im(conj(phi[k]) * amps[k]) = 2 Im<phi|D|psi>:
+  /// the adjoint-gradient cost-layer overlap d<C>/dgamma.
+  double phase_grad_overlap(const StateVector& phi,
+                            std::span<const double> diag) const;
+
+  /// 2 * Im<phi| B |psi> with B = sum_v X_v: the adjoint-gradient mixer
+  /// overlap d<C>/dbeta.
+  double mixer_grad_overlap(const StateVector& phi) const;
 
   /// Probability of measuring basis state `index`.
   double probability(std::uint64_t index) const;

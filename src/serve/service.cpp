@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "dataset/features.hpp"
 #include "gnn/graph_batch.hpp"
 #include "graph/canonical.hpp"
 #include "obs/trace.hpp"
+#include "qaoa/ansatz.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -74,6 +76,7 @@ Prediction ServeHandle::predict(const std::string& model_name,
       out.values = std::move(*cached);
       out.generation = entry->generation;
       out.cache_hit = true;
+      maybe_verify(out, g);
       out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
       record_latency(out.latency_us);
       return out;
@@ -87,6 +90,7 @@ Prediction ServeHandle::predict(const std::string& model_name,
   out.generation = req.generation;
   out.batch_id = req.batch_id;
   out.batch_size = req.batch_size;
+  maybe_verify(out, g);
   out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
   record_latency(out.latency_us);
   {
@@ -140,6 +144,7 @@ std::vector<Prediction> ServeHandle::predict_many(
         out[i].values = std::move(*cached);
         out[i].generation = entry->generation;
         out[i].cache_hit = true;
+        maybe_verify(out[i], g);
         out[i].latency_us =
             elapsed_us(start, std::chrono::steady_clock::now());
         record_latency(out[i].latency_us);
@@ -171,7 +176,6 @@ std::vector<Prediction> ServeHandle::predict_many(
       ++bulk_batches_;
       batched_requests_ += hi - lo;
     }
-    const auto done = std::chrono::steady_clock::now();
     for (std::size_t k = lo; k < hi; ++k) {
       BatchRequest& r = reqs[k - lo];
       if (r.error) std::rethrow_exception(r.error);
@@ -180,7 +184,8 @@ std::vector<Prediction> ServeHandle::predict_many(
       p.generation = r.generation;
       p.batch_id = r.batch_id;
       p.batch_size = r.batch_size;
-      p.latency_us = elapsed_us(start, done);
+      maybe_verify(p, graphs[misses[k]]);
+      p.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
       record_latency(p.latency_us);
     }
   }
@@ -283,6 +288,29 @@ void ServeHandle::execute_batch(const std::string& model_name,
   }
 }
 
+void ServeHandle::maybe_verify(Prediction& p, const Graph& g) {
+  if (!config_.verify_ar) return;
+  // Beyond the statevector cap the exact check is unavailable; leave
+  // ar_verified false rather than failing an otherwise valid prediction.
+  if (g.num_nodes() > kMaxQubits) return;
+  const bool obs_on = obs::enabled();
+  const auto verify_start = obs_on ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
+  // One CostHamiltonian build + one engine evaluation per request. The
+  // engine's phase-table and fused-mixer kernels make this cheap enough to
+  // run inline on the request thread at paper-scale n.
+  const QaoaAnsatz ansatz(g);
+  p.approximation_ratio =
+      ansatz.approximation_ratio(target_to_params(p.values));
+  p.ar_verified = true;
+  if (obs_on) {
+    verify_us_.record(
+        elapsed_us(verify_start, std::chrono::steady_clock::now()));
+  }
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  ++ar_verifications_;
+}
+
 void ServeHandle::record_latency(double latency_us) {
   const auto now = std::chrono::steady_clock::now();
   latency_us_.record(latency_us);
@@ -303,6 +331,7 @@ ServeStats ServeHandle::stats() const {
     s.requests = requests_;
     s.batched_requests = batched_requests_;
     s.batches = bulk_batches_;
+    s.ar_verifications = ar_verifications_;
     if (have_first_request_ && requests_ > 0 &&
         last_completion_ > first_request_) {
       const double span_s =
@@ -335,6 +364,7 @@ ServeStats ServeHandle::stats() const {
   s.forward_us = forward_us_.summary();
   s.cache_lookup_us = cache_lookup_us_.summary();
   s.batch_size = batch_size_hist_.summary();
+  s.verify_us = verify_us_.summary();
   return s;
 }
 

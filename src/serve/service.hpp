@@ -27,6 +27,13 @@ struct ServeConfig {
   std::size_t cache_capacity = 4096;
   /// Model name used by the one-argument predict overload.
   std::string default_model = "default";
+  /// Score every answered prediction against the exact simulator: run the
+  /// QAOA ansatz at the predicted angles and report the approximation
+  /// ratio in Prediction::approximation_ratio. Costs one 2^n statevector
+  /// evaluation per request (cheap for paper-scale graphs thanks to the
+  /// QaoaEvalEngine fast paths); graphs beyond kMaxQubits nodes are
+  /// silently skipped (ar_verified stays false). Off by default.
+  bool verify_ar = false;
 };
 
 /// Outcome of one predict call.
@@ -41,6 +48,10 @@ struct Prediction {
   int batch_size = 0;  // 0 for cache hits
   bool cache_hit = false;
   double latency_us = 0.0;
+  /// Exact-simulator quality score <C>/OPT of the predicted angles, set
+  /// only when ServeConfig::verify_ar is on and the graph is simulable.
+  double approximation_ratio = 0.0;
+  bool ar_verified = false;
 };
 
 /// Aggregate serving metrics; the perf baseline future PRs diff against.
@@ -69,6 +80,11 @@ struct ServeStats {
   obs::HistogramSummary forward_us;       // model forward pass
   obs::HistogramSummary cache_lookup_us;  // canonical hash + LRU probe
   obs::HistogramSummary batch_size;
+  obs::HistogramSummary verify_us;        // verify_ar exact simulation
+
+  /// Predictions scored by the exact simulator (verify_ar on and graph
+  /// within the simulable cap). Counted regardless of obs::enabled().
+  std::uint64_t ar_verifications = 0;
 };
 
 /// In-process handle to the warm-start inference service: model registry +
@@ -131,6 +147,10 @@ class ServeHandle {
   /// Coalesced forward pass for one drained batch (leader thread).
   void execute_batch(const std::string& model_name,
                      std::vector<BatchRequest*>& batch);
+  /// Score `p` against the exact simulator when config_.verify_ar is on.
+  /// Runs on the calling thread, before the latency stamp, so reported
+  /// latencies stay honest about what the request actually paid for.
+  void maybe_verify(Prediction& p, const Graph& g);
   void record_latency(double latency_us);
 
   const ServeConfig config_;
@@ -146,6 +166,7 @@ class ServeHandle {
   std::uint64_t requests_ = 0;
   std::uint64_t batched_requests_ = 0;
   std::uint64_t bulk_batches_ = 0;  // forward passes run by predict_many
+  std::uint64_t ar_verifications_ = 0;
 
   // Stage histograms are per-handle (not in the global MetricsRegistry):
   // serve_bench and the tests create many handles with different configs
@@ -158,6 +179,7 @@ class ServeHandle {
   obs::LatencyHistogram forward_us_;
   obs::LatencyHistogram cache_lookup_us_;
   obs::LatencyHistogram batch_size_hist_;
+  obs::LatencyHistogram verify_us_;
 
   bool have_first_request_ = false;
   std::chrono::steady_clock::time_point first_request_;

@@ -5,6 +5,7 @@
 #include "graph/generators.hpp"
 #include "ising/ising.hpp"
 #include "maxcut/maxcut.hpp"
+#include "qaoa/ansatz.hpp"
 #include "util/error.hpp"
 
 namespace qgnn {

@@ -135,5 +135,39 @@ TEST(Matrix, ZerosOnes) {
   EXPECT_DOUBLE_EQ(Matrix::ones(2, 3).sum(), 6.0);
 }
 
+TEST(Matrix, TiledMatmulBitIdenticalToNaiveTripleLoop) {
+  // Shapes chosen to straddle the kTileJ/kTileK cache tiles (including
+  // partial edge tiles) plus degenerate vectors. Sprinkled exact zeros
+  // confirm dropping the sparsity branch changed no result.
+  const std::size_t shapes[][3] = {{1, 1, 1},   {3, 70, 2},   {17, 64, 256},
+                                   {70, 65, 300}, {128, 1, 257}, {5, 300, 70}};
+  std::uint64_t lcg = 12345;
+  auto next = [&lcg]() {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>(lcg >> 11) / 9007199254740992.0;  // [0, 1)
+    return u < 0.2 ? 0.0 : (u - 0.5) * 4.0;
+  };
+  for (const auto& shape : shapes) {
+    const std::size_t r = shape[0], inner = shape[1], c = shape[2];
+    Matrix a(r, inner);
+    Matrix b(inner, c);
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t k = 0; k < inner; ++k) a(i, k) = next();
+    }
+    for (std::size_t k = 0; k < inner; ++k) {
+      for (std::size_t j = 0; j < c; ++j) b(k, j) = next();
+    }
+    const Matrix got = a.matmul(b);
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < inner; ++k) acc += a(i, k) * b(k, j);
+        EXPECT_EQ(got(i, j), acc) << "(" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qgnn

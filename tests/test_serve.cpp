@@ -16,6 +16,7 @@
 #include "gnn/layers.hpp"
 #include "gnn/model.hpp"
 #include "graph/generators.hpp"
+#include "quantum/statevector.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/protocol.hpp"
@@ -565,6 +566,108 @@ TEST(Serve, JsonParserRejectsGarbage) {
   EXPECT_THROW(serve::parse_json("{} trailing"), InvalidArgument);
   EXPECT_EQ(serve::parse_json("[1, 2.5, -3e2]").array.size(), 3u);
   EXPECT_EQ(serve::parse_json("\"a\\nb\"").string, "a\nb");
+}
+
+TEST(Serve, VerifyArScoresPredictionsOnAllPaths) {
+  ServeConfig config;
+  config.max_batch = 4;
+  config.max_queue_delay = std::chrono::microseconds(0);
+  config.verify_ar = true;
+  ServeHandle serve(config);
+  serve.register_model("default", make_model(GnnArch::kGCN, 21));
+
+  const auto graphs = test_graphs(6, 77);
+  // predict_many: miss path (first round) then hit path (second round).
+  for (int round = 0; round < 2; ++round) {
+    const auto preds = serve.predict_many(graphs);
+    for (const Prediction& p : preds) {
+      EXPECT_TRUE(p.ar_verified);
+      EXPECT_GT(p.approximation_ratio, 0.0);
+      EXPECT_LE(p.approximation_ratio, 1.0);
+      EXPECT_EQ(p.cache_hit, round == 1);
+    }
+  }
+  // predict: cache-hit path, plus one fresh miss through the batcher.
+  const Prediction hit = serve.predict(graphs[0]);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(hit.ar_verified);
+  Rng rng(78);
+  const Prediction miss = serve.predict(random_regular_graph(9, 4, rng));
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_TRUE(miss.ar_verified);
+  EXPECT_GT(miss.approximation_ratio, 0.0);
+
+  const auto stats = serve.stats();
+  EXPECT_EQ(stats.ar_verifications, 2 * graphs.size() + 2);
+}
+
+TEST(Serve, VerifyArIsDeterministicAcrossCacheHitAndMiss) {
+  ServeConfig config;
+  config.max_batch = 1;
+  config.verify_ar = true;
+  ServeHandle serve(config);
+  serve.register_model("default", make_model(GnnArch::kGCN, 22));
+  Rng rng(79);
+  const Graph g = random_regular_graph(10, 3, rng);
+  const Prediction cold = serve.predict(g);
+  const Prediction warm = serve.predict(g);
+  ASSERT_FALSE(cold.cache_hit);
+  ASSERT_TRUE(warm.cache_hit);
+  // Same prediction row, same graph, same exact simulator: the score must
+  // be bit-identical however the answer was produced.
+  EXPECT_EQ(cold.approximation_ratio, warm.approximation_ratio);
+}
+
+TEST(Serve, VerifyArOffByDefaultAndSkipsOversizedGraphs) {
+  {
+    ServeHandle serve;
+    serve.register_model("default", make_model(GnnArch::kGCN, 23));
+    Rng rng(80);
+    const Prediction p = serve.predict(random_regular_graph(8, 3, rng));
+    EXPECT_FALSE(p.ar_verified);
+    EXPECT_EQ(p.approximation_ratio, 0.0);
+    EXPECT_EQ(serve.stats().ar_verifications, 0u);
+  }
+  {
+    // A model that accepts graphs beyond the statevector cap: prediction
+    // succeeds, verification silently skips.
+    ServeConfig config;
+    config.verify_ar = true;
+    ServeHandle serve(config);
+    GnnModelConfig model_config;
+    model_config.features.max_nodes = kMaxQubits + 4;
+    Rng mrng(24);
+    serve.register_model("default", GnnModel(model_config, mrng));
+    Rng rng(81);
+    const Prediction small = serve.predict(random_regular_graph(10, 3, rng));
+    EXPECT_TRUE(small.ar_verified);
+    const Prediction big =
+        serve.predict(random_regular_graph(kMaxQubits + 2, 3, rng));
+    EXPECT_FALSE(big.ar_verified);
+    EXPECT_EQ(serve.stats().ar_verifications, 1u);
+  }
+}
+
+TEST(Serve, VerifyArPopulatesStageHistogramOnlyWhenObsEnabled) {
+  ObsEnabledGuard guard;
+  ServeConfig config;
+  config.verify_ar = true;
+  config.cache_capacity = 0;
+  Rng rng(82);
+  const Graph g = random_regular_graph(8, 3, rng);
+
+  obs::set_enabled(true);
+  ServeHandle on(config);
+  on.register_model("default", make_model(GnnArch::kGCN, 25));
+  on.predict(g);
+  EXPECT_EQ(on.stats().verify_us.count, 1u);
+
+  obs::set_enabled(false);
+  ServeHandle off(config);
+  off.register_model("default", make_model(GnnArch::kGCN, 25));
+  off.predict(g);
+  EXPECT_EQ(off.stats().verify_us.count, 0u);
+  EXPECT_EQ(off.stats().ar_verifications, 1u);  // counted regardless
 }
 
 }  // namespace
