@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -142,16 +143,17 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
   // stage set.
   const bool obs_on = obs::enabled();
   auto& obs_registry = obs::MetricsRegistry::global();
-  obs::LatencyHistogram& h_epoch = obs_registry.histogram("train.epoch_us");
+  obs::LatencyHistogram& h_epoch =
+      obs_registry.histogram(obs::names::kTrainEpochUs);
   obs::LatencyHistogram& h_forward =
-      obs_registry.histogram("train.forward_us");
+      obs_registry.histogram(obs::names::kTrainForwardUs);
   obs::LatencyHistogram& h_backward =
-      obs_registry.histogram("train.backward_us");
+      obs_registry.histogram(obs::names::kTrainBackwardUs);
   obs::LatencyHistogram& h_optimizer =
-      obs_registry.histogram("train.optimizer_us");
+      obs_registry.histogram(obs::names::kTrainOptimizerUs);
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    QGNN_TRACE_SPAN("train.epoch");
+    QGNN_TRACE_SPAN(obs::names::kTrainEpochSpan);
     const auto epoch_start = obs_on
                                  ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};

@@ -1,0 +1,52 @@
+#pragma once
+
+/// Central registry of every metric and trace-span name in the library.
+///
+/// Instrumentation sites must name metrics through these constants (or, in
+/// tests, through literals that still follow the convention); `qgnn_lint`
+/// parses this file and rejects any string literal passed to
+/// MetricsRegistry::counter/gauge/histogram or QGNN_TRACE_SPAN inside src/
+/// that is not registered here, so a typo'd name fails the build instead of
+/// silently splitting a metric in two.
+///
+/// Naming convention (DESIGN.md §7): `<subsystem>.<metric>[_<unit>]` —
+/// lower-case, one dot, unit suffix on anything that is not a plain count
+/// (`_us` microseconds, `_bytes`, ...). qgnn_lint enforces the shape of
+/// every constant below as well as of ad-hoc literals.
+///
+/// Parsing contract for qgnn_lint: each registered name is declared on a
+/// single line as `inline constexpr const char* k<Name> = "<value>";`.
+
+namespace qgnn::obs::names {
+
+// Thread pool (src/util/thread_pool.cpp).
+inline constexpr const char* kPoolJobs = "pool.jobs";
+inline constexpr const char* kPoolChunks = "pool.chunks";
+inline constexpr const char* kPoolWorkerIdleUs = "pool.worker_idle_us";
+inline constexpr const char* kPoolMaxChunksInJob = "pool.max_chunks_in_job";
+
+// Statevector kernels (src/quantum/statevector.cpp).
+inline constexpr const char* kQuantumAmpsTouched = "quantum.amps_touched";
+inline constexpr const char* kQuantumKernelUs = "quantum.kernel_us";
+
+// GNN trainer (src/gnn/trainer.cpp).
+inline constexpr const char* kTrainEpochUs = "train.epoch_us";
+inline constexpr const char* kTrainForwardUs = "train.forward_us";
+inline constexpr const char* kTrainBackwardUs = "train.backward_us";
+inline constexpr const char* kTrainOptimizerUs = "train.optimizer_us";
+inline constexpr const char* kTrainEpochSpan = "train.epoch";
+
+// QAOA optimizers and evaluation engine (src/qaoa).
+inline constexpr const char* kQaoaEvaluations = "qaoa.evaluations";
+inline constexpr const char* kQaoaOptimizations = "qaoa.optimizations";
+inline constexpr const char* kQaoaPhaseTableUs = "qaoa.phase_table_us";
+inline constexpr const char* kQaoaGradPasses = "qaoa.grad_passes";
+
+// Serving (src/serve/service.cpp). Stage *histograms* are per-handle
+// members (see ServeStats); only the trace spans go through the global
+// collector, but their names are registered here all the same.
+inline constexpr const char* kServePredictSpan = "serve.predict";
+inline constexpr const char* kServeBatchFormSpan = "serve.batch_form";
+inline constexpr const char* kServeForwardSpan = "serve.forward";
+
+}  // namespace qgnn::obs::names

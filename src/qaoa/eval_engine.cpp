@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "quantum/gates.hpp"
 #include "util/error.hpp"
 
@@ -16,13 +17,13 @@ namespace {
 /// optimization loops and must not take the registry mutex per call.
 obs::LatencyHistogram& phase_table_histogram() {
   static obs::LatencyHistogram& h =
-      obs::MetricsRegistry::global().histogram("qaoa.phase_table_us");
+      obs::MetricsRegistry::global().histogram(obs::names::kQaoaPhaseTableUs);
   return h;
 }
 
 obs::Counter& grad_passes_counter() {
   static obs::Counter& c =
-      obs::MetricsRegistry::global().counter("qaoa.grad_passes");
+      obs::MetricsRegistry::global().counter(obs::names::kQaoaGradPasses);
   return c;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/error.hpp"
 
 namespace qgnn {
@@ -39,9 +40,9 @@ class EvalTracker {
       // One registry update per optimization run, not per ⟨C⟩ evaluation,
       // so the objective hot loop stays untouched.
       auto& registry = obs::MetricsRegistry::global();
-      registry.counter("qaoa.evaluations")
+      registry.counter(obs::names::kQaoaEvaluations)
           .add(static_cast<std::uint64_t>(count_));
-      registry.counter("qaoa.optimizations").add(1);
+      registry.counter(obs::names::kQaoaOptimizations).add(1);
     }
     OptResult r;
     r.best_params = std::move(best_params_);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -16,13 +17,13 @@ namespace {
 /// optimization and must not take the registry mutex per call.
 obs::Counter& amps_touched_counter() {
   static obs::Counter& c =
-      obs::MetricsRegistry::global().counter("quantum.amps_touched");
+      obs::MetricsRegistry::global().counter(obs::names::kQuantumAmpsTouched);
   return c;
 }
 
 obs::LatencyHistogram& kernel_histogram() {
   static obs::LatencyHistogram& h =
-      obs::MetricsRegistry::global().histogram("quantum.kernel_us");
+      obs::MetricsRegistry::global().histogram(obs::names::kQuantumKernelUs);
   return h;
 }
 

@@ -18,7 +18,7 @@ namespace qgnn::serve {
 /// the duration of MicroBatcher::run. The executor fills the output
 /// fields; `done` is the completion flag (guarded by the batcher mutex).
 struct BatchRequest {
-  explicit BatchRequest(const Graph* graph) : graph(graph) {}
+  explicit BatchRequest(const Graph* g) : graph(g) {}
 
   const Graph* graph;
   std::chrono::steady_clock::time_point enqueue_time;

@@ -5,6 +5,7 @@
 #include "dataset/features.hpp"
 #include "gnn/graph_batch.hpp"
 #include "graph/canonical.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "qaoa/ansatz.hpp"
 #include "util/error.hpp"
@@ -42,7 +43,7 @@ Prediction ServeHandle::predict(const Graph& g) {
 
 Prediction ServeHandle::predict(const std::string& model_name,
                                 const Graph& g) {
-  QGNN_TRACE_SPAN("serve.predict");
+  QGNN_TRACE_SPAN(obs::names::kServePredictSpan);
   const auto start = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lk(stats_mutex_);
@@ -229,7 +230,7 @@ void ServeHandle::execute_batch(const std::string& model_name,
   try {
     GraphBatch union_batch;
     {
-      QGNN_TRACE_SPAN("serve.batch_form");
+      QGNN_TRACE_SPAN(obs::names::kServeBatchFormSpan);
       if (ThreadPool::global().size() > 1 && batch.size() > 1) {
         // Per-request feature extraction fans out on the PR-1 thread pool.
         // Each part depends only on its own graph, so the result — and
@@ -259,7 +260,7 @@ void ServeHandle::execute_batch(const std::string& model_name,
     }
     Matrix rows;
     {
-      QGNN_TRACE_SPAN("serve.forward");
+      QGNN_TRACE_SPAN(obs::names::kServeForwardSpan);
       rows = entry->model->predict(union_batch);
     }
     if (obs_on) {

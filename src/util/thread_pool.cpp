@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/error.hpp"
 
 namespace qgnn {
@@ -18,7 +19,13 @@ namespace {
 /// serially instead of re-entering the pool.
 thread_local bool tl_in_parallel_region = false;
 
+// The process-wide pool singleton: intentional shared state, guarded by
+// g_global_mutex and sized once from QGNN_NUM_THREADS. Work scheduled on
+// it stays thread-count invariant by construction (fixed chunk
+// decomposition), so the usual objection to mutable globals does not bite.
+// qgnn-lint: allow(mutable-global)
 std::mutex g_global_mutex;
+// qgnn-lint: allow(mutable-global)
 std::unique_ptr<ThreadPool> g_global_pool;
 
 }  // namespace
@@ -26,10 +33,10 @@ std::unique_ptr<ThreadPool> g_global_pool;
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   QGNN_REQUIRE(num_threads >= 1, "thread pool needs at least one lane");
   auto& registry = obs::MetricsRegistry::global();
-  obs_jobs_ = &registry.counter("pool.jobs");
-  obs_chunks_ = &registry.counter("pool.chunks");
-  obs_idle_us_ = &registry.counter("pool.worker_idle_us");
-  obs_max_chunks_ = &registry.gauge("pool.max_chunks_in_job");
+  obs_jobs_ = &registry.counter(obs::names::kPoolJobs);
+  obs_chunks_ = &registry.counter(obs::names::kPoolChunks);
+  obs_idle_us_ = &registry.counter(obs::names::kPoolWorkerIdleUs);
+  obs_max_chunks_ = &registry.gauge(obs::names::kPoolMaxChunksInJob);
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int t = 0; t < num_threads - 1; ++t) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -1,0 +1,16 @@
+// Seeded violations for the banned-function check.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int parse_port(const char* text) {
+  return atoi(text);  // expect: banned-function (line 7)
+}
+
+void format_label(char* out, int id) {
+  sprintf(out, "id-%d", id);  // expect: banned-function (line 11)
+}
+
+char* first_word(char* text) {
+  return strtok(text, " ");  // expect: banned-function (line 15)
+}

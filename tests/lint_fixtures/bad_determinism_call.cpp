@@ -1,0 +1,27 @@
+// Seeded violations for the determinism-call check. This file is never
+// compiled; tests/test_lint.cpp asserts the exact lines flagged below.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <sys/time.h>
+
+int entropy_seed() {
+  std::random_device rd;  // expect: determinism-call (line 9)
+  return static_cast<int>(rd());
+}
+
+int c_library_rng() {
+  std::srand(42);     // expect: determinism-call (line 14)
+  return std::rand();  // expect: determinism-call (line 15)
+}
+
+double wall_clock_seconds() {
+  const auto now = std::chrono::system_clock::now();  // expect: line 19
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long wall_clock_micros() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);  // expect: determinism-call (line 25)
+  return tv.tv_usec;
+}

@@ -1,0 +1,5 @@
+// Seeded violation for the pragma-once check: this header opens with an
+// include instead of #pragma once.
+#include <string>
+
+inline std::string greeting() { return "hello"; }

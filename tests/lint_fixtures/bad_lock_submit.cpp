@@ -1,0 +1,23 @@
+// Seeded violations for the lock-across-submit check.
+#include <mutex>
+
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+  template <typename F>
+  void parallel_for(int lo, int hi, int chunk, F&& f);
+};
+
+void fan_out_under_lock(Pool& pool, std::mutex& m, int& shared) {
+  std::lock_guard<std::mutex> lk(m);
+  pool.submit([&] { ++shared; });          // expect: line 13
+  pool.parallel_for(0, 8, 1, [](int) {});  // expect: line 14
+}
+
+void fan_out_after_lock(Pool& pool, std::mutex& m, int& shared) {
+  {
+    std::lock_guard<std::mutex> lk(m);
+    ++shared;
+  }
+  pool.submit([&] { ++shared; });  // lock released: not flagged
+}

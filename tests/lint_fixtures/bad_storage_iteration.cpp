@@ -1,0 +1,26 @@
+// Seeded violations for the determinism-iteration check. The file name
+// contains "storage", so qgnn_lint classifies it as a serialization path.
+#include <string>
+#include <unordered_map>
+
+struct Snapshot {
+  std::unordered_map<std::string, double> metrics;
+};
+
+std::string serialize(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.metrics) {  // expect: line 12
+    out += name + "=" + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+double first_value(const Snapshot& snap) {
+  auto it = snap.metrics.begin();  // expect: determinism-iteration (line 19)
+  return it == snap.metrics.end() ? 0.0 : it->second;
+}
+
+double lookup_is_fine(const Snapshot& snap, const std::string& key) {
+  const auto it = snap.metrics.find(key);  // point lookup: not flagged
+  return it == snap.metrics.end() ? 0.0 : it->second;
+}

@@ -1,0 +1,29 @@
+// A clean serialization-path file ("storage" in the name): ordered-map
+// iteration, point lookups into unordered maps, and index-ordered loops
+// are all fine. The test asserts zero findings.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string serialize_ordered(const std::map<std::string, double>& metrics) {
+  std::string out;
+  for (const auto& [name, value] : metrics) {
+    out += name + "=" + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+std::string serialize_rows(const std::vector<std::string>& rows) {
+  std::string out;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += rows[i] + "\n";
+  }
+  return out;
+}
+
+double lookup(const std::unordered_map<std::string, double>& index,
+              const std::string& key) {
+  const auto it = index.find(key);
+  return it == index.end() ? 0.0 : it->second;
+}

@@ -1,0 +1,10 @@
+#pragma once
+
+// A header that satisfies every check; the test asserts zero findings.
+#include <string>
+
+namespace demo {
+
+inline int answer() { return 42; }
+
+}  // namespace demo

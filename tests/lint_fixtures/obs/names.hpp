@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture registry: qgnn_lint validates every string in a file ending in
+// obs/names.hpp against the naming convention.
+namespace qgnn::obs::names {
+
+inline constexpr const char* kGood = "pool.jobs";
+inline constexpr const char* kBad = "Pool.Jobs_";  // expect: obs-name (line 8)
+
+}  // namespace qgnn::obs::names

@@ -1,0 +1,25 @@
+// Seeded violations for the mutable-global check (library code: the
+// fixture path contains src/).
+#include <memory>
+#include <mutex>
+
+namespace demo {
+
+static int g_hits = 0;         // expect: mutable-global (line 8)
+std::mutex g_lock;             // expect: mutable-global (line 9)
+std::unique_ptr<int> g_cache;  // expect: mutable-global (line 10)
+
+static const int kLimit = 8;      // const: not flagged
+static constexpr double kPi = 3;  // constexpr: not flagged
+static int bump() { return ++g_hits; }  // function: not flagged
+
+int counted() {
+  static int local_calls = 0;  // function-local static: not flagged
+  return ++local_calls;
+}
+
+struct Holder {
+  std::mutex member_lock;  // class member: not flagged
+};
+
+}  // namespace demo

@@ -1,0 +1,18 @@
+// Seeded violations for the obs-name check. The fixture lives under a
+// src/ directory so the registry cross-reference is enforced; the test
+// registry (and the real one) contains "pool.jobs" but nothing else used
+// here.
+struct FakeRegistry {
+  FakeRegistry& counter(const char*) { return *this; }
+  FakeRegistry& histogram(const char*) { return *this; }
+  void add(int) {}
+  void record(double) {}
+};
+#define QGNN_TRACE_SPAN(name) (void)(name)
+
+void instrument(FakeRegistry& registry) {
+  registry.counter("pool.jobs").add(1);  // registered: not flagged
+  registry.counter("serve.not_registered").add(1);     // expect: line 15
+  registry.histogram("Serve.Forward_us").record(1.0);  // expect: line 16
+  QGNN_TRACE_SPAN("badname");                          // expect: line 17
+}

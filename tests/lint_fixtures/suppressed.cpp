@@ -1,0 +1,14 @@
+// Every violation here carries a qgnn-lint suppression comment; the test
+// asserts this file lints clean.
+#include <cstdlib>
+
+int jitter() {
+  return std::rand();  // qgnn-lint: allow(determinism-call)
+}
+
+// Deliberate: this CLI shim tolerates atoi's silent-zero behavior.
+// qgnn-lint: allow(banned-function)
+int parse(const char* text) { return atoi(text); }
+
+// qgnn-lint: allow(all)
+int parse_everything_allowed(const char* text) { return atoi(text); }

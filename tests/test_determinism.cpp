@@ -1,0 +1,118 @@
+// Cross-process serialization determinism: every persisted artifact
+// (dataset storage, model checkpoint, graph file) must be byte-identical
+// across two independent runs of the same program. In-process repeat
+// tests cannot catch ASLR-dependent ordering (e.g. iterating an
+// unordered_map keyed by pointers), so this test re-executes its own
+// binary twice and diffs the emitted trees.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/dataset.hpp"
+#include "dataset/storage.hpp"
+#include "gnn/model.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn {
+namespace {
+
+namespace fs = std::filesystem;
+
+DatasetGenConfig tiny_dataset_config() {
+  DatasetGenConfig config;
+  config.num_instances = 5;
+  config.max_nodes = 8;
+  config.optimizer_evaluations = 40;
+  config.seed = 1234;
+  return config;
+}
+
+/// Worker mode: when QGNN_EMIT_DIR is set, write every serialized artifact
+/// kind into that directory. The parent test invokes this via
+/// --gtest_filter so no custom main() is needed alongside gtest_main.
+TEST(DeterminismEmit, EmitArtifacts) {
+  const char* dir_env = std::getenv("QGNN_EMIT_DIR");
+  if (dir_env == nullptr) {
+    GTEST_SKIP() << "worker mode only (set QGNN_EMIT_DIR)";
+  }
+  const fs::path dir(dir_env);
+  fs::create_directories(dir);
+
+  // Dataset storage: manifest.csv + per-graph text files.
+  const auto entries = generate_dataset(tiny_dataset_config());
+  ASSERT_EQ(entries.size(), 5u);
+  save_dataset((dir / "dataset").string(), entries);
+
+  // Model checkpoint (architecture + weights, text format).
+  GnnModelConfig model_config;
+  model_config.hidden_dim = 8;
+  Rng rng(7);
+  const GnnModel model(model_config, rng);
+  model.save((dir / "model.txt").string());
+
+  // Standalone graph file.
+  Rng graph_rng(99);
+  save_graph((dir / "graph.txt").string(),
+             random_regular_graph(10, 3, graph_rng));
+}
+
+std::string read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// All regular files under `root`, as sorted root-relative paths.
+std::vector<fs::path> relative_files(const fs::path& root) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file()) {
+      out.push_back(fs::relative(entry.path(), root));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Determinism, SerializedArtifactsByteIdenticalAcrossProcesses) {
+  const fs::path self = fs::read_symlink("/proc/self/exe");
+  const fs::path base =
+      fs::temp_directory_path() /
+      ("qgnn_determinism_" + std::to_string(::getpid()));
+  fs::remove_all(base);
+
+  std::vector<fs::path> runs;
+  for (int i = 0; i < 2; ++i) {
+    const fs::path dir = base / ("run" + std::to_string(i));
+    const std::string cmd = "QGNN_EMIT_DIR='" + dir.string() + "' '" +
+                            self.string() +
+                            "' --gtest_filter=DeterminismEmit.EmitArtifacts"
+                            " >/dev/null 2>&1";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+    runs.push_back(dir);
+  }
+
+  const auto files0 = relative_files(runs[0]);
+  const auto files1 = relative_files(runs[1]);
+  EXPECT_EQ(files0, files1) << "runs emitted different file sets";
+  EXPECT_GE(files0.size(), 8u);  // manifest + 5 graphs + model + graph
+
+  for (const fs::path& rel : files0) {
+    EXPECT_EQ(read_bytes(runs[0] / rel), read_bytes(runs[1] / rel))
+        << "artifact differs across processes: " << rel;
+  }
+  fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace qgnn

@@ -1,0 +1,288 @@
+// Tests for tools/qgnn_lint: the tokenizer, the check catalogue against
+// the seeded fixture files in tests/lint_fixtures/, the suppression
+// mechanism, and the obs-name registry cross-reference.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qgnn_lint/lint.hpp"
+
+namespace {
+
+using qgnn::lint::Finding;
+using qgnn::lint::LintConfig;
+using qgnn::lint::LintOptions;
+using qgnn::lint::TokenKind;
+
+const std::string kFixtureDir = QGNN_LINT_FIXTURE_DIR;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// (check, line) pairs for one file, sorted.
+using CheckLines = std::vector<std::pair<std::string, int>>;
+
+CheckLines check_lines(const std::vector<Finding>& findings) {
+  CheckLines out;
+  for (const Finding& f : findings) out.emplace_back(f.check, f.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const LintOptions& options) {
+  const std::string path = kFixtureDir + "/" + name;
+  return qgnn::lint::lint_source(path, read_file(path), options);
+}
+
+LintOptions registry_options() {
+  LintOptions options;
+  options.obs_names = {"pool.jobs"};
+  options.enforce_obs_registry = true;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(LintLexer, TokenKindsAndQualifiedNames) {
+  const auto lex = qgnn::lint::lex("std::chrono->x = 3.5e-2; f(\"a.b\");");
+  ASSERT_GE(lex.tokens.size(), 10u);
+  EXPECT_EQ(lex.tokens[0].text, "std");
+  EXPECT_EQ(lex.tokens[1].text, "::");  // one token, not two colons
+  EXPECT_EQ(lex.tokens[1].kind, TokenKind::kPunct);
+  EXPECT_EQ(lex.tokens[3].text, "->");
+  const auto num = std::find_if(
+      lex.tokens.begin(), lex.tokens.end(),
+      [](const auto& t) { return t.kind == TokenKind::kNumber; });
+  ASSERT_NE(num, lex.tokens.end());
+  EXPECT_EQ(num->text, "3.5e-2");
+  const auto str = std::find_if(
+      lex.tokens.begin(), lex.tokens.end(),
+      [](const auto& t) { return t.kind == TokenKind::kString; });
+  ASSERT_NE(str, lex.tokens.end());
+  EXPECT_EQ(str->text, "a.b");
+}
+
+TEST(LintLexer, StringContentsDoNotLeakTokens) {
+  // A banned call spelled inside a literal must not produce identifier
+  // tokens ("rand" here only exists inside the string).
+  const auto lex = qgnn::lint::lex("const char* s = \"rand() inside\";");
+  for (const auto& t : lex.tokens) {
+    if (t.kind == TokenKind::kIdentifier) EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(LintLexer, RawStringLiterals) {
+  const auto lex =
+      qgnn::lint::lex("auto j = R\"({\"cmd\":\"stats\"})\"; int after = 1;");
+  const auto str = std::find_if(
+      lex.tokens.begin(), lex.tokens.end(),
+      [](const auto& t) { return t.kind == TokenKind::kString; });
+  ASSERT_NE(str, lex.tokens.end());
+  EXPECT_EQ(str->text, "{\"cmd\":\"stats\"}");
+  // Lexing resumes correctly after the raw string.
+  const auto after = std::find_if(
+      lex.tokens.begin(), lex.tokens.end(),
+      [](const auto& t) { return t.text == "after"; });
+  EXPECT_NE(after, lex.tokens.end());
+}
+
+TEST(LintLexer, CommentsCollectedWithOwnership) {
+  const auto lex = qgnn::lint::lex(
+      "// standalone\n"
+      "int x = 1;  // trailing\n");
+  ASSERT_EQ(lex.comments.size(), 2u);
+  EXPECT_EQ(lex.comments[0].line, 1);
+  EXPECT_TRUE(lex.comments[0].owns_line);
+  EXPECT_EQ(lex.comments[1].line, 2);
+  EXPECT_FALSE(lex.comments[1].owns_line);
+}
+
+TEST(LintLexer, DirectiveIsOneToken) {
+  const auto lex = qgnn::lint::lex("#pragma   once\nint x;\n");
+  ASSERT_FALSE(lex.tokens.empty());
+  EXPECT_EQ(lex.tokens[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(lex.tokens[0].text, "#pragma once");  // whitespace collapsed
+}
+
+// ---------------------------------------------------------------------------
+// Name convention
+
+TEST(LintObsName, Convention) {
+  EXPECT_TRUE(qgnn::lint::valid_obs_name("pool.jobs"));
+  EXPECT_TRUE(qgnn::lint::valid_obs_name("quantum.kernel_us"));
+  EXPECT_TRUE(qgnn::lint::valid_obs_name("train.epoch"));
+  EXPECT_FALSE(qgnn::lint::valid_obs_name("nodots"));
+  EXPECT_FALSE(qgnn::lint::valid_obs_name("two.dots.here"));
+  EXPECT_FALSE(qgnn::lint::valid_obs_name("Caps.name"));
+  EXPECT_FALSE(qgnn::lint::valid_obs_name("pool.Jobs"));
+  EXPECT_FALSE(qgnn::lint::valid_obs_name("pool.jobs_"));  // trailing _
+  EXPECT_FALSE(qgnn::lint::valid_obs_name(".jobs"));
+  EXPECT_FALSE(qgnn::lint::valid_obs_name("pool."));
+  EXPECT_FALSE(qgnn::lint::valid_obs_name("under_score.jobs"));
+}
+
+TEST(LintObsName, ParseRegistry) {
+  const auto names = qgnn::lint::parse_obs_names(
+      "#pragma once\n"
+      "namespace qgnn::obs::names {\n"
+      "inline constexpr const char* kA = \"pool.jobs\";\n"
+      "inline constexpr const char* kB = \"train.epoch_us\";\n"
+      "}\n");
+  EXPECT_EQ(names, (std::set<std::string>{"pool.jobs", "train.epoch_us"}));
+}
+
+TEST(LintObsName, RealRegistryParsesCleanAndValid) {
+  const std::string path = QGNN_OBS_NAMES_PATH;
+  const std::string source = read_file(path);
+  const auto names = qgnn::lint::parse_obs_names(source);
+  EXPECT_GE(names.size(), 15u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(qgnn::lint::valid_obs_name(name)) << name;
+  }
+  // The registry file itself lints clean.
+  EXPECT_TRUE(
+      qgnn::lint::lint_source(path, source, registry_options()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures, one check each
+
+TEST(LintFixtures, DeterminismCall) {
+  const auto findings =
+      lint_fixture("bad_determinism_call.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings),
+            (CheckLines{{"determinism-call", 9},
+                        {"determinism-call", 14},
+                        {"determinism-call", 15},
+                        {"determinism-call", 19},
+                        {"determinism-call", 25}}));
+}
+
+TEST(LintFixtures, DeterminismIteration) {
+  const auto findings =
+      lint_fixture("bad_storage_iteration.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings),
+            (CheckLines{{"determinism-iteration", 12},
+                        {"determinism-iteration", 19}}));
+}
+
+TEST(LintFixtures, ObsNames) {
+  const auto findings =
+      lint_fixture("src/bad_obs_names.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"obs-name", 15},
+                                               {"obs-name", 16},
+                                               {"obs-name", 17}}));
+}
+
+TEST(LintFixtures, ObsRegistryFileSelfCheck) {
+  const auto findings = lint_fixture("obs/names.hpp", registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"obs-name", 8}}));
+}
+
+TEST(LintFixtures, LockAcrossSubmit) {
+  const auto findings =
+      lint_fixture("bad_lock_submit.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"lock-across-submit", 13},
+                                               {"lock-across-submit", 14}}));
+}
+
+TEST(LintFixtures, MutableGlobal) {
+  const auto findings =
+      lint_fixture("src/bad_mutable_global.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"mutable-global", 8},
+                                               {"mutable-global", 9},
+                                               {"mutable-global", 10}}));
+}
+
+TEST(LintFixtures, PragmaOnce) {
+  const auto findings = lint_fixture("bad_header.hpp", registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"pragma-once", 3}}));
+}
+
+TEST(LintFixtures, BannedFunctions) {
+  const auto findings = lint_fixture("bad_banned.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"banned-function", 7},
+                                               {"banned-function", 11},
+                                               {"banned-function", 15}}));
+}
+
+TEST(LintFixtures, SuppressionsSilenceFindings) {
+  EXPECT_TRUE(lint_fixture("suppressed.cpp", registry_options()).empty());
+}
+
+TEST(LintFixtures, CleanFilesPass) {
+  EXPECT_TRUE(lint_fixture("clean_storage.cpp", registry_options()).empty());
+  EXPECT_TRUE(lint_fixture("good_header.hpp", registry_options()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Driver behavior
+
+TEST(LintDriver, WholeFixtureTreeFindingCount) {
+  // run_lint over the fixture directory exercises directory walking and
+  // registry auto-discovery (the fixture obs/names.hpp registers only
+  // "pool.jobs"). Exactly the seeded violations must surface.
+  LintConfig config;
+  config.paths = {kFixtureDir};
+  const auto findings = qgnn::lint::run_lint(config);
+
+  std::map<std::string, int> per_check;
+  for (const Finding& f : findings) ++per_check[f.check];
+  EXPECT_EQ(per_check["determinism-call"], 5);
+  EXPECT_EQ(per_check["determinism-iteration"], 2);
+  EXPECT_EQ(per_check["obs-name"], 4);  // 3 call sites + 1 registry entry
+  EXPECT_EQ(per_check["lock-across-submit"], 2);
+  EXPECT_EQ(per_check["mutable-global"], 3);
+  EXPECT_EQ(per_check["pragma-once"], 1);
+  EXPECT_EQ(per_check["banned-function"], 3);
+  EXPECT_EQ(findings.size(), 20u);
+}
+
+TEST(LintDriver, RegistryNotEnforcedOutsideSrc) {
+  LintOptions options = registry_options();
+  const std::string source =
+      "struct R { R& counter(const char*); void add(int); };\n"
+      "void f(R& registry) {\n"
+      "  registry.counter(\"serve.not_registered\").add(1);\n"
+      "}\n";
+  // Under tests/, an unregistered (but well-formed) name is allowed.
+  EXPECT_TRUE(
+      qgnn::lint::lint_source("tests/x.cpp", source, options).empty());
+  // Under src/, the registry is enforced.
+  EXPECT_EQ(
+      qgnn::lint::lint_source("src/serve/x.cpp", source, options).size(),
+      1u);
+}
+
+TEST(LintDriver, FindingFormat) {
+  const Finding finding{"src/a.cpp", 12, "obs-name", "bad"};
+  EXPECT_EQ(qgnn::lint::format_finding(finding),
+            "src/a.cpp:12: [obs-name] bad");
+}
+
+TEST(LintDriver, CheckCatalogueIsStable) {
+  std::set<std::string> names;
+  for (const auto& check : qgnn::lint::all_checks()) {
+    names.insert(check.name);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{
+                       "determinism-call", "determinism-iteration",
+                       "obs-name", "lock-across-submit", "mutable-global",
+                       "pragma-once", "banned-function"}));
+}
+
+}  // namespace

@@ -1,0 +1,609 @@
+#include "qgnn_lint/checks.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace qgnn::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_id(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool id_in(const Token& t, const std::set<std::string>& names) {
+  return t.kind == TokenKind::kIdentifier && names.count(t.text) > 0;
+}
+
+/// Skip a balanced template argument list starting at `i` (which must
+/// point at '<'). Returns the index one past the closing '>', or `i`
+/// unchanged if the brackets never balance within a sane window (shift
+/// operators and comparisons can fool a token-level matcher; bailing out
+/// simply makes the caller skip the pattern).
+std::size_t skip_angle_brackets(const Tokens& ts, std::size_t i) {
+  if (i >= ts.size() || !is_punct(ts[i], "<")) return i;
+  int depth = 0;
+  const std::size_t limit = std::min(ts.size(), i + 256);
+  for (std::size_t j = i; j < limit; ++j) {
+    if (is_punct(ts[j], "<")) ++depth;
+    if (is_punct(ts[j], ">")) {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+    // A ';' inside a would-be template argument list means we were
+    // actually looking at a comparison; give up.
+    if (is_punct(ts[j], ";")) return i;
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// determinism-call
+
+struct BannedCall {
+  const char* ident;
+  bool call_only;  // require a following '(' (plain functions)
+  const char* why;
+};
+
+constexpr BannedCall kBannedCalls[] = {
+    {"rand", true, "unseeded C RNG; use qgnn::Rng"},
+    {"srand", true, "global RNG seeding; use qgnn::Rng"},
+    {"drand48", true, "unseeded C RNG; use qgnn::Rng"},
+    {"rand_r", true, "C RNG; use qgnn::Rng / derive_seed"},
+    {"random_device", false,
+     "nondeterministic seed source; derive seeds with qgnn::derive_seed"},
+    {"system_clock", false,
+     "wall clock; use steady_clock for durations, pass timestamps in"},
+    {"gettimeofday", true, "wall clock; use std::chrono::steady_clock"},
+    {"localtime", true, "wall-clock formatting in library code"},
+    {"gmtime", true, "wall-clock formatting in library code"},
+};
+
+/// Files allowed to touch entropy/wall-clock primitives: the seeded RNG
+/// wrapper itself (the one place a real entropy source may ever be
+/// plumbed through).
+bool determinism_exempt_file(const std::string& normalized) {
+  return normalized.size() >= 12 &&
+         normalized.rfind("util/rng.hpp") == normalized.size() - 12;
+}
+
+void determinism_call_impl(const FileContext& ctx,
+                           std::vector<Finding>& out) {
+  if (determinism_exempt_file(ctx.normalized)) return;
+  const Tokens& ts = ctx.lex.tokens;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    for (const BannedCall& banned : kBannedCalls) {
+      if (!is_id(ts[i], banned.ident)) continue;
+      if (banned.call_only &&
+          (i + 1 >= ts.size() || !is_punct(ts[i + 1], "("))) {
+        continue;
+      }
+      // Member access `x.rand(...)` is someone else's method, not the
+      // C library function.
+      if (i > 0 && (is_punct(ts[i - 1], ".") || is_punct(ts[i - 1], "->"))) {
+        continue;
+      }
+      out.push_back(Finding{
+          ctx.path, ts[i].line, "determinism-call",
+          std::string(banned.ident) + ": " + banned.why});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism-iteration
+
+const std::set<std::string>& unordered_container_names() {
+  static const std::set<std::string> kNames = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kNames;
+}
+
+/// Collect identifiers declared with an unordered container type in this
+/// file: `std::unordered_map<K, V> name`, members and locals alike.
+std::set<std::string> collect_unordered_vars(const Tokens& ts) {
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (!id_in(ts[i], unordered_container_names())) continue;
+    std::size_t j = skip_angle_brackets(ts, i + 1);
+    if (j == i + 1) continue;  // no template args: a using-decl or include
+    // Optional reference/pointer/const between type and name.
+    while (j < ts.size() &&
+           (is_punct(ts[j], "&") || is_punct(ts[j], "*") ||
+            is_id(ts[j], "const"))) {
+      ++j;
+    }
+    if (j >= ts.size() || ts[j].kind != TokenKind::kIdentifier) continue;
+    const std::string& name = ts[j].text;
+    if (j + 1 >= ts.size()) continue;
+    const Token& after = ts[j + 1];
+    // Declaration shapes: `T x;`, `T x = ...`, `T x{...}`, `T x, ...`,
+    // parameters `T x)` / `T x,`. `T f(...)` is a function returning T.
+    if (is_punct(after, ";") || is_punct(after, "=") ||
+        is_punct(after, "{") || is_punct(after, ",") ||
+        is_punct(after, ")")) {
+      vars.insert(name);
+    }
+  }
+  return vars;
+}
+
+void determinism_iteration_impl(const FileContext& ctx,
+                                std::vector<Finding>& out) {
+  if (!ctx.serialization_path) return;
+  const Tokens& ts = ctx.lex.tokens;
+  const std::set<std::string> vars = collect_unordered_vars(ts);
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    // Range-for whose range expression names an unordered container.
+    if (is_id(ts[i], "for") && i + 1 < ts.size() &&
+        is_punct(ts[i + 1], "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < ts.size(); ++j) {
+        if (is_punct(ts[j], "(")) ++depth;
+        if (is_punct(ts[j], ")")) {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (depth == 1 && is_punct(ts[j], ":")) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;
+      bool over_unordered = false;
+      std::string which;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (id_in(ts[j], vars) || id_in(ts[j], unordered_container_names())) {
+          over_unordered = true;
+          which = ts[j].text;
+          break;
+        }
+      }
+      if (over_unordered) {
+        out.push_back(Finding{
+            ctx.path, ts[i].line, "determinism-iteration",
+            "range-for over unordered container '" + which +
+                "' in a serialization/hashing path; iteration order is "
+                "unspecified — use sorted or index-ordered traversal"});
+      }
+    }
+    // Explicit iterator walks: `x.begin()` / `x.cbegin()` on an
+    // unordered container.
+    if (id_in(ts[i], vars) && i + 2 < ts.size() &&
+        (is_punct(ts[i + 1], ".") || is_punct(ts[i + 1], "->")) &&
+        (is_id(ts[i + 2], "begin") || is_id(ts[i + 2], "cbegin"))) {
+      out.push_back(Finding{
+          ctx.path, ts[i].line, "determinism-iteration",
+          "iterator over unordered container '" + ts[i].text +
+              "' in a serialization/hashing path; iteration order is "
+              "unspecified — use sorted or index-ordered traversal"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// obs-name
+
+bool is_obs_registry_file(const std::string& normalized) {
+  return normalized.size() >= 13 &&
+         normalized.rfind("obs/names.hpp") == normalized.size() - 13;
+}
+
+void obs_name_impl(const FileContext& ctx, std::vector<Finding>& out) {
+  const Tokens& ts = ctx.lex.tokens;
+
+  // The registry itself: every constant must follow the convention.
+  if (is_obs_registry_file(ctx.normalized)) {
+    for (const Token& t : ts) {
+      if (t.kind == TokenKind::kString && !valid_obs_name(t.text)) {
+        out.push_back(Finding{
+            ctx.path, t.line, "obs-name",
+            "registered name \"" + t.text +
+                "\" does not match the subsystem.name_unit convention"});
+      }
+    }
+    return;
+  }
+
+  const LintOptions* opts = ctx.options;
+  for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+    bool site = false;
+    if (is_id(ts[i], "QGNN_TRACE_SPAN") && is_punct(ts[i + 1], "(")) {
+      site = true;
+    } else if ((is_id(ts[i], "counter") || is_id(ts[i], "gauge") ||
+                is_id(ts[i], "histogram")) &&
+               is_punct(ts[i + 1], "(") && i > 0 &&
+               (is_punct(ts[i - 1], ".") || is_punct(ts[i - 1], "->"))) {
+      site = true;
+    }
+    if (!site) continue;
+    const Token& arg = ts[i + 2];
+    if (arg.kind != TokenKind::kString) continue;  // names:: constant — the
+                                                   // compiler checks those
+    if (!valid_obs_name(arg.text)) {
+      out.push_back(Finding{
+          ctx.path, arg.line, "obs-name",
+          "metric/span name \"" + arg.text +
+              "\" does not match the subsystem.name_unit convention"});
+      continue;
+    }
+    if (opts != nullptr && opts->enforce_obs_registry && ctx.in_src &&
+        opts->obs_names.count(arg.text) == 0) {
+      out.push_back(Finding{
+          ctx.path, arg.line, "obs-name",
+          "metric/span name \"" + arg.text +
+              "\" is not registered in src/obs/names.hpp; add a constant "
+              "there and use it at the call site"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-across-submit
+
+void lock_across_submit_impl(const FileContext& ctx,
+                             std::vector<Finding>& out) {
+  const Tokens& ts = ctx.lex.tokens;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (!is_id(ts[i], "lock_guard") && !is_id(ts[i], "unique_lock") &&
+        !is_id(ts[i], "scoped_lock")) {
+      continue;
+    }
+    // Declaration shape: [std::]lock_guard[<...>] name ( ... | { ... | = ...
+    std::size_t j = skip_angle_brackets(ts, i + 1);
+    if (j >= ts.size() || ts[j].kind != TokenKind::kIdentifier) continue;
+    if (j + 1 >= ts.size()) continue;
+    const Token& after = ts[j + 1];
+    if (!is_punct(after, "(") && !is_punct(after, "{") &&
+        !is_punct(after, "=")) {
+      continue;  // parameter, using-decl, template argument, ...
+    }
+    const int lock_line = ts[i].line;
+    // The guard lives until the end of its enclosing block: scan forward
+    // until the brace depth drops below the level at the declaration.
+    int depth = 0;
+    for (std::size_t k = j + 1; k < ts.size(); ++k) {
+      if (is_punct(ts[k], "{")) ++depth;
+      if (is_punct(ts[k], "}")) {
+        --depth;
+        if (depth < 0) break;
+      }
+      if ((is_id(ts[k], "submit") || is_id(ts[k], "parallel_for") ||
+           is_id(ts[k], "parallel_reduce")) &&
+          k > 0 &&
+          (is_punct(ts[k - 1], ".") || is_punct(ts[k - 1], "->")) &&
+          k + 1 < ts.size() && is_punct(ts[k + 1], "(")) {
+        out.push_back(Finding{
+            ctx.path, ts[k].line, "lock-across-submit",
+            "thread-pool " + ts[k].text + "() while the lock from line " +
+                std::to_string(lock_line) +
+                " is held; submitting under a mutex serializes the pool "
+                "and risks deadlock with pool-internal locking"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mutable-global
+
+/// Types whose namespace-scope instances are process-wide mutable state
+/// even without the `static` keyword (anonymous-namespace globals).
+const std::set<std::string>& mutable_global_types() {
+  static const std::set<std::string> kTypes = {
+      "mutex", "recursive_mutex", "shared_mutex", "condition_variable",
+      "unique_ptr", "shared_ptr", "vector", "string", "map", "set",
+      "deque", "unordered_map", "unordered_set"};
+  return kTypes;
+}
+
+/// Scope tracking: classify every '{' so checks know whether a position
+/// is at namespace scope (the only scope where a plain declaration is a
+/// global).
+enum class ScopeKind { kNamespace, kClassLike, kOther };
+
+class ScopeTracker {
+ public:
+  explicit ScopeTracker(const Tokens& ts) : ts_(ts) {}
+
+  /// Advance over token i, updating the scope stack. Call once per token
+  /// in order.
+  void feed(std::size_t i) {
+    if (is_punct(ts_[i], "{")) {
+      stack_.push_back(classify(i));
+    } else if (is_punct(ts_[i], "}")) {
+      if (!stack_.empty()) stack_.pop_back();
+    }
+  }
+
+  bool at_namespace_scope() const {
+    return std::all_of(stack_.begin(), stack_.end(), [](ScopeKind k) {
+      return k == ScopeKind::kNamespace;
+    });
+  }
+
+ private:
+  ScopeKind classify(std::size_t open) const {
+    // Walk back to the start of the construct that owns this brace.
+    for (std::size_t back = open; back > 0;) {
+      --back;
+      const Token& t = ts_[back];
+      if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}") ||
+          is_punct(t, ")")) {
+        // `) {` is a function (or control-flow) body; a statement
+        // terminator means this brace starts an initializer or compound
+        // statement. Either way: not a namespace, not a class.
+        return ScopeKind::kOther;
+      }
+      if (is_id(t, "namespace")) return ScopeKind::kNamespace;
+      if (is_id(t, "class") || is_id(t, "struct") || is_id(t, "union") ||
+          is_id(t, "enum")) {
+        return ScopeKind::kClassLike;
+      }
+      if (is_punct(t, "=") || is_id(t, "return")) return ScopeKind::kOther;
+    }
+    return ScopeKind::kOther;
+  }
+
+  const Tokens& ts_;
+  std::vector<ScopeKind> stack_;
+};
+
+/// Tokens from `start` back to the previous statement boundary contain
+/// `using`/`typedef`/`extern template`? Then this is not a variable
+/// declaration.
+bool statement_is_alias(const Tokens& ts, std::size_t start) {
+  for (std::size_t back = start; back > 0;) {
+    --back;
+    const Token& t = ts[back];
+    if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) break;
+    if (is_id(t, "using") || is_id(t, "typedef") || is_id(t, "friend")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void mutable_global_impl(const FileContext& ctx, std::vector<Finding>& out) {
+  if (!ctx.in_src) return;  // library-code check; tests/bench may keep state
+  const Tokens& ts = ctx.lex.tokens;
+  ScopeTracker scopes(ts);
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    scopes.feed(i);
+    if (!scopes.at_namespace_scope()) continue;
+
+    // Form 1: explicit `static` declarations that are not const,
+    // constexpr, or thread_local and are not functions.
+    if (is_id(ts[i], "static")) {
+      bool exempt = false;
+      bool is_function = false;
+      std::size_t j = i + 1;
+      for (; j < ts.size(); ++j) {
+        if (is_id(ts[j], "const") || is_id(ts[j], "constexpr") ||
+            is_id(ts[j], "constinit") || is_id(ts[j], "thread_local")) {
+          exempt = true;
+          break;
+        }
+        if (is_punct(ts[j], "(")) {
+          is_function = true;
+          break;
+        }
+        if (is_punct(ts[j], ";") || is_punct(ts[j], "=") ||
+            is_punct(ts[j], "{")) {
+          break;
+        }
+      }
+      if (!exempt && !is_function && j < ts.size()) {
+        out.push_back(Finding{
+            ctx.path, ts[i].line, "mutable-global",
+            "non-const static at namespace scope in library code; "
+            "process-wide mutable state breaks thread-count invariance — "
+            "make it const/constexpr or scope it into a class"});
+      }
+      continue;
+    }
+
+    // Form 2: anonymous/named-namespace globals of known stateful types
+    // (`std::mutex g_m;`, `std::unique_ptr<T> g_p;`).
+    if (id_in(ts[i], mutable_global_types())) {
+      if (statement_is_alias(ts, i)) continue;
+      std::size_t j = skip_angle_brackets(ts, i + 1);
+      if (j >= ts.size() || ts[j].kind != TokenKind::kIdentifier) continue;
+      if (j + 1 >= ts.size()) continue;
+      const Token& after = ts[j + 1];
+      if (!is_punct(after, ";") && !is_punct(after, "=") &&
+          !is_punct(after, "{")) {
+        continue;  // function declaration returning the type, etc.
+      }
+      // `const std::vector<...> kTable = ...` is immutable; look back for
+      // const/constexpr in the same statement.
+      bool is_const = false;
+      for (std::size_t back = i; back > 0;) {
+        --back;
+        const Token& t = ts[back];
+        if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) break;
+        if (is_id(t, "const") || is_id(t, "constexpr") ||
+            is_id(t, "constinit") || is_id(t, "thread_local")) {
+          is_const = true;
+          break;
+        }
+      }
+      if (is_const) continue;
+      out.push_back(Finding{
+          ctx.path, ts[i].line, "mutable-global",
+          "mutable global '" + ts[j].text + "' of type " + ts[i].text +
+              " at namespace scope in library code; process-wide mutable "
+              "state breaks thread-count invariance — scope it into a "
+              "class or justify with a suppression"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+
+void pragma_once_impl(const FileContext& ctx, std::vector<Finding>& out) {
+  if (!ctx.is_header) return;
+  const Tokens& ts = ctx.lex.tokens;
+  if (ts.empty()) {
+    out.push_back(Finding{ctx.path, 1, "pragma-once",
+                          "header is empty and has no #pragma once"});
+    return;
+  }
+  const Token& first = ts.front();
+  if (first.kind == TokenKind::kDirective &&
+      first.text.rfind("#pragma once", 0) == 0) {
+    return;
+  }
+  // Tolerate a traditional include guard as the opening construct.
+  if (first.kind == TokenKind::kDirective &&
+      first.text.rfind("#ifndef", 0) == 0) {
+    return;
+  }
+  out.push_back(Finding{
+      ctx.path, first.line, "pragma-once",
+      "header does not start with #pragma once (or an include guard)"});
+}
+
+// ---------------------------------------------------------------------------
+// banned-function
+
+struct BannedFunction {
+  const char* ident;
+  const char* replacement;
+};
+
+constexpr BannedFunction kBannedFunctions[] = {
+    {"strtok", "std::string_view splitting (not thread-safe)"},
+    {"sprintf", "snprintf or std::format-style formatting"},
+    {"vsprintf", "vsnprintf"},
+    {"gets", "std::getline"},
+    {"atoi", "std::stoi or std::from_chars (atoi hides errors as 0)"},
+    {"atol", "std::stol or std::from_chars"},
+    {"atoll", "std::stoll or std::from_chars"},
+    {"atof", "std::stod or std::from_chars"},
+};
+
+void banned_function_impl(const FileContext& ctx,
+                          std::vector<Finding>& out) {
+  const Tokens& ts = ctx.lex.tokens;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (!is_punct(ts[i + 1], "(")) continue;
+    if (i > 0 && (is_punct(ts[i - 1], ".") || is_punct(ts[i - 1], "->"))) {
+      continue;  // member function that happens to share the name
+    }
+    for (const BannedFunction& banned : kBannedFunctions) {
+      if (is_id(ts[i], banned.ident)) {
+        out.push_back(Finding{
+            ctx.path, ts[i].line, "banned-function",
+            std::string(banned.ident) + " is banned; use " +
+                banned.replacement});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool valid_obs_name(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= name.size()) {
+    return false;
+  }
+  if (name.find('.', dot + 1) != std::string::npos) return false;
+  // subsystem: [a-z][a-z0-9]*
+  if (!std::islower(static_cast<unsigned char>(name[0]))) return false;
+  for (std::size_t i = 0; i < dot; ++i) {
+    const char c = name[i];
+    if (!std::islower(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  // metric: [a-z][a-z0-9_]*, no trailing underscore
+  if (!std::islower(static_cast<unsigned char>(name[dot + 1]))) return false;
+  for (std::size_t i = dot + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!std::islower(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return name.back() != '_';
+}
+
+const std::vector<std::string>& serialization_path_hints() {
+  static const std::vector<std::string> kHints = {
+      "storage", "/io.",     "hash",     "canonical", "serial",
+      "checkpoint", "export", "protocol", "features",  "dataset",
+      "model."};
+  return kHints;
+}
+
+const std::vector<CheckInfo>& all_checks() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"determinism-call",
+       "entropy sources / wall clocks outside the seeded RNG wrapper",
+       &check_determinism_call},
+      {"determinism-iteration",
+       "unordered-container iteration in serialization/hashing paths",
+       &check_determinism_iteration},
+      {"obs-name",
+       "metric/span names must follow subsystem.name_unit and be "
+       "registered in src/obs/names.hpp",
+       &check_obs_name},
+      {"lock-across-submit",
+       "thread-pool submit/parallel_for while holding a lock guard",
+       &check_lock_across_submit},
+      {"mutable-global",
+       "non-const namespace-scope state in library code",
+       &check_mutable_global},
+      {"pragma-once", "headers must start with #pragma once",
+       &check_pragma_once},
+      {"banned-function",
+       "strtok/sprintf/atoi-family calls", &check_banned_function},
+  };
+  return kChecks;
+}
+
+void check_determinism_call(const FileContext& ctx,
+                            std::vector<Finding>& out) {
+  determinism_call_impl(ctx, out);
+}
+void check_determinism_iteration(const FileContext& ctx,
+                                 std::vector<Finding>& out) {
+  determinism_iteration_impl(ctx, out);
+}
+void check_obs_name(const FileContext& ctx, std::vector<Finding>& out) {
+  obs_name_impl(ctx, out);
+}
+void check_lock_across_submit(const FileContext& ctx,
+                              std::vector<Finding>& out) {
+  lock_across_submit_impl(ctx, out);
+}
+void check_mutable_global(const FileContext& ctx,
+                          std::vector<Finding>& out) {
+  mutable_global_impl(ctx, out);
+}
+void check_pragma_once(const FileContext& ctx, std::vector<Finding>& out) {
+  pragma_once_impl(ctx, out);
+}
+void check_banned_function(const FileContext& ctx,
+                           std::vector<Finding>& out) {
+  banned_function_impl(ctx, out);
+}
+
+}  // namespace qgnn::lint

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qgnn_lint/lexer.hpp"
+
+namespace qgnn::lint {
+
+/// One reported violation. Rendered as `file:line: [check] message`.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+/// Cross-file inputs shared by every check.
+struct LintOptions {
+  /// Metric/span names registered in src/obs/names.hpp. When
+  /// enforce_obs_registry is true, string literals handed to
+  /// QGNN_TRACE_SPAN / counter / gauge / histogram inside src/ must be
+  /// members of this set.
+  std::set<std::string> obs_names;
+  bool enforce_obs_registry = false;
+};
+
+/// Everything a check may look at for one file.
+struct FileContext {
+  std::string path;        // path as reported in findings
+  std::string normalized;  // path with '/' separators, for classification
+  LexResult lex;
+  bool is_header = false;
+  bool in_src = false;  // library code (under a src/ directory)
+  /// True for files on a serialization / hashing / dataset-emission path
+  /// (classified by path substring; see serialization_path_hints()).
+  bool serialization_path = false;
+  const LintOptions* options = nullptr;
+};
+
+using CheckFn = void (*)(const FileContext&, std::vector<Finding>&);
+
+struct CheckInfo {
+  const char* name;
+  const char* description;
+  CheckFn fn;
+};
+
+/// The catalogue of checks, in reporting order. Names are the ids used in
+/// `// qgnn-lint: allow(<name>)` suppression comments.
+const std::vector<CheckInfo>& all_checks();
+
+/// Path substrings that mark a file as a serialization/hashing path for
+/// the determinism-iteration check. Exposed for tests and docs.
+const std::vector<std::string>& serialization_path_hints();
+
+/// `subsystem.metric[_unit]` name shape: lower-case alnum subsystem, one
+/// dot, metric of [a-z][a-z0-9_]* not ending in '_'.
+bool valid_obs_name(const std::string& name);
+
+// Individual checks (see all_checks() for the id each registers under).
+void check_determinism_call(const FileContext& ctx,
+                            std::vector<Finding>& out);
+void check_determinism_iteration(const FileContext& ctx,
+                                 std::vector<Finding>& out);
+void check_obs_name(const FileContext& ctx, std::vector<Finding>& out);
+void check_lock_across_submit(const FileContext& ctx,
+                              std::vector<Finding>& out);
+void check_mutable_global(const FileContext& ctx, std::vector<Finding>& out);
+void check_pragma_once(const FileContext& ctx, std::vector<Finding>& out);
+void check_banned_function(const FileContext& ctx,
+                           std::vector<Finding>& out);
+
+}  // namespace qgnn::lint

@@ -1,0 +1,288 @@
+#include "qgnn_lint/lexer.hpp"
+
+#include <cctype>
+
+namespace qgnn::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Raw-string prefixes: the identifier immediately before a '"' that
+/// switches the literal into raw mode.
+bool is_raw_prefix(const std::string& id) {
+  return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+/// Encoding prefixes for ordinary literals ("u8", "u", "U", "L").
+bool is_encoding_prefix(const std::string& id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          line_comment();
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          block_comment();
+          continue;
+        }
+      }
+      if (c == '#' && at_line_start()) {
+        directive();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier_or_literal_prefix();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal(false);
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  bool at_line_start() const {
+    std::size_t i = pos_;
+    while (i > 0) {
+      const char p = src_[i - 1];
+      if (p == '\n') return true;
+      if (p != ' ' && p != '\t' && p != '\r') return false;
+      --i;
+    }
+    return true;
+  }
+
+  void emit(TokenKind kind, std::string text, int line) {
+    mark_code_line(line);
+    result_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void mark_code_line(int line) {
+    const auto idx = static_cast<std::size_t>(line);
+    if (idx >= code_on_line_.size()) code_on_line_.resize(idx + 1, false);
+    code_on_line_[idx] = true;
+  }
+
+  bool code_on_line(int line) const {
+    const auto idx = static_cast<std::size_t>(line);
+    return idx < code_on_line_.size() && code_on_line_[idx];
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    const bool owns = !code_on_line(start_line);
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+    result_.comments.push_back(Comment{std::move(text), start_line, owns});
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    const bool owns = !code_on_line(start_line);
+    pos_ += 2;
+    std::string text;
+    while (pos_ + 1 < src_.size() &&
+           !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    pos_ = pos_ + 1 < src_.size() ? pos_ + 2 : src_.size();
+    result_.comments.push_back(Comment{std::move(text), start_line, owns});
+  }
+
+  /// Swallow one preprocessor directive, honoring backslash-newline
+  /// continuations, and emit it as a single token whose text is the
+  /// directive with runs of whitespace collapsed.
+  void directive() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        pos_ += 2;
+        ++line_;
+        text += ' ';
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        // Trailing line comment belongs to the comment stream, not the
+        // directive text (suppressions may ride on directive lines).
+        break;
+      }
+      text += c;
+      ++pos_;
+    }
+    // Collapse whitespace runs so checks can match "#pragma once" textually.
+    std::string collapsed;
+    bool in_ws = false;
+    for (char c : text) {
+      if (c == ' ' || c == '\t' || c == '\r') {
+        in_ws = true;
+        continue;
+      }
+      if (in_ws && !collapsed.empty()) collapsed += ' ';
+      in_ws = false;
+      collapsed += c;
+    }
+    emit(TokenKind::kDirective, std::move(collapsed), start_line);
+  }
+
+  void identifier_or_literal_prefix() {
+    const int start_line = line_;
+    std::string id;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) {
+      id += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (is_raw_prefix(id) || is_encoding_prefix(id))) {
+      string_literal(is_raw_prefix(id));
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' && is_encoding_prefix(id)) {
+      char_literal();
+      return;
+    }
+    emit(TokenKind::kIdentifier, std::move(id), start_line);
+  }
+
+  /// pp-number: digits plus identifier chars, '.', digit separators, and
+  /// sign characters directly after an exponent marker.
+  void number() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        text += c;
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text += c;
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, std::move(text), start_line);
+  }
+
+  void string_literal(bool raw) {
+    const int start_line = line_;
+    std::string text;
+    ++pos_;  // opening quote
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+      if (pos_ < src_.size()) ++pos_;  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer)) {
+        if (src_[pos_] == '\n') ++line_;
+        text += src_[pos_++];
+      }
+      pos_ = std::min(src_.size(), pos_ + closer.size());
+    } else {
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          text += src_[pos_];
+          text += src_[pos_ + 1];
+          pos_ += 2;
+          continue;
+        }
+        if (src_[pos_] == '\n') break;  // unterminated; stop at EOL
+        text += src_[pos_++];
+      }
+      if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    }
+    emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void char_literal() {
+    const int start_line = line_;
+    std::string text;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    emit(TokenKind::kCharLit, std::move(text), start_line);
+  }
+
+  void punct() {
+    const int start_line = line_;
+    const char c = src_[pos_];
+    if (pos_ + 1 < src_.size()) {
+      const char n = src_[pos_ + 1];
+      if ((c == ':' && n == ':') || (c == '-' && n == '>')) {
+        pos_ += 2;
+        emit(TokenKind::kPunct, std::string{c, n}, start_line);
+        return;
+      }
+    }
+    ++pos_;
+    emit(TokenKind::kPunct, std::string(1, c), start_line);
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  LexResult result_;
+  std::vector<bool> code_on_line_;
+};
+
+}  // namespace
+
+LexResult lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace qgnn::lint

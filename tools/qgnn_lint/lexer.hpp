@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qgnn::lint {
+
+/// A lightweight C++ tokenizer, sufficient for the pattern-level static
+/// analysis qgnn_lint performs. It is not a compiler front end: tokens
+/// carry no types, and preprocessor directives are swallowed whole. What
+/// it does guarantee:
+///  - string/char literals (including raw strings) never leak their
+///    contents into the code token stream, so a `rand(` inside a JSON
+///    fixture string is not a finding;
+///  - comments are collected separately with enough position information
+///    to implement `// qgnn-lint: allow(<check>)` suppressions;
+///  - `::` and `->` are single tokens, so checks can distinguish
+///    qualified names and member calls without lookahead gymnastics.
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,      // pp-number (integer/float literal, any base/suffix)
+  kString,      // string literal; text holds the contents (no quotes)
+  kCharLit,     // character literal; text holds the contents
+  kPunct,       // one punctuation token ("::" and "->" are single tokens)
+  kDirective,   // a whole preprocessor line; text is the trimmed directive
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based line the token starts on
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line = 0;      // 1-based line the comment starts on
+  /// True when no code token precedes the comment on its line, i.e. the
+  /// comment stands alone; suppressions in such comments also cover the
+  /// following line.
+  bool owns_line = false;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize a translation unit. Never throws on malformed input: an
+/// unterminated literal or comment simply ends at end-of-file.
+LexResult lex(const std::string& source);
+
+}  // namespace qgnn::lint

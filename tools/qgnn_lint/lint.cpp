@@ -1,0 +1,203 @@
+#include "qgnn_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace qgnn::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string normalize_path(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("qgnn_lint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Suppressions parsed from `// qgnn-lint: allow(check-a, check-b)`
+/// comments: line -> suppressed check names ("all" suppresses anything).
+/// A comment standing alone on its line also covers the next line.
+std::map<int, std::set<std::string>> parse_suppressions(
+    const std::vector<Comment>& comments) {
+  std::map<int, std::set<std::string>> by_line;
+  for (const Comment& comment : comments) {
+    const std::string& text = comment.text;
+    const std::size_t tag = text.find("qgnn-lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t allow = text.find("allow", tag);
+    if (allow == std::string::npos) continue;
+    const std::size_t open = text.find('(', allow);
+    if (open == std::string::npos) continue;
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::set<std::string> checks;
+    std::string current;
+    for (std::size_t i = open + 1; i <= close; ++i) {
+      const char c = i < close ? text[i] : ',';
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!current.empty()) checks.insert(current);
+        current.clear();
+        continue;
+      }
+      current += c;
+    }
+    if (checks.empty()) continue;
+    by_line[comment.line].insert(checks.begin(), checks.end());
+    if (comment.owns_line) {
+      by_line[comment.line + 1].insert(checks.begin(), checks.end());
+    }
+  }
+  return by_line;
+}
+
+bool suppressed(const std::map<int, std::set<std::string>>& suppressions,
+                const Finding& finding) {
+  const auto it = suppressions.find(finding.line);
+  if (it == suppressions.end()) return false;
+  return it->second.count(finding.check) > 0 || it->second.count("all") > 0;
+}
+
+bool skip_directory(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  if (name.empty()) return false;
+  if (name.front() == '.') return true;               // .git, .cache, ...
+  if (name == "lint_fixtures") return true;           // seeded violations
+  if (name.rfind("build", 0) == 0) return true;       // build trees
+  return false;
+}
+
+bool lintable_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<std::string> collect_files(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    const fs::path path(p);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      fs::recursive_directory_iterator it(
+          path, fs::directory_options::skip_permission_denied);
+      const fs::recursive_directory_iterator end;
+      while (it != end) {
+        if (it->is_directory() && skip_directory(it->path())) {
+          it.disable_recursion_pending();
+        } else if (it->is_regular_file() && lintable_file(it->path())) {
+          files.push_back(it->path().string());
+        }
+        ++it;
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(p);
+    } else {
+      throw std::runtime_error("qgnn_lint: no such file or directory: " + p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+std::set<std::string> parse_obs_names(const std::string& source) {
+  std::set<std::string> names;
+  for (const Token& t : lex(source).tokens) {
+    if (t.kind == TokenKind::kString) names.insert(t.text);
+  }
+  return names;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const LintOptions& options) {
+  FileContext ctx;
+  ctx.path = path;
+  ctx.normalized = normalize_path(path);
+  ctx.lex = lex(source);
+  ctx.is_header = has_suffix(ctx.normalized, ".hpp") ||
+                  has_suffix(ctx.normalized, ".h");
+  ctx.in_src = ctx.normalized.find("src/") != std::string::npos;
+  ctx.serialization_path = false;
+  for (const std::string& hint : serialization_path_hints()) {
+    if (ctx.normalized.find(hint) != std::string::npos) {
+      ctx.serialization_path = true;
+      break;
+    }
+  }
+  ctx.options = &options;
+
+  std::vector<Finding> findings;
+  for (const CheckInfo& check : all_checks()) {
+    check.fn(ctx, findings);
+  }
+
+  const auto suppressions = parse_suppressions(ctx.lex.comments);
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return suppressed(suppressions, f);
+                                }),
+                 findings.end());
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> run_lint(const LintConfig& config) {
+  const std::vector<std::string> files = collect_files(config.paths);
+
+  LintOptions options;
+  std::string registry_path = config.obs_names_path;
+  if (registry_path.empty()) {
+    for (const std::string& f : files) {
+      if (has_suffix(normalize_path(f), "obs/names.hpp")) {
+        registry_path = f;
+        break;
+      }
+    }
+  }
+  if (!registry_path.empty()) {
+    options.obs_names = parse_obs_names(read_file(registry_path));
+    options.enforce_obs_registry = true;
+  }
+
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    std::vector<Finding> file_findings =
+        lint_source(f, read_file(f), options);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.check + "] " + finding.message;
+}
+
+}  // namespace qgnn::lint

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qgnn_lint/checks.hpp"
+
+namespace qgnn::lint {
+
+/// Driver configuration: which paths to lint and where the obs name
+/// registry lives.
+struct LintConfig {
+  /// Files and/or directories. Directories are walked recursively for
+  /// .hpp/.cpp files, skipping any directory named `lint_fixtures`,
+  /// `build*`, or starting with '.'. Files passed explicitly are always
+  /// linted, fixtures included.
+  std::vector<std::string> paths;
+  /// Explicit path to src/obs/names.hpp. When empty, the driver uses the
+  /// first scanned file whose path ends in "obs/names.hpp". If no
+  /// registry is found, the obs-name registry cross-reference is skipped
+  /// (the naming-convention part of the check still runs).
+  std::string obs_names_path;
+};
+
+/// Parse the obs name registry: every string literal in the file becomes
+/// a registered name.
+std::set<std::string> parse_obs_names(const std::string& source);
+
+/// Lint one in-memory file. Suppression comments are already applied;
+/// findings come back sorted by line.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const LintOptions& options);
+
+/// Walk the configured paths and lint every file. Throws std::runtime_error
+/// for unreadable paths.
+std::vector<Finding> run_lint(const LintConfig& config);
+
+/// `file:line: [check] message` — the one true output format.
+std::string format_finding(const Finding& finding);
+
+}  // namespace qgnn::lint

@@ -1,0 +1,88 @@
+// qgnn_lint — from-scratch static analysis enforcing the project's
+// determinism, observability-naming, concurrency, and hygiene invariants.
+//
+// Usage:
+//   qgnn_lint [--obs-names <path>] <path>...   lint files/directories
+//   qgnn_lint --list-checks                    print the check catalogue
+//
+// Findings print one per line as `file:line: [check] message`; the exit
+// code is 1 when there are findings, 0 on a clean tree, 2 on usage or I/O
+// errors. Suppress a finding with `// qgnn-lint: allow(<check>)` on (or
+// directly above) the offending line.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qgnn_lint/lint.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "usage: qgnn_lint [--obs-names <path>] <path>...\n"
+         "       qgnn_lint --list-checks\n"
+         "\n"
+         "Lints .hpp/.cpp files (directories are walked recursively;\n"
+         "lint_fixtures/, build*/ and dot-directories are skipped).\n"
+         "Suppress with // qgnn-lint: allow(<check>) on or above the line.\n";
+}
+
+void print_checks(std::ostream& out) {
+  for (const qgnn::lint::CheckInfo& check : qgnn::lint::all_checks()) {
+    out << check.name << "\n    " << check.description << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qgnn::lint::LintConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-checks") {
+      print_checks(std::cout);
+      return 0;
+    }
+    if (arg == "--obs-names") {
+      if (i + 1 >= argc) {
+        std::cerr << "qgnn_lint: --obs-names needs a path\n";
+        return 2;
+      }
+      config.obs_names_path = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "qgnn_lint: unknown flag " << arg << "\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    config.paths.push_back(arg);
+  }
+  if (config.paths.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<qgnn::lint::Finding> findings;
+  try {
+    findings = qgnn::lint::run_lint(config);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  for (const qgnn::lint::Finding& finding : findings) {
+    std::cout << qgnn::lint::format_finding(finding) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "qgnn_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}
