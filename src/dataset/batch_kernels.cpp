@@ -1,0 +1,74 @@
+#include "dataset/batch_kernels.hpp"
+
+#include "dataset/batch_kernels_impl.hpp"
+
+namespace qgnn::batchkern {
+
+namespace detail {
+#if defined(QGNN_BATCH_KERNELS_AVX2)
+void cost_layer_avx2(double* re, double* im, const std::uint16_t* lev,
+                     const double* tab_re, const double* tab_im,
+                     std::uint64_t dim);
+void mixer_layer_avx2(double* re, double* im, int n, double c, double s);
+#endif
+#if defined(QGNN_BATCH_KERNELS_AVX512)
+void cost_layer_avx512(double* re, double* im, const std::uint16_t* lev,
+                       const double* tab_re, const double* tab_im,
+                       std::uint64_t dim);
+void mixer_layer_avx512(double* re, double* im, int n, double c, double s);
+#endif
+}  // namespace detail
+
+namespace {
+
+void cost_layer_generic(double* re, double* im, const std::uint16_t* lev,
+                        const double* tab_re, const double* tab_im,
+                        std::uint64_t dim) {
+  impl::cost_run_scalar(re, im, lev, tab_re, tab_im, 0, dim);
+}
+
+void mixer_layer_generic(double* re, double* im, int n, double c, double s) {
+  impl::mixer_sweep(n, [&](std::uint64_t start, std::uint64_t bit) {
+    impl::mixer_run_scalar(re, im, start, bit, c, s);
+  });
+}
+
+struct Selected {
+  CostLayerFn cost = &cost_layer_generic;
+  MixerLayerFn mixer = &mixer_layer_generic;
+  const char* isa = "generic";
+};
+
+Selected select() {
+  Selected pick;
+#if defined(QGNN_BATCH_KERNELS_AVX2)
+  if (__builtin_cpu_supports("avx2")) {
+    pick.cost = &detail::cost_layer_avx2;
+    pick.mixer = &detail::mixer_layer_avx2;
+    pick.isa = "avx2";
+  }
+#endif
+#if defined(QGNN_BATCH_KERNELS_AVX512)
+  if (__builtin_cpu_supports("avx512f")) {
+    pick.cost = &detail::cost_layer_avx512;
+    pick.mixer = &detail::mixer_layer_avx512;
+    pick.isa = "avx512f";
+  }
+#endif
+  return pick;
+}
+
+const Selected& selected() {
+  static const Selected pick = select();
+  return pick;
+}
+
+}  // namespace
+
+CostLayerFn cost_layer() { return selected().cost; }
+
+MixerLayerFn mixer_layer() { return selected().mixer; }
+
+const char* kernel_isa() { return selected().isa; }
+
+}  // namespace qgnn::batchkern

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qgnn::batchkern {
+
+/// SIMD-dispatched kernels for the dataset factory's batch workspace.
+///
+/// The workspace stores each lane's amplitudes as two contiguous
+/// double arrays (re[dim], im[dim]) instead of interleaved
+/// std::complex, so the per-amplitude update expressions vectorize at
+/// any register width without shuffles. Every kernel is elementwise
+/// (cost layer) or pair-elementwise (mixer layer): each output element
+/// is produced by the same scalar IEEE expression regardless of vector
+/// width, so the AVX2/AVX-512 variants are bit-identical to the
+/// generic loop. The wide variants use explicit mul/add intrinsics —
+/// never FMA — because the scalar reference rounds after every
+/// multiply. Reductions are NOT dispatched here: summation order is
+/// pinned by the evaluator (it mirrors reduce_index), and changing the
+/// combine tree would change the labels.
+
+/// Multiply amplitude s by the unit phase table[lev[s]]:
+///   re' = re * tr - im * ti,  im' = re * ti + im * tr.
+using CostLayerFn = void (*)(double* re, double* im,
+                             const std::uint16_t* lev, const double* tab_re,
+                             const double* tab_im, std::uint64_t dim);
+
+/// Apply one RX mixer layer (all n qubits, rotation cosine c / sine s)
+/// to the 2^n-amplitude lane, cache-blocked. Per pair (lo, hi):
+///   lo_re' = c*lo_re + s*hi_im,  lo_im' = c*lo_im - s*hi_re,
+///   hi_re' = c*hi_re + s*lo_im,  hi_im' = c*hi_im - s*lo_re.
+using MixerLayerFn = void (*)(double* re, double* im, int n, double c,
+                              double s);
+
+/// Kernels resolved once per process from CPU features (AVX-512F, then
+/// AVX2, then the portable loop). All variants produce identical bytes.
+CostLayerFn cost_layer();
+MixerLayerFn mixer_layer();
+
+/// Name of the selected instruction set ("avx512f", "avx2", or
+/// "generic"); surfaced by benchmarks and the qgnn_dataset CLI.
+const char* kernel_isa();
+
+}  // namespace qgnn::batchkern

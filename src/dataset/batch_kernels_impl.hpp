@@ -1,0 +1,115 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+// Shared loop skeleton for the mixer-layer kernels. Each translation
+// unit (generic / AVX2 / AVX-512) instantiates mixer_sweep with its own
+// pair-run body; the skeleton fixes the traversal so every variant
+// applies qubits in ascending order to each amplitude and the only
+// difference between variants is the register width of the arithmetic.
+
+namespace qgnn::batchkern::impl {
+
+/// Visit every RX pair group of an n-qubit lane. run(start, bit) must
+/// update the pairs (x, x + bit) for x in [start, start + bit).
+///
+/// Qubits below kMixerBlockQubits are applied block by block so a
+/// 2^kMixerBlockQubits-amplitude slab (32 KiB of re plus 32 KiB of im)
+/// is swept through all of them while cache-resident; higher qubits
+/// pair across blocks in one strided pass each. Blocking is pure
+/// scheduling: each amplitude still sees qubits 0..n-1 in order, so the
+/// block size never changes the bytes.
+inline constexpr int kMixerBlockQubits = 12;
+
+template <typename Run>
+inline void mixer_sweep(int n, Run&& run) {
+  const std::uint64_t dim = std::uint64_t{1} << n;
+  const int nb = std::min(n, kMixerBlockQubits);
+  const std::uint64_t bsize = std::uint64_t{1} << nb;
+  for (std::uint64_t base = 0; base < dim; base += bsize) {
+    for (int q = 0; q < nb; ++q) {
+      const std::uint64_t bit = std::uint64_t{1} << q;
+      for (std::uint64_t g0 = 0; g0 < bsize; g0 += bit << 1) {
+        run(base + g0, bit);
+      }
+    }
+  }
+  for (int q = nb; q < n; ++q) {
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (std::uint64_t g0 = 0; g0 < dim; g0 += bit << 1) {
+      run(g0, bit);
+    }
+  }
+}
+
+/// mixer_sweep with the lowest `fq` qubits handed to the caller as one
+/// fused pass: run_low(start, len) must apply qubits 0..fq-1, in
+/// ascending order, to every aligned group of 2^fq amplitudes in
+/// [start, start + len). The wide kernels use this to butterfly the
+/// qubits whose pair stride is below their vector width entirely in
+/// registers (lane permutes) instead of falling back to scalar passes.
+/// Pairs for those qubits never cross a 2^fq-aligned group, and run_low
+/// keeps the per-amplitude qubit order ascending, so fusing is pure
+/// scheduling and the bytes match mixer_sweep exactly. Requires
+/// 0 < fq <= min(n, kMixerBlockQubits).
+template <typename RunLow, typename Run>
+inline void mixer_sweep_fused(int n, int fq, RunLow&& run_low, Run&& run) {
+  const std::uint64_t dim = std::uint64_t{1} << n;
+  const int nb = std::min(n, kMixerBlockQubits);
+  const std::uint64_t bsize = std::uint64_t{1} << nb;
+  for (std::uint64_t base = 0; base < dim; base += bsize) {
+    run_low(base, bsize);
+    for (int q = fq; q < nb; ++q) {
+      const std::uint64_t bit = std::uint64_t{1} << q;
+      for (std::uint64_t g0 = 0; g0 < bsize; g0 += bit << 1) {
+        run(base + g0, bit);
+      }
+    }
+  }
+  for (int q = nb; q < n; ++q) {
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (std::uint64_t g0 = 0; g0 < dim; g0 += bit << 1) {
+      run(g0, bit);
+    }
+  }
+}
+
+/// Scalar pair-run body; the wide kernels fall back to it for runs
+/// shorter than their vector width. Expressions match
+/// StateVector::apply_rx_layer's pair_update exactly.
+inline void mixer_run_scalar(double* re, double* im, std::uint64_t start,
+                             std::uint64_t bit, double c, double s) {
+  double* lre = re + start;
+  double* lim = im + start;
+  double* hre = lre + bit;
+  double* him = lim + bit;
+  for (std::uint64_t x = 0; x < bit; ++x) {
+    const double lr = lre[x];
+    const double li = lim[x];
+    const double hr = hre[x];
+    const double hm = him[x];
+    lre[x] = c * lr + s * hm;
+    lim[x] = c * li - s * hr;
+    hre[x] = c * hr + s * li;
+    him[x] = c * hm - s * lr;
+  }
+}
+
+/// Scalar cost-layer body shared by the generic kernel and the wide
+/// kernels' short-lane fallback.
+inline void cost_run_scalar(double* re, double* im,
+                            const std::uint16_t* lev, const double* tab_re,
+                            const double* tab_im, std::uint64_t lo,
+                            std::uint64_t hi) {
+  for (std::uint64_t k = lo; k < hi; ++k) {
+    const double tr = tab_re[lev[k]];
+    const double ti = tab_im[lev[k]];
+    const double nr = re[k] * tr - im[k] * ti;
+    const double ni = re[k] * ti + im[k] * tr;
+    re[k] = nr;
+    im[k] = ni;
+  }
+}
+
+}  // namespace qgnn::batchkern::impl

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+
+namespace qgnn {
+
+/// Scheduling knobs for the batched labelling factory. None of these
+/// affect the labels or the bytes of the output file — only how the work
+/// is batched, parallelized, and checkpointed. Byte-identity across every
+/// setting here is pinned by the `dataset` test label.
+struct FactoryConfig {
+  /// Statevector lanes evaluated per batch pass. 0 sizes the batch by
+  /// qubit count (wide batches on tiny states, narrow at n = 14..15 where
+  /// the working set must stay cache-resident).
+  int lanes = 0;
+
+  /// Records per checkpoint shard; <= 0 disables checkpointing (the whole
+  /// run is labelled in memory and written once).
+  int checkpoint_every = 0;
+
+  /// Directory for shards + resume manifest. Required when
+  /// checkpoint_every > 0.
+  std::string checkpoint_dir;
+
+  /// Resume from checkpoint_dir's manifest: records covered by committed
+  /// shards are loaded back instead of re-labelled, and the final file
+  /// comes out byte-identical to an uninterrupted run.
+  bool resume = false;
+
+  /// Test/CI hook simulating a killed run: stop (returning false) after
+  /// committing this many shards in this process. 0 = run to completion.
+  int stop_after_shards = 0;
+};
+
+/// Fingerprint of every generation-relevant field of `config` (instance
+/// count, node/degree ranges, depth, budget, optimizer, symmetrization,
+/// seed). Scheduling fields are deliberately excluded: a resumed run may
+/// change threads, lanes, or shard size and still continue a manifest.
+std::uint64_t dataset_config_fingerprint(const DatasetGenConfig& config);
+
+/// Batched drop-in for generate_dataset: same graph sequence (same
+/// phase-1 RNG stream), same per-item derive_seed(seed, index) streams,
+/// same Nelder-Mead evaluation sequence — but K optimizations advance in
+/// lockstep through one structure-of-arrays workspace per batch, so the
+/// phase-table setup and the memory sweeps are amortized across graphs.
+/// Deterministic: entries are bit-identical at any thread count and any
+/// lane count. Optimizers other than kNelderMead fall back to the
+/// per-item sequential path inside the same scheduling (still
+/// deterministic, still checkpointable via run_dataset_factory).
+std::vector<DatasetEntry> generate_dataset_batched(
+    const DatasetGenConfig& config, const FactoryConfig& factory = {},
+    const ProgressFn& progress = {});
+
+/// Full factory run: label `config.num_instances` graphs (batched, on the
+/// global thread pool) and write the packed dataset to `out_path`. With
+/// checkpointing enabled, every completed wave is committed as a packed
+/// shard plus a resume manifest, so a killed run restarts from the last
+/// committed shard (factory.resume = true) and the final file is
+/// byte-identical to an uninterrupted run.
+///
+/// Returns true when `out_path` was written; false when the run stopped
+/// early via factory.stop_after_shards (the manifest is committed, the
+/// final file is not).
+bool run_dataset_factory(const DatasetGenConfig& config,
+                         const FactoryConfig& factory,
+                         const std::string& out_path,
+                         const ProgressFn& progress = {});
+
+}  // namespace qgnn

@@ -1,0 +1,416 @@
+#include "dataset/packed.hpp"
+
+#include <sys/mman.h>
+#include <sys/stat.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qgnn {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian field helpers. Alignment-safe (memcpy, never pointer casts)
+// and endian-explicit, so the on-disk bytes are identical on every host.
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& path, std::uint64_t offset,
+                       const std::string& reason) {
+  throw IoError(path + ": " + reason + " (at byte offset " +
+                std::to_string(offset) + ")");
+}
+
+std::size_t record_encoded_bytes(const DatasetEntry& e) {
+  return 16 + std::size_t{16} * e.graph.num_edges() +
+         8 * (2 * e.label.gammas.size() + 3);
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(const void* data, std::size_t size,
+                         std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+std::vector<std::uint8_t> pack_dataset(
+    const std::vector<DatasetEntry>& entries) {
+  std::size_t depth = entries.empty() ? 0 : entries[0].label.gammas.size();
+  for (const DatasetEntry& e : entries) {
+    QGNN_REQUIRE(e.label.gammas.size() == e.label.betas.size(),
+                 "entry label has mismatched gamma/beta depth");
+    QGNN_REQUIRE(e.label.gammas.size() == depth,
+                 "packed datasets require a uniform label depth");
+  }
+
+  std::vector<std::uint8_t> index;
+  std::vector<std::uint8_t> records;
+  index.reserve(entries.size() * kPackedIndexEntryBytes);
+  for (const DatasetEntry& e : entries) {
+    const std::size_t bytes = record_encoded_bytes(e);
+    put_u64(index, records.size());
+    put_u64(index, bytes);
+
+    records.reserve(records.size() + bytes);
+    put_u32(records, static_cast<std::uint32_t>(bytes));
+    put_u32(records, static_cast<std::uint32_t>(e.graph.num_nodes()));
+    put_u32(records, static_cast<std::uint32_t>(e.degree));
+    put_u32(records, static_cast<std::uint32_t>(e.graph.num_edges()));
+    for (const Edge& edge : e.graph.edges()) {
+      put_u32(records, static_cast<std::uint32_t>(edge.u));
+      put_u32(records, static_cast<std::uint32_t>(edge.v));
+      put_f64(records, edge.weight);
+    }
+    for (double g : e.label.gammas) put_f64(records, g);
+    for (double b : e.label.betas) put_f64(records, b);
+    put_f64(records, e.expectation);
+    put_f64(records, e.optimum);
+    put_f64(records, e.approximation_ratio);
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kPackedHeaderBytes + index.size() + records.size());
+  for (const char c : kPackedMagic) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  put_u32(out, kPackedVersion);
+  put_u32(out, static_cast<std::uint32_t>(depth));
+  put_u64(out, entries.size());
+  put_u64(out, kPackedHeaderBytes);
+  put_u64(out, index.size());
+  put_u64(out, kPackedHeaderBytes + index.size());
+  put_u64(out, records.size());
+  put_u32(out, crc32_ieee(index.data(), index.size()));
+  put_u32(out, crc32_ieee(records.data(), records.size()));
+  put_u32(out, crc32_ieee(out.data(), 64));
+  put_u32(out, 0);  // reserved
+  out.insert(out.end(), index.begin(), index.end());
+  out.insert(out.end(), records.begin(), records.end());
+  return out;
+}
+
+void save_packed_dataset(const std::string& path,
+                         const std::vector<DatasetEntry>& entries) {
+  const std::vector<std::uint8_t> image = pack_dataset(entries);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw IoError("cannot create file: " + tmp);
+  const std::size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != image.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw IoError("short write to: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename " + tmp + " to " + path + ": " +
+                  ec.message());
+  }
+}
+
+bool is_packed_dataset_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[sizeof(kPackedMagic)] = {};
+  const std::size_t got = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return got == sizeof(magic) &&
+         std::memcmp(magic, kPackedMagic, sizeof(magic)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+struct PackedDatasetReader::Impl {
+  std::string path;
+  PackedDatasetInfo info;
+  // Exactly one of these owns the bytes `data` points into.
+  std::vector<std::uint8_t> owned;  // kStream
+  void* mapping = nullptr;          // kMmap
+  std::size_t mapping_bytes = 0;
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  const std::uint8_t* index = nullptr;    // index section start
+  const std::uint8_t* records = nullptr;  // records section start
+  std::uint64_t records_offset = 0;
+  std::uint64_t records_bytes = 0;
+
+  ~Impl() {
+    if (mapping != nullptr) ::munmap(mapping, mapping_bytes);
+  }
+
+  void open_stream() {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw IoError("cannot open file: " + path);
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+      std::fclose(f);
+      throw IoError("cannot seek in file: " + path);
+    }
+    const long end = std::ftell(f);
+    if (end < 0) {
+      std::fclose(f);
+      throw IoError("cannot determine size of file: " + path);
+    }
+    std::rewind(f);
+    owned.resize(static_cast<std::size_t>(end));
+    const std::size_t got = std::fread(owned.data(), 1, owned.size(), f);
+    std::fclose(f);
+    if (got != owned.size()) {
+      fail(path, got, "short read");
+    }
+    data = owned.data();
+    size = owned.size();
+  }
+
+  void open_mmap() {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw IoError("cannot open file: " + path);
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw IoError("cannot stat file: " + path);
+    }
+    size = static_cast<std::size_t>(st.st_size);
+    if (size < kPackedHeaderBytes) {
+      ::close(fd);
+      fail(path, size, "file too small for packed header");
+    }
+    void* m = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (m == MAP_FAILED) throw IoError("cannot mmap file: " + path);
+    mapping = m;
+    mapping_bytes = size;
+    data = static_cast<const std::uint8_t*>(m);
+  }
+
+  void validate() {
+    if (size < kPackedHeaderBytes) {
+      fail(path, size, "file too small for packed header");
+    }
+    if (std::memcmp(data, kPackedMagic, sizeof(kPackedMagic)) != 0) {
+      fail(path, 0, "bad magic (not a packed dataset file)");
+    }
+    const std::uint32_t stored_header_crc = get_u32(data + 64);
+    if (crc32_ieee(data, 64) != stored_header_crc) {
+      fail(path, 64, "header CRC mismatch");
+    }
+    info.version = get_u32(data + 8);
+    if (info.version != kPackedVersion) {
+      fail(path, 8,
+           "unsupported format version " + std::to_string(info.version) +
+               " (reader supports " + std::to_string(kPackedVersion) + ")");
+    }
+    info.depth = static_cast<int>(get_u32(data + 12));
+    info.num_records = get_u64(data + 16);
+    const std::uint64_t index_offset = get_u64(data + 24);
+    const std::uint64_t index_bytes = get_u64(data + 32);
+    records_offset = get_u64(data + 40);
+    records_bytes = get_u64(data + 48);
+    info.index_crc32 = get_u32(data + 56);
+    info.records_crc32 = get_u32(data + 60);
+    info.file_bytes = size;
+
+    if (index_offset != kPackedHeaderBytes ||
+        index_bytes != info.num_records * kPackedIndexEntryBytes) {
+      fail(path, 24, "index section does not match record count");
+    }
+    if (records_offset != index_offset + index_bytes) {
+      fail(path, 40, "records section does not follow index section");
+    }
+    if (records_offset + records_bytes < records_offset ||
+        records_offset + records_bytes != size) {
+      fail(path, 48, "section sizes do not match file size (truncated?)");
+    }
+    index = data + index_offset;
+    records = data + records_offset;
+    if (crc32_ieee(index, static_cast<std::size_t>(index_bytes)) !=
+        info.index_crc32) {
+      fail(path, index_offset, "index section CRC mismatch");
+    }
+    if (crc32_ieee(records, static_cast<std::size_t>(records_bytes)) !=
+        info.records_crc32) {
+      fail(path, records_offset, "records section CRC mismatch");
+    }
+  }
+
+  DatasetEntry decode(std::size_t i) const {
+    const std::uint8_t* ie = index + i * kPackedIndexEntryBytes;
+    const std::uint64_t rel = get_u64(ie);
+    const std::uint64_t bytes = get_u64(ie + 8);
+    const std::uint64_t abs = records_offset + rel;
+    if (rel + bytes < rel || rel + bytes > records_bytes) {
+      fail(path, abs, "record " + std::to_string(i) + " out of bounds");
+    }
+    const std::uint8_t* r = records + rel;
+    auto need = [&](std::uint64_t upto) {
+      if (upto > bytes) {
+        fail(path, abs, "record " + std::to_string(i) + " truncated");
+      }
+    };
+    need(16);
+    if (get_u32(r) != bytes) {
+      fail(path, abs,
+           "record " + std::to_string(i) + " size field disagrees with index");
+    }
+    const std::uint32_t nodes = get_u32(r + 4);
+    const std::uint32_t degree = get_u32(r + 8);
+    const std::uint32_t edges = get_u32(r + 12);
+    const std::uint64_t body =
+        16 + std::uint64_t{16} * edges +
+        8 * (2 * static_cast<std::uint64_t>(info.depth) + 3);
+    if (body != bytes) {
+      fail(path, abs,
+           "record " + std::to_string(i) + " edge count disagrees with size");
+    }
+
+    DatasetEntry e;
+    e.degree = static_cast<int>(degree);
+    e.graph = Graph(static_cast<int>(nodes));
+    const std::uint8_t* p = r + 16;
+    try {
+      for (std::uint32_t k = 0; k < edges; ++k) {
+        const std::uint32_t u = get_u32(p);
+        const std::uint32_t v = get_u32(p + 4);
+        const double w = get_f64(p + 8);
+        e.graph.add_edge(static_cast<int>(u), static_cast<int>(v), w);
+        p += 16;
+      }
+    } catch (const Error& ex) {
+      // add_edge rejects self-loops/duplicates/out-of-range endpoints;
+      // surface that as a file problem, not an argument problem.
+      fail(path, abs,
+           "record " + std::to_string(i) + " has invalid edges: " + ex.what());
+    }
+    std::vector<double> gammas(static_cast<std::size_t>(info.depth));
+    std::vector<double> betas(static_cast<std::size_t>(info.depth));
+    for (double& g : gammas) {
+      g = get_f64(p);
+      p += 8;
+    }
+    for (double& b : betas) {
+      b = get_f64(p);
+      p += 8;
+    }
+    e.label = QaoaParams(std::move(gammas), std::move(betas));
+    e.expectation = get_f64(p);
+    e.optimum = get_f64(p + 8);
+    e.approximation_ratio = get_f64(p + 16);
+    return e;
+  }
+};
+
+PackedDatasetReader::PackedDatasetReader(const std::string& path, Mode mode)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  if (mode == Mode::kMmap) {
+    impl_->open_mmap();
+  } else {
+    impl_->open_stream();
+  }
+  impl_->validate();
+}
+
+PackedDatasetReader::~PackedDatasetReader() = default;
+PackedDatasetReader::PackedDatasetReader(PackedDatasetReader&&) noexcept =
+    default;
+PackedDatasetReader& PackedDatasetReader::operator=(
+    PackedDatasetReader&&) noexcept = default;
+
+const PackedDatasetInfo& PackedDatasetReader::info() const {
+  return impl_->info;
+}
+
+std::size_t PackedDatasetReader::size() const {
+  return static_cast<std::size_t>(impl_->info.num_records);
+}
+
+int PackedDatasetReader::depth() const { return impl_->info.depth; }
+
+DatasetEntry PackedDatasetReader::read(std::size_t index) const {
+  QGNN_REQUIRE(index < size(), "record index out of range");
+  return impl_->decode(index);
+}
+
+std::vector<DatasetEntry> PackedDatasetReader::read_all() const {
+  std::vector<DatasetEntry> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(impl_->decode(i));
+  return out;
+}
+
+std::vector<DatasetEntry> load_packed_dataset(const std::string& path) {
+  return PackedDatasetReader(path).read_all();
+}
+
+}  // namespace qgnn

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "dataset/packed.hpp"
 #include "graph/io.hpp"
 #include "util/error.hpp"
 
@@ -38,7 +39,16 @@ std::string join_angles(const std::vector<double>& v) {
   return os.str();
 }
 
-std::vector<double> parse_angles(const std::string& s) {
+/// IoError pinned to a manifest line: "<file>:<line>: <reason>", so a
+/// corrupt row in a 600-row manifest names itself instead of making the
+/// user bisect.
+IoError manifest_error(const std::string& path, std::size_t line_no,
+                       const std::string& reason) {
+  return IoError(path + ":" + std::to_string(line_no) + ": " + reason);
+}
+
+std::vector<double> parse_angles(const std::string& path, std::size_t line_no,
+                                 const std::string& s) {
   std::vector<double> out;
   std::istringstream is(s);
   std::string tok;
@@ -46,7 +56,7 @@ std::vector<double> parse_angles(const std::string& s) {
     try {
       out.push_back(std::stod(tok));
     } catch (const std::exception&) {
-      throw IoError("bad angle value in manifest: " + tok);
+      throw manifest_error(path, line_no, "bad angle value '" + tok + "'");
     }
   }
   return out;
@@ -78,31 +88,49 @@ void save_dataset(const std::string& dir,
   if (!manifest) throw IoError("manifest write failed in: " + dir);
 }
 
-std::vector<DatasetEntry> load_dataset(const std::string& dir) {
-  std::ifstream manifest(fs::path(dir) / "manifest.csv");
-  if (!manifest) throw IoError("cannot open manifest in: " + dir);
+std::vector<DatasetEntry> load_dataset(const std::string& path) {
+  // Transparent format dispatch: a packed file loads through the binary
+  // reader; a directory is the legacy one-text-file-per-graph layout.
+  if (!fs::is_directory(path) && is_packed_dataset_file(path)) {
+    return load_packed_dataset(path);
+  }
+
+  const std::string manifest_path =
+      (fs::path(path) / "manifest.csv").string();
+  std::ifstream manifest(manifest_path);
+  if (!manifest) throw IoError("cannot open manifest: " + manifest_path);
 
   std::string line;
-  if (!std::getline(manifest, line)) throw IoError("empty manifest");
+  std::size_t line_no = 1;
+  if (!std::getline(manifest, line)) {
+    throw manifest_error(manifest_path, 1, "empty manifest");
+  }
 
   std::vector<DatasetEntry> entries;
   while (std::getline(manifest, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto f = split_csv_line(line);
-    if (f.size() != 10) throw IoError("bad manifest row: " + line);
+    if (f.size() != 10) {
+      throw manifest_error(manifest_path, line_no,
+                           "expected 10 fields, got " +
+                               std::to_string(f.size()) + " in row: " + line);
+    }
     DatasetEntry e;
-    e.graph = load_graph((fs::path(dir) / "graphs" / f[1]).string());
+    e.graph = load_graph((fs::path(path) / "graphs" / f[1]).string());
     try {
       e.degree = std::stoi(f[4]);
-      e.label = QaoaParams(parse_angles(f[5]), parse_angles(f[6]));
+      e.label = QaoaParams(parse_angles(manifest_path, line_no, f[5]),
+                           parse_angles(manifest_path, line_no, f[6]));
       e.expectation = std::stod(f[7]);
       e.optimum = std::stod(f[8]);
       e.approximation_ratio = std::stod(f[9]);
     } catch (const IoError&) {
       throw;
     } catch (const std::exception& ex) {
-      throw IoError(std::string("bad manifest row (") + ex.what() +
-                    "): " + line);
+      throw manifest_error(manifest_path, line_no,
+                           std::string("bad row (") + ex.what() +
+                               "): " + line);
     }
     entries.push_back(std::move(e));
   }

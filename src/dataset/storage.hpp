@@ -17,6 +17,11 @@ namespace qgnn {
 void save_dataset(const std::string& dir,
                   const std::vector<DatasetEntry>& entries);
 
-std::vector<DatasetEntry> load_dataset(const std::string& dir);
+/// Load a dataset from either storage format, dispatching on what `path`
+/// is: a regular file starting with the packed magic loads through
+/// load_packed_dataset (see dataset/packed.hpp); a directory loads the
+/// legacy manifest.csv + graphs/ layout. Parse errors name the file and
+/// the manifest line (or byte offset, for packed files) that failed.
+std::vector<DatasetEntry> load_dataset(const std::string& path);
 
 }  // namespace qgnn

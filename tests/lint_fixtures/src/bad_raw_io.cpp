@@ -1,0 +1,16 @@
+// Seeded violations for the raw-io check: direct file I/O primitives in
+// library code outside the dataset storage layer.
+#include <cstdio>
+
+namespace qgnn {
+
+void write_blob(const void* data, unsigned long n) {
+  std::FILE* f = std::fopen("blob.bin", "wb");
+  (void)std::fwrite(data, 1, n, f);
+}
+
+unsigned long read_blob(void* data, unsigned long n, std::FILE* f) {
+  return std::fread(data, 1, n, f);
+}
+
+}  // namespace qgnn

@@ -1,0 +1,13 @@
+// Raw file I/O inside the storage layer itself is allowed: this file's
+// path matches the raw-io exemption (it owns the bytes and the
+// validation), mirroring the real src/dataset/packed.cpp.
+#include <cstdio>
+
+namespace qgnn {
+
+void storage_write(const void* data, unsigned long n) {
+  std::FILE* f = std::fopen("data.qds", "wb");
+  (void)std::fwrite(data, 1, n, f);
+}
+
+}  // namespace qgnn

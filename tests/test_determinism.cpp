@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "dataset/dataset.hpp"
+#include "dataset/packed.hpp"
 #include "dataset/storage.hpp"
 #include "gnn/model.hpp"
 #include "graph/generators.hpp"
@@ -50,6 +51,9 @@ TEST(DeterminismEmit, EmitArtifacts) {
   const auto entries = generate_dataset(tiny_dataset_config());
   ASSERT_EQ(entries.size(), 5u);
   save_dataset((dir / "dataset").string(), entries);
+
+  // Packed binary dataset (single-file format the factory emits).
+  save_packed_dataset((dir / "dataset.qds").string(), entries);
 
   // Model checkpoint (architecture + weights, text format).
   GnnModelConfig model_config;
@@ -105,7 +109,7 @@ TEST(Determinism, SerializedArtifactsByteIdenticalAcrossProcesses) {
   const auto files0 = relative_files(runs[0]);
   const auto files1 = relative_files(runs[1]);
   EXPECT_EQ(files0, files1) << "runs emitted different file sets";
-  EXPECT_GE(files0.size(), 8u);  // manifest + 5 graphs + model + graph
+  EXPECT_GE(files0.size(), 9u);  // manifest + 5 graphs + packed + model + graph
 
   for (const fs::path& rel : files0) {
     EXPECT_EQ(read_bytes(runs[0] / rel), read_bytes(runs[1] / rel))

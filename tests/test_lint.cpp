@@ -220,6 +220,17 @@ TEST(LintFixtures, BannedFunctions) {
                                                {"banned-function", 15}}));
 }
 
+TEST(LintFixtures, RawIo) {
+  const auto findings =
+      lint_fixture("src/bad_raw_io.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"raw-io", 8},
+                                               {"raw-io", 9},
+                                               {"raw-io", 13}}));
+  // The storage layer itself is exempt: it owns the bytes.
+  EXPECT_TRUE(
+      lint_fixture("src/dataset/packed.cpp", registry_options()).empty());
+}
+
 TEST(LintFixtures, SuppressionsSilenceFindings) {
   EXPECT_TRUE(lint_fixture("suppressed.cpp", registry_options()).empty());
 }
@@ -249,7 +260,8 @@ TEST(LintDriver, WholeFixtureTreeFindingCount) {
   EXPECT_EQ(per_check["mutable-global"], 3);
   EXPECT_EQ(per_check["pragma-once"], 1);
   EXPECT_EQ(per_check["banned-function"], 3);
-  EXPECT_EQ(findings.size(), 20u);
+  EXPECT_EQ(per_check["raw-io"], 3);
+  EXPECT_EQ(findings.size(), 23u);
 }
 
 TEST(LintDriver, RegistryNotEnforcedOutsideSrc) {
@@ -282,7 +294,7 @@ TEST(LintDriver, CheckCatalogueIsStable) {
   EXPECT_EQ(names, (std::set<std::string>{
                        "determinism-call", "determinism-iteration",
                        "obs-name", "lock-across-submit", "mutable-global",
-                       "pragma-once", "banned-function"}));
+                       "pragma-once", "banned-function", "raw-io"}));
 }
 
 }  // namespace

@@ -516,6 +516,49 @@ void banned_function_impl(const FileContext& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// raw-io
+
+constexpr const char* kRawIoIdents[] = {
+    "fopen", "fread", "fwrite", "mmap", "munmap", "pread", "pwrite",
+};
+
+/// Files allowed to use raw file I/O primitives: the packed binary
+/// container and the legacy text storage layer own every byte that hits
+/// disk (and carry the CRC/validation logic that makes raw I/O safe).
+/// Everything else must route through them or through iostreams.
+bool raw_io_exempt_file(const std::string& normalized) {
+  const auto ends_with = [&](const std::string& suffix) {
+    return normalized.size() >= suffix.size() &&
+           normalized.compare(normalized.size() - suffix.size(),
+                              suffix.size(), suffix) == 0;
+  };
+  return ends_with("dataset/packed.cpp") || ends_with("dataset/storage.cpp");
+}
+
+void raw_io_impl(const FileContext& ctx, std::vector<Finding>& out) {
+  if (!ctx.in_src) return;  // tests/bench/tools may use stdio directly
+  if (raw_io_exempt_file(ctx.normalized)) return;
+  const Tokens& ts = ctx.lex.tokens;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (!is_punct(ts[i + 1], "(")) continue;
+    if (i > 0 && (is_punct(ts[i - 1], ".") || is_punct(ts[i - 1], "->"))) {
+      continue;  // member function sharing the name
+    }
+    for (const char* ident : kRawIoIdents) {
+      if (is_id(ts[i], ident)) {
+        out.push_back(Finding{
+            ctx.path, ts[i].line, "raw-io",
+            std::string(ident) +
+                ": raw file I/O in library code; route bytes through the "
+                "dataset storage layer (dataset/packed.hpp, "
+                "dataset/storage.hpp) or iostreams so validation and "
+                "atomic-write discipline stay in one place"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bool valid_obs_name(const std::string& name) {
@@ -575,6 +618,9 @@ const std::vector<CheckInfo>& all_checks() {
        &check_pragma_once},
       {"banned-function",
        "strtok/sprintf/atoi-family calls", &check_banned_function},
+      {"raw-io",
+       "direct fread/fwrite/mmap outside the dataset storage layer",
+       &check_raw_io},
   };
   return kChecks;
 }
@@ -604,6 +650,9 @@ void check_pragma_once(const FileContext& ctx, std::vector<Finding>& out) {
 void check_banned_function(const FileContext& ctx,
                            std::vector<Finding>& out) {
   banned_function_impl(ctx, out);
+}
+void check_raw_io(const FileContext& ctx, std::vector<Finding>& out) {
+  raw_io_impl(ctx, out);
 }
 
 }  // namespace qgnn::lint
