@@ -24,6 +24,23 @@
 //  - BM_ServeCacheHit: steady-state cache-hit path (canonical hash +
 //    LRU lookup, no forward).
 //
+//  - BM_ServeTcpCacheSweep / BM_ServeShardedCacheSweep: the networked
+//    tier. A cache-heavy 1024-request sweep cycles 64 distinct graphs
+//    against a per-process PredictionCache of 48 entries — one LRU
+//    notch too small, so a single process misses every request (the
+//    classic sequential-scan pathology) and pays forward + verify_ar
+//    scoring each time, while the 2-shard router's consistent hashing
+//    gives each worker ~32 of the 64 keys and every post-warmup request
+//    is an inline loop-thread cache hit. The items_per_second ratio
+//    between the two rows is the cache-sharding win the router exists
+//    for.
+//
+//  - BM_ServeTcpOverloadShed: open-loop offered load far above one
+//    submit worker's capacity against an SLO-shedding TCP front end.
+//    Reports the shed counter and the client-observed p99 of *accepted*
+//    requests — shedding must keep the latter within the end-to-end
+//    budget while the former absorbs the excess.
+//
 // Machine-readable baseline (committed as BENCH_serve.json):
 //   ./bench/serve_bench --benchmark_format=json \
 //       --benchmark_out=BENCH_serve.json
@@ -31,16 +48,26 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <chrono>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_main.hpp"
 #include "gnn/model.hpp"
+#include "graph/canonical.hpp"
 #include "graph/generators.hpp"
+#include "net/socket.hpp"
+#include "serve/protocol.hpp"
+#include "serve/router.hpp"
 #include "serve/service.hpp"
+#include "serve/shard_worker.hpp"
+#include "serve/tcp_service.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -215,6 +242,270 @@ void BM_ServeCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeCacheHit);
 
+// ---------------------------------------------------------------------------
+// Networked tier: TCP front end + shard router
+
+/// Blocking NDJSON client over one TCP connection.
+struct NetClient {
+  explicit NetClient(std::uint16_t port)
+      : fd(net::tcp_connect("127.0.0.1", port)) {}
+  void send_raw(const std::string& bytes) { net::write_all(fd, bytes); }
+  bool recv_line(std::string& line) {
+    return net::read_line(fd, carry, line);
+  }
+  net::Fd fd;
+  std::string carry;
+};
+
+std::string graph_request(int id, const Graph& g) {
+  std::string edges;
+  for (const Edge& e : g.edges()) {
+    if (!edges.empty()) edges += ",";
+    edges += "[" + std::to_string(e.u) + "," + std::to_string(e.v) + "]";
+  }
+  return "{\"id\":" + std::to_string(id) +
+         ",\"nodes\":" + std::to_string(g.num_nodes()) + ",\"edges\":[" +
+         edges + "]}";
+}
+
+/// 64 pairwise non-isomorphic graphs: every request is a distinct cache
+/// key, so a sweep over the pool is the LRU-adversarial access pattern.
+std::vector<Graph> distinct_pool(std::size_t count) {
+  Rng rng(4242);
+  std::set<std::uint64_t> hashes;
+  std::vector<Graph> graphs;
+  // n cycles with the attempt counter, not the pool size: small (n, d)
+  // classes have only a handful of non-isomorphic members (five cubic
+  // graphs on 8 nodes), so keying n off the pool size can wedge the loop
+  // on an exhausted class.
+  for (int attempt = 0; graphs.size() < count; ++attempt) {
+    const int n = 8 + attempt % 7;
+    const int d = n % 2 == 0 ? 3 : 4;
+    Graph g = random_regular_graph(n, d, rng);
+    if (hashes.insert(canonical_hash(g)).second) {
+      graphs.push_back(std::move(g));
+    }
+  }
+  return graphs;
+}
+
+constexpr std::size_t kSweepCacheCapacity = 48;  // one LRU notch < pool
+constexpr int kSweepRequests = 1024;
+
+/// Push `total` pipelined requests cycling `pool` through one client
+/// connection in windows of 8. The shallow window bounds completion
+/// reordering: with 64 distinct keys and reuse distance 64 +- window,
+/// a 48-entry LRU still misses every cyclic revisit, while a deep
+/// pipeline would jitter some reuse distances under the capacity and
+/// hand the undersized cache accidental hits. Returns ok-response count.
+int run_sweep(NetClient& client, const std::vector<Graph>& pool, int total) {
+  int sent = 0;
+  int received = 0;
+  int ok = 0;
+  std::string line;
+  while (received < total) {
+    const int window = std::min(8, total - sent);
+    if (window > 0) {
+      std::string burst;
+      for (int i = 0; i < window; ++i, ++sent) {
+        burst +=
+            graph_request(sent,
+                          pool[static_cast<std::size_t>(sent) % pool.size()]) +
+            "\n";
+      }
+      client.send_raw(burst);
+    }
+    const int expect = sent - received;
+    for (int i = 0; i < expect; ++i, ++received) {
+      if (!client.recv_line(line)) return ok;
+      if (line.find("\"ok\":true") != std::string::npos) ++ok;
+    }
+  }
+  return ok;
+}
+
+void BM_ServeTcpCacheSweep(benchmark::State& state) {
+  serve::ServeConfig serve_config;
+  serve_config.cache_capacity = kSweepCacheCapacity;
+  serve_config.verify_ar = true;  // misses pay scoring; hits reuse it
+  serve::ServeHandle handle(serve_config);
+  handle.register_model("default", bench_model());
+  serve::NdjsonTcpService service(handle, serve::TcpServiceConfig{});
+  service.start();
+
+  const std::vector<Graph> pool = distinct_pool(64);
+  NetClient client(service.port());
+  run_sweep(client, pool, static_cast<int>(pool.size()));  // warm (futile)
+
+  int ok = 0;
+  for (auto _ : state) {
+    ok = run_sweep(client, pool, kSweepRequests);
+  }
+
+  state.SetItemsProcessed(state.iterations() * kSweepRequests);
+  state.counters["ok"] = ok;
+  const auto stats = handle.stats();
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["cache_misses"] = static_cast<double>(stats.cache_misses);
+  service.graceful_shutdown();
+  handle.drain_submits();
+}
+BENCHMARK(BM_ServeTcpCacheSweep)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeShardedCacheSweep(benchmark::State& state) {
+  const int kShards = static_cast<int>(state.range(0));
+
+  serve::ShardWorkerOptions options;
+  options.cache_capacity = kSweepCacheCapacity;
+  options.verify_ar = true;  // same request cost model as the 1-proc row
+  std::vector<serve::ShardProcess> workers;
+  std::vector<serve::ShardAddress> addresses;
+  for (int s = 0; s < kShards; ++s) {
+    workers.push_back(serve::ShardProcess::spawn(options));
+    addresses.push_back({"127.0.0.1", workers.back().port()});
+  }
+  serve::ShardRouter router(serve::RouterConfig{}, std::move(addresses));
+  router.start();
+
+  const std::vector<Graph> pool = distinct_pool(64);
+  NetClient client(router.port());
+  run_sweep(client, pool, static_cast<int>(pool.size()));  // warm the shards
+
+  int ok = 0;
+  for (auto _ : state) {
+    ok = run_sweep(client, pool, kSweepRequests);
+  }
+
+  state.SetItemsProcessed(state.iterations() * kSweepRequests);
+  state.counters["shards"] = kShards;
+  state.counters["ok"] = ok;
+  const auto status = router.shard_status();
+  for (std::size_t s = 0; s < status.size(); ++s) {
+    state.counters["shard" + std::to_string(s) + "_routed"] =
+        static_cast<double>(status[s].routed);
+  }
+  router.graceful_shutdown();
+  for (auto& w : workers) w.terminate();
+}
+BENCHMARK(BM_ServeShardedCacheSweep)
+    ->ArgNames({"shards"})
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeTcpOverloadShed(benchmark::State& state) {
+  // One submit worker, no cache, batch off: capacity is one forward at a
+  // time. The offered rate below is far above that on any host.
+  serve::ServeConfig serve_config;
+  serve_config.cache_capacity = 0;
+  serve_config.max_batch = 1;
+  serve_config.submit_workers = 1;
+  serve::ServeHandle handle(serve_config);
+  handle.register_model("default", bench_model());
+
+  serve::TcpServiceConfig config;
+  config.slo.slo_us = 2000.0;  // queue-wait p99 promise
+  config.slo.min_samples = 8;
+  config.slo.refresh = std::chrono::milliseconds(2);
+  serve::NdjsonTcpService service(handle, config);
+  service.start();
+
+  const double kBudgetUs = 20000.0;  // end-to-end p99 budget for accepted
+  const int kConns = 8;
+  const int kPerConn = 256;
+  const auto kInterval = std::chrono::microseconds(400);  // 20k req/s total
+
+  const std::vector<Graph> pool = distinct_pool(16);
+  std::uint64_t shed_total = 0;
+  std::uint64_t accepted_total = 0;
+  double accepted_p99 = 0.0;
+
+  for (auto _ : state) {
+    std::mutex merge_mutex;
+    std::vector<double> accepted_us;
+    std::atomic<std::uint64_t> shed{0};
+
+    std::vector<std::thread> conns;
+    conns.reserve(kConns);
+    for (int c = 0; c < kConns; ++c) {
+      conns.emplace_back([&, c] {
+        NetClient client(service.port());
+        std::vector<std::chrono::steady_clock::time_point> sent(
+            static_cast<std::size_t>(kPerConn));
+        // Writer: fire at the schedule regardless of responses.
+        std::thread writer([&] {
+          const auto start = std::chrono::steady_clock::now();
+          for (int i = 0; i < kPerConn; ++i) {
+            std::this_thread::sleep_until(start + kInterval * i);
+            sent[static_cast<std::size_t>(i)] =
+                std::chrono::steady_clock::now();
+            client.send_raw(
+                graph_request(i, pool[static_cast<std::size_t>(
+                                     (c + i) % static_cast<int>(pool.size()))]) +
+                "\n");
+          }
+        });
+        std::vector<double> local_accepted;
+        std::string line;
+        for (int i = 0; i < kPerConn; ++i) {
+          if (!client.recv_line(line)) break;
+          const auto now = std::chrono::steady_clock::now();
+          const serve::JsonValue doc = serve::parse_json(line);
+          const serve::JsonValue* id = doc.find("id");
+          if (id == nullptr) continue;
+          if (doc.find("shed") != nullptr) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else if (doc.find("ok")->boolean) {
+            const auto t0 = sent[static_cast<std::size_t>(id->number)];
+            local_accepted.push_back(
+                std::chrono::duration<double, std::micro>(now - t0).count());
+          }
+        }
+        writer.join();
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        accepted_us.insert(accepted_us.end(), local_accepted.begin(),
+                           local_accepted.end());
+      });
+    }
+    for (auto& t : conns) t.join();
+
+    std::sort(accepted_us.begin(), accepted_us.end());
+    shed_total = shed.load();
+    accepted_total = accepted_us.size();
+    accepted_p99 =
+        accepted_us.empty()
+            ? 0.0
+            : accepted_us[static_cast<std::size_t>(
+                  std::floor(0.99 * static_cast<double>(accepted_us.size() -
+                                                        1)))];
+  }
+
+  state.SetItemsProcessed(state.iterations() * kConns * kPerConn);
+  state.counters["shed"] = static_cast<double>(shed_total);
+  state.counters["accepted"] = static_cast<double>(accepted_total);
+  state.counters["accepted_p99_us"] = accepted_p99;
+  state.counters["budget_us"] = kBudgetUs;
+  state.counters["within_slo"] =
+      accepted_total > 0 && accepted_p99 <= kBudgetUs ? 1.0 : 0.0;
+  const auto slo = service.slo_counters();
+  state.counters["admitted"] = static_cast<double>(slo.admitted);
+  service.graceful_shutdown();
+  handle.drain_submits();
+}
+// Exactly one iteration: the SLO window (2s) outlives an iteration, so a
+// second iteration would start inside the first one's breach state and
+// shed everything — the scenario is only meaningful from a cold
+// controller.
+BENCHMARK(BM_ServeTcpOverloadShed)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
-int main(int argc, char** argv) { return qgnn_benchmark_main(argc, argv); }
+int main(int argc, char** argv) {
+  // Shard workers re-exec this binary; dispatch before benchmark setup.
+  qgnn::serve::maybe_run_shard_worker(argc, argv);
+  return qgnn_benchmark_main(argc, argv);
+}

@@ -23,6 +23,8 @@
 #include "dataset/packed.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -61,20 +63,39 @@ int inspect(const std::string& path) {
               static_cast<unsigned long long>(info.file_bytes));
   std::printf("  index crc32  %08x\n", info.index_crc32);
   std::printf("  records crc32 %08x\n", info.records_crc32);
-  double ar_sum = 0.0;
-  int min_n = 0, max_n = 0;
+  if (reader.size() == 0) return 0;
+
+  qgnn::RunningStats ar;
+  qgnn::RunningStats gamma;
+  qgnn::RunningStats beta;
+  qgnn::FrequencyTable sizes;
   for (std::size_t i = 0; i < reader.size(); ++i) {
     const qgnn::DatasetEntry e = reader.read(i);
-    const int n = e.graph.num_nodes();
-    if (i == 0 || n < min_n) min_n = n;
-    if (i == 0 || n > max_n) max_n = n;
-    ar_sum += e.approximation_ratio;
+    ar.add(e.approximation_ratio);
+    if (!e.label.gammas.empty()) gamma.add(e.label.gammas[0]);
+    if (!e.label.betas.empty()) beta.add(e.label.betas[0]);
+    sizes.add(e.graph.num_nodes());
   }
-  if (reader.size() > 0) {
-    std::printf("  nodes        %d..%d\n", min_n, max_n);
-    std::printf("  mean AR      %.4f\n",
-                ar_sum / static_cast<double>(reader.size()));
+
+  qgnn::Table table({"statistic", "mean", "std", "min", "max"});
+  auto row = [&table](const std::string& name,
+                      const qgnn::RunningStats& s) {
+    table.add_row({name, qgnn::format_double(s.mean(), 3),
+                   qgnn::format_double(s.stddev(), 3),
+                   qgnn::format_double(s.min(), 3),
+                   qgnn::format_double(s.max(), 3)});
+  };
+  row("label approximation ratio", ar);
+  row("label gamma", gamma);
+  row("label beta", beta);
+  std::printf("\n");
+  table.print(std::cout);
+
+  std::printf("\ngraph sizes: ");
+  for (const auto& [k, c] : sizes.counts()) {
+    std::printf("%d:%llu ", k, static_cast<unsigned long long>(c));
   }
+  std::printf("\n");
   return 0;
 }
 

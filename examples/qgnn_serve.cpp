@@ -1,5 +1,5 @@
 // qgnn_serve: warm-start inference server speaking newline-delimited JSON
-// over stdin/stdout.
+// over stdin/stdout or TCP.
 //
 // Each input line is one request:
 //   {"id": 1, "model": "default", "nodes": 5,
@@ -10,12 +10,24 @@
 //    "values": [0.41, -0.12, ...]}
 // Malformed lines produce {"id": ..., "ok": false, "error": "..."} and the
 // stream keeps going. Responses are flushed per line so the binary can sit
-// behind a pipe.
+// behind a pipe. Control lines: {"cmd":"stats","id":99} returns live
+// serving stats, {"cmd":"ping"} answers {"pong":true}. SIGINT/SIGTERM
+// drain in-flight requests, flush --trace-out, and exit cleanly in every
+// mode.
 //
-// A line of {"cmd": "stats", "id": 99} returns the live ServeStats —
-// request/cache counters plus the per-stage latency histograms (queue
-// wait, batch formation, forward, cache lookup, batch size) — instead of
-// a prediction.
+// Serving modes:
+//   (default)            NDJSON over stdin/stdout
+//   --listen <port>      NDJSON over TCP (port 0 = ephemeral; the bound
+//                        port is printed to stderr as "listening on ...")
+//   --listen <port> --shards <n>
+//                        TCP front end routing to <n> shard worker
+//                        processes (spawned from this binary) by
+//                        consistent-hashing the canonical graph hash, so
+//                        each shard's prediction cache stays hot and
+//                        disjoint. The router answers {"cmd":"health"},
+//                        {"cmd":"drain","shard":k} and
+//                        {"cmd":"undrain","shard":k} in addition to the
+//                        standard commands.
 //
 // Usage:
 //   qgnn_serve --models <dir>              load every *.txt / *.model file
@@ -28,22 +40,32 @@
 //   --cache <n>              LRU cache capacity, 0 disables  (default 4096)
 //   --workers <n>            request pipeline width; >1 lets concurrent
 //                            lines coalesce into one forward (default 4)
+//   --slo-ms <n>             queue-wait p99 target; breaches shed load
+//                            (TCP modes; 0 = no shedding, the default)
+//   --shed-policy <p>        reject (default) or degrade (answer with
+//                            depth-1 fixed angles instead of rejecting)
+//   --max-conns <n>          open TCP connection cap         (default 256)
 //   --trace-out <file>       record trace spans while serving and write a
-//                            Chrome trace_event JSON file at EOF; open it
+//                            Chrome trace_event JSON file at exit; open it
 //                            in about://tracing or ui.perfetto.dev
-// Final serving stats are printed to stderr at EOF.
+// Final serving stats are printed to stderr at exit.
 
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "gnn/layers.hpp"
 #include "gnn/model.hpp"
+#include "net/socket.hpp"
 #include "obs/trace.hpp"
 #include "serve/protocol.hpp"
+#include "serve/router.hpp"
 #include "serve/service.hpp"
+#include "serve/shard_worker.hpp"
+#include "serve/tcp_service.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -65,12 +87,122 @@ qgnn::GnnArch parse_arch(const std::string& name) {
                               "' (try gcn, graphsage, gat, gin)");
 }
 
+qgnn::serve::SloConfig parse_slo(const qgnn::CliArgs& args) {
+  qgnn::serve::SloConfig slo;
+  slo.slo_us = args.get_double("slo-ms", 0.0) * 1000.0;
+  const std::string policy = args.get("shed-policy", "reject");
+  if (policy == "degrade") {
+    slo.policy = qgnn::serve::ShedPolicy::kDegrade;
+  } else if (policy == "reject") {
+    slo.policy = qgnn::serve::ShedPolicy::kReject;
+  } else {
+    throw qgnn::InvalidArgument("unknown --shed-policy '" + policy +
+                                "' (reject or degrade)");
+  }
+  return slo;
+}
+
+/// Block until SIGINT/SIGTERM.
+void wait_for_shutdown_signal() {
+  qgnn::net::Fd watch(qgnn::net::install_shutdown_signal_pipe());
+  while (!qgnn::net::shutdown_signal_received()) {
+    qgnn::net::wait_readable(watch, 200);
+  }
+  watch.release();  // the fd belongs to the signal machinery, keep it open
+}
+
+void print_final_stats(const qgnn::serve::ServeStats& stats,
+                       std::size_t handled) {
+  std::fprintf(stderr,
+               "qgnn_serve: %zu line(s), %zu request(s), "
+               "%zu batch(es), mean batch %.2f, cache %zu/%zu hit/miss, "
+               "p50 %.0f us, p99 %.0f us, %.0f req/s\n",
+               handled, stats.requests, stats.batches,
+               stats.mean_batch_size, stats.cache_hits, stats.cache_misses,
+               stats.latency_us_p50, stats.latency_us_p99,
+               stats.requests_per_second);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace qgnn;
+  // Re-exec'd shard workers take over here and never return.
+  serve::maybe_run_shard_worker(argc, argv);
+
   const CliArgs args(argc, argv);
   try {
+    const std::string trace_out = args.get("trace-out", "");
+    if (!trace_out.empty()) obs::TraceCollector::global().start();
+    auto flush_trace = [&trace_out] {
+      if (trace_out.empty()) return;
+      obs::TraceCollector::global().stop();
+      obs::TraceCollector::global().write_chrome_trace_file(trace_out);
+      std::fprintf(stderr, "qgnn_serve: wrote %zu trace event(s) to %s\n",
+                   obs::TraceCollector::global().event_count(),
+                   trace_out.c_str());
+    };
+
+    const int shards = args.get_int("shards", 0);
+    const bool tcp_mode = args.has("listen");
+
+    if (shards > 0) {
+      QGNN_REQUIRE(tcp_mode, "--shards requires --listen");
+      // Router mode: spawn the shard workers, then front them.
+      serve::ShardWorkerOptions worker;
+      worker.models_dir = args.get("models", "");
+      worker.demo_seed =
+          static_cast<std::uint64_t>(args.get_int("seed", 42));
+      worker.arch = args.get("arch", "gcn");
+      worker.default_model = args.get("default-model", "default");
+      worker.max_batch = args.get_int("max-batch", 16);
+      worker.max_delay_us = args.get_int("max-delay-us", 500);
+      worker.cache_capacity =
+          static_cast<std::size_t>(args.get_int("cache", 4096));
+      worker.submit_workers = args.get_int("workers", 4);
+
+      std::vector<serve::ShardProcess> procs;
+      std::vector<serve::ShardAddress> addrs;
+      procs.reserve(static_cast<std::size_t>(shards));
+      for (int i = 0; i < shards; ++i) {
+        procs.push_back(serve::ShardProcess::spawn(worker));
+        addrs.push_back(serve::ShardAddress{"127.0.0.1",
+                                            procs.back().port()});
+        std::fprintf(stderr, "qgnn_serve: shard %d on port %u (pid %d)\n",
+                     i, procs.back().port(),
+                     static_cast<int>(procs.back().pid()));
+      }
+
+      serve::RouterConfig config;
+      config.net.host = args.get("host", "127.0.0.1");
+      config.net.port =
+          static_cast<std::uint16_t>(args.get_int("listen", 0));
+      config.net.max_connections = args.get_int("max-conns", 256);
+      config.slo = parse_slo(args);
+      serve::ShardRouter router(config, addrs);
+      router.start();
+      std::fprintf(stderr,
+                   "qgnn_serve: routing %d shard(s), listening on %s:%u\n",
+                   shards, config.net.host.c_str(), router.port());
+
+      wait_for_shutdown_signal();
+      std::fprintf(stderr, "qgnn_serve: draining...\n");
+      router.graceful_shutdown(std::chrono::milliseconds(5000));
+      const auto slo = router.slo_counters();
+      const auto net = router.net_stats();
+      std::fprintf(stderr,
+                   "qgnn_serve: %llu line(s), %llu admitted, %llu shed, "
+                   "%llu degraded\n",
+                   static_cast<unsigned long long>(net.lines_in),
+                   static_cast<unsigned long long>(slo.admitted),
+                   static_cast<unsigned long long>(slo.shed),
+                   static_cast<unsigned long long>(slo.degraded));
+      for (auto& p : procs) p.terminate();
+      flush_trace();
+      return 0;
+    }
+
+    // Single-process modes share one in-process handle.
     serve::ServeConfig config;
     config.max_batch = args.get_int("max-batch", config.max_batch);
     config.max_queue_delay = std::chrono::microseconds(
@@ -79,6 +211,7 @@ int main(int argc, char** argv) {
     config.cache_capacity = static_cast<std::size_t>(
         args.get_int("cache", static_cast<int>(config.cache_capacity)));
     config.default_model = args.get("default-model", config.default_model);
+    config.submit_workers = args.get_int("workers", config.submit_workers);
 
     serve::ServeHandle serve(config);
     if (args.has("models")) {
@@ -98,30 +231,36 @@ int main(int argc, char** argv) {
                    to_string(model_config.arch).c_str());
     }
 
-    const std::string trace_out = args.get("trace-out", "");
-    if (!trace_out.empty()) obs::TraceCollector::global().start();
+    std::size_t handled = 0;
+    if (tcp_mode) {
+      serve::TcpServiceConfig service_config;
+      service_config.net.host = args.get("host", "127.0.0.1");
+      service_config.net.port =
+          static_cast<std::uint16_t>(args.get_int("listen", 0));
+      service_config.net.max_connections = args.get_int("max-conns", 256);
+      service_config.slo = parse_slo(args);
+      serve::NdjsonTcpService service(serve, service_config);
+      service.start();
+      std::fprintf(stderr, "qgnn_serve: listening on %s:%u\n",
+                   service_config.net.host.c_str(), service.port());
 
-    const int workers = args.get_int("workers", 4);
-    const std::size_t handled =
-        serve::run_ndjson_server(std::cin, std::cout, serve, workers);
-
-    if (!trace_out.empty()) {
-      obs::TraceCollector::global().stop();
-      obs::TraceCollector::global().write_chrome_trace_file(trace_out);
-      std::fprintf(stderr, "qgnn_serve: wrote %zu trace event(s) to %s\n",
-                   obs::TraceCollector::global().event_count(),
-                   trace_out.c_str());
+      wait_for_shutdown_signal();
+      std::fprintf(stderr, "qgnn_serve: draining...\n");
+      service.graceful_shutdown(std::chrono::milliseconds(5000));
+      serve.drain_submits();
+      handled = service.net_stats().lines_in;
+    } else {
+      // stdin mode: install the signal handlers so SIGINT/SIGTERM
+      // interrupt the blocking read (no SA_RESTART) and the loop drains
+      // what it already accepted instead of dying mid-request.
+      net::install_shutdown_signal_pipe();
+      const int workers = args.get_int("workers", 4);
+      handled = serve::run_ndjson_server(std::cin, std::cout, serve,
+                                         workers);
     }
 
-    const serve::ServeStats stats = serve.stats();
-    std::fprintf(stderr,
-                 "qgnn_serve: %zu line(s), %zu request(s), "
-                 "%zu batch(es), mean batch %.2f, cache %zu/%zu hit/miss, "
-                 "p50 %.0f us, p99 %.0f us, %.0f req/s\n",
-                 handled, stats.requests, stats.batches,
-                 stats.mean_batch_size, stats.cache_hits, stats.cache_misses,
-                 stats.latency_us_p50, stats.latency_us_p99,
-                 stats.requests_per_second);
+    flush_trace();
+    print_final_stats(serve.stats(), handled);
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "qgnn_serve: error: %s\n", e.what());

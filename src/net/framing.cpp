@@ -1,0 +1,65 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+
+namespace qgnn::net {
+
+void LineFramer::feed(const char* data, std::size_t len,
+                      const LineFn& on_line, const OverflowFn& on_overflow) {
+  std::size_t pos = 0;
+  while (pos < len) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + pos, '\n', len - pos));
+    const std::size_t chunk_end =
+        nl != nullptr ? static_cast<std::size_t>(nl - data) : len;
+    const std::size_t chunk = chunk_end - pos;
+
+    if (discarding_) {
+      discarded_ += chunk;
+      if (nl != nullptr) {
+        on_overflow(discarded_);
+        discarding_ = false;
+        discarded_ = 0;
+      }
+      pos = chunk_end + (nl != nullptr ? 1 : 0);
+      continue;
+    }
+
+    if (buffer_.size() + chunk > max_line_) {
+      // The line crossed the bound: forget what we buffered and switch to
+      // discard mode until its terminating newline.
+      discarded_ = buffer_.size() + chunk;
+      buffer_.clear();
+      discarding_ = true;
+      if (nl != nullptr) {
+        on_overflow(discarded_);
+        discarding_ = false;
+        discarded_ = 0;
+      }
+      pos = chunk_end + (nl != nullptr ? 1 : 0);
+      continue;
+    }
+
+    buffer_.append(data + pos, chunk);
+    pos = chunk_end;
+    if (nl != nullptr) {
+      ++pos;  // consume the '\n'
+      if (!buffer_.empty() && buffer_.back() == '\r') buffer_.pop_back();
+      if (!buffer_.empty()) {
+        std::string line;
+        line.swap(buffer_);
+        on_line(std::move(line));
+      }
+    }
+  }
+}
+
+std::string LineFramer::take_partial() {
+  std::string out;
+  out.swap(buffer_);
+  discarding_ = false;
+  discarded_ = 0;
+  return out;
+}
+
+}  // namespace qgnn::net

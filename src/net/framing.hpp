@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace qgnn::net {
+
+/// Upper bound on one NDJSON line (request or response) on any transport.
+/// Generously above the largest legal request (a kMaxQubits-node dense
+/// graph is ~6 KiB of edges) while keeping a hostile client from growing
+/// a connection buffer without bound.
+inline constexpr std::size_t kMaxLineBytes = 1 << 20;  // 1 MiB
+
+/// Incremental NDJSON line framer.
+///
+/// Feed arbitrary byte chunks exactly as they come off a socket — split
+/// mid-line, coalesced many-lines-per-read, or one byte at a time — and
+/// get back complete lines (without the '\n'; a trailing '\r' is stripped
+/// so CRLF clients work). Blank lines are dropped, matching the stdin
+/// protocol loop.
+///
+/// Oversized lines are handled without buffering them: once the current
+/// line exceeds max_line bytes the framer reports it via the overflow
+/// callback (once per offending line), then discards bytes until the next
+/// '\n' and resumes framing cleanly. The connection stays usable — the
+/// caller answers with a protocol error rather than tearing down.
+class LineFramer {
+ public:
+  using LineFn = std::function<void(std::string&&)>;
+  using OverflowFn = std::function<void(std::size_t dropped_bytes)>;
+
+  explicit LineFramer(std::size_t max_line = kMaxLineBytes)
+      : max_line_(max_line) {}
+
+  /// Consume `len` bytes, invoking on_line for each completed line and
+  /// on_overflow when a line crosses the size bound.
+  void feed(const char* data, std::size_t len, const LineFn& on_line,
+            const OverflowFn& on_overflow);
+
+  /// Bytes of the current, still-incomplete line ("trailing garbage"
+  /// after the last newline). At EOF a non-empty partial is a protocol
+  /// violation the caller may surface; take_partial() hands it over and
+  /// resets the framer.
+  std::size_t partial_bytes() const { return buffer_.size(); }
+  std::string take_partial();
+
+  /// True while discarding an oversized line (until its '\n' arrives).
+  bool discarding() const { return discarding_; }
+
+ private:
+  std::size_t max_line_;
+  std::string buffer_;
+  bool discarding_ = false;
+  std::size_t discarded_ = 0;
+};
+
+}  // namespace qgnn::net

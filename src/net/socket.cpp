@@ -1,0 +1,248 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace qgnn::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
+  set_nonblocking(fd);
+  return fd;
+}
+
+Fd tcp_connect(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Fd tcp_accept(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept4(listener.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      Fd out(fd);
+      const int one = 1;
+      ::setsockopt(out.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return out;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    // Transient per-connection failures (the peer raced away, fd
+    // pressure): report "nothing accepted" rather than killing the
+    // accept loop.
+    if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) {
+      return Fd();
+    }
+    throw_errno("accept");
+  }
+}
+
+std::uint16_t local_port(const Fd& socket_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket_fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+void set_nonblocking(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+IoResult read_some(const Fd& fd, char* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, cap);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kEof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult write_some(const Fd& fd, const char* buf, std::size_t len) {
+  for (;;) {
+    // MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE; fall back to
+    // write(2) for pipes (send only works on sockets).
+    ssize_t n = ::send(fd.get(), buf, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd.get(), buf, len);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+void write_all(const Fd& fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const IoResult r = write_some(fd, data.data() + off, data.size() - off);
+    if (r.status == IoStatus::kOk) {
+      off += r.bytes;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) continue;  // blocking fd: rare
+    throw IoError("write failed after " + std::to_string(off) + " bytes");
+  }
+}
+
+bool read_line(const Fd& fd, std::string& carry, std::string& line) {
+  for (;;) {
+    const std::size_t nl = carry.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(carry, 0, nl);
+      carry.erase(0, nl + 1);
+      return true;
+    }
+    char buf[4096];
+    const IoResult r = read_some(fd, buf, sizeof(buf));
+    if (r.status == IoStatus::kOk) {
+      carry.append(buf, r.bytes);
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) continue;  // blocking fd: rare
+    return false;  // EOF or error with no complete line
+  }
+}
+
+std::pair<Fd, Fd> make_pipe() {
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) throw_errno("pipe2");
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+void shutdown_socket(const Fd& fd) {
+  if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
+}
+
+bool wait_readable(const Fd& fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd.get();
+  pfd.events = POLLIN;
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  return n > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+namespace {
+
+// Signal handlers are process-global by nature; this is the one piece of
+// state they may touch (async-signal-safe: lock-free atomics + write(2)).
+// qgnn-lint: allow(mutable-global)
+std::atomic<bool> g_shutdown_flag{false};
+// qgnn-lint: allow(mutable-global)
+std::atomic<int> g_signal_pipe_write{-1};
+
+void on_shutdown_signal(int) {
+  g_shutdown_flag.store(true, std::memory_order_relaxed);
+  const int fd = g_signal_pipe_write.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // Best-effort wakeup; a full pipe already wakes the watcher.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+int install_shutdown_signal_pipe() {
+  static std::pair<Fd, Fd> pipe_fds = [] {
+    auto fds = make_pipe();
+    set_nonblocking(fds.second);
+    g_signal_pipe_write.store(fds.second.get(), std::memory_order_relaxed);
+
+    struct sigaction sa{};
+    sa.sa_handler = &on_shutdown_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: blocking reads must see EINTR
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+    return fds;
+  }();
+  return pipe_fds.first.get();
+}
+
+bool shutdown_signal_received() {
+  return g_shutdown_flag.load(std::memory_order_relaxed);
+}
+
+void reset_shutdown_signal() {
+  g_shutdown_flag.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace qgnn::net

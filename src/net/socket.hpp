@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace qgnn::net {
+
+/// The one place in the library allowed to touch raw socket / file
+/// descriptor syscalls (qgnn_lint's raw-socket check enforces this):
+/// every other subsystem routes bytes through these wrappers so error
+/// handling, non-blocking discipline, and EINTR retries stay in one
+/// place.
+
+/// Owning file descriptor. Closes on destruction; move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Close now (idempotent).
+  void reset();
+  /// Give up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one non-blocking read/write attempt.
+enum class IoStatus {
+  kOk,          // >= 1 byte transferred
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK: retry when the fd is ready again
+  kEof,         // peer closed (reads only)
+  kError,       // unrecoverable; close the fd
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+};
+
+/// Create a TCP listener bound to host:port (SO_REUSEADDR, non-blocking).
+/// `port` 0 binds an ephemeral port — read it back with local_port().
+/// Throws IoError on failure.
+Fd tcp_listen(const std::string& host, std::uint16_t port, int backlog = 128);
+
+/// Blocking connect to host:port. The returned fd is left in blocking
+/// mode; call set_nonblocking() to use it with an event loop. Throws
+/// IoError on failure.
+Fd tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Accept one pending connection from a non-blocking listener. Returns an
+/// invalid Fd when no connection is pending (EAGAIN); throws IoError on
+/// unrecoverable accept failures. The accepted fd is non-blocking with
+/// TCP_NODELAY set.
+Fd tcp_accept(const Fd& listener);
+
+/// Locally bound port of a socket (useful after binding port 0).
+std::uint16_t local_port(const Fd& socket_fd);
+
+void set_nonblocking(const Fd& fd);
+
+/// One read(2) attempt, EINTR-retried. Works for sockets and pipes.
+IoResult read_some(const Fd& fd, char* buf, std::size_t cap);
+/// One send/write attempt, EINTR-retried, SIGPIPE-suppressed on sockets.
+IoResult write_some(const Fd& fd, const char* buf, std::size_t len);
+
+/// Blocking helpers for client-side code (the fd must be blocking):
+/// write the whole buffer / read until '\n' (returned without the
+/// terminator). read_line returns false on EOF before any byte.
+void write_all(const Fd& fd, const std::string& data);
+bool read_line(const Fd& fd, std::string& carry, std::string& line);
+
+/// A unidirectional pipe; .first is the read end.
+std::pair<Fd, Fd> make_pipe();
+
+/// shutdown(2) both directions: wakes a thread blocked in read on the
+/// same fd with EOF, without the close/reuse race of reset(). No-op on
+/// invalid or non-socket fds.
+void shutdown_socket(const Fd& fd);
+
+/// Block until `fd` is readable or `timeout_ms` elapses (poll(2)).
+/// Returns true when readable (including EOF/hup), false on timeout.
+/// EINTR surfaces as false so callers can re-check shutdown flags.
+bool wait_readable(const Fd& fd, int timeout_ms);
+
+/// Install a process-wide SIGINT/SIGTERM handler (without SA_RESTART, so
+/// blocking reads return EINTR) that writes one byte into an internal
+/// self-pipe and sets a flag. Returns the read end of the pipe — watch it
+/// in an event loop to observe shutdown requests. Also ignores SIGPIPE.
+/// Safe to call more than once (the same pipe is reused).
+int install_shutdown_signal_pipe();
+/// True once SIGINT/SIGTERM has been delivered.
+bool shutdown_signal_received();
+/// Reset the flag (tests).
+void reset_shutdown_signal();
+
+}  // namespace qgnn::net

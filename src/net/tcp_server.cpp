@@ -1,0 +1,327 @@
+#include "net/tcp_server.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/error.hpp"
+
+namespace qgnn::net {
+
+namespace {
+
+constexpr std::chrono::milliseconds kLoopTick{50};
+
+std::string default_oversized_response(std::size_t dropped) {
+  return "{\"ok\":false,\"error\":\"request line exceeds " +
+         std::to_string(kMaxLineBytes) + " bytes (got " +
+         std::to_string(dropped) + ")\"}";
+}
+
+}  // namespace
+
+TcpServer::TcpServer(TcpServerConfig config, LineHandler on_line)
+    : config_(std::move(config)),
+      on_line_(std::move(on_line)),
+      on_oversized_(&default_oversized_response) {
+  QGNN_REQUIRE(on_line_ != nullptr, "TcpServer needs a line handler");
+  QGNN_REQUIRE(config_.max_connections >= 1,
+               "max_connections must be >= 1");
+  QGNN_REQUIRE(config_.max_pipeline >= 1, "max_pipeline must be >= 1");
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::set_oversized_handler(OversizedHandler fn) {
+  QGNN_REQUIRE(!running_, "set_oversized_handler before start()");
+  on_oversized_ = std::move(fn);
+}
+
+void TcpServer::start() {
+  QGNN_REQUIRE(!running_, "TcpServer already started");
+  if (config_.install_signal_handlers) {
+    const int sig_fd = install_shutdown_signal_pipe();
+    loop_.add(sig_fd, kReadable, [this](std::uint32_t) {
+      // Leave the pipe readable-flagged; the post-dispatch hook below
+      // notices shutdown_requested_ and starts the drain.
+      std::lock_guard<std::mutex> lk(outbox_mutex_);
+      shutdown_requested_ = true;
+    });
+  }
+  listener_ = tcp_listen(config_.host, config_.port, config_.listen_backlog);
+  port_ = local_port(listener_);
+  loop_.add(listener_.get(), kReadable,
+            [this](std::uint32_t) { on_acceptable(); });
+  accepting_ = true;
+  loop_.set_post_dispatch([this] { drain_outbox(); });
+  loop_.set_tick(kLoopTick, [this] {
+    if (draining_ && std::chrono::steady_clock::now() >= drain_deadline_) {
+      // Timed out waiting for in-flight work; force what remains closed.
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      drained_cleanly_ = false;
+      loop_.request_stop();
+    }
+  });
+  running_ = true;
+  loop_thread_ = std::thread([this] { loop_main(); });
+}
+
+void TcpServer::loop_main() {
+  try {
+    loop_.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "TcpServer loop error: %s\n", e.what());
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    drained_cleanly_ = false;
+  }
+  // Loop exited: tear down every remaining connection and the listener.
+  conns_.clear();
+  listener_.reset();
+}
+
+void TcpServer::on_acceptable() {
+  while (accepting_) {
+    if (static_cast<int>(conns_.size()) >= config_.max_connections) {
+      // Accept backpressure: stop watching the listener; the kernel
+      // backlog (and then the clients' connects) hold the overflow until
+      // close_connection() frees a slot.
+      loop_.remove(listener_.get());
+      accepting_ = false;
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.accept_deferrals;
+      return;
+    }
+    Fd fd = tcp_accept(listener_);
+    if (!fd.valid()) return;  // pending queue drained
+
+    const std::uint64_t id = next_conn_id_++;
+    auto conn =
+        std::make_unique<Connection>(std::move(fd), config_.max_line_bytes);
+    const int raw_fd = conn->fd.get();
+    conns_.emplace(id, std::move(conn));
+    loop_.add(raw_fd, kReadable, [this, id](std::uint32_t events) {
+      on_connection_event(id, events);
+    });
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.connections_accepted;
+      stats_.open_connections = static_cast<int>(conns_.size());
+    }
+    if (obs::enabled()) {
+      static obs::Counter& accepted = obs::MetricsRegistry::global().counter(
+          obs::names::kNetConnectionsAccepted);
+      accepted.add(1);
+    }
+  }
+}
+
+void TcpServer::on_connection_event(std::uint64_t id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if (events & kWritable) {
+    flush_writes(id, conn);
+    if (conns_.find(id) == conns_.end()) return;  // dropped mid-flush
+  }
+  if (events & kReadable) handle_readable(id, conn);
+}
+
+void TcpServer::handle_readable(std::uint64_t id, Connection& conn) {
+  if (conn.paused || draining_) return;
+  char buf[16 * 1024];
+  for (;;) {
+    const IoResult r = read_some(conn.fd, buf, sizeof(buf));
+    if (r.status == IoStatus::kWouldBlock) return;
+    if (r.status == IoStatus::kEof || r.status == IoStatus::kError) {
+      // Responses still in flight are dropped when they arrive (post()
+      // to a closed id is a no-op) — the peer walked away first.
+      close_connection(id, r.status == IoStatus::kError);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      stats_.bytes_read += r.bytes;
+    }
+    bool over_pipeline = false;
+    conn.framer.feed(
+        buf, r.bytes,
+        [&](std::string&& line) {
+          ++conn.in_flight;
+          {
+            std::lock_guard<std::mutex> lk(stats_mutex_);
+            ++stats_.lines_in;
+          }
+          on_line_(id, std::move(line));
+          if (conn.in_flight >= config_.max_pipeline) over_pipeline = true;
+        },
+        [&](std::size_t dropped) {
+          {
+            std::lock_guard<std::mutex> lk(stats_mutex_);
+            ++stats_.oversized_lines;
+          }
+          ++conn.in_flight;  // the posted error balances the decrement
+          post(id, on_oversized_(dropped));
+        });
+    if (over_pipeline) {
+      // Pipelining backpressure: stop reading this client until its
+      // responses drain below half the cap (see drain_outbox()).
+      conn.paused = true;
+      update_interest(conn);
+      return;
+    }
+    if (r.bytes < sizeof(buf)) return;  // likely drained the socket
+  }
+}
+
+void TcpServer::flush_writes(std::uint64_t id, Connection& conn) {
+  while (conn.write_off < conn.write_buf.size()) {
+    const IoResult r =
+        write_some(conn.fd, conn.write_buf.data() + conn.write_off,
+                   conn.write_buf.size() - conn.write_off);
+    if (r.status == IoStatus::kOk) {
+      conn.write_off += r.bytes;
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      stats_.bytes_written += r.bytes;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) break;
+    close_connection(id, /*dropped=*/true);
+    return;
+  }
+  if (conn.write_off == conn.write_buf.size()) {
+    conn.write_buf.clear();
+    conn.write_off = 0;
+  } else if (conn.write_off > (1u << 16)) {
+    conn.write_buf.erase(0, conn.write_off);
+    conn.write_off = 0;
+  }
+  update_interest(conn);
+}
+
+void TcpServer::update_interest(Connection& conn) {
+  const bool want_write = conn.write_off < conn.write_buf.size();
+  const bool want_read = !conn.paused && !draining_;
+  std::uint32_t events = 0;
+  if (want_read) events |= kReadable;
+  if (want_write) events |= kWritable;
+  conn.want_write = want_write;
+  if (loop_.watching(conn.fd.get())) loop_.modify(conn.fd.get(), events);
+}
+
+void TcpServer::close_connection(std::uint64_t id, bool dropped) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  loop_.remove(it->second->fd.get());
+  conns_.erase(it);
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    if (dropped) ++stats_.connections_dropped;
+    stats_.open_connections = static_cast<int>(conns_.size());
+  }
+  maybe_resume_accepting();
+}
+
+void TcpServer::maybe_resume_accepting() {
+  if (accepting_ || draining_ || !running_ || !listener_.valid()) return;
+  if (static_cast<int>(conns_.size()) >= config_.max_connections) return;
+  loop_.add(listener_.get(), kReadable,
+            [this](std::uint32_t) { on_acceptable(); });
+  accepting_ = true;
+  on_acceptable();  // connections may have queued while paused
+}
+
+void TcpServer::post(std::uint64_t conn_id, std::string line) {
+  {
+    std::lock_guard<std::mutex> lk(outbox_mutex_);
+    outbox_.emplace_back(conn_id, std::move(line));
+  }
+  loop_.wake();
+}
+
+void TcpServer::drain_outbox() {
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  bool want_shutdown = false;
+  {
+    std::lock_guard<std::mutex> lk(outbox_mutex_);
+    batch.swap(outbox_);
+    want_shutdown = shutdown_requested_;
+    shutdown_requested_ = false;
+  }
+  for (auto& [id, line] : batch) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // client is gone; drop the reply
+    Connection& conn = *it->second;
+    if (conn.in_flight > 0) --conn.in_flight;
+    conn.write_buf += line;
+    conn.write_buf += '\n';
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.lines_out;
+    }
+    if (conn.write_buf.size() - conn.write_off > config_.max_write_buffer) {
+      close_connection(id, /*dropped=*/true);
+      continue;
+    }
+    flush_writes(id, conn);
+    const auto still = conns_.find(id);
+    if (still == conns_.end()) continue;
+    Connection& c = *still->second;
+    if (c.paused && !draining_ && c.in_flight < config_.max_pipeline / 2) {
+      c.paused = false;
+      update_interest(c);
+    }
+  }
+  if (want_shutdown && !draining_ && running_) {
+    draining_ = true;
+    drain_deadline_ =
+        std::chrono::steady_clock::now() + requested_drain_timeout_;
+    if (accepting_) {
+      loop_.remove(listener_.get());
+      accepting_ = false;
+    }
+    listener_.reset();  // close the listening socket outright
+    for (auto& [id, conn] : conns_) update_interest(*conn);
+  }
+  if (draining_ && drained()) loop_.request_stop();
+}
+
+bool TcpServer::drained() const {
+  {
+    std::lock_guard<std::mutex> lk(outbox_mutex_);
+    if (!outbox_.empty()) return false;
+  }
+  for (const auto& [id, conn] : conns_) {
+    if (conn->in_flight > 0) return false;
+    if (conn->write_off < conn->write_buf.size()) return false;
+  }
+  return true;
+}
+
+bool TcpServer::graceful_shutdown(std::chrono::milliseconds drain_timeout) {
+  if (!running_) return true;
+  {
+    std::lock_guard<std::mutex> lk(outbox_mutex_);
+    shutdown_requested_ = true;
+    requested_drain_timeout_ = drain_timeout;
+  }
+  loop_.wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_ = false;
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  return drained_cleanly_;
+}
+
+void TcpServer::stop() {
+  if (!running_) return;
+  loop_.request_stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_ = false;
+}
+
+TcpServerStats TcpServer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace qgnn::net

@@ -48,6 +48,21 @@ inline constexpr const char* kDatasetBatchFill = "dataset.batch_fill";
 inline constexpr const char* kDatasetLabelWaveUs = "dataset.label_wave_us";
 inline constexpr const char* kDatasetShardCommitUs = "dataset.shard_commit_us";
 
+// Networked front end (src/net/tcp_server.cpp).
+inline constexpr const char* kNetConnectionsAccepted = "net.connections_accepted";
+inline constexpr const char* kNetLinesIn = "net.lines_in";
+inline constexpr const char* kNetLinesOut = "net.lines_out";
+inline constexpr const char* kNetOversizedLines = "net.oversized_lines";
+inline constexpr const char* kNetQueueWaitUs = "net.queue_wait_us";
+
+// Shard router (src/serve/router.cpp).
+inline constexpr const char* kRouterRequests = "router.requests";
+inline constexpr const char* kRouterShed = "router.shed";
+inline constexpr const char* kRouterDegraded = "router.degraded";
+inline constexpr const char* kRouterShardErrors = "router.shard_errors";
+inline constexpr const char* kRouterHealthChecks = "router.health_checks";
+inline constexpr const char* kRouterForwardUs = "router.forward_us";
+
 // Serving (src/serve/service.cpp). Stage *histograms* are per-handle
 // members (see ServeStats); only the trace spans go through the global
 // collector, but their names are registered here all the same.

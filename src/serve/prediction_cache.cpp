@@ -5,7 +5,7 @@ namespace qgnn::serve {
 PredictionCache::PredictionCache(std::size_t capacity)
     : capacity_(capacity) {}
 
-std::optional<Matrix> PredictionCache::lookup(const CacheKey& key) {
+std::optional<CachedPrediction> PredictionCache::lookup(const CacheKey& key) {
   std::lock_guard<std::mutex> lk(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -14,6 +14,15 @@ std::optional<Matrix> PredictionCache::lookup(const CacheKey& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+std::optional<CachedPrediction> PredictionCache::probe(const CacheKey& key) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
 
@@ -28,13 +37,21 @@ void PredictionCache::insert(const CacheKey& key, const Matrix& values) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, values);
+  lru_.emplace_front(key, CachedPrediction{values, 0.0, false});
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++evictions_;
   }
+}
+
+void PredictionCache::set_ar(const CacheKey& key, double approximation_ratio) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;  // evicted since the lookup: fine
+  it->second->second.approximation_ratio = approximation_ratio;
+  it->second->second.ar_verified = true;
 }
 
 PredictionCache::Counters PredictionCache::counters() const {

@@ -39,7 +39,18 @@ struct CacheKeyHasher {
   }
 };
 
-/// Thread-safe LRU map from CacheKey to a (1 x output_dim) prediction row.
+/// Cached outcome of one prediction: the (1 x output_dim) values row,
+/// plus the exact-simulator approximation ratio once verify_ar has
+/// scored it. The score depends only on (graph, values), both fixed for
+/// a cache entry, so re-verifying a hit would recompute the identical
+/// number — it is cached with the values and reused instead.
+struct CachedPrediction {
+  Matrix values;
+  double approximation_ratio = 0.0;
+  bool ar_verified = false;
+};
+
+/// Thread-safe LRU map from CacheKey to a CachedPrediction.
 /// A capacity of 0 disables the cache (lookups miss, inserts drop).
 class PredictionCache {
  public:
@@ -54,18 +65,28 @@ class PredictionCache {
 
   /// Returns the cached prediction and refreshes recency, or nullopt.
   /// Every call counts as a hit or a miss.
-  std::optional<Matrix> lookup(const CacheKey& key);
+  std::optional<CachedPrediction> lookup(const CacheKey& key);
+
+  /// lookup, except a miss is not counted: for fast-path probes whose
+  /// miss falls through to the full predict path, where the authoritative
+  /// lookup records it — counting both would double every miss.
+  std::optional<CachedPrediction> probe(const CacheKey& key);
 
   /// Insert (or refresh) an entry, evicting the least-recently-used one
   /// when the cache is full. No-op at capacity 0.
   void insert(const CacheKey& key, const Matrix& values);
+
+  /// Attach a verified approximation ratio to an existing entry so later
+  /// hits reuse it. Recency and hit/miss counters are untouched; a
+  /// missing key (already evicted) is a silent no-op.
+  void set_ar(const CacheKey& key, double approximation_ratio);
 
   std::size_t capacity() const { return capacity_; }
   bool enabled() const { return capacity_ > 0; }
   Counters counters() const;
 
  private:
-  using LruList = std::list<std::pair<CacheKey, Matrix>>;
+  using LruList = std::list<std::pair<CacheKey, CachedPrediction>>;
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;

@@ -1,15 +1,20 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <functional>
 #include <istream>
 #include <mutex>
 #include <ostream>
 #include <thread>
 
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "qaoa/fixed_angles.hpp"
 #include "util/error.hpp"
 
 namespace qgnn::serve {
@@ -281,20 +286,6 @@ int require_int(const JsonValue& v, const std::string& what) {
   return static_cast<int>(v.number);
 }
 
-JsonValue json_bool(bool b) {
-  JsonValue v;
-  v.kind = JsonValue::Kind::kBool;
-  v.boolean = b;
-  return v;
-}
-
-JsonValue json_number(double x) {
-  JsonValue v;
-  v.kind = JsonValue::Kind::kNumber;
-  v.number = x;
-  return v;
-}
-
 JsonValue json_summary(const obs::HistogramSummary& h) {
   JsonValue v;
   v.kind = JsonValue::Kind::kObject;
@@ -308,6 +299,8 @@ JsonValue json_summary(const obs::HistogramSummary& h) {
   v.object["p99"] = json_number(h.p99);
   return v;
 }
+
+}  // namespace
 
 Request parse_request_doc(const JsonValue& doc) {
   if (!doc.is_object()) throw InvalidArgument("request must be an object");
@@ -350,12 +343,31 @@ Request parse_request_doc(const JsonValue& doc) {
   return req;
 }
 
-}  // namespace
-
 const JsonValue* JsonValue::find(const std::string& key) const {
   if (kind != Kind::kObject) return nullptr;
   auto it = object.find(key);
   return it == object.end() ? nullptr : &it->second;
+}
+
+JsonValue json_bool(bool b) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kBool;
+  v.boolean = b;
+  return v;
+}
+
+JsonValue json_number(double x) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kNumber;
+  v.number = x;
+  return v;
+}
+
+JsonValue json_string(std::string s) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kString;
+  v.string = std::move(s);
+  return v;
 }
 
 JsonValue parse_json(const std::string& text) {
@@ -426,6 +438,78 @@ std::string format_error(const JsonValue& id, const std::string& message) {
   return to_json(resp);
 }
 
+std::string format_shed_response(const JsonValue& id) {
+  JsonValue resp;
+  resp.kind = JsonValue::Kind::kObject;
+  resp.object["id"] = id;
+  resp.object["ok"] = json_bool(false);
+  JsonValue err;
+  err.kind = JsonValue::Kind::kString;
+  err.string = "overloaded: queue-wait p99 above SLO, retry with backoff";
+  resp.object["error"] = std::move(err);
+  resp.object["retriable"] = json_bool(true);
+  resp.object["shed"] = json_bool(true);
+  return to_json(resp);
+}
+
+std::string format_degraded_response(const JsonValue& id, const Graph& g) {
+  // Round the mean degree to pick the fixed-angle table row; depth-1
+  // angles exist for every degree >= 1, so the fallback cannot fail.
+  const double mean_degree =
+      2.0 * static_cast<double>(g.num_edges()) /
+      static_cast<double>(g.num_nodes());
+  const int degree = std::max(1, static_cast<int>(std::lround(mean_degree)));
+  const auto params = fixed_angles(degree, 1);
+  QGNN_REQUIRE(params.has_value(), "depth-1 fixed angles unavailable");
+
+  JsonValue resp;
+  resp.kind = JsonValue::Kind::kObject;
+  resp.object["id"] = id;
+  resp.object["ok"] = json_bool(true);
+  JsonValue model;
+  model.kind = JsonValue::Kind::kString;
+  model.string = "fixed_angles";
+  resp.object["model"] = std::move(model);
+  resp.object["degraded"] = json_bool(true);
+  JsonValue values;
+  values.kind = JsonValue::Kind::kArray;
+  for (double x : params->flatten()) values.array.push_back(json_number(x));
+  resp.object["values"] = std::move(values);
+  return to_json(resp);
+}
+
+std::string process_request_line(ServeHandle& handle,
+                                 const std::string& line) {
+  JsonValue id;
+  try {
+    const JsonValue doc = parse_json(line);
+    if (const JsonValue* found = doc.find("id")) id = *found;
+    if (const JsonValue* cmd = doc.find("cmd")) {
+      // Control command, not a prediction request.
+      if (!cmd->is_string()) throw InvalidArgument("'cmd' must be a string");
+      if (cmd->string == "stats") {
+        return format_stats_response(id, handle.stats());
+      }
+      if (cmd->string == "ping") {
+        JsonValue resp;
+        resp.kind = JsonValue::Kind::kObject;
+        resp.object["id"] = id;
+        resp.object["ok"] = json_bool(true);
+        resp.object["pong"] = json_bool(true);
+        return to_json(resp);
+      }
+      throw InvalidArgument("unknown cmd '" + cmd->string + "'");
+    }
+    Request req = parse_request_doc(doc);
+    const Prediction p = req.model.empty()
+                             ? handle.predict(req.graph)
+                             : handle.predict(req.model, req.graph);
+    return format_response(req.id, p);
+  } catch (const std::exception& e) {
+    return format_error(id, e.what());
+  }
+}
+
 std::string format_stats_response(const JsonValue& id,
                                   const ServeStats& stats) {
   JsonValue body;
@@ -461,49 +545,85 @@ std::string format_stats_response(const JsonValue& id,
   return to_json(resp);
 }
 
+namespace {
+
+/// Chunk-feed `in` through a LineFramer, calling on_line per complete
+/// line and on_overflow per oversized line. Blocks one character at a
+/// time only when nothing is buffered (interactive clients still get
+/// per-line responses), then drains whatever the stream has without
+/// blocking. Returns when the stream ends or a shutdown signal
+/// interrupts the blocking read.
+void feed_lines(std::istream& in, net::LineFramer& framer,
+                const std::function<void(std::string&&)>& on_line,
+                const std::function<void(std::size_t)>& on_overflow) {
+  char chunk[1 << 16];
+  for (;;) {
+    const int first = in.get();
+    if (first == std::char_traits<char>::eof()) {
+      if (net::shutdown_signal_received() || in.eof()) break;
+      // Transient failure (EINTR from a signal that was not ours);
+      // clear and retry.
+      in.clear();
+      continue;
+    }
+    const char c = static_cast<char>(first);
+    framer.feed(&c, 1, on_line, on_overflow);
+    while (in.rdbuf()->in_avail() > 0) {
+      const std::streamsize got =
+          in.readsome(chunk, static_cast<std::streamsize>(sizeof chunk));
+      if (got <= 0) break;
+      framer.feed(chunk, static_cast<std::size_t>(got), on_line,
+                  on_overflow);
+    }
+  }
+  // getline parity: a final line without a trailing newline is still a
+  // request.
+  std::string tail = framer.take_partial();
+  if (!tail.empty()) on_line(std::move(tail));
+}
+
+std::string oversized_error(std::size_t dropped_bytes,
+                            std::size_t max_line_bytes) {
+  return format_error(
+      JsonValue{}, "request line exceeds " +
+                       std::to_string(max_line_bytes) + " bytes (dropped " +
+                       std::to_string(dropped_bytes) + "); line skipped");
+}
+
+}  // namespace
+
 std::size_t run_ndjson_server(std::istream& in, std::ostream& out,
-                              ServeHandle& handle, int workers) {
+                              ServeHandle& handle, int workers,
+                              std::size_t max_line_bytes) {
   QGNN_REQUIRE(workers >= 1, "NDJSON server needs >= 1 worker");
+  if (max_line_bytes == 0) max_line_bytes = net::kMaxLineBytes;
 
   std::mutex out_mutex;
-  auto handle_line = [&](const std::string& line) {
-    JsonValue id;
-    std::string response;
-    try {
-      const JsonValue doc = parse_json(line);
-      if (const JsonValue* found = doc.find("id")) id = *found;
-      if (const JsonValue* cmd = doc.find("cmd")) {
-        // Control command, not a prediction request.
-        if (!cmd->is_string()) {
-          throw InvalidArgument("'cmd' must be a string");
-        }
-        if (cmd->string != "stats") {
-          throw InvalidArgument("unknown cmd '" + cmd->string + "'");
-        }
-        response = format_stats_response(id, handle.stats());
-      } else {
-        Request req = parse_request_doc(doc);
-        const Prediction p = req.model.empty()
-                                 ? handle.predict(req.graph)
-                                 : handle.predict(req.model, req.graph);
-        response = format_response(req.id, p);
-      }
-    } catch (const std::exception& e) {
-      response = format_error(id, e.what());
-    }
+  auto emit = [&](const std::string& response) {
     std::lock_guard<std::mutex> lk(out_mutex);
     out << response << '\n';
     out.flush();
   };
-
+  auto handle_line = [&](const std::string& line) {
+    emit(process_request_line(handle, line));
+  };
+  net::LineFramer framer(max_line_bytes);
   std::size_t handled = 0;
+
+  // Runs on the feed thread in both modes, so the increment never races
+  // with the one in the feed callback below.
+  auto on_overflow = [&](std::size_t dropped) {
+    emit(oversized_error(dropped, max_line_bytes));
+    ++handled;  // answered with an error line: handled like any request
+  };
+
   if (workers == 1) {
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      handle_line(line);
-      ++handled;
-    }
+    feed_lines(in, framer,
+               [&](std::string&& line) {
+                 handle_line(line);
+                 ++handled;
+               },
+               on_overflow);
     return handled;
   }
 
@@ -533,17 +653,18 @@ std::size_t run_ndjson_server(std::istream& in, std::ostream& out,
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) pool.emplace_back(worker_loop);
 
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    {
-      std::unique_lock<std::mutex> lk(queue_mutex);
-      queue_cv.wait(lk, [&] { return queue.size() < max_queued; });
-      queue.push_back(std::move(line));
-      ++handled;
-    }
-    queue_cv.notify_one();
-  }
+  feed_lines(in, framer,
+             [&](std::string&& line) {
+               {
+                 std::unique_lock<std::mutex> lk(queue_mutex);
+                 queue_cv.wait(lk,
+                               [&] { return queue.size() < max_queued; });
+                 queue.push_back(std::move(line));
+                 ++handled;
+               }
+               queue_cv.notify_one();
+             },
+             on_overflow);
   {
     std::lock_guard<std::mutex> lk(queue_mutex);
     done_reading = true;

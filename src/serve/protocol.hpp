@@ -36,6 +36,12 @@ struct JsonValue {
 /// trailing garbage.
 JsonValue parse_json(const std::string& text);
 
+/// Small value builders for composing responses (the TCP front ends
+/// splice net/slo/shard sub-objects into stats responses).
+JsonValue json_bool(bool b);
+JsonValue json_number(double x);
+JsonValue json_string(std::string s);
+
 /// Serialize with stable key order (std::map) and shortest round-trip
 /// doubles; no insignificant whitespace, NDJSON-safe (single line).
 std::string to_json(const JsonValue& value);
@@ -55,6 +61,9 @@ struct Request {
 /// Parse a request line. Throws InvalidArgument with a message suitable
 /// for the error response on any malformed request.
 Request parse_request(const std::string& line);
+/// Same, from an already-parsed document (front ends that inspect the
+/// line for control commands first).
+Request parse_request_doc(const JsonValue& doc);
 
 /// Success response:
 ///   {"id":7,"ok":true,"model":"default","generation":2,"cached":false,
@@ -63,6 +72,30 @@ std::string format_response(const JsonValue& id, const Prediction& p);
 
 /// Error response: {"id":7,"ok":false,"error":"..."}.
 std::string format_error(const JsonValue& id, const std::string& message);
+
+/// Retriable overload rejection (SLO load shedding, reject policy):
+///   {"id":7,"ok":false,"error":"overloaded: ...","retriable":true,
+///    "shed":true}
+/// Clients should back off and retry; the request was never queued.
+std::string format_shed_response(const JsonValue& id);
+
+/// Fixed-angle fallback (SLO load shedding, degrade policy): answer with
+/// the depth-1 literature angles for the graph's (rounded mean) degree
+/// instead of queueing a model forward. No model, cache, or batcher is
+/// involved, so the response carries "degraded":true and
+/// "model":"fixed_angles" in place of the usual provenance fields.
+std::string format_degraded_response(const JsonValue& id, const Graph& g);
+
+/// Handle one NDJSON line end to end against the in-process handle:
+/// control commands ({"cmd":"stats"} and {"cmd":"ping"}) are answered
+/// directly, anything else is parsed as a predict request and run through
+/// the blocking predict path. Never throws — malformed input and predict
+/// failures become format_error responses. This is the single line ->
+/// response function behind both the stdin server below and the TCP shard
+/// workers, which is what guarantees the two transports produce
+/// bit-identical responses for the same request.
+std::string process_request_line(ServeHandle& handle,
+                                 const std::string& line);
 
 /// Response to the {"cmd":"stats"} control command:
 ///   {"id":99,"ok":true,"stats":{"requests":N,"cache_hits":N,...,
@@ -77,12 +110,24 @@ std::string format_stats_response(const JsonValue& id,
 /// Drive `handle` from newline-delimited JSON requests on `in`, writing
 /// one response line per request to `out` (flushed per line). Blank lines
 /// are skipped; malformed lines produce error responses rather than
-/// aborting the stream. A line carrying {"cmd":"stats"} (plus an optional
-/// id) is answered with format_stats_response instead of a prediction. With workers > 1, lines are dispatched to that
+/// aborting the stream. A line carrying {"cmd":"stats"} or {"cmd":"ping"}
+/// (plus an optional id) is answered as a control command instead of a
+/// prediction. With workers > 1, lines are dispatched to that
 /// many client threads so concurrent requests can coalesce into micro-
 /// batches — responses then come back in completion order, matched to
 /// requests by the echoed id. Returns the number of requests handled.
+///
+/// Framing matches the TCP front end: input is chunk-fed through a
+/// net::LineFramer, so memory stays bounded by max_line_bytes per line
+/// and an oversized line is answered with a clean error while the stream
+/// resumes at the next newline. A final unterminated line is processed as
+/// a request (getline parity for `printf '...' | qgnn_serve`).
+/// max_line_bytes == 0 selects net::kMaxLineBytes. When
+/// net::install_shutdown_signal_pipe() handlers are active, SIGINT/
+/// SIGTERM interrupt the blocking read and the loop returns after
+/// answering everything already received — the graceful stdin drain.
 std::size_t run_ndjson_server(std::istream& in, std::ostream& out,
-                              ServeHandle& handle, int workers = 1);
+                              ServeHandle& handle, int workers = 1,
+                              std::size_t max_line_bytes = 0);
 
 }  // namespace qgnn::serve

@@ -1,0 +1,630 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "graph/canonical.hpp"
+#include "obs/names.hpp"
+#include "util/error.hpp"
+
+namespace qgnn::serve {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed ring points from (shard,
+/// vnode) indices.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::string format_retriable_error(const JsonValue& id,
+                                   const std::string& message) {
+  JsonValue resp;
+  resp.kind = JsonValue::Kind::kObject;
+  resp.object["id"] = id;
+  resp.object["ok"] = json_bool(false);
+  resp.object["error"] = json_string(message);
+  resp.object["retriable"] = json_bool(true);
+  return to_json(resp);
+}
+
+double us_since(std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterConfig config,
+                         std::vector<ShardAddress> shards)
+    : config_(std::move(config)), slo_(config_.slo) {
+  QGNN_REQUIRE(!shards.empty(), "router needs at least one shard");
+  QGNN_REQUIRE(config_.vnodes >= 1, "vnodes must be >= 1");
+  links_.reserve(shards.size());
+  for (ShardAddress& addr : shards) {
+    auto link = std::make_unique<ShardLink>();
+    link->addr = std::move(addr);
+    links_.push_back(std::move(link));
+  }
+  ring_.reserve(links_.size() * static_cast<std::size_t>(config_.vnodes));
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    for (int v = 0; v < config_.vnodes; ++v) {
+      const std::uint64_t point =
+          mix64((static_cast<std::uint64_t>(i) << 32) ^
+                static_cast<std::uint64_t>(v));
+      ring_.emplace_back(point, i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+
+  server_ = std::make_unique<net::TcpServer>(
+      config_.net, [this](std::uint64_t conn_id, std::string&& line) {
+        on_line(conn_id, std::move(line));
+      });
+  server_->set_oversized_handler([max = config_.net.max_line_bytes](
+                                     std::size_t dropped) {
+    return format_error(JsonValue{},
+                        "request line exceeds " + std::to_string(max) +
+                            " bytes (dropped " + std::to_string(dropped) +
+                            "); line skipped");
+  });
+}
+
+ShardRouter::~ShardRouter() { stop(); }
+
+void ShardRouter::start() {
+  QGNN_REQUIRE(!started_, "router already started");
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    ShardLink& link = *links_[i];
+    link.fd = net::tcp_connect(link.addr.host, link.addr.port);
+    link.connected.store(true, std::memory_order_relaxed);
+    link.healthy.store(true, std::memory_order_relaxed);
+    link.writer = std::thread([this, i] { writer_main(i); });
+    link.reader = std::thread([this, i] { reader_main(i); });
+  }
+  health_thread_ = std::thread([this] { health_main(); });
+  server_->start();
+  started_ = true;
+}
+
+std::uint16_t ShardRouter::port() const { return server_->port(); }
+
+net::TcpServerStats ShardRouter::net_stats() const {
+  return server_->stats();
+}
+
+bool ShardRouter::shard_available(std::size_t shard) const {
+  const ShardLink& link = *links_[shard];
+  return link.connected.load(std::memory_order_relaxed) &&
+         link.healthy.load(std::memory_order_relaxed) &&
+         !link.draining.load(std::memory_order_relaxed);
+}
+
+std::size_t ShardRouter::shard_for_hash(std::uint64_t hash) const {
+  // Owner = first ring point clockwise from the hash, health ignored:
+  // the stable assignment tests and cache-locality reasoning rely on.
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](std::uint64_t h, const std::pair<std::uint64_t, std::size_t>& e) {
+        return h < e.first;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+void ShardRouter::set_draining(std::size_t shard, bool draining) {
+  QGNN_REQUIRE(shard < links_.size(), "shard index out of range");
+  links_[shard]->draining.store(draining, std::memory_order_relaxed);
+}
+
+std::vector<ShardStatus> ShardRouter::shard_status() const {
+  std::vector<ShardStatus> out;
+  out.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const ShardLink& link = *links_[i];
+    ShardStatus s;
+    s.index = i;
+    s.host = link.addr.host;
+    s.port = link.addr.port;
+    s.connected = link.connected.load(std::memory_order_relaxed);
+    s.healthy = link.healthy.load(std::memory_order_relaxed);
+    s.draining = link.draining.load(std::memory_order_relaxed);
+    s.routed = link.routed.load(std::memory_order_relaxed);
+    s.errors = link.errors.load(std::memory_order_relaxed);
+    s.inflight = link.inflight.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ShardRouter::enqueue_to_shard(std::size_t shard, std::string line) {
+  ShardLink& link = *links_[shard];
+  {
+    std::lock_guard<std::mutex> lk(link.mutex);
+    link.queue.push_back(
+        WriteItem{std::move(line), std::chrono::steady_clock::now()});
+  }
+  link.cv.notify_one();
+}
+
+void ShardRouter::on_line(std::uint64_t conn_id, std::string&& line) {
+  JsonValue id;
+  try {
+    JsonValue doc = parse_json(line);
+    if (const JsonValue* found = doc.find("id")) id = *found;
+
+    if (const JsonValue* cmd = doc.find("cmd")) {
+      if (!cmd->is_string()) throw InvalidArgument("'cmd' must be a string");
+      if (cmd->string == "ping") {
+        JsonValue resp;
+        resp.kind = JsonValue::Kind::kObject;
+        resp.object["id"] = id;
+        resp.object["ok"] = json_bool(true);
+        resp.object["pong"] = json_bool(true);
+        server_->post(conn_id, to_json(resp));
+      } else if (cmd->string == "stats") {
+        handle_stats(conn_id, id);
+      } else if (cmd->string == "health") {
+        handle_health(conn_id, id);
+      } else if (cmd->string == "drain" || cmd->string == "undrain") {
+        const JsonValue* shard = doc.find("shard");
+        if (!shard || !shard->is_number()) {
+          throw InvalidArgument("'" + cmd->string +
+                                "' needs a numeric 'shard'");
+        }
+        const auto index = static_cast<std::size_t>(shard->number);
+        set_draining(index, cmd->string == "drain");
+        JsonValue resp;
+        resp.kind = JsonValue::Kind::kObject;
+        resp.object["id"] = id;
+        resp.object["ok"] = json_bool(true);
+        resp.object["shard"] = json_number(static_cast<double>(index));
+        resp.object["draining"] = json_bool(cmd->string == "drain");
+        server_->post(conn_id, to_json(resp));
+      } else {
+        throw InvalidArgument("unknown cmd '" + cmd->string + "'");
+      }
+      return;
+    }
+
+    handle_predict(conn_id, std::move(doc), id);
+  } catch (const std::exception& e) {
+    server_->post(conn_id, format_error(id, e.what()));
+  }
+}
+
+void ShardRouter::handle_predict(std::uint64_t conn_id, JsonValue&& doc,
+                                 const JsonValue& id) {
+  static obs::Counter& requests =
+      obs::MetricsRegistry::global().counter(obs::names::kRouterRequests);
+  static obs::Counter& shed_counter =
+      obs::MetricsRegistry::global().counter(obs::names::kRouterShed);
+  static obs::Counter& degraded_counter =
+      obs::MetricsRegistry::global().counter(obs::names::kRouterDegraded);
+  const bool obs_on = obs::enabled();
+  if (obs_on) requests.add();
+
+  if (slo_.should_shed()) {
+    if (slo_.config().policy == ShedPolicy::kDegrade) {
+      Request req = parse_request_doc(doc);
+      slo_.note_degraded();
+      if (obs_on) degraded_counter.add();
+      server_->post(conn_id, format_degraded_response(req.id, req.graph));
+    } else {
+      slo_.note_shed();
+      if (obs_on) shed_counter.add();
+      server_->post(conn_id, format_shed_response(id));
+    }
+    return;
+  }
+
+  Request req = parse_request_doc(doc);
+  const std::uint64_t hash = canonical_hash(req.graph);
+
+  // Walk the ring clockwise from the owner until an available shard
+  // turns up; a drained or unhealthy owner's keys spill to its ring
+  // successors (and return home on undrain).
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](std::uint64_t h, const std::pair<std::uint64_t, std::size_t>& e) {
+        return h < e.first;
+      });
+  std::size_t shard = links_.size();
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (shard_available(it->second)) {
+      shard = it->second;
+      break;
+    }
+    ++it;
+  }
+  if (shard == links_.size()) {
+    slo_.note_shed();
+    if (obs_on) shed_counter.add();
+    server_->post(conn_id,
+                  format_retriable_error(id, "no healthy shards"));
+    return;
+  }
+
+  ShardLink& link = *links_[shard];
+  if (link.inflight.load(std::memory_order_relaxed) >=
+      config_.max_shard_inflight) {
+    // Hard backstop: this shard's pipe is full regardless of what the
+    // windowed SLO signal says.
+    slo_.note_shed();
+    if (obs_on) shed_counter.add();
+    server_->post(conn_id, format_shed_response(id));
+    return;
+  }
+
+  const std::uint64_t tag =
+      next_tag_.fetch_add(1, std::memory_order_relaxed);
+  {
+    Pending p;
+    p.kind = PendingKind::kPredict;
+    p.conn_id = conn_id;
+    p.original_id = req.id;
+    p.shard = shard;
+    p.start = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lk(pending_mutex_);
+    pending_.emplace(tag, std::move(p));
+  }
+  link.inflight.fetch_add(1, std::memory_order_relaxed);
+  link.routed.fetch_add(1, std::memory_order_relaxed);
+  slo_.note_admitted();
+
+  doc.object["id"] = json_number(static_cast<double>(tag));
+  enqueue_to_shard(shard, to_json(doc));
+}
+
+void ShardRouter::handle_stats(std::uint64_t conn_id, const JsonValue& id) {
+  auto agg = std::make_shared<StatsAgg>();
+  agg->conn_id = conn_id;
+  agg->front_id = id;
+  agg->shard_bodies.resize(links_.size());
+
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i]->connected.load(std::memory_order_relaxed)) {
+      targets.push_back(i);
+    }
+  }
+  agg->remaining = static_cast<int>(targets.size());
+  if (targets.empty()) {
+    finish_stats(agg);
+    return;
+  }
+  for (const std::size_t i : targets) {
+    const std::uint64_t tag =
+        next_tag_.fetch_add(1, std::memory_order_relaxed);
+    {
+      Pending p;
+      p.kind = PendingKind::kStats;
+      p.conn_id = conn_id;
+      p.shard = i;
+      p.start = std::chrono::steady_clock::now();
+      p.agg = agg;
+      std::lock_guard<std::mutex> lk(pending_mutex_);
+      pending_.emplace(tag, std::move(p));
+    }
+    enqueue_to_shard(i, "{\"cmd\":\"stats\",\"id\":" + std::to_string(tag) +
+                            "}");
+  }
+}
+
+void ShardRouter::finish_stats(const std::shared_ptr<StatsAgg>& agg) {
+  JsonValue stats;
+  stats.kind = JsonValue::Kind::kObject;
+
+  JsonValue router;
+  router.kind = JsonValue::Kind::kObject;
+  const SloController::Counters slo = slo_.counters();
+  router.object["admitted"] =
+      json_number(static_cast<double>(slo.admitted));
+  router.object["shed"] = json_number(static_cast<double>(slo.shed));
+  router.object["degraded"] =
+      json_number(static_cast<double>(slo.degraded));
+  router.object["windowed_p99_us"] = json_number(slo.windowed_p99_us);
+  router.object["shedding"] = json_bool(slo.shedding);
+  const obs::HistogramSummary fwd = forward_us_.summary();
+  router.object["forward_us_p50"] = json_number(fwd.p50);
+  router.object["forward_us_p99"] = json_number(fwd.p99);
+  router.object["forward_count"] =
+      json_number(static_cast<double>(fwd.count));
+  stats.object["router"] = std::move(router);
+
+  const net::TcpServerStats net = server_->stats();
+  JsonValue net_obj;
+  net_obj.kind = JsonValue::Kind::kObject;
+  net_obj.object["connections_accepted"] =
+      json_number(static_cast<double>(net.connections_accepted));
+  net_obj.object["lines_in"] =
+      json_number(static_cast<double>(net.lines_in));
+  net_obj.object["lines_out"] =
+      json_number(static_cast<double>(net.lines_out));
+  net_obj.object["oversized_lines"] =
+      json_number(static_cast<double>(net.oversized_lines));
+  net_obj.object["open_connections"] =
+      json_number(static_cast<double>(net.open_connections));
+  stats.object["net"] = std::move(net_obj);
+
+  JsonValue shards;
+  shards.kind = JsonValue::Kind::kArray;
+  const std::vector<ShardStatus> status = shard_status();
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    JsonValue entry;
+    entry.kind = JsonValue::Kind::kObject;
+    entry.object["index"] = json_number(static_cast<double>(i));
+    entry.object["port"] =
+        json_number(static_cast<double>(status[i].port));
+    entry.object["connected"] = json_bool(status[i].connected);
+    entry.object["healthy"] = json_bool(status[i].healthy);
+    entry.object["draining"] = json_bool(status[i].draining);
+    entry.object["routed"] =
+        json_number(static_cast<double>(status[i].routed));
+    entry.object["errors"] =
+        json_number(static_cast<double>(status[i].errors));
+    entry.object["stats"] = agg->shard_bodies[i];  // kNull if unanswered
+    shards.array.push_back(std::move(entry));
+  }
+  stats.object["shards"] = std::move(shards);
+
+  JsonValue resp;
+  resp.kind = JsonValue::Kind::kObject;
+  resp.object["id"] = agg->front_id;
+  resp.object["ok"] = json_bool(true);
+  resp.object["stats"] = std::move(stats);
+  server_->post(agg->conn_id, to_json(resp));
+}
+
+void ShardRouter::handle_health(std::uint64_t conn_id,
+                                const JsonValue& id) {
+  JsonValue shards;
+  shards.kind = JsonValue::Kind::kArray;
+  for (const ShardStatus& s : shard_status()) {
+    JsonValue entry;
+    entry.kind = JsonValue::Kind::kObject;
+    entry.object["index"] = json_number(static_cast<double>(s.index));
+    entry.object["port"] = json_number(static_cast<double>(s.port));
+    entry.object["connected"] = json_bool(s.connected);
+    entry.object["healthy"] = json_bool(s.healthy);
+    entry.object["draining"] = json_bool(s.draining);
+    entry.object["routed"] = json_number(static_cast<double>(s.routed));
+    entry.object["errors"] = json_number(static_cast<double>(s.errors));
+    entry.object["inflight"] =
+        json_number(static_cast<double>(s.inflight));
+    shards.array.push_back(std::move(entry));
+  }
+  JsonValue resp;
+  resp.kind = JsonValue::Kind::kObject;
+  resp.object["id"] = id;
+  resp.object["ok"] = json_bool(true);
+  resp.object["shards"] = std::move(shards);
+  server_->post(conn_id, to_json(resp));
+}
+
+void ShardRouter::writer_main(std::size_t shard) {
+  ShardLink& link = *links_[shard];
+  for (;;) {
+    std::deque<WriteItem> items;
+    {
+      std::unique_lock<std::mutex> lk(link.mutex);
+      link.cv.wait(lk, [&] { return link.stop || !link.queue.empty(); });
+      if (link.stop && link.queue.empty()) return;
+      items.swap(link.queue);
+    }
+    // Coalesce everything queued into one write; per-item queue wait
+    // feeds the shedding window (router-side queueing).
+    std::string out;
+    const auto now = std::chrono::steady_clock::now();
+    for (WriteItem& item : items) {
+      slo_.record_queue_wait(us_since(item.enqueue, now));
+      out += item.line;
+      out.push_back('\n');
+    }
+    try {
+      net::write_all(link.fd, out);
+    } catch (const std::exception& e) {
+      fail_shard(shard, std::string("shard write failed: ") + e.what());
+      return;
+    }
+  }
+}
+
+void ShardRouter::reader_main(std::size_t shard) {
+  ShardLink& link = *links_[shard];
+  std::string carry, line;
+  while (net::read_line(link.fd, carry, line)) {
+    on_shard_response(shard, line);
+  }
+  if (!stopping_.load(std::memory_order_relaxed)) {
+    fail_shard(shard, "shard connection lost");
+  }
+}
+
+void ShardRouter::on_shard_response(std::size_t shard,
+                                    const std::string& line) {
+  static obs::LatencyHistogram& forward_obs =
+      obs::MetricsRegistry::global().histogram(
+          obs::names::kRouterForwardUs);
+  ShardLink& link = *links_[shard];
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const std::exception&) {
+    link.errors.fetch_add(1, std::memory_order_relaxed);
+    return;  // garbage from a shard: drop, the health probe will notice
+  }
+  const JsonValue* id = doc.find("id");
+  if (!id || !id->is_number()) return;
+  const auto tag = static_cast<std::uint64_t>(std::llround(id->number));
+
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lk(pending_mutex_);
+    auto it = pending_.find(tag);
+    if (it == pending_.end()) return;  // stale (failed-over) response
+    pending = std::move(it->second);
+    pending_.erase(it);
+  }
+
+  switch (pending.kind) {
+    case PendingKind::kPing:
+      link.missed_pongs.store(0, std::memory_order_relaxed);
+      if (link.connected.load(std::memory_order_relaxed)) {
+        link.healthy.store(true, std::memory_order_relaxed);
+      }
+      return;
+    case PendingKind::kStats: {
+      if (const JsonValue* body = doc.find("stats")) {
+        std::lock_guard<std::mutex> lk(pending.agg->mutex);
+        pending.agg->shard_bodies[shard] = *body;
+      }
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lk(pending.agg->mutex);
+        last = --pending.agg->remaining == 0;
+      }
+      if (last) finish_stats(pending.agg);
+      return;
+    }
+    case PendingKind::kPredict: {
+      link.inflight.fetch_sub(1, std::memory_order_relaxed);
+      const double forward_us =
+          us_since(pending.start, std::chrono::steady_clock::now());
+      // The forward time includes the shard's own queue wait — the
+      // congestion signal the router can actually observe per request.
+      slo_.record_queue_wait(forward_us);
+      if (obs::enabled()) forward_obs.record(forward_us);
+      forward_us_.record(forward_us);
+      doc.object["id"] = pending.original_id;
+      server_->post(pending.conn_id, to_json(doc));
+      return;
+    }
+  }
+}
+
+void ShardRouter::fail_shard(std::size_t shard, const std::string& why) {
+  static obs::Counter& shard_errors =
+      obs::MetricsRegistry::global().counter(
+          obs::names::kRouterShardErrors);
+  if (obs::enabled()) shard_errors.add();
+  ShardLink& link = *links_[shard];
+  link.connected.store(false, std::memory_order_relaxed);
+  link.healthy.store(false, std::memory_order_relaxed);
+  link.errors.fetch_add(1, std::memory_order_relaxed);
+  net::shutdown_socket(link.fd);  // wake the peer thread
+
+  // Fail everything still pending on this shard so clients get an answer
+  // (and the front server's in-flight accounting drains).
+  std::vector<std::pair<std::uint64_t, Pending>> failed;
+  {
+    std::lock_guard<std::mutex> lk(pending_mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.shard == shard) {
+        failed.emplace_back(it->first, std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [tag, pending] : failed) {
+    (void)tag;
+    switch (pending.kind) {
+      case PendingKind::kPredict:
+        link.inflight.fetch_sub(1, std::memory_order_relaxed);
+        server_->post(pending.conn_id,
+                      format_retriable_error(pending.original_id, why));
+        break;
+      case PendingKind::kStats: {
+        bool last = false;
+        {
+          std::lock_guard<std::mutex> lk(pending.agg->mutex);
+          last = --pending.agg->remaining == 0;
+        }
+        if (last) finish_stats(pending.agg);
+        break;
+      }
+      case PendingKind::kPing:
+        break;
+    }
+  }
+}
+
+void ShardRouter::health_main() {
+  static obs::Counter& health_checks =
+      obs::MetricsRegistry::global().counter(
+          obs::names::kRouterHealthChecks);
+  auto next_probe = std::chrono::steady_clock::now();
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_probe) continue;
+    next_probe = now + config_.health_interval;
+
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      ShardLink& link = *links_[i];
+      if (!link.connected.load(std::memory_order_relaxed)) continue;
+      const int missed =
+          link.missed_pongs.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (missed > config_.health_misses) {
+        link.healthy.store(false, std::memory_order_relaxed);
+      }
+      // Retire the previous (unanswered or stale) probe before issuing
+      // the next so unhealthy shards cannot grow the pending map.
+      if (link.last_ping_tag != 0) {
+        std::lock_guard<std::mutex> lk(pending_mutex_);
+        pending_.erase(link.last_ping_tag);
+      }
+      const std::uint64_t tag =
+          next_tag_.fetch_add(1, std::memory_order_relaxed);
+      link.last_ping_tag = tag;
+      {
+        Pending p;
+        p.kind = PendingKind::kPing;
+        p.shard = i;
+        p.start = now;
+        std::lock_guard<std::mutex> lk(pending_mutex_);
+        pending_.emplace(tag, std::move(p));
+      }
+      if (obs::enabled()) health_checks.add();
+      enqueue_to_shard(i, "{\"cmd\":\"ping\",\"id\":" + std::to_string(tag) +
+                              "}");
+    }
+  }
+}
+
+bool ShardRouter::graceful_shutdown(
+    std::chrono::milliseconds drain_timeout) {
+  const bool drained = server_->graceful_shutdown(drain_timeout);
+  stop();
+  return drained;
+}
+
+void ShardRouter::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: the first teardown already ran (or is running).
+    return;
+  }
+  server_->stop();
+  if (health_thread_.joinable()) health_thread_.join();
+  for (auto& link_ptr : links_) {
+    ShardLink& link = *link_ptr;
+    {
+      std::lock_guard<std::mutex> lk(link.mutex);
+      link.stop = true;
+    }
+    link.cv.notify_all();
+    if (link.writer.joinable()) link.writer.join();
+    net::shutdown_socket(link.fd);
+    if (link.reader.joinable()) link.reader.join();
+    link.connected.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace qgnn::serve

@@ -1,0 +1,191 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_server.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/slo.hpp"
+
+namespace qgnn::serve {
+
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RouterConfig {
+  net::TcpServerConfig net;
+  SloConfig slo;
+  /// Virtual nodes per shard on the consistent-hash ring. More vnodes =
+  /// smoother key distribution; 64 keeps the max/min shard load ratio
+  /// within a few percent for the graph-hash key space.
+  int vnodes = 64;
+  /// Period of the {"cmd":"ping"} health probe per shard.
+  std::chrono::milliseconds health_interval{500};
+  /// Consecutive unanswered pings before a shard is routed around.
+  int health_misses = 3;
+  /// Hard per-shard backstop: requests in flight to one shard beyond
+  /// this are shed immediately, SLO state notwithstanding.
+  int max_shard_inflight = 256;
+};
+
+struct ShardStatus {
+  std::size_t index = 0;
+  std::string host;
+  std::uint16_t port = 0;
+  bool connected = false;
+  bool healthy = false;
+  bool draining = false;
+  std::uint64_t routed = 0;
+  std::uint64_t errors = 0;
+  int inflight = 0;
+};
+
+/// Consistent-hash shard router: an NDJSON TCP front end that forwards
+/// each predict request to one of N shard workers keyed by the graph's
+/// canonical hash. Isomorphic graphs always land on the same shard, so
+/// each worker's PredictionCache stays hot and the shards' key spaces are
+/// disjoint — adding a shard splits cache load instead of duplicating it.
+///
+/// Request path (front event-loop thread): parse, answer control
+/// commands, run SLO admission, pick the shard (first healthy non-
+/// draining owner clockwise on the ring), rewrite the request id to an
+/// internal tag, and enqueue on that shard's writer. The shard's reader
+/// thread matches responses by tag, restores the client id, and posts to
+/// the originating connection.
+///
+/// Control surface, beyond the standard stats/ping:
+///   {"cmd":"drain","shard":k}        stop routing new work to shard k
+///   {"cmd":"undrain","shard":k}      resume routing to shard k
+///   {"cmd":"health"}                 per-shard status snapshot
+/// Draining is the hot-swap primitive: drain, wait for the shard's
+/// inflight to hit 0, restart/replace the worker, undrain.
+///
+/// Shedding: the SLO controller windows per-request forward latency
+/// (admission to shard response — which includes the shard's own queue
+/// wait) plus router writer-queue wait; breaches shed exactly like the
+/// single-process front end (reject-retriable or fixed-angle degrade).
+class ShardRouter {
+ public:
+  ShardRouter(RouterConfig config, std::vector<ShardAddress> shards);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Connect to every shard, start their writer/reader threads, the
+  /// health prober, and the front server. Throws IoError when a shard
+  /// address does not accept.
+  void start();
+  std::uint16_t port() const;
+
+  /// Drain client connections (in-flight forwards get their responses),
+  /// then stop shard links. True when everything drained in time.
+  bool graceful_shutdown(std::chrono::milliseconds drain_timeout =
+                             std::chrono::milliseconds(5000));
+  void stop();
+
+  void set_draining(std::size_t shard, bool draining);
+  std::vector<ShardStatus> shard_status() const;
+  SloController::Counters slo_counters() const { return slo_.counters(); }
+  net::TcpServerStats net_stats() const;
+
+  /// Shard index the ring assigns to a canonical graph hash (tests).
+  std::size_t shard_for_hash(std::uint64_t hash) const;
+
+ private:
+  enum class PendingKind { kPredict, kStats, kPing };
+
+  struct StatsAgg {
+    std::mutex mutex;
+    std::uint64_t conn_id = 0;
+    JsonValue front_id;
+    int remaining = 0;
+    std::vector<JsonValue> shard_bodies;  // kNull until the shard answers
+  };
+
+  struct Pending {
+    PendingKind kind = PendingKind::kPredict;
+    std::uint64_t conn_id = 0;
+    JsonValue original_id;
+    std::size_t shard = 0;
+    std::chrono::steady_clock::time_point start;
+    std::shared_ptr<StatsAgg> agg;
+  };
+
+  struct WriteItem {
+    std::string line;
+    std::chrono::steady_clock::time_point enqueue;
+  };
+
+  struct ShardLink {
+    ShardAddress addr;
+    net::Fd fd;
+    std::thread writer;
+    std::thread reader;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<WriteItem> queue;
+    bool stop = false;
+
+    std::atomic<bool> connected{false};
+    std::atomic<bool> healthy{false};
+    std::atomic<bool> draining{false};
+    std::atomic<int> inflight{0};
+    std::atomic<int> missed_pongs{0};
+    std::atomic<std::uint64_t> routed{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::uint64_t last_ping_tag = 0;  // health thread only
+  };
+
+  void on_line(std::uint64_t conn_id, std::string&& line);
+  void handle_predict(std::uint64_t conn_id, JsonValue&& doc,
+                      const JsonValue& id);
+  void handle_stats(std::uint64_t conn_id, const JsonValue& id);
+  void handle_health(std::uint64_t conn_id, const JsonValue& id);
+  void finish_stats(const std::shared_ptr<StatsAgg>& agg);
+
+  void writer_main(std::size_t shard);
+  void reader_main(std::size_t shard);
+  void health_main();
+  void enqueue_to_shard(std::size_t shard, std::string line);
+  void on_shard_response(std::size_t shard, const std::string& line);
+  void fail_shard(std::size_t shard, const std::string& why);
+  void complete_pending(std::uint64_t tag, Pending&& pending,
+                        const JsonValue& response_doc, bool shard_failed);
+
+  bool shard_available(std::size_t shard) const;
+
+  const RouterConfig config_;
+  SloController slo_;
+  std::vector<std::unique_ptr<ShardLink>> links_;
+  /// (ring point, shard index), sorted by point. Immutable after
+  /// construction.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+
+  std::unique_ptr<net::TcpServer> server_;
+
+  std::atomic<std::uint64_t> next_tag_{1};
+  mutable std::mutex pending_mutex_;
+  std::map<std::uint64_t, Pending> pending_;
+
+  std::thread health_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  obs::LatencyHistogram forward_us_;
+};
+
+}  // namespace qgnn::serve

@@ -27,6 +27,18 @@ ServeHandle::ServeHandle(ServeConfig config)
   QGNN_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
   QGNN_REQUIRE(config_.max_queue_delay.count() >= 0,
                "max_queue_delay must be >= 0");
+  QGNN_REQUIRE(config_.submit_workers >= 1, "submit_workers must be >= 1");
+  QGNN_REQUIRE(config_.submit_queue_cap >= 1,
+               "submit_queue_cap must be >= 1");
+}
+
+ServeHandle::~ServeHandle() {
+  {
+    std::lock_guard<std::mutex> lk(submit_mutex_);
+    submit_stop_ = true;
+  }
+  submit_cv_.notify_all();
+  for (std::thread& t : submit_threads_) t.join();
 }
 
 void ServeHandle::register_model(const std::string& name, GnnModel model) {
@@ -63,21 +75,28 @@ Prediction ServeHandle::predict(const std::string& model_name,
   Prediction out;
   out.model = model_name;
 
+  std::optional<CacheKey> key;
   if (cache_.enabled()) {
     const bool obs_on = obs::enabled();
     const auto lookup_start = obs_on ? std::chrono::steady_clock::now()
                                      : std::chrono::steady_clock::time_point{};
-    const CacheKey key{model_name, entry->generation, canonical_hash(g)};
-    auto cached = cache_.lookup(key);
+    key.emplace(CacheKey{model_name, entry->generation, canonical_hash(g)});
+    auto cached = cache_.lookup(*key);
     if (obs_on) {
       cache_lookup_us_.record(
           elapsed_us(lookup_start, std::chrono::steady_clock::now()));
     }
     if (cached) {
-      out.values = std::move(*cached);
+      out.values = std::move(cached->values);
       out.generation = entry->generation;
       out.cache_hit = true;
-      maybe_verify(out, g);
+      if (config_.verify_ar && cached->ar_verified) {
+        out.approximation_ratio = cached->approximation_ratio;
+        out.ar_verified = true;
+      } else {
+        maybe_verify(out, g);
+        if (out.ar_verified) cache_.set_ar(*key, out.approximation_ratio);
+      }
       out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
       record_latency(out.latency_us);
       return out;
@@ -92,6 +111,9 @@ Prediction ServeHandle::predict(const std::string& model_name,
   out.batch_id = req.batch_id;
   out.batch_size = req.batch_size;
   maybe_verify(out, g);
+  if (key && out.ar_verified && req.generation == entry->generation) {
+    cache_.set_ar(*key, out.approximation_ratio);
+  }
   out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
   record_latency(out.latency_us);
   {
@@ -142,10 +164,18 @@ std::vector<Prediction> ServeHandle::predict_many(
             elapsed_us(lookup_start, std::chrono::steady_clock::now()));
       }
       if (cached) {
-        out[i].values = std::move(*cached);
+        out[i].values = std::move(cached->values);
         out[i].generation = entry->generation;
         out[i].cache_hit = true;
-        maybe_verify(out[i], g);
+        if (config_.verify_ar && cached->ar_verified) {
+          out[i].approximation_ratio = cached->approximation_ratio;
+          out[i].ar_verified = true;
+        } else {
+          maybe_verify(out[i], g);
+          if (out[i].ar_verified) {
+            cache_.set_ar(key, out[i].approximation_ratio);
+          }
+        }
         out[i].latency_us =
             elapsed_us(start, std::chrono::steady_clock::now());
         record_latency(out[i].latency_us);
@@ -186,6 +216,11 @@ std::vector<Prediction> ServeHandle::predict_many(
       p.batch_id = r.batch_id;
       p.batch_size = r.batch_size;
       maybe_verify(p, graphs[misses[k]]);
+      if (cache_.enabled() && p.ar_verified) {
+        cache_.set_ar(CacheKey{model_name, p.generation,
+                               canonical_hash(graphs[misses[k]])},
+                      p.approximation_ratio);
+      }
       p.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
       record_latency(p.latency_us);
     }
@@ -219,12 +254,14 @@ void ServeHandle::execute_batch(const std::string& model_name,
 
   const bool obs_on = obs::enabled();
   auto stage_start = std::chrono::steady_clock::time_point{};
-  if (obs_on) {
+  if (obs_on || queue_wait_tap_) {
     stage_start = std::chrono::steady_clock::now();
     for (const BatchRequest* r : batch) {
-      queue_wait_us_.record(elapsed_us(r->enqueue_time, stage_start));
+      const double wait = elapsed_us(r->enqueue_time, stage_start);
+      if (obs_on) queue_wait_us_.record(wait);
+      if (queue_wait_tap_) queue_wait_tap_(wait);
     }
-    batch_size_hist_.record(static_cast<double>(batch.size()));
+    if (obs_on) batch_size_hist_.record(static_cast<double>(batch.size()));
   }
 
   try {
@@ -310,6 +347,132 @@ void ServeHandle::maybe_verify(Prediction& p, const Graph& g) {
   }
   std::lock_guard<std::mutex> lk(stats_mutex_);
   ++ar_verifications_;
+}
+
+bool ServeHandle::try_submit(Graph g, SubmitCallback done) {
+  return try_submit(config_.default_model, std::move(g), std::move(done));
+}
+
+std::optional<Prediction> ServeHandle::try_cache_predict(const Graph& g) {
+  return try_cache_predict(config_.default_model, g);
+}
+
+std::optional<Prediction> ServeHandle::try_cache_predict(
+    const std::string& model_name, const Graph& g) {
+  if (!cache_.enabled()) return std::nullopt;
+  std::shared_ptr<const ModelEntry> entry;
+  try {
+    entry = registry_.get(model_name);
+  } catch (const Error&) {
+    return std::nullopt;  // slow path owns the error report
+  }
+  if (g.num_nodes() < 1 ||
+      g.num_nodes() > entry->model->config().features.max_nodes) {
+    return std::nullopt;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const CacheKey key{model_name, entry->generation, canonical_hash(g)};
+  auto cached = cache_.probe(key);
+  if (!cached) return std::nullopt;
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    if (!have_first_request_) {
+      have_first_request_ = true;
+      first_request_ = start;
+    }
+  }
+  Prediction out;
+  out.model = model_name;
+  out.values = std::move(cached->values);
+  out.generation = entry->generation;
+  out.cache_hit = true;
+  if (config_.verify_ar && cached->ar_verified) {
+    out.approximation_ratio = cached->approximation_ratio;
+    out.ar_verified = true;
+  } else {
+    maybe_verify(out, g);
+    if (out.ar_verified) cache_.set_ar(key, out.approximation_ratio);
+  }
+  out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
+  record_latency(out.latency_us);
+  return out;
+}
+
+bool ServeHandle::try_submit(std::string model_name, Graph g,
+                             SubmitCallback done) {
+  QGNN_REQUIRE(done != nullptr, "try_submit requires a completion callback");
+  {
+    std::lock_guard<std::mutex> lk(submit_mutex_);
+    if (submit_queue_.size() >= config_.submit_queue_cap) return false;
+    if (submit_threads_.empty()) start_submit_workers_locked();
+    submit_queue_.push_back(SubmitJob{std::move(model_name), std::move(g),
+                                      std::move(done),
+                                      std::chrono::steady_clock::now()});
+  }
+  submit_cv_.notify_one();
+  return true;
+}
+
+void ServeHandle::set_queue_wait_tap(std::function<void(double)> tap) {
+  queue_wait_tap_ = std::move(tap);
+}
+
+std::size_t ServeHandle::submit_queue_depth() const {
+  std::lock_guard<std::mutex> lk(submit_mutex_);
+  return submit_queue_.size();
+}
+
+void ServeHandle::drain_submits() {
+  std::unique_lock<std::mutex> lk(submit_mutex_);
+  submit_idle_cv_.wait(lk, [this] {
+    return submit_queue_.empty() && submits_in_flight_ == 0;
+  });
+}
+
+void ServeHandle::start_submit_workers_locked() {
+  submit_threads_.reserve(static_cast<std::size_t>(config_.submit_workers));
+  for (int i = 0; i < config_.submit_workers; ++i) {
+    submit_threads_.emplace_back([this] { submit_worker_main(); });
+  }
+}
+
+void ServeHandle::submit_worker_main() {
+  for (;;) {
+    SubmitJob job;
+    {
+      std::unique_lock<std::mutex> lk(submit_mutex_);
+      submit_cv_.wait(lk,
+                      [this] { return submit_stop_ || !submit_queue_.empty(); });
+      if (submit_stop_ && submit_queue_.empty()) return;
+      job = std::move(submit_queue_.front());
+      submit_queue_.pop_front();
+      ++submits_in_flight_;
+    }
+    // The submit-queue wait is queueing the batcher never sees (it starts
+    // its own clock at enqueue); record it into the same histogram so an
+    // overloaded submit pool shows up in queue-wait percentiles — and in
+    // the SLO tap that drives load shedding.
+    const double wait =
+        elapsed_us(job.enqueue_time, std::chrono::steady_clock::now());
+    if (obs::enabled()) queue_wait_us_.record(wait);
+    if (queue_wait_tap_) queue_wait_tap_(wait);
+
+    Prediction p;
+    std::exception_ptr error;
+    try {
+      p = predict(job.model, job.graph);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    job.done(std::move(p), error);
+    {
+      std::lock_guard<std::mutex> lk(submit_mutex_);
+      --submits_in_flight_;
+    }
+    submit_idle_cv_.notify_all();
+  }
 }
 
 void ServeHandle::record_latency(double latency_us) {

@@ -2,10 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +31,15 @@ struct ServeConfig {
   std::size_t cache_capacity = 4096;
   /// Model name used by the one-argument predict overload.
   std::string default_model = "default";
+  /// Worker threads behind the asynchronous try_submit path; each can
+  /// carry one in-flight predict, so this bounds how many async requests
+  /// can coalesce into a micro-batch at once. Started lazily on first
+  /// try_submit; the synchronous predict paths never start them.
+  int submit_workers = 4;
+  /// Pending-submission cap for try_submit. A full queue makes
+  /// try_submit return false — the caller sheds instead of queueing
+  /// unboundedly.
+  std::size_t submit_queue_cap = 1024;
   /// Score every answered prediction against the exact simulator: run the
   /// QAOA ansatz at the predicted angles and report the approximation
   /// ratio in Prediction::approximation_ratio. Costs one 2^n statevector
@@ -104,7 +117,7 @@ struct ServeStats {
 class ServeHandle {
  public:
   explicit ServeHandle(ServeConfig config = {});
-  ~ServeHandle() = default;
+  ~ServeHandle();
 
   ServeHandle(const ServeHandle&) = delete;
   ServeHandle& operator=(const ServeHandle&) = delete;
@@ -137,6 +150,51 @@ class ServeHandle {
   /// Same, with config.default_model.
   std::vector<Prediction> predict_many(const std::vector<Graph>& graphs);
 
+  /// Completion callback of the async submit path. Exactly one of the
+  /// two arguments is meaningful: on success `error` is null; on failure
+  /// the Prediction is default-constructed. Runs on a submit worker
+  /// thread and must not throw.
+  using SubmitCallback =
+      std::function<void(Prediction, std::exception_ptr)>;
+
+  /// Asynchronous predict for event-driven callers (the TCP front end):
+  /// enqueue and return immediately; a submit worker runs the usual
+  /// predict (same cache, batcher, and verify paths — results are
+  /// bit-identical to the blocking API) and invokes `done`. Returns
+  /// false without enqueueing when submit_queue_cap is reached — the
+  /// overload signal the serving tier's load shedding acts on. Queue
+  /// wait (enqueue to worker pickup) is recorded into the same
+  /// queue-wait histogram the batcher feeds, and into the tap.
+  bool try_submit(std::string model_name, Graph g, SubmitCallback done);
+  bool try_submit(Graph g, SubmitCallback done);
+
+  /// Non-blocking cache fast path for event-loop callers: when the graph
+  /// is already cached, return the full hit-path Prediction (recency
+  /// refreshed, hit counted, verify/latency bookkeeping identical to
+  /// predict()) without touching the submit queue or workers — an
+  /// event-loop thread can answer a hit inline instead of paying two
+  /// thread handoffs. Any miss, unknown model, invalid graph, or
+  /// disabled cache returns nullopt with no side effects; the caller
+  /// falls through to try_submit, whose predict owns both the miss
+  /// accounting and the error report.
+  std::optional<Prediction> try_cache_predict(const std::string& model_name,
+                                              const Graph& g);
+  std::optional<Prediction> try_cache_predict(const Graph& g);
+
+  /// Observer invoked with every queue-wait sample (microseconds) that
+  /// is recorded into the queue-wait histogram — the hook SLO-aware load
+  /// shedding uses to see the live signal without polling cumulative
+  /// percentiles. Set before serving; not thread-safe against in-flight
+  /// requests. Pass nullptr to clear. Called regardless of
+  /// obs::enabled() so shedding keeps working with observability off.
+  void set_queue_wait_tap(std::function<void(double)> tap);
+
+  /// Pending async submissions (tests and shed diagnostics).
+  std::size_t submit_queue_depth() const;
+  /// Block until every submitted request has completed (drain before
+  /// shutdown). No new try_submit calls may race with drain.
+  void drain_submits();
+
   ServeStats stats() const;
   const ServeConfig& config() const { return config_; }
   ModelRegistry& registry() { return registry_; }
@@ -153,9 +211,28 @@ class ServeHandle {
   void maybe_verify(Prediction& p, const Graph& g);
   void record_latency(double latency_us);
 
+  struct SubmitJob {
+    std::string model;
+    Graph graph;
+    SubmitCallback done;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+  void submit_worker_main();
+  void start_submit_workers_locked();
+
   const ServeConfig config_;
   ModelRegistry registry_;
   PredictionCache cache_;
+
+  std::function<void(double)> queue_wait_tap_;
+
+  mutable std::mutex submit_mutex_;
+  std::condition_variable submit_cv_;
+  std::condition_variable submit_idle_cv_;
+  std::deque<SubmitJob> submit_queue_;
+  std::vector<std::thread> submit_threads_;
+  std::size_t submits_in_flight_ = 0;  // popped but not yet completed
+  bool submit_stop_ = false;
 
   mutable std::mutex batchers_mutex_;
   std::unordered_map<std::string, std::unique_ptr<MicroBatcher>> batchers_;

@@ -1,0 +1,210 @@
+#include "serve/shard_worker.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "gnn/layers.hpp"
+#include "gnn/model.hpp"
+#include "serve/tcp_service.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn::serve {
+
+namespace {
+
+GnnArch parse_arch_name(const std::string& name) {
+  std::string wanted = name;
+  for (char& c : wanted) c = static_cast<char>(std::tolower(c));
+  for (const GnnArch arch : all_gnn_archs()) {
+    std::string label = to_string(arch);
+    for (char& c : label) c = static_cast<char>(std::tolower(c));
+    if (label == wanted) return arch;
+  }
+  if (wanted == "sage") return GnnArch::kSAGE;
+  throw InvalidArgument("unknown arch '" + name + "'");
+}
+
+[[noreturn]] void run_shard_worker(const CliArgs& args) {
+  const int port_fd = args.get_int("port-fd", -1);
+  const int lifeline_fd = args.get_int("lifeline-fd", -1);
+  QGNN_REQUIRE(port_fd >= 0 && lifeline_fd >= 0,
+               "--shard-worker needs --port-fd and --lifeline-fd");
+  net::Fd port_pipe(port_fd);
+  net::Fd lifeline(lifeline_fd);
+
+  ServeConfig config;
+  config.max_batch = args.get_int("max-batch", config.max_batch);
+  config.max_queue_delay =
+      std::chrono::microseconds(args.get_int("max-delay-us", 500));
+  config.cache_capacity = static_cast<std::size_t>(
+      args.get_int("cache", static_cast<int>(config.cache_capacity)));
+  config.default_model = args.get("default-model", config.default_model);
+  config.submit_workers = args.get_int("workers", config.submit_workers);
+  config.verify_ar = args.get_bool("verify-ar", false);
+
+  ServeHandle handle(config);
+  const std::string models_dir = args.get("models", "");
+  if (!models_dir.empty()) {
+    handle.load_models(models_dir);
+  } else {
+    GnnModelConfig model_config;
+    model_config.arch = parse_arch_name(args.get("arch", "gcn"));
+    Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+    handle.register_model(config.default_model,
+                          GnnModel(model_config, rng));
+  }
+
+  TcpServiceConfig service_config;
+  service_config.net.host = "127.0.0.1";
+  service_config.net.port = 0;
+  // Workers never shed: overload policy lives at the router tier, and a
+  // worker that silently dropped requests would break the router's
+  // pending-request accounting.
+  service_config.slo.slo_us = 0.0;
+
+  NdjsonTcpService service(handle, service_config);
+  service.start();
+
+  net::install_shutdown_signal_pipe();
+  net::write_all(port_pipe, std::to_string(service.port()) + "\n");
+  port_pipe.reset();
+
+  // Serve until the parent drops the lifeline or asks us to stop.
+  for (;;) {
+    if (net::shutdown_signal_received()) break;
+    if (net::wait_readable(lifeline, 200)) {
+      char byte;
+      const net::IoResult r = net::read_some(lifeline, &byte, 1);
+      if (r.status == net::IoStatus::kEof ||
+          r.status == net::IoStatus::kError) {
+        break;  // parent is gone
+      }
+    }
+  }
+  service.graceful_shutdown(std::chrono::milliseconds(5000));
+  handle.drain_submits();
+  std::exit(0);
+}
+
+}  // namespace
+
+void maybe_run_shard_worker(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shard-worker") == 0) {
+      run_shard_worker(CliArgs(argc, argv));
+    }
+  }
+}
+
+ShardProcess ShardProcess::spawn(const ShardWorkerOptions& options) {
+  // Pipes are CLOEXEC so concurrent spawns cannot leak each other's ends;
+  // the child re-enables its two fds between fork and exec.
+  auto port_pipe = net::make_pipe();      // child writes its port
+  auto lifeline_pipe = net::make_pipe();  // child reads; EOF = parent gone
+
+  char exe_path[4096];
+  const ssize_t exe_len =
+      ::readlink("/proc/self/exe", exe_path, sizeof(exe_path) - 1);
+  QGNN_REQUIRE(exe_len > 0, "readlink(/proc/self/exe) failed");
+  exe_path[exe_len] = '\0';
+
+  std::vector<std::string> args;
+  args.emplace_back(exe_path);
+  args.emplace_back("--shard-worker");
+  args.emplace_back("--port-fd");
+  args.emplace_back(std::to_string(port_pipe.second.get()));
+  args.emplace_back("--lifeline-fd");
+  args.emplace_back(std::to_string(lifeline_pipe.first.get()));
+  if (!options.models_dir.empty()) {
+    args.emplace_back("--models");
+    args.emplace_back(options.models_dir);
+  }
+  args.emplace_back("--seed");
+  args.emplace_back(std::to_string(options.demo_seed));
+  args.emplace_back("--arch");
+  args.emplace_back(options.arch);
+  args.emplace_back("--default-model");
+  args.emplace_back(options.default_model);
+  args.emplace_back("--max-batch");
+  args.emplace_back(std::to_string(options.max_batch));
+  args.emplace_back("--max-delay-us");
+  args.emplace_back(std::to_string(options.max_delay_us));
+  args.emplace_back("--cache");
+  args.emplace_back(std::to_string(options.cache_capacity));
+  args.emplace_back("--workers");
+  args.emplace_back(std::to_string(options.submit_workers));
+  if (options.verify_ar) args.emplace_back("--verify-ar");
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  QGNN_REQUIRE(pid >= 0, "fork failed");
+  if (pid == 0) {
+    // Child: only async-signal-safe calls until exec.
+    ::fcntl(port_pipe.second.get(), F_SETFD, 0);
+    ::fcntl(lifeline_pipe.first.get(), F_SETFD, 0);
+    ::execv(exe_path, argv.data());
+    // exec failed; the parent sees EOF on the port pipe.
+    ::_exit(127);
+  }
+
+  ShardProcess child;
+  child.pid_ = pid;
+  child.lifeline_write_ = std::move(lifeline_pipe.second);
+  port_pipe.second.reset();
+  lifeline_pipe.first.reset();
+
+  std::string carry, line;
+  if (!net::read_line(port_pipe.first, carry, line)) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    child.pid_ = -1;
+    throw IoError("shard worker died before reporting its port");
+  }
+  child.port_ = static_cast<std::uint16_t>(std::stoi(line));
+  return child;
+}
+
+ShardProcess::ShardProcess(ShardProcess&& other) noexcept {
+  *this = std::move(other);
+}
+
+ShardProcess& ShardProcess::operator=(ShardProcess&& other) noexcept {
+  if (this != &other) {
+    terminate();
+    pid_ = other.pid_;
+    port_ = other.port_;
+    lifeline_write_ = std::move(other.lifeline_write_);
+    other.pid_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void ShardProcess::terminate() {
+  if (pid_ < 0) return;
+  lifeline_write_.reset();  // EOF tells the worker to drain
+  ::kill(pid_, SIGTERM);
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+}
+
+ShardProcess::~ShardProcess() { terminate(); }
+
+}  // namespace qgnn::serve

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+#include "net/socket.hpp"
+
+namespace qgnn::serve {
+
+/// Model/serving knobs forwarded to a spawned shard worker process on its
+/// command line. The worker builds its ServeHandle exactly like
+/// `qgnn_serve --demo` does from the same flags, so a worker with a given
+/// (seed, arch) holds bit-identical weights to an in-process handle built
+/// with that (seed, arch) — the property the router's bit-identity test
+/// leans on.
+struct ShardWorkerOptions {
+  /// Directory of checkpoints to load; empty = register a demo model.
+  std::string models_dir;
+  std::uint64_t demo_seed = 42;
+  std::string arch = "gcn";
+  std::string default_model = "default";
+  int max_batch = 16;
+  int max_delay_us = 500;
+  std::size_t cache_capacity = 4096;
+  int submit_workers = 4;
+  bool verify_ar = false;
+};
+
+/// Hook for binaries that host shard workers (qgnn_serve, serve_bench,
+/// the net tests): call first thing in main(). When argv requests worker
+/// mode (`--shard-worker`, as written by ShardProcess::spawn), this runs
+/// the worker — an NdjsonTcpService on an ephemeral loopback port, the
+/// port reported back over the inherited `--port-fd` pipe — and never
+/// returns (std::exit). Otherwise it returns immediately. The worker
+/// serves until its `--lifeline-fd` pipe hits EOF (parent exited or
+/// dropped the handle) or SIGTERM/SIGINT arrives, then drains in-flight
+/// requests and exits 0.
+void maybe_run_shard_worker(int argc, char** argv);
+
+/// A spawned shard worker child process. Spawning re-executes
+/// /proc/self/exe with `--shard-worker` plus the serialized options and
+/// two inherited pipe fds (port report + lifeline), so any binary that
+/// calls maybe_run_shard_worker() can host shards of itself — no separate
+/// worker binary to ship or locate.
+class ShardProcess {
+ public:
+  /// Fork+exec a worker and block until it reports its port (or dies,
+  /// which throws IoError with the exec/startup failure).
+  static ShardProcess spawn(const ShardWorkerOptions& options);
+
+  ShardProcess(ShardProcess&& other) noexcept;
+  ShardProcess& operator=(ShardProcess&& other) noexcept;
+  ShardProcess(const ShardProcess&) = delete;
+  ShardProcess& operator=(const ShardProcess&) = delete;
+
+  /// Closes the lifeline (the worker drains and exits) and reaps the
+  /// child.
+  ~ShardProcess();
+
+  std::uint16_t port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+  /// Ask the worker to drain and exit (SIGTERM + lifeline close), then
+  /// wait for it. Idempotent.
+  void terminate();
+
+ private:
+  ShardProcess() = default;
+
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+  net::Fd lifeline_write_;
+};
+
+}  // namespace qgnn::serve

@@ -1,0 +1,76 @@
+#include "serve/slo.hpp"
+
+#include "util/error.hpp"
+
+namespace qgnn::serve {
+
+SloController::SloController(SloConfig config) : config_(config) {
+  QGNN_REQUIRE(config_.slo_us >= 0.0, "slo_us must be >= 0");
+  QGNN_REQUIRE(config_.window.count() > 0, "window must be positive");
+  QGNN_REQUIRE(config_.resume_fraction > 0.0 &&
+                   config_.resume_fraction <= 1.0,
+               "resume_fraction must be in (0, 1]");
+  const auto now = std::chrono::steady_clock::now();
+  last_rotate_ = now;
+  last_refresh_ = now;
+}
+
+void SloController::record_queue_wait(double us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mutex_);
+  halves_[active_].record(us);
+}
+
+bool SloController::should_shed() {
+  if (!enabled()) return false;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (now - last_refresh_ >= config_.refresh) refresh_locked(now);
+  }
+  return shedding_.load(std::memory_order_relaxed);
+}
+
+void SloController::refresh_locked(
+    std::chrono::steady_clock::time_point now) {
+  last_refresh_ = now;
+  if (now - last_rotate_ >= config_.window / 2) {
+    last_rotate_ = now;
+    active_ = 1 - active_;
+    halves_[active_].reset();
+  }
+
+  // Merge both halves for the windowed view. The copy-merge walks the
+  // fixed bucket array — bounded work, amortized by the refresh interval.
+  obs::LatencyHistogram merged;
+  merged.merge(halves_[0]);
+  merged.merge(halves_[1]);
+  const std::uint64_t n = merged.count();
+  if (n < config_.min_samples) {
+    shedding_.store(false, std::memory_order_relaxed);
+    windowed_p99_us_.store(n == 0 ? 0.0 : merged.percentile(0.99),
+                           std::memory_order_relaxed);
+    return;
+  }
+  const double p99 = merged.percentile(0.99);
+  windowed_p99_us_.store(p99, std::memory_order_relaxed);
+  const bool currently = shedding_.load(std::memory_order_relaxed);
+  if (!currently && p99 > config_.slo_us) {
+    shedding_.store(true, std::memory_order_relaxed);
+  } else if (currently &&
+             p99 < config_.resume_fraction * config_.slo_us) {
+    shedding_.store(false, std::memory_order_relaxed);
+  }
+}
+
+SloController::Counters SloController::counters() const {
+  Counters c;
+  c.admitted = admitted_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.degraded = degraded_.load(std::memory_order_relaxed);
+  c.windowed_p99_us = windowed_p99_us_.load(std::memory_order_relaxed);
+  c.shedding = shedding_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace qgnn::serve

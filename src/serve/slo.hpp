@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace qgnn::serve {
+
+/// What the serving tier does with a request while the SLO is breached.
+enum class ShedPolicy {
+  /// Answer {"ok":false,"retriable":true,"shed":true} without queueing.
+  kReject,
+  /// Answer with the depth-1 fixed-angle fallback (no model forward).
+  kDegrade,
+};
+
+struct SloConfig {
+  /// Queue-wait p99 target in microseconds; 0 disables shedding.
+  double slo_us = 0.0;
+  ShedPolicy policy = ShedPolicy::kReject;
+  /// Sliding-window span the p99 is computed over. Implemented as two
+  /// half-window histograms rotated on schedule, so the effective lookback
+  /// is between window/2 and window.
+  std::chrono::milliseconds window{2000};
+  /// Hysteresis: once shedding, resume admitting only when the windowed
+  /// p99 falls below resume_fraction * slo_us — otherwise a breach would
+  /// flap at the boundary, alternating shed/admit per request.
+  double resume_fraction = 0.8;
+  /// Breach decisions need at least this many samples in the window;
+  /// below it the controller always admits (cold start, idle recovery).
+  std::uint64_t min_samples = 16;
+  /// How often the (comparatively expensive) windowed-p99 merge runs;
+  /// between refreshes should_shed() reads a cached atomic.
+  std::chrono::milliseconds refresh{50};
+};
+
+/// SLO-aware load-shedding controller: feeds on the same queue-wait
+/// samples as the serve-stats histogram (via ServeHandle's queue-wait
+/// tap), maintains a sliding-window p99, and answers the admission
+/// question "is the tier keeping its latency promise right now?".
+///
+/// record_queue_wait() is the hot producer (one histogram record);
+/// should_shed() is the admission check (one relaxed atomic load on the
+/// fast path, a bucket merge at most once per `refresh`). Both are
+/// thread-safe. The shed/degraded/admitted counters are bookkeeping the
+/// front ends report through their stats commands.
+class SloController {
+ public:
+  explicit SloController(SloConfig config);
+
+  bool enabled() const { return config_.slo_us > 0.0; }
+  const SloConfig& config() const { return config_; }
+
+  /// Feed one queue-wait sample (microseconds).
+  void record_queue_wait(double us);
+
+  /// Admission check. False = admit. Never sheds while disabled or under
+  /// min_samples. Refreshes the cached breach state when it is stale.
+  bool should_shed();
+
+  /// Current breach state without refreshing (tests, stats).
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+
+  /// Windowed p99 as of the last refresh (microseconds).
+  double windowed_p99_us() const {
+    return windowed_p99_us_.load(std::memory_order_relaxed);
+  }
+
+  void note_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void note_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_degraded() {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct Counters {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degraded = 0;
+    double windowed_p99_us = 0.0;
+    bool shedding = false;
+  };
+  Counters counters() const;
+
+ private:
+  void refresh_locked(std::chrono::steady_clock::time_point now);
+
+  const SloConfig config_;
+
+  // Two half-window histograms: samples land in halves_[active_]; on
+  // rotation the other half is reset and becomes active. The windowed
+  // view is the merge of both, covering the last [window/2, window).
+  std::mutex mutex_;
+  obs::LatencyHistogram halves_[2];
+  int active_ = 0;
+  std::chrono::steady_clock::time_point last_rotate_;
+  std::chrono::steady_clock::time_point last_refresh_;
+
+  std::atomic<bool> shedding_{false};
+  std::atomic<double> windowed_p99_us_{0.0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+};
+
+}  // namespace qgnn::serve

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/tcp_server.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "serve/slo.hpp"
+
+namespace qgnn::serve {
+
+struct TcpServiceConfig {
+  net::TcpServerConfig net;
+  SloConfig slo;
+};
+
+/// NDJSON-over-TCP front end for one in-process ServeHandle: the same
+/// wire protocol as the stdin server, served by a net::TcpServer event
+/// loop. This is also what a shard worker process runs behind its port.
+///
+/// Request path: the loop thread parses the line, answers control
+/// commands inline ({"cmd":"stats"} gains "net" and "slo" sub-objects
+/// over the stdin variant; {"cmd":"ping"} is the health probe), probes
+/// the prediction cache (hits are answered directly on the loop thread —
+/// no queue, no admission check, no thread handoff), then runs the SLO
+/// admission check and hands admitted misses to
+/// ServeHandle::try_submit — the submit pool runs the usual blocking
+/// predict (identical cache/batcher/verify path to the stdin server, so
+/// responses are bit-identical across transports) and posts the response
+/// back through the server. A full submit queue is treated as a shed
+/// regardless of the SLO state: it is the hard backstop.
+class NdjsonTcpService {
+ public:
+  NdjsonTcpService(ServeHandle& handle, TcpServiceConfig config);
+  ~NdjsonTcpService();
+
+  NdjsonTcpService(const NdjsonTcpService&) = delete;
+  NdjsonTcpService& operator=(const NdjsonTcpService&) = delete;
+
+  void start();
+  std::uint16_t port() const { return server_->port(); }
+
+  /// Drain in-flight requests and stop; see TcpServer::graceful_shutdown.
+  bool graceful_shutdown(std::chrono::milliseconds drain_timeout =
+                             std::chrono::milliseconds(5000));
+  void stop();
+
+  net::TcpServerStats net_stats() const { return server_->stats(); }
+  SloController::Counters slo_counters() const { return slo_.counters(); }
+
+ private:
+  void on_line(std::uint64_t conn_id, std::string&& line);
+  std::string stats_response(const JsonValue& id) const;
+
+  ServeHandle& handle_;
+  const TcpServiceConfig config_;
+  SloController slo_;
+  std::unique_ptr<net::TcpServer> server_;
+};
+
+}  // namespace qgnn::serve

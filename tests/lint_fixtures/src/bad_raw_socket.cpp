@@ -1,0 +1,31 @@
+// Seeded violations for the raw-socket check: direct socket and event
+// syscalls in library code outside src/net.
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qgnn {
+
+int open_listener(unsigned short port) {
+  const int fd = ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  (void)port;
+  (void)listen(fd, 16);
+  return fd;
+}
+
+long push_bytes(int fd, const void* data, unsigned long n) {
+  const long sent = send(fd, data, n, 0);
+  char ack = 0;
+  (void)::read(fd, &ack, 1);
+  return sent;
+}
+
+struct Channel {
+  int send(const void* data, unsigned long n);  // member: not a finding
+  long read(void* data, unsigned long n);       // member: not a finding
+};
+
+long drain(Channel& ch, void* buf, unsigned long n) {
+  return ch.read(buf, n);  // method call: not a finding
+}
+
+}  // namespace qgnn

@@ -1,0 +1,14 @@
+// The net layer itself may touch socket syscalls directly: the
+// raw-socket check exempts everything under src/net/.
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qgnn::net {
+
+int raw_listener() {
+  const int fd = ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  (void)listen(fd, 16);
+  return fd;
+}
+
+}  // namespace qgnn::net

@@ -231,6 +231,34 @@ TEST(LintFixtures, RawIo) {
       lint_fixture("src/dataset/packed.cpp", registry_options()).empty());
 }
 
+TEST(LintFixtures, RawSocket) {
+  const auto findings =
+      lint_fixture("src/bad_raw_socket.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"raw-socket", 9},
+                                               {"raw-socket", 11},
+                                               {"raw-socket", 16},
+                                               {"raw-socket", 18}}));
+  // The net layer itself is exempt: it owns the syscalls.
+  EXPECT_TRUE(
+      lint_fixture("src/net/socket.cpp", registry_options()).empty());
+}
+
+TEST(LintFixtures, RawSocketQualifiedWrappersPass) {
+  // Namespace-qualified wrappers and member calls are not findings;
+  // only plain and global-qualified syscall spellings are.
+  const std::string source =
+      "namespace qgnn {\n"
+      "void f() {\n"
+      "  net::poll(1);\n"          // wrapper: ok
+      "  auto b = std::bind(f);\n"  // std::bind: ok
+      "  ::bind(3, nullptr, 0);\n"  // global-qualified syscall: finding
+      "}\n"
+      "}\n";
+  const auto findings =
+      qgnn::lint::lint_source("src/serve/x.cpp", source, registry_options());
+  EXPECT_EQ(check_lines(findings), (CheckLines{{"raw-socket", 5}}));
+}
+
 TEST(LintFixtures, SuppressionsSilenceFindings) {
   EXPECT_TRUE(lint_fixture("suppressed.cpp", registry_options()).empty());
 }
@@ -261,7 +289,8 @@ TEST(LintDriver, WholeFixtureTreeFindingCount) {
   EXPECT_EQ(per_check["pragma-once"], 1);
   EXPECT_EQ(per_check["banned-function"], 3);
   EXPECT_EQ(per_check["raw-io"], 3);
-  EXPECT_EQ(findings.size(), 23u);
+  EXPECT_EQ(per_check["raw-socket"], 4);
+  EXPECT_EQ(findings.size(), 27u);
 }
 
 TEST(LintDriver, RegistryNotEnforcedOutsideSrc) {
@@ -294,7 +323,8 @@ TEST(LintDriver, CheckCatalogueIsStable) {
   EXPECT_EQ(names, (std::set<std::string>{
                        "determinism-call", "determinism-iteration",
                        "obs-name", "lock-across-submit", "mutable-global",
-                       "pragma-once", "banned-function", "raw-io"}));
+                       "pragma-once", "banned-function", "raw-io",
+                       "raw-socket"}));
 }
 
 }  // namespace

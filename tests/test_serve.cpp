@@ -597,8 +597,11 @@ TEST(Serve, VerifyArScoresPredictionsOnAllPaths) {
   EXPECT_TRUE(miss.ar_verified);
   EXPECT_GT(miss.approximation_ratio, 0.0);
 
+  // The simulator runs once per distinct graph: the score is cached with
+  // the prediction values, so the hit rounds above reused it instead of
+  // recomputing the identical number.
   const auto stats = serve.stats();
-  EXPECT_EQ(stats.ar_verifications, 2 * graphs.size() + 2);
+  EXPECT_EQ(stats.ar_verifications, graphs.size() + 1);
 }
 
 TEST(Serve, VerifyArIsDeterministicAcrossCacheHitAndMiss) {

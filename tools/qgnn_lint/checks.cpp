@@ -559,6 +559,95 @@ void raw_io_impl(const FileContext& ctx, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// raw-socket
+
+/// Socket / event-loop syscalls that must stay inside src/net: every
+/// other subsystem routes bytes through the net wrappers so non-blocking
+/// discipline, EINTR retries, and SIGPIPE suppression live in one place.
+constexpr const char* kRawSocketIdents[] = {
+    "socket",       "accept",     "accept4",    "bind",       "listen",
+    "connect",      "recv",       "send",       "recvfrom",   "sendto",
+    "setsockopt",   "getsockopt", "getsockname", "getpeername",
+    "epoll_create", "epoll_create1", "epoll_ctl", "epoll_wait",
+    "poll",         "ppoll",      "pipe",       "pipe2",
+};
+
+/// read/write/close are too common as plain identifiers to ban outright;
+/// only the explicitly global-qualified syscall spelling (`::read(...)`)
+/// is a finding.
+constexpr const char* kGlobalOnlyIdents[] = {"read", "write", "close"};
+
+/// Files allowed to touch socket and fd syscalls directly: the net layer
+/// owns them (src/net/socket.cpp, event_loop.cpp, tcp_server.cpp, ...).
+/// The dataset storage layer is raw-io-exempt and may also close its own
+/// file descriptors.
+bool raw_socket_exempt_file(const std::string& normalized) {
+  return normalized.find("src/net/") != std::string::npos ||
+         raw_io_exempt_file(normalized);
+}
+
+/// Call sites come in three shapes:
+///   member      `x.send(...)` / `x->connect(...)`   — someone's method
+///   qualified   `std::bind(...)` / `net::poll(...)` — a wrapped API
+///   global      `::socket(...)` or plain `socket(...)` — the syscall
+/// Only the last shape is a finding.
+bool is_direct_syscall(const Tokens& ts, std::size_t i) {
+  if (i + 1 >= ts.size() || !is_punct(ts[i + 1], "(")) return false;
+  if (i == 0) return true;
+  const Token& prev = ts[i - 1];
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+  if (is_punct(prev, "::")) {
+    // `ns::name(...)` is a namespaced wrapper; `::name(...)` (no
+    // identifier before the '::') is the global-scope syscall.
+    return i < 2 || ts[i - 2].kind != TokenKind::kIdentifier;
+  }
+  if (prev.kind == TokenKind::kIdentifier) {
+    // `long send(...)` declares a function of that name rather than
+    // calling the syscall; two adjacent identifiers only form an
+    // expression after a control keyword (`return send(...)`).
+    static const std::set<std::string> kExprKeywords = {
+        "return", "co_return", "co_yield", "co_await", "throw", "case",
+        "else",   "do"};
+    return kExprKeywords.count(prev.text) > 0;
+  }
+  return true;
+}
+
+void raw_socket_impl(const FileContext& ctx, std::vector<Finding>& out) {
+  if (!ctx.in_src) return;  // tests/bench/tools may open sockets directly
+  if (raw_socket_exempt_file(ctx.normalized)) return;
+  const Tokens& ts = ctx.lex.tokens;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (ts[i].kind != TokenKind::kIdentifier) continue;
+    if (!is_direct_syscall(ts, i)) continue;
+    for (const char* ident : kRawSocketIdents) {
+      if (ts[i].text == ident) {
+        out.push_back(Finding{
+            ctx.path, ts[i].line, "raw-socket",
+            std::string(ident) +
+                ": raw socket/event syscall outside src/net; route it "
+                "through the net wrappers (net/socket.hpp, "
+                "net/event_loop.hpp) so fd discipline stays in one place"});
+      }
+    }
+    // Global-qualified fd syscalls (`::read(fd, ...)`).
+    if (i >= 1 && is_punct(ts[i - 1], "::") &&
+        (i < 2 || ts[i - 2].kind != TokenKind::kIdentifier)) {
+      for (const char* ident : kGlobalOnlyIdents) {
+        if (ts[i].text == ident) {
+          out.push_back(Finding{
+              ctx.path, ts[i].line, "raw-socket",
+              "::" + std::string(ident) +
+                  ": raw fd syscall outside src/net; use net::read_some / "
+                  "net::write_some / net::Fd so EINTR and SIGPIPE handling "
+                  "stay in one place"});
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bool valid_obs_name(const std::string& name) {
@@ -621,6 +710,9 @@ const std::vector<CheckInfo>& all_checks() {
       {"raw-io",
        "direct fread/fwrite/mmap outside the dataset storage layer",
        &check_raw_io},
+      {"raw-socket",
+       "direct socket/accept/epoll syscalls outside src/net",
+       &check_raw_socket},
   };
   return kChecks;
 }
@@ -653,6 +745,9 @@ void check_banned_function(const FileContext& ctx,
 }
 void check_raw_io(const FileContext& ctx, std::vector<Finding>& out) {
   raw_io_impl(ctx, out);
+}
+void check_raw_socket(const FileContext& ctx, std::vector<Finding>& out) {
+  raw_socket_impl(ctx, out);
 }
 
 }  // namespace qgnn::lint

@@ -72,5 +72,6 @@ void check_pragma_once(const FileContext& ctx, std::vector<Finding>& out);
 void check_banned_function(const FileContext& ctx,
                            std::vector<Finding>& out);
 void check_raw_io(const FileContext& ctx, std::vector<Finding>& out);
+void check_raw_socket(const FileContext& ctx, std::vector<Finding>& out);
 
 }  // namespace qgnn::lint
