@@ -1,0 +1,116 @@
+// qgnn_mine: offline companion to the online hard-example mining loop
+// (DESIGN.md §12). The serving binary runs the closed loop; this tool
+// works on its artifacts after the fact.
+//
+// Commands:
+//   qgnn_mine inspect --shard <file.qds>
+//       Print one line per mined record: nodes, edges, degree, depth, and
+//       the serving-time approximation ratio that got it mined.
+//   qgnn_mine relabel --shard <file.qds> [--evals n] [--workers n]
+//                     [--seed s] [--symmetrize]
+//       Re-label a mined shard with the full-budget Adam optimizer and
+//       commit <file>.labelled.qds atomically (resumable: an existing
+//       valid output is reused).
+//   qgnn_mine gate --candidate <model> --incumbent <model>
+//                  --panel <file.qds> [--min-improvement x]
+//       Score both models' predicted angles on the panel graphs with the
+//       exact simulator and print the promotion verdict. Exit code 0 when
+//       the candidate would be promoted, 2 when the incumbent stays.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataset/packed.hpp"
+#include "gnn/model.hpp"
+#include "mine/gate.hpp"
+#include "mine/relabel.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace qgnn;
+
+std::string require_flag(const CliArgs& args, const std::string& key) {
+  const std::string value = args.get(key, "");
+  if (value.empty()) {
+    throw InvalidArgument("missing required --" + key + " <value>");
+  }
+  return value;
+}
+
+int cmd_inspect(const CliArgs& args) {
+  const std::string shard = require_flag(args, "shard");
+  const std::vector<DatasetEntry> entries = load_packed_dataset(shard);
+  std::printf("%s: %zu record(s)\n", shard.c_str(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const DatasetEntry& e = entries[i];
+    std::printf("  [%4zu] n=%2d m=%3zu degree=%2d depth=%d ar=%.4f\n", i,
+                e.graph.num_nodes(), e.graph.edges().size(), e.degree,
+                e.label.depth(), e.approximation_ratio);
+  }
+  return 0;
+}
+
+int cmd_relabel(const CliArgs& args) {
+  const std::string shard = require_flag(args, "shard");
+  mine::RelabelConfig config;
+  {
+    // The shard carries its own depth; read it off the first record so
+    // the optimizer searches the right parameter space.
+    const std::vector<DatasetEntry> peek = load_packed_dataset(shard);
+    QGNN_REQUIRE(!peek.empty(), "shard is empty");
+    config.depth = peek.front().label.depth();
+  }
+  config.optimizer_evaluations = args.get_int("evals", 500);
+  config.workers = args.get_int("workers", 1);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.symmetrize_labels = args.get_bool("symmetrize", false);
+
+  const std::vector<DatasetEntry> labelled =
+      mine::relabel_shard(config, shard);
+  double mean_ar = 0.0;
+  for (const DatasetEntry& e : labelled) mean_ar += e.approximation_ratio;
+  mean_ar /= static_cast<double>(labelled.size());
+  std::printf("%s: %zu record(s) relabelled, mean AR %.4f -> %s\n",
+              shard.c_str(), labelled.size(), mean_ar,
+              mine::labelled_shard_path(shard).c_str());
+  return 0;
+}
+
+int cmd_gate(const CliArgs& args) {
+  const GnnModel candidate = GnnModel::load(require_flag(args, "candidate"));
+  const GnnModel incumbent = GnnModel::load(require_flag(args, "incumbent"));
+  const std::vector<DatasetEntry> panel =
+      load_packed_dataset(require_flag(args, "panel"));
+  mine::GateConfig config;
+  config.min_improvement = args.get_double("min-improvement", 0.0);
+
+  const mine::GateVerdict verdict =
+      mine::evaluate_gate(candidate, incumbent, panel, config);
+  std::printf("panel of %zu: candidate mean AR %.6f, incumbent %.6f -> %s\n",
+              panel.size(), verdict.candidate_mean_ar,
+              verdict.incumbent_mean_ar,
+              verdict.promote ? "PROMOTE" : "KEEP INCUMBENT");
+  return verdict.promote ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    QGNN_REQUIRE(!args.positional().empty(),
+                 "usage: qgnn_mine <inspect|relabel|gate> [flags]");
+    const std::string command = args.positional().front();
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "relabel") return cmd_relabel(args);
+    if (command == "gate") return cmd_gate(args);
+    throw InvalidArgument("unknown command '" + command +
+                          "' (inspect, relabel, gate)");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qgnn_mine: error: %s\n", e.what());
+    return 1;
+  }
+}

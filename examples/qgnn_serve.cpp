@@ -48,6 +48,24 @@
 //   --trace-out <file>       record trace spans while serving and write a
 //                            Chrome trace_event JSON file at exit; open it
 //                            in about://tracing or ui.perfetto.dev
+//   --verify-ar              score every answer against the exact simulator
+//                            (implied by --mine with an AR threshold)
+// Online hard-example mining (DESIGN.md §12) — closed loop that harvests
+// low-quality / novel production requests, re-labels them with the full
+// optimizer budget, fine-tunes a candidate, and hot-swaps it in when it
+// beats the incumbent on a held-out panel:
+//   --mine                   enable the mining loop
+//   --mine-ar-threshold <x>  mine requests whose verified AR is below x
+//   --mine-novel             also mine never-seen graph structures
+//   --mine-dir <dir>         shard/checkpoint directory   (default mined;
+//                            router mode appends /shard_<k> per worker)
+//   --mine-capacity <n>      buffer ring capacity         (default 1024)
+//   --mine-min-spill <n>     samples per mining cycle     (default 8)
+//   --mine-epochs <n>        fine-tune epochs per cycle   (default 30)
+//   --mine-evals <n>         relabel optimizer budget     (default 500)
+//   --mine-interval-ms <n>   mining loop poll cadence     (default 500)
+//   --mine-seed <s>          mining determinism seed
+//   --mine-panel-fraction <f> held-out gate panel fraction (default 0.25)
 // Final serving stats are printed to stderr at exit.
 
 #include <cctype>
@@ -59,6 +77,7 @@
 
 #include "gnn/layers.hpp"
 #include "gnn/model.hpp"
+#include "mine/serve_hook.hpp"
 #include "net/socket.hpp"
 #include "obs/trace.hpp"
 #include "serve/protocol.hpp"
@@ -127,6 +146,9 @@ void print_final_stats(const qgnn::serve::ServeStats& stats,
 
 int main(int argc, char** argv) {
   using namespace qgnn;
+  // Shard workers must know how to interpret --mine* flags before they
+  // take over (serve cannot link mine, so the hook is installed here).
+  mine::install_shard_worker_mining();
   // Re-exec'd shard workers take over here and never return.
   serve::maybe_run_shard_worker(argc, argv);
 
@@ -160,11 +182,34 @@ int main(int argc, char** argv) {
       worker.cache_capacity =
           static_cast<std::size_t>(args.get_int("cache", 4096));
       worker.submit_workers = args.get_int("workers", 4);
+      worker.mine = args.get_bool("mine", false);
+      worker.mine_ar_threshold = args.get_double("mine-ar-threshold", 0.0);
+      worker.mine_novel = args.get_bool("mine-novel", false);
+      worker.mine_capacity =
+          static_cast<std::size_t>(args.get_int("mine-capacity", 1024));
+      worker.mine_min_spill =
+          static_cast<std::size_t>(args.get_int("mine-min-spill", 8));
+      worker.mine_epochs = args.get_int("mine-epochs", 30);
+      worker.mine_evals = args.get_int("mine-evals", 500);
+      worker.mine_interval_ms = args.get_int("mine-interval-ms", 500);
+      worker.mine_seed =
+          static_cast<std::uint64_t>(args.get_int("mine-seed", 42));
+      worker.mine_panel_fraction =
+          args.get_double("mine-panel-fraction", 0.25);
+      // Low-AR mining needs the exact-simulator score on every answer.
+      worker.verify_ar =
+          args.get_bool("verify-ar", false) ||
+          (worker.mine && worker.mine_ar_threshold > 0.0);
+      const std::string mine_dir = args.get("mine-dir", "mined");
 
       std::vector<serve::ShardProcess> procs;
       std::vector<serve::ShardAddress> addrs;
       procs.reserve(static_cast<std::size_t>(shards));
       for (int i = 0; i < shards; ++i) {
+        // Each shard mines into its own directory: the workers are
+        // separate processes and must not contend for shard sequence
+        // numbers or checkpoint files.
+        worker.mine_dir = mine_dir + "/shard_" + std::to_string(i);
         procs.push_back(serve::ShardProcess::spawn(worker));
         addrs.push_back(serve::ShardAddress{"127.0.0.1",
                                             procs.back().port()});
@@ -212,6 +257,10 @@ int main(int argc, char** argv) {
         args.get_int("cache", static_cast<int>(config.cache_capacity)));
     config.default_model = args.get("default-model", config.default_model);
     config.submit_workers = args.get_int("workers", config.submit_workers);
+    config.verify_ar =
+        args.get_bool("verify-ar", false) ||
+        (args.get_bool("mine", false) &&
+         args.get_double("mine-ar-threshold", 0.0) > 0.0);
 
     serve::ServeHandle serve(config);
     if (args.has("models")) {
@@ -229,6 +278,19 @@ int main(int argc, char** argv) {
                    "qgnn_serve: registered demo model '%s' (arch=%s)\n",
                    config.default_model.c_str(),
                    to_string(model_config.arch).c_str());
+    }
+
+    // Attach the mining loop (if requested) before any request is served;
+    // the handle keeps running while cycles fine-tune and hot-swap.
+    const std::shared_ptr<mine::Miner> miner =
+        mine::make_miner_from_cli(serve, args);
+    if (miner) {
+      std::fprintf(stderr,
+                   "qgnn_serve: mining to %s (ar<%.3f%s, min spill %zu)\n",
+                   miner->config().dir.c_str(),
+                   miner->config().buffer.ar_threshold,
+                   miner->config().buffer.mine_novel ? ", novel" : "",
+                   miner->config().min_spill);
     }
 
     std::size_t handled = 0;

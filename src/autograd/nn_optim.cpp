@@ -18,6 +18,23 @@ AdamOptimizer::AdamOptimizer(std::vector<Var> params, Config config)
   }
 }
 
+void AdamOptimizer::set_state(State state) {
+  QGNN_REQUIRE(state.m.size() == params_.size() &&
+                   state.v.size() == params_.size(),
+               "optimizer state does not match parameter count");
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    QGNN_REQUIRE(state.m[k].rows() == params_[k].rows() &&
+                     state.m[k].cols() == params_[k].cols() &&
+                     state.v[k].rows() == params_[k].rows() &&
+                     state.v[k].cols() == params_[k].cols(),
+                 "optimizer state shape mismatch");
+  }
+  QGNN_REQUIRE(state.t >= 0, "optimizer step count must be non-negative");
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+  t_ = state.t;
+}
+
 void AdamOptimizer::zero_grad() {
   for (Var& p : params_) p.zero_grad();
 }

@@ -30,6 +30,17 @@ class AdamOptimizer {
   void set_learning_rate(double lr) { config_.learning_rate = lr; }
   const std::vector<Var>& params() const { return params_; }
 
+  /// Snapshot of the per-parameter moment accumulators and the step count
+  /// — everything beyond the weights themselves that a resumed run needs
+  /// to continue bit-identically (src/gnn/checkpoint).
+  struct State {
+    std::vector<Matrix> m;
+    std::vector<Matrix> v;
+    long t = 0;
+  };
+  State state() const { return State{m_, v_, t_}; }
+  void set_state(State state);
+
  private:
   std::vector<Var> params_;
   Config config_;
@@ -62,6 +73,19 @@ class ReduceLROnPlateau {
   bool step(double metric);
 
   int reductions() const { return reductions_; }
+
+  /// Scheduler cursor for checkpoint/resume (src/gnn/checkpoint).
+  struct State {
+    double best = 0.0;
+    int bad_epochs = 0;
+    int reductions = 0;
+  };
+  State state() const { return State{best_, bad_epochs_, reductions_}; }
+  void set_state(const State& state) {
+    best_ = state.best;
+    bad_epochs_ = state.bad_epochs;
+    reductions_ = state.reductions;
+  }
 
  private:
   AdamOptimizer& optimizer_;

@@ -538,6 +538,11 @@ std::string shard_filename(std::size_t index) {
 
 }  // namespace
 
+void label_dataset_entry(const DatasetGenConfig& config, DatasetEntry& entry,
+                         std::size_t index) {
+  label_item_sequential(config, entry, index);
+}
+
 std::uint64_t dataset_config_fingerprint(const DatasetGenConfig& config) {
   std::ostringstream os;
   os << "qgnn-dataset-v1|" << config.num_instances << '|' << config.min_nodes

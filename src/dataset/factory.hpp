@@ -42,6 +42,16 @@ struct FactoryConfig {
 /// change threads, lanes, or shard size and still continue a manifest.
 std::uint64_t dataset_config_fingerprint(const DatasetGenConfig& config);
 
+/// Label one entry in place exactly the way generate_dataset would label
+/// item `index` of a run seeded with config.seed: the same
+/// derive_seed(seed, index) stream, the same run_qaoa call, the same label
+/// canonicalization. Exposed for the online mining relabel job (src/mine),
+/// which labels mined production graphs one at a time with the full
+/// optimizer budget; determinism is per (config, graph, index), never
+/// per thread or call order.
+void label_dataset_entry(const DatasetGenConfig& config, DatasetEntry& entry,
+                         std::size_t index);
+
 /// Batched drop-in for generate_dataset: same graph sequence (same
 /// phase-1 RNG stream), same per-item derive_seed(seed, index) streams,
 /// same Nelder-Mead evaluation sequence — but K optimizations advance in

@@ -20,18 +20,6 @@ namespace fs = std::filesystem;
 
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
 // ---------------------------------------------------------------------------
 // Little-endian field helpers. Alignment-safe (memcpy, never pointer casts)
 // and endian-explicit, so the on-disk bytes are identical on every host.
@@ -90,17 +78,6 @@ std::size_t record_encoded_bytes(const DatasetEntry& e) {
 }
 
 }  // namespace
-
-std::uint32_t crc32_ieee(const void* data, std::size_t size,
-                         std::uint32_t crc) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint32_t c = ~crc;
-  for (std::size_t i = 0; i < size; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return ~c;
-}
 
 std::vector<std::uint8_t> pack_dataset(
     const std::vector<DatasetEntry>& entries) {

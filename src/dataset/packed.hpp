@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dataset/dataset.hpp"
+#include "util/crc32.hpp"
 
 namespace qgnn {
 
@@ -53,11 +54,6 @@ inline constexpr char kPackedMagic[8] = {'q', 'g', 'n', 'n',
 inline constexpr std::uint32_t kPackedVersion = 1;
 inline constexpr std::size_t kPackedHeaderBytes = 72;
 inline constexpr std::size_t kPackedIndexEntryBytes = 16;
-
-/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320). `crc` chains a
-/// previous result: crc32_ieee(b, crc32_ieee(a)) == crc32_ieee(a ++ b).
-std::uint32_t crc32_ieee(const void* data, std::size_t size,
-                         std::uint32_t crc = 0);
 
 /// Header fields of an opened packed file, exposed for inspection tools
 /// and golden-file tests.

@@ -1,0 +1,327 @@
+#include "gnn/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace qgnn {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little-endian writers (matching the src/dataset/packed discipline:
+// byte-by-byte shifts, so the on-disk image is identical on every host).
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_matrix(std::vector<std::uint8_t>& out, const Matrix& m) {
+  put_u64(out, m.rows());
+  put_u64(out, m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      put_f64(out, m(i, j));
+    }
+  }
+}
+
+void put_matrices(std::vector<std::uint8_t>& out,
+                  const std::vector<Matrix>& ms) {
+  put_u64(out, ms.size());
+  for (const Matrix& m : ms) put_matrix(out, m);
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked little-endian reader over the validated payload.
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string string() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  Matrix matrix() {
+    const std::uint64_t rows = u64();
+    const std::uint64_t cols = u64();
+    // Guard the multiplication before allocating: a garbled size field
+    // must throw IoError, not bad_alloc (CRC makes this unreachable in
+    // practice, but the reader stays safe standalone).
+    if (rows > (1u << 20) || cols > (1u << 20)) {
+      throw IoError("checkpoint matrix dimensions implausible in " + path_);
+    }
+    Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        m(i, j) = f64();
+      }
+    }
+    return m;
+  }
+
+  std::vector<Matrix> matrices() {
+    const std::uint64_t n = u64();
+    if (n > (1u << 20)) {
+      throw IoError("checkpoint matrix count implausible in " + path_);
+    }
+    std::vector<Matrix> ms;
+    ms.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) ms.push_back(matrix());
+    return ms;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void need(std::uint64_t n) {
+    if (n > size_ - pos_) {
+      throw IoError("truncated checkpoint payload at byte " +
+                    std::to_string(pos_) + ": " + path_);
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string path_;
+};
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void fnv_mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv_mix(h, bits);
+}
+
+}  // namespace
+
+void save_train_checkpoint(const std::string& path,
+                           const TrainCheckpoint& checkpoint) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kTrainCheckpointMagic, kTrainCheckpointMagic + 8);
+  put_u32(out, kTrainCheckpointVersion);
+  put_u64(out, checkpoint.fingerprint);
+  put_i32(out, checkpoint.next_epoch);
+  put_string(out, checkpoint.rng_state);
+  put_u64(out, checkpoint.order.size());
+  for (std::size_t v : checkpoint.order) put_u64(out, v);
+  put_f64(out, checkpoint.learning_rate);
+  put_matrices(out, checkpoint.weights);
+  put_matrices(out, checkpoint.adam.m);
+  put_matrices(out, checkpoint.adam.v);
+  put_u64(out, static_cast<std::uint64_t>(checkpoint.adam.t));
+  put_f64(out, checkpoint.plateau.best);
+  put_i32(out, checkpoint.plateau.bad_epochs);
+  put_i32(out, checkpoint.plateau.reductions);
+  put_f64(out, checkpoint.best_validation_loss);
+  put_i32(out, checkpoint.bad_epochs);
+  put_i32(out, checkpoint.best_epoch);
+  put_matrices(out, checkpoint.best_weights);
+  put_u64(out, checkpoint.epochs.size());
+  for (const EpochStats& e : checkpoint.epochs) {
+    put_i32(out, e.epoch);
+    put_f64(out, e.train_loss);
+    put_f64(out, e.validation_loss);
+    put_f64(out, e.learning_rate);
+  }
+  put_u32(out, crc32_ieee(out.data(), out.size()));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw IoError("cannot open for writing: " + tmp);
+    f.write(reinterpret_cast<const char*>(out.data()),
+            static_cast<std::streamsize>(out.size()));
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      throw IoError("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw IoError("rename failed: " + tmp + " -> " + path + ": " +
+                  ec.message());
+  }
+}
+
+TrainCheckpoint load_train_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError("cannot open for reading: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  if (f.bad()) throw IoError("read failed: " + path);
+  if (bytes.size() < 8 + 4 + 4) {
+    throw IoError("checkpoint too small to be valid: " + path);
+  }
+  if (std::memcmp(bytes.data(), kTrainCheckpointMagic, 8) != 0) {
+    throw IoError("bad checkpoint magic: " + path);
+  }
+  const std::size_t body = bytes.size() - 4;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[body + static_cast<
+                                                          std::size_t>(i)])
+              << (8 * i);
+  }
+  if (crc32_ieee(bytes.data(), body) != stored) {
+    throw IoError("checkpoint CRC mismatch (corrupt or truncated): " + path);
+  }
+
+  Reader r(bytes.data() + 8, body - 8, path);
+  const std::uint32_t version = r.u32();
+  if (version != kTrainCheckpointVersion) {
+    throw IoError("unsupported checkpoint version " +
+                  std::to_string(version) + ": " + path);
+  }
+  TrainCheckpoint ck;
+  ck.fingerprint = r.u64();
+  ck.next_epoch = r.i32();
+  ck.rng_state = r.string();
+  const std::uint64_t order_n = r.u64();
+  if (order_n > (1u << 28)) {
+    throw IoError("checkpoint order length implausible in " + path);
+  }
+  ck.order.reserve(static_cast<std::size_t>(order_n));
+  for (std::uint64_t i = 0; i < order_n; ++i) {
+    ck.order.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  ck.learning_rate = r.f64();
+  ck.weights = r.matrices();
+  ck.adam.m = r.matrices();
+  ck.adam.v = r.matrices();
+  ck.adam.t = static_cast<long>(r.u64());
+  ck.plateau.best = r.f64();
+  ck.plateau.bad_epochs = r.i32();
+  ck.plateau.reductions = r.i32();
+  ck.best_validation_loss = r.f64();
+  ck.bad_epochs = r.i32();
+  ck.best_epoch = r.i32();
+  ck.best_weights = r.matrices();
+  const std::uint64_t epochs_n = r.u64();
+  if (epochs_n > (1u << 28)) {
+    throw IoError("checkpoint epoch history implausible in " + path);
+  }
+  ck.epochs.reserve(static_cast<std::size_t>(epochs_n));
+  for (std::uint64_t i = 0; i < epochs_n; ++i) {
+    EpochStats e;
+    e.epoch = r.i32();
+    e.train_loss = r.f64();
+    e.validation_loss = r.f64();
+    e.learning_rate = r.f64();
+    ck.epochs.push_back(e);
+  }
+  if (!r.exhausted()) {
+    throw IoError("trailing bytes after checkpoint payload: " + path);
+  }
+  return ck;
+}
+
+std::uint64_t train_run_fingerprint(const TrainerConfig& config,
+                                    const std::vector<TrainSample>& samples,
+                                    const GnnModel& model) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  // config.epochs is deliberately NOT mixed in: the trainer's state after
+  // epoch k does not depend on the total budget, so a checkpoint cut at
+  // epoch k of an 8-epoch run is byte-identical to one from a 4-epoch run
+  // — which is also what lets a caller extend the budget and resume.
+  fnv_mix_double(h, config.learning_rate);
+  fnv_mix(h, static_cast<std::uint64_t>(config.batch_size));
+  fnv_mix_double(h, config.grad_clip_norm);
+  fnv_mix(h, static_cast<std::uint64_t>(config.loss));
+  fnv_mix(h, config.shuffle_each_epoch ? 1 : 0);
+  fnv_mix_double(h, config.validation_fraction);
+  fnv_mix(h, static_cast<std::uint64_t>(config.early_stopping_patience));
+  fnv_mix(h, samples.size());
+  for (const TrainSample& s : samples) {
+    fnv_mix(h, s.batch.features.rows());
+    fnv_mix_double(h, s.weight);
+    for (std::size_t j = 0; j < s.target.cols(); ++j) {
+      fnv_mix_double(h, s.target(0, j));
+    }
+  }
+  fnv_mix(h, model.parameter_count());
+  return h;
+}
+
+}  // namespace qgnn

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/nn_optim.hpp"
+#include "gnn/trainer.hpp"
+
+namespace qgnn {
+
+/// Resumable trainer checkpoint (DESIGN.md §12): everything train_gnn needs
+/// to continue a run bit-identically from an epoch boundary — model
+/// weights, Adam moment accumulators and step count, the RNG engine cursor,
+/// the sample visit order, the LR-scheduler and early-stopping state, and
+/// the epoch history already produced.
+///
+/// On-disk format "qgnnckp1": binary little-endian, CRC-framed like
+/// src/dataset/packed and written atomically (temp file + rename), so a
+/// crash mid-save can never corrupt the previous checkpoint. The file is
+///
+///   [0, 8)   magic "qgnnckp1"
+///   [8, 12)  u32 format version (currently 1)
+///   [12, N)  payload (fields below, little-endian; doubles as IEEE-754
+///            bit patterns, matrices as rows/cols + row-major values)
+///   [N, N+4) u32 CRC32 of bytes [0, N)
+///
+/// Doubles round-trip exactly (bit patterns, not text), so a resumed run
+/// continues from the same floating-point state the interrupted run had.
+inline constexpr char kTrainCheckpointMagic[8] = {'q', 'g', 'n', 'n',
+                                                 'c', 'k', 'p', '1'};
+inline constexpr std::uint32_t kTrainCheckpointVersion = 1;
+
+struct TrainCheckpoint {
+  /// Fingerprint of the (config, samples, model shape) triple that produced
+  /// this checkpoint; resuming under a different run is rejected.
+  std::uint64_t fingerprint = 0;
+  /// First epoch the resumed run should execute.
+  int next_epoch = 0;
+  /// Textual std::mt19937_64 state (operator<< round-trips exactly).
+  std::string rng_state;
+  /// Sample visit order as of the checkpoint (shuffled in place per epoch).
+  std::vector<std::size_t> order;
+  double learning_rate = 0.0;
+  /// Trainable parameter values, in GnnModel::params() order.
+  std::vector<Matrix> weights;
+  ag::AdamOptimizer::State adam;
+  ag::ReduceLROnPlateau::State plateau;
+  /// Early-stopping cursor (meaningful when the run uses it).
+  double best_validation_loss = 0.0;
+  int bad_epochs = 0;
+  int best_epoch = 0;
+  std::vector<Matrix> best_weights;
+  /// Per-epoch stats already accumulated, so the final TrainReport of a
+  /// resumed run equals the uninterrupted one.
+  std::vector<EpochStats> epochs;
+};
+
+/// Write `checkpoint` to `path` atomically (temp + rename, CRC framed).
+void save_train_checkpoint(const std::string& path,
+                           const TrainCheckpoint& checkpoint);
+
+/// Read and validate a checkpoint. Throws IoError (with file context) on
+/// missing file, bad magic/version, CRC mismatch, or truncation.
+TrainCheckpoint load_train_checkpoint(const std::string& path);
+
+/// FNV-1a fingerprint binding a checkpoint to its run: trainer config
+/// (except the epoch budget, which the trainer's per-epoch state does not
+/// depend on — so a run may be resumed with more epochs), sample count
+/// and targets, and the model's parameter shape.
+std::uint64_t train_run_fingerprint(const TrainerConfig& config,
+                                    const std::vector<TrainSample>& samples,
+                                    const GnnModel& model);
+
+}  // namespace qgnn

@@ -1,9 +1,12 @@
 #include "gnn/model.hpp"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "autograd/nn_optim.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace qgnn {
@@ -75,29 +78,52 @@ std::size_t GnnModel::parameter_count() const {
 }
 
 void GnnModel::save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
-  out.precision(17);
-  out << "qgnn-model v1\n";
-  out << "arch " << to_string(config_.arch) << '\n';
-  out << "feature_kind " << static_cast<int>(config_.features.kind) << '\n';
-  out << "max_nodes " << config_.features.max_nodes << '\n';
-  out << "hidden_dim " << config_.hidden_dim << '\n';
-  out << "num_layers " << config_.num_layers << '\n';
-  out << "output_dim " << config_.output_dim << '\n';
-  out << "dropout " << config_.dropout << '\n';
-  out << "gat_heads " << config_.gat_heads << '\n';
+  // Serialize to memory first: the CRC trailer covers the exact bytes
+  // that precede it, and the temp-file + rename pair below means a crash
+  // at any instant leaves either the old checkpoint or the new one on
+  // disk — never a torn file. ModelRegistry::load_directory only picks
+  // up *.txt / *.model, so an orphaned *.tmp is ignored, not served.
+  std::ostringstream body;
+  body.precision(17);
+  body << "qgnn-model v1\n";
+  body << "arch " << to_string(config_.arch) << '\n';
+  body << "feature_kind " << static_cast<int>(config_.features.kind) << '\n';
+  body << "max_nodes " << config_.features.max_nodes << '\n';
+  body << "hidden_dim " << config_.hidden_dim << '\n';
+  body << "num_layers " << config_.num_layers << '\n';
+  body << "output_dim " << config_.output_dim << '\n';
+  body << "dropout " << config_.dropout << '\n';
+  body << "gat_heads " << config_.gat_heads << '\n';
   const auto ps = params();
-  out << "params " << ps.size() << '\n';
+  body << "params " << ps.size() << '\n';
   for (const Var& p : ps) {
-    out << p.rows() << ' ' << p.cols() << '\n';
+    body << p.rows() << ' ' << p.cols() << '\n';
     for (std::size_t i = 0; i < p.rows(); ++i) {
       for (std::size_t j = 0; j < p.cols(); ++j) {
-        out << p.value()(i, j) << (j + 1 == p.cols() ? '\n' : ' ');
+        body << p.value()(i, j) << (j + 1 == p.cols() ? '\n' : ' ');
       }
     }
   }
-  if (!out) throw IoError("write failed: " + path);
+  const std::string content = body.str();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open for writing: " + tmp);
+    out << content;
+    out << "crc32 " << crc32_ieee(content.data(), content.size()) << '\n';
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw IoError("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw IoError("rename failed: " + tmp + " -> " + path + ": " +
+                  ec.message());
+  }
 }
 
 namespace {
@@ -133,8 +159,47 @@ double parse_checkpoint_double(const std::string& v, const std::string& key) {
 }  // namespace
 
 GnnModel GnnModel::load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw IoError("cannot open for reading: " + path);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("cannot open for reading: " + path);
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  if (file.bad()) throw IoError("read failed: " + path);
+  std::string text = raw.str();
+
+  // Files written by the hardened save end in a "crc32 <n>" line covering
+  // every byte before it. Locate and validate its *format* now, but defer
+  // the checksum comparison until after the field parse below — a corrupt
+  // field then fails with an error naming the field, and the checksum
+  // catches only what field-level parsing cannot (a garbled digit that
+  // still reads as a number, or a silently shortened weight row).
+  bool has_trailer = false;
+  std::uint32_t stored_crc = 0;
+  std::string content = text;
+  if (!text.empty() && text.back() == '\n') {
+    const std::size_t prev =
+        text.size() >= 2 ? text.rfind('\n', text.size() - 2)
+                         : std::string::npos;
+    const std::size_t last_start = prev == std::string::npos ? 0 : prev + 1;
+    const std::string last =
+        text.substr(last_start, text.size() - last_start - 1);
+    if (last.rfind("crc32 ", 0) == 0) {
+      try {
+        std::size_t pos = 0;
+        const unsigned long stored = std::stoul(last.substr(6), &pos);
+        if (pos != last.size() - 6 || stored > 0xFFFFFFFFul) {
+          throw std::invalid_argument("trailing garbage");
+        }
+        stored_crc = static_cast<std::uint32_t>(stored);
+      } catch (const std::exception&) {
+        throw IoError("model file: malformed crc32 trailer in " + path);
+      }
+      has_trailer = true;
+      content = text.substr(0, last_start);
+    }
+  }
+  text = content;
+
+  std::istringstream in(text);
   std::string line;
   std::getline(in, line);
   if (line != "qgnn-model v1") throw IoError("bad model header: " + line);
@@ -209,6 +274,16 @@ GnnModel GnnModel::load(const std::string& path) {
       }
     }
     p.set_value(std::move(m));
+  }
+
+  // The trailer is mandatory: save() always writes one, and without it a
+  // file truncated exactly at a line boundary could parse cleanly.
+  if (!has_trailer) {
+    throw IoError("model file: missing crc32 trailer (truncated?): " + path);
+  }
+  if (stored_crc != crc32_ieee(text.data(), text.size())) {
+    throw IoError("model file checksum mismatch (corrupt or truncated): " +
+                  path);
   }
   return model;
 }

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <iostream>
 #include <limits>
 #include <mutex>
+#include <sstream>
 
+#include "gnn/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace.hpp"
@@ -138,6 +141,49 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
 
   const std::vector<Var> params = optimizer.params();
 
+  // Resumable checkpointing: the fingerprint binds the checkpoint to this
+  // exact (config, train split, model shape) run, and the restore below
+  // rebuilds every piece of mutable loop state, so a resumed run replays
+  // the remaining epochs bit-identically (the caller passes the same
+  // samples and a same-seeded rng; the validation split above re-derives
+  // identically before the engine cursor is overwritten from the file).
+  const bool ckpt_on = !config.checkpoint.path.empty();
+  int start_epoch = 0;
+  std::uint64_t run_fingerprint = 0;
+  if (ckpt_on) {
+    QGNN_REQUIRE(config.checkpoint.every_epochs >= 1,
+                 "checkpoint cadence must be positive");
+    run_fingerprint = train_run_fingerprint(config, samples, model);
+    if (config.checkpoint.resume &&
+        std::filesystem::exists(config.checkpoint.path)) {
+      TrainCheckpoint ck = load_train_checkpoint(config.checkpoint.path);
+      QGNN_REQUIRE(ck.fingerprint == run_fingerprint,
+                   "checkpoint was produced by a different training run "
+                   "(config, samples, or model shape changed)");
+      QGNN_REQUIRE(ck.weights.size() == params.size(),
+                   "checkpoint weight count mismatch");
+      QGNN_REQUIRE(ck.order.size() == order.size(),
+                   "checkpoint sample order mismatch");
+      QGNN_REQUIRE(ck.next_epoch >= 1 && ck.next_epoch <= config.epochs,
+                   "checkpoint epoch cursor out of range");
+      std::size_t k = 0;
+      for (Var p : params) p.set_value(ck.weights[k++]);
+      optimizer.set_state(std::move(ck.adam));
+      optimizer.set_learning_rate(ck.learning_rate);
+      scheduler.set_state(ck.plateau);
+      order = std::move(ck.order);
+      std::istringstream engine_in(ck.rng_state);
+      engine_in >> rng.engine();
+      QGNN_REQUIRE(!engine_in.fail(), "checkpoint rng state unreadable");
+      best_val = ck.best_validation_loss;
+      bad_epochs = ck.bad_epochs;
+      best_epoch = ck.best_epoch;
+      best_weights = std::move(ck.best_weights);
+      report.epochs = std::move(ck.epochs);
+      start_epoch = ck.next_epoch;
+    }
+  }
+
   // Per-epoch wall-clock breakdown, recorded into the process registry.
   // The flag is sampled once per run so an epoch never records a partial
   // stage set.
@@ -152,7 +198,7 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
   obs::LatencyHistogram& h_optimizer =
       obs_registry.histogram(obs::names::kTrainOptimizerUs);
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     QGNN_TRACE_SPAN(obs::names::kTrainEpochSpan);
     const auto epoch_start = obs_on
                                  ? std::chrono::steady_clock::now()
@@ -308,6 +354,27 @@ TrainReport train_gnn(GnnModel& model, std::vector<TrainSample> samples,
       }
     } else {
       best_epoch = epoch;
+    }
+
+    if (ckpt_on && (epoch + 1) % config.checkpoint.every_epochs == 0) {
+      TrainCheckpoint ck;
+      ck.fingerprint = run_fingerprint;
+      ck.next_epoch = epoch + 1;
+      std::ostringstream engine_out;
+      engine_out << rng.engine();
+      ck.rng_state = engine_out.str();
+      ck.order = order;
+      ck.learning_rate = optimizer.learning_rate();
+      ck.weights.reserve(params.size());
+      for (const Var& p : params) ck.weights.push_back(p.value());
+      ck.adam = optimizer.state();
+      ck.plateau = scheduler.state();
+      ck.best_validation_loss = best_val;
+      ck.bad_epochs = bad_epochs;
+      ck.best_epoch = best_epoch;
+      ck.best_weights = best_weights;
+      ck.epochs = report.epochs;
+      save_train_checkpoint(config.checkpoint.path, ck);
     }
   }
 

@@ -46,6 +46,20 @@ struct TrainerConfig {
   /// 0 disables; requires validation_fraction > 0.
   int early_stopping_patience = 0;
   bool verbose = false;
+  /// Resumable checkpointing (src/gnn/checkpoint.hpp). When `path` is
+  /// non-empty the trainer writes a CRC-framed checkpoint there every
+  /// `every_epochs` completed epochs (atomic temp + rename). With
+  /// `resume` set and a checkpoint present, training continues from it —
+  /// the caller must pass the same samples and a same-seeded Rng, and the
+  /// resumed run is then byte-identical to an uninterrupted one at any
+  /// thread count. A checkpoint from a different (config, samples, model)
+  /// combination is rejected rather than silently mixed in.
+  struct CheckpointConfig {
+    std::string path;
+    int every_epochs = 1;
+    bool resume = false;
+  };
+  CheckpointConfig checkpoint{};
 };
 
 /// Per-epoch record of the training run.

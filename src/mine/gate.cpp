@@ -1,0 +1,53 @@
+#include "mine/gate.hpp"
+
+#include <chrono>
+
+#include "dataset/features.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "qaoa/ansatz.hpp"
+#include "util/error.hpp"
+
+namespace qgnn::mine {
+
+double panel_mean_ar(const GnnModel& model,
+                     const std::vector<DatasetEntry>& panel) {
+  QGNN_REQUIRE(!panel.empty(), "eval gate needs a non-empty panel");
+  double total = 0.0;
+  for (const DatasetEntry& e : panel) {
+    QGNN_REQUIRE(e.graph.num_nodes() <= kMaxQubits,
+                 "panel graph exceeds the exact-simulation cap");
+    const Matrix row = model.predict(e.graph);
+    const QaoaAnsatz ansatz(e.graph);
+    total += ansatz.approximation_ratio(target_to_params(row));
+  }
+  return total / static_cast<double>(panel.size());
+}
+
+GateVerdict evaluate_gate(const GnnModel& candidate,
+                          const GnnModel& incumbent,
+                          const std::vector<DatasetEntry>& panel,
+                          const GateConfig& config) {
+  const bool obs_on = obs::enabled();
+  const auto start = obs_on ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
+  GateVerdict verdict;
+  verdict.candidate_mean_ar = panel_mean_ar(candidate, panel);
+  verdict.incumbent_mean_ar = panel_mean_ar(incumbent, panel);
+  verdict.promote = verdict.candidate_mean_ar >
+                    verdict.incumbent_mean_ar + config.min_improvement;
+  auto& registry = obs::MetricsRegistry::global();
+  if (obs_on) {
+    registry.histogram(obs::names::kMineGateEvalUs)
+        .record(std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+  }
+  registry
+      .counter(verdict.promote ? obs::names::kMineGatePromoted
+                               : obs::names::kMineGateRejected)
+      .add(1);
+  return verdict;
+}
+
+}  // namespace qgnn::mine

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "gnn/model.hpp"
+
+namespace qgnn::mine {
+
+/// Promotion policy for fine-tuned candidates.
+struct GateConfig {
+  /// Candidate mean AR must exceed incumbent mean AR by more than this
+  /// margin on the held-out panel. 0 = any strict improvement promotes.
+  double min_improvement = 0.0;
+};
+
+struct GateVerdict {
+  double candidate_mean_ar = 0.0;
+  double incumbent_mean_ar = 0.0;
+  bool promote = false;
+};
+
+/// Mean exact-simulator approximation ratio of `model`'s predicted angles
+/// over the panel graphs. Every panel graph must be simulable
+/// (<= kMaxQubits nodes — guaranteed for mined graphs, which the buffer
+/// caps at that size) and fit the model's feature config.
+double panel_mean_ar(const GnnModel& model,
+                     const std::vector<DatasetEntry>& panel);
+
+/// Score candidate vs incumbent on the held-out panel and decide
+/// promotion. Pure function of the models and the panel: the hot-swap /
+/// rollback decision itself lives in the Miner, which owns the registry
+/// handle.
+GateVerdict evaluate_gate(const GnnModel& candidate,
+                          const GnnModel& incumbent,
+                          const std::vector<DatasetEntry>& panel,
+                          const GateConfig& config);
+
+}  // namespace qgnn::mine

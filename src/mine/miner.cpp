@@ -1,0 +1,245 @@
+#include "mine/miner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <utility>
+
+#include "dataset/features.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qgnn::mine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Independent derive_seed streams for the three stochastic stages of a
+// cycle; the XOR constants keep cycle k's relabel, split, and fine-tune
+// RNGs decorrelated without any global state.
+constexpr std::uint64_t kRelabelStream = 0x72656c61;    // "rela"
+constexpr std::uint64_t kSplitStream = 0x73706c69;      // "spli"
+constexpr std::uint64_t kFineTuneStream = 0x66696e65;   // "fine"
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Continue the mined_NNNNNN.qds numbering across restarts: the next
+// sequence is one past the highest existing shard in the directory.
+std::uint64_t next_sequence_in(const std::string& dir) {
+  std::uint64_t next = 0;
+  if (dir.empty() || !fs::is_directory(dir)) return next;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    const std::string prefix = "mined_";
+    const std::string suffix = ".qds";
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    // Skip the intermediate "<seq>.labelled" outputs (filtered above by
+    // the digits check) and anything else that is not a raw mined shard.
+    const std::uint64_t seq = std::stoull(digits);
+    next = std::max(next, seq + 1);
+  }
+  return next;
+}
+
+}  // namespace
+
+Miner::Miner(serve::ServeHandle& handle, MinerConfig config)
+    : handle_(handle),
+      config_(std::move(config)),
+      buffer_(config_.buffer) {
+  QGNN_REQUIRE(!config_.dir.empty(), "miner needs a working directory");
+  QGNN_REQUIRE(config_.min_spill >= 1, "min_spill must be at least 1");
+  QGNN_REQUIRE(config_.panel_fraction > 0.0 && config_.panel_fraction < 1.0,
+               "panel_fraction must be in (0, 1)");
+  fs::create_directories(config_.dir);
+  next_shard_seq_ = next_sequence_in(config_.dir);
+}
+
+Miner::~Miner() { stop(); }
+
+void Miner::attach() {
+  handle_.set_prediction_tap(
+      [this](const Graph& g, const serve::Prediction& p) {
+        buffer_.observe(g, p);
+      });
+}
+
+std::string Miner::model_name() const {
+  return config_.model_name.empty() ? handle_.config().default_model
+                                    : config_.model_name;
+}
+
+CycleReport Miner::run_cycle() {
+  std::lock_guard<std::mutex> cycle_lock(cycle_mutex_);
+  CycleReport report = run_cycle_locked();
+  if (report.ran) {
+    std::lock_guard<std::mutex> state_lock(state_mutex_);
+    ++cycles_run_;
+  }
+  return report;
+}
+
+CycleReport Miner::run_cycle_locked() {
+  CycleReport report;
+  if (buffer_.size() < config_.min_spill) return report;
+
+  // 1. Drain and spill the mined shard. Once on disk, the cycle's input
+  // is durable: a crash after this point resumes from the shard, not from
+  // the (lost) in-memory buffer.
+  std::vector<MinedSample> mined = buffer_.drain();
+  std::vector<DatasetEntry> provisional = to_provisional_entries(mined);
+  if (provisional.size() < 2) return report;  // need >= 1 train + 1 panel
+  report.ran = true;
+  report.mined = provisional.size();
+  const std::uint64_t seq = next_shard_seq_++;
+  report.shard_path = spill_shard(config_.dir, seq, provisional);
+
+  // 2. Re-label with the full optimizer budget. Deterministic per
+  // (master seed, shard seq) so a resumed cycle reproduces its labels.
+  RelabelConfig relabel = config_.relabel;
+  // The mined depth is whatever the serving model predicts; the relabel
+  // optimizer must search the same parameter space.
+  relabel.depth =
+      static_cast<int>(provisional.front().label.gammas.size());
+  relabel.seed = derive_seed(config_.seed ^ kRelabelStream, seq);
+  const auto relabel_start = std::chrono::steady_clock::now();
+  std::vector<DatasetEntry> labelled =
+      relabel_shard(relabel, report.shard_path);
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .histogram(obs::names::kMineRelabelUs)
+        .record(elapsed_us(relabel_start));
+  }
+  report.relabeled = labelled.size();
+  QGNN_REQUIRE(labelled.size() >= 2, "relabelled shard too small to split");
+
+  // 3. Deterministic train / held-out panel split.
+  Rng split_rng(derive_seed(config_.seed ^ kSplitStream, seq));
+  split_rng.shuffle(labelled);
+  const std::size_t panel_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(labelled.size()) * config_.panel_fraction));
+  const std::size_t train_count = labelled.size() - panel_count;
+  std::vector<DatasetEntry> panel(labelled.begin() +
+                                      static_cast<std::ptrdiff_t>(train_count),
+                                  labelled.end());
+  labelled.resize(train_count);
+
+  // 4. Clone the incumbent into a candidate. save/load round-trips
+  // weights at precision 17, i.e. bit-exactly; the .qgnn extension keeps
+  // the scratch file invisible to ModelRegistry::load_directory.
+  const std::shared_ptr<const serve::ModelEntry> incumbent =
+      handle_.registry().get(model_name());
+  report.generation_before = incumbent->generation;
+  const std::string candidate_path = config_.dir + "/candidate.qgnn";
+  incumbent->model->save(candidate_path);
+  GnnModel candidate = GnnModel::load(candidate_path);
+
+  // 5. Fine-tune on the freshly labelled hard examples, checkpointed so
+  // an interrupted cycle resumes mid-training.
+  std::vector<TrainSample> samples =
+      to_train_samples(labelled, candidate.config().features);
+  TrainerConfig fine_tune = config_.fine_tune;
+  if (fine_tune.loss == LossKind::kPeriodic &&
+      fine_tune.periodic_periods.empty()) {
+    // The angle periods depend on the serving depth, which the miner only
+    // learns here — fill them in so callers can just ask for kPeriodic.
+    fine_tune.periodic_periods = qaoa_angle_periods(relabel.depth);
+  }
+  fine_tune.checkpoint.path =
+      config_.dir + "/finetune_" + std::to_string(seq) + ".ckpt";
+  fine_tune.checkpoint.resume = true;
+  Rng train_rng(derive_seed(config_.seed ^ kFineTuneStream, seq));
+  const auto tune_start = std::chrono::steady_clock::now();
+  train_gnn(candidate, std::move(samples), fine_tune, train_rng);
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .histogram(obs::names::kMineFineTuneUs)
+        .record(elapsed_us(tune_start));
+  }
+
+  // 6. Eval gate on the held-out panel, then promote or roll back. A
+  // rejected candidate is simply dropped: the incumbent entry was never
+  // touched, so "rollback" is the absence of a register_model call.
+  report.verdict =
+      evaluate_gate(candidate, *incumbent->model, panel, config_.gate);
+  if (report.verdict.promote) {
+    handle_.register_model(model_name(), std::move(candidate));
+    report.promoted = true;
+  }
+  report.generation_after =
+      handle_.registry().get(model_name())->generation;
+  obs::MetricsRegistry::global().counter(obs::names::kMineCycles).add(1);
+  return report;
+}
+
+void Miner::start() {
+  std::lock_guard<std::mutex> lock(loop_mutex_);
+  if (loop_thread_.joinable()) return;  // already running
+  loop_stop_ = false;
+  loop_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> loop_lock(loop_mutex_);
+    while (!loop_stop_) {
+      loop_cv_.wait_for(loop_lock, config_.poll_interval,
+                        [this] { return loop_stop_; });
+      if (loop_stop_) return;
+      if (buffer_.size() < config_.min_spill) continue;
+      loop_lock.unlock();
+      try {
+        run_cycle();
+      } catch (const std::exception& e) {
+        obs::MetricsRegistry::global()
+            .counter(obs::names::kMineCycleErrors)
+            .add(1);
+        std::lock_guard<std::mutex> state_lock(state_mutex_);
+        last_error_ = e.what();
+      }
+      loop_lock.lock();
+    }
+  });
+}
+
+void Miner::stop() {
+  {
+    std::lock_guard<std::mutex> lock(loop_mutex_);
+    if (!loop_thread_.joinable()) return;
+    loop_stop_ = true;
+  }
+  loop_cv_.notify_all();
+  loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(loop_mutex_);
+    loop_thread_ = std::thread();
+  }
+}
+
+std::uint64_t Miner::cycles_run() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return cycles_run_;
+}
+
+std::string Miner::last_error() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return last_error_;
+}
+
+}  // namespace qgnn::mine

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "gnn/trainer.hpp"
+#include "mine/gate.hpp"
+#include "mine/mining_buffer.hpp"
+#include "mine/relabel.hpp"
+#include "serve/service.hpp"
+
+namespace qgnn::mine {
+
+/// Closed-loop configuration: how traffic is harvested, how mined shards
+/// are re-labelled, how the candidate is fine-tuned, and what it takes to
+/// promote it.
+struct MinerConfig {
+  MiningConfig buffer;
+  /// Working directory: mined shards (mined_NNNNNN.qds), their labelled
+  /// outputs, the fine-tune checkpoint, and the candidate scratch file all
+  /// live here. Created on demand.
+  std::string dir;
+  /// A cycle runs only once this many samples are pending; below it the
+  /// background loop keeps waiting.
+  std::size_t min_spill = 8;
+  RelabelConfig relabel;
+  /// Fine-tune hyperparameters. The checkpoint block is managed by the
+  /// miner (path under `dir`, resume on); leave it empty.
+  TrainerConfig fine_tune;
+  GateConfig gate;
+  /// Fraction of each cycle's relabelled examples held out as the eval
+  /// panel (at least one example; the rest fine-tune).
+  double panel_fraction = 0.25;
+  /// Master seed: cycle k derives its relabel seed, split shuffle, and
+  /// fine-tune RNG from derive_seed(seed, k)-style streams, so a cycle's
+  /// outcome is a pure function of (seed, cycle index, mined shard).
+  std::uint64_t seed = 0x6d696e65;  // "mine"
+  /// Registry name to fine-tune and promote; empty = the handle's
+  /// default model.
+  std::string model_name;
+  /// Background-loop poll cadence.
+  std::chrono::milliseconds poll_interval{200};
+};
+
+/// What one mining cycle did, for tests, the CLI, and logs.
+struct CycleReport {
+  /// False when the cycle did not run (buffer below min_spill or nothing
+  /// usable was drained).
+  bool ran = false;
+  std::size_t mined = 0;
+  std::size_t relabeled = 0;
+  std::string shard_path;
+  GateVerdict verdict;
+  bool promoted = false;
+  std::uint64_t generation_before = 0;
+  std::uint64_t generation_after = 0;
+};
+
+/// Orchestrates the serve -> mine -> relabel -> fine-tune -> gate ->
+/// hot-swap loop around one ServeHandle (DESIGN.md §12). attach() hooks
+/// the prediction tap; run_cycle() executes one synchronous pass;
+/// start()/stop() run cycles on a background thread whenever the buffer
+/// has enough pending samples. Promotion goes through
+/// ServeHandle::register_model, i.e. the registry's generation-counted
+/// hot-swap: in-flight batches keep their snapshot, so no request is
+/// dropped, and a gate rejection simply leaves the incumbent serving.
+class Miner {
+ public:
+  Miner(serve::ServeHandle& handle, MinerConfig config);
+  ~Miner();
+
+  Miner(const Miner&) = delete;
+  Miner& operator=(const Miner&) = delete;
+
+  /// Install the prediction tap on the handle. Call before serving
+  /// (set_prediction_tap is not thread-safe against in-flight requests).
+  void attach();
+
+  /// Run one cycle now (synchronously, on the calling thread) if at least
+  /// min_spill samples are pending. Thread-safe against concurrent
+  /// predicts; cycles themselves are serialized.
+  CycleReport run_cycle();
+
+  /// Start/stop the background cycle loop.
+  void start();
+  void stop();
+
+  MiningBuffer& buffer() { return buffer_; }
+  std::uint64_t cycles_run() const;
+  const MinerConfig& config() const { return config_; }
+  /// Last cycle error message ("" when none) — background cycles must not
+  /// take down the serving process, so failures land here and in the
+  /// mine.cycle_errors counter instead of propagating.
+  std::string last_error() const;
+
+ private:
+  CycleReport run_cycle_locked();
+  std::string model_name() const;
+
+  serve::ServeHandle& handle_;
+  const MinerConfig config_;
+  MiningBuffer buffer_;
+
+  std::mutex cycle_mutex_;  // serializes cycles
+  std::uint64_t next_shard_seq_ = 0;
+  std::uint64_t cycles_run_ = 0;
+
+  mutable std::mutex state_mutex_;  // guards last_error_/cycles for readers
+  std::string last_error_;
+
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool loop_stop_ = false;
+  std::thread loop_thread_;
+};
+
+}  // namespace qgnn::mine

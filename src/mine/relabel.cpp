@@ -1,0 +1,98 @@
+#include "mine/relabel.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "dataset/factory.hpp"
+#include "dataset/packed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/error.hpp"
+
+namespace qgnn::mine {
+
+namespace fs = std::filesystem;
+
+void relabel_entries(const RelabelConfig& config,
+                     std::vector<DatasetEntry>& entries,
+                     std::size_t base_index) {
+  QGNN_REQUIRE(config.workers >= 1, "relabel needs at least one worker");
+  if (entries.empty()) return;
+
+  DatasetGenConfig labelling;
+  labelling.depth = config.depth;
+  labelling.optimizer = config.optimizer;
+  labelling.optimizer_evaluations = config.optimizer_evaluations;
+  labelling.symmetrize_labels = config.symmetrize_labels;
+  labelling.seed = config.seed;
+
+  // Per-item work stealing off one atomic cursor: which worker labels
+  // which item is scheduling noise, the labels themselves depend only on
+  // (config, graph, base_index + i).
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(config.workers),
+                            entries.size()));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= entries.size() || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        label_dataset_entry(labelling, entries[i], base_index + i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  if (workers == 1) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      label_dataset_entry(labelling, entries[i], base_index + i);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    QGNN_REQUIRE(!failed.load(), "relabel worker failed");
+  }
+  obs::MetricsRegistry::global()
+      .counter(obs::names::kMineRelabeled)
+      .add(entries.size());
+}
+
+std::string labelled_shard_path(const std::string& shard_path) {
+  const std::string suffix = ".qds";
+  if (shard_path.size() > suffix.size() &&
+      shard_path.compare(shard_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return shard_path.substr(0, shard_path.size() - suffix.size()) +
+           ".labelled.qds";
+  }
+  return shard_path + ".labelled.qds";
+}
+
+std::vector<DatasetEntry> relabel_shard(const RelabelConfig& config,
+                                        const std::string& shard_path) {
+  const std::string out_path = labelled_shard_path(shard_path);
+  if (fs::exists(out_path)) {
+    // Resume: the labelled shard was committed atomically, so if it reads
+    // back cleanly the labelling work is already done.
+    try {
+      return load_packed_dataset(out_path);
+    } catch (const Error&) {
+      // Torn or stale output (should be unreachable given the atomic
+      // writer); fall through and re-label.
+    }
+  }
+  std::vector<DatasetEntry> entries = load_packed_dataset(shard_path);
+  relabel_entries(config, entries, /*base_index=*/0);
+  save_packed_dataset(out_path, entries);
+  return entries;
+}
+
+}  // namespace qgnn::mine

@@ -1,0 +1,51 @@
+#include "mine/serve_hook.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "serve/shard_worker.hpp"
+
+namespace qgnn::mine {
+
+std::shared_ptr<Miner> make_miner_from_cli(serve::ServeHandle& handle,
+                                           const CliArgs& args) {
+  if (!args.get_bool("mine", false)) return nullptr;
+
+  MinerConfig config;
+  config.buffer.ar_threshold = args.get_double("mine-ar-threshold", 0.0);
+  config.buffer.mine_novel = args.get_bool("mine-novel", false);
+  config.buffer.capacity = static_cast<std::size_t>(args.get_int(
+      "mine-capacity", static_cast<int>(config.buffer.capacity)));
+  config.dir = args.get("mine-dir", "mined");
+  config.min_spill = static_cast<std::size_t>(
+      args.get_int("mine-min-spill", static_cast<int>(config.min_spill)));
+  config.relabel.optimizer_evaluations =
+      args.get_int("mine-evals", config.relabel.optimizer_evaluations);
+  config.fine_tune.epochs = args.get_int("mine-epochs", 30);
+  config.fine_tune.validation_fraction = 0.0;
+  // Mined labels are optimizer outputs, so equivalent angles can land on
+  // different branches of the periodic domain; the periodic loss (periods
+  // auto-filled by the miner from the serving depth) is the right default.
+  config.fine_tune.loss = LossKind::kPeriodic;
+  config.seed = static_cast<std::uint64_t>(
+      args.get_int("mine-seed", static_cast<int>(config.seed & 0x7fffffff)));
+  config.panel_fraction =
+      args.get_double("mine-panel-fraction", config.panel_fraction);
+  config.poll_interval =
+      std::chrono::milliseconds(args.get_int("mine-interval-ms", 500));
+
+  auto miner = std::make_shared<Miner>(handle, std::move(config));
+  miner->attach();
+  miner->start();
+  return miner;
+}
+
+void install_shard_worker_mining() {
+  serve::set_shard_worker_customizer(
+      [](serve::ServeHandle& handle,
+         const CliArgs& args) -> std::shared_ptr<void> {
+        return make_miner_from_cli(handle, args);
+      });
+}
+
+}  // namespace qgnn::mine

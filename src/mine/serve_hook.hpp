@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+
+#include "mine/miner.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+
+namespace qgnn::mine {
+
+/// Build, attach, and start a Miner on `handle` from the `--mine*` command
+/// line flags (the spellings ShardProcess::spawn serializes):
+///   --mine                  enable mining (absent -> returns nullptr)
+///   --mine-ar-threshold X   mine verified requests with AR < X
+///   --mine-novel            also mine never-seen canonical structures
+///   --mine-dir DIR          working directory (shards, checkpoints)
+///   --mine-capacity N       buffer ring capacity
+///   --mine-min-spill N      samples required before a cycle runs
+///   --mine-epochs N         fine-tune epoch budget per cycle
+///   --mine-evals N          relabel optimizer evaluations per example
+///   --mine-interval-ms N    background-loop poll cadence
+///   --mine-seed S           master determinism seed
+///   --mine-panel-fraction F held-out eval panel fraction
+/// Call before the handle serves traffic (attach() installs the
+/// prediction tap). The returned shared_ptr owns the running miner; its
+/// destructor stops the background loop.
+std::shared_ptr<Miner> make_miner_from_cli(serve::ServeHandle& handle,
+                                           const CliArgs& args);
+
+/// Register make_miner_from_cli as the serve ShardWorkerCustomizer so
+/// spawned shard workers run their own mining loop when the router
+/// forwards `--mine*` flags. Call first thing in main(), before
+/// serve::maybe_run_shard_worker(). Idempotent.
+void install_shard_worker_mining();
+
+}  // namespace qgnn::mine

@@ -70,4 +70,21 @@ inline constexpr const char* kServePredictSpan = "serve.predict";
 inline constexpr const char* kServeBatchFormSpan = "serve.batch_form";
 inline constexpr const char* kServeForwardSpan = "serve.forward";
 
+// Online hard-example mining (src/mine, DESIGN.md §12).
+inline constexpr const char* kMineObserved = "mine.observed";
+inline constexpr const char* kMineMinedLowAr = "mine.mined_low_ar";
+inline constexpr const char* kMineMinedNovel = "mine.mined_novel";
+inline constexpr const char* kMineDeduped = "mine.deduped";
+inline constexpr const char* kMineDropped = "mine.dropped";
+inline constexpr const char* kMineSpilled = "mine.spilled";
+inline constexpr const char* kMineBufferDepth = "mine.buffer_depth";
+inline constexpr const char* kMineRelabeled = "mine.relabeled";
+inline constexpr const char* kMineRelabelUs = "mine.relabel_us";
+inline constexpr const char* kMineFineTuneUs = "mine.fine_tune_us";
+inline constexpr const char* kMineGateEvalUs = "mine.gate_eval_us";
+inline constexpr const char* kMineGatePromoted = "mine.gate_promoted";
+inline constexpr const char* kMineGateRejected = "mine.gate_rejected";
+inline constexpr const char* kMineCycles = "mine.cycles";
+inline constexpr const char* kMineCycleErrors = "mine.cycle_errors";
+
 }  // namespace qgnn::obs::names

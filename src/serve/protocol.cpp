@@ -14,6 +14,8 @@
 
 #include "net/framing.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "qaoa/fixed_angles.hpp"
 #include "util/error.hpp"
 
@@ -536,6 +538,39 @@ std::string format_stats_response(const JsonValue& id,
   body.object["forward_us"] = json_summary(stats.forward_us);
   body.object["cache_lookup_us"] = json_summary(stats.cache_lookup_us);
   body.object["batch_size"] = json_summary(stats.batch_size);
+
+  // Online hard-example mining (src/mine). The mine.* counters live in
+  // the process-global registry (the miner is attached to the handle, not
+  // part of it); in a sharded deployment each worker reports its own
+  // loop here and the router's stats aggregation passes the sub-object
+  // through per shard. All-zero when mining is off.
+  {
+    auto& registry = obs::MetricsRegistry::global();
+    const auto counter = [&registry](const char* name) {
+      return json_number(
+          static_cast<double>(registry.counter(name).value()));
+    };
+    JsonValue mining;
+    mining.kind = JsonValue::Kind::kObject;
+    mining.object["observed"] = counter(obs::names::kMineObserved);
+    mining.object["mined_low_ar"] = counter(obs::names::kMineMinedLowAr);
+    mining.object["mined_novel"] = counter(obs::names::kMineMinedNovel);
+    mining.object["deduped"] = counter(obs::names::kMineDeduped);
+    mining.object["dropped"] = counter(obs::names::kMineDropped);
+    mining.object["spilled"] = counter(obs::names::kMineSpilled);
+    mining.object["relabeled"] = counter(obs::names::kMineRelabeled);
+    mining.object["gate_promoted"] = counter(obs::names::kMineGatePromoted);
+    mining.object["gate_rejected"] = counter(obs::names::kMineGateRejected);
+    mining.object["cycles"] = counter(obs::names::kMineCycles);
+    mining.object["cycle_errors"] = counter(obs::names::kMineCycleErrors);
+    mining.object["buffer_depth"] = json_number(
+        registry.gauge(obs::names::kMineBufferDepth).value());
+    mining.object["relabel_us"] =
+        json_summary(registry.histogram(obs::names::kMineRelabelUs).summary());
+    mining.object["fine_tune_us"] = json_summary(
+        registry.histogram(obs::names::kMineFineTuneUs).summary());
+    body.object["mine"] = std::move(mining);
+  }
 
   JsonValue resp;
   resp.kind = JsonValue::Kind::kObject;

@@ -99,6 +99,7 @@ Prediction ServeHandle::predict(const std::string& model_name,
       }
       out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
       record_latency(out.latency_us);
+      if (prediction_tap_) prediction_tap_(g, out);
       return out;
     }
   }
@@ -120,6 +121,7 @@ Prediction ServeHandle::predict(const std::string& model_name,
     std::lock_guard<std::mutex> lk(stats_mutex_);
     ++batched_requests_;
   }
+  if (prediction_tap_) prediction_tap_(g, out);
   return out;
 }
 
@@ -179,6 +181,7 @@ std::vector<Prediction> ServeHandle::predict_many(
         out[i].latency_us =
             elapsed_us(start, std::chrono::steady_clock::now());
         record_latency(out[i].latency_us);
+        if (prediction_tap_) prediction_tap_(g, out[i]);
         continue;
       }
     }
@@ -223,6 +226,7 @@ std::vector<Prediction> ServeHandle::predict_many(
       }
       p.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
       record_latency(p.latency_us);
+      if (prediction_tap_) prediction_tap_(graphs[misses[k]], p);
     }
   }
   return out;
@@ -397,6 +401,7 @@ std::optional<Prediction> ServeHandle::try_cache_predict(
   }
   out.latency_us = elapsed_us(start, std::chrono::steady_clock::now());
   record_latency(out.latency_us);
+  if (prediction_tap_) prediction_tap_(g, out);
   return out;
 }
 
@@ -417,6 +422,11 @@ bool ServeHandle::try_submit(std::string model_name, Graph g,
 
 void ServeHandle::set_queue_wait_tap(std::function<void(double)> tap) {
   queue_wait_tap_ = std::move(tap);
+}
+
+void ServeHandle::set_prediction_tap(
+    std::function<void(const Graph&, const Prediction&)> tap) {
+  prediction_tap_ = std::move(tap);
 }
 
 std::size_t ServeHandle::submit_queue_depth() const {

@@ -189,6 +189,17 @@ class ServeHandle {
   /// obs::enabled() so shedding keeps working with observability off.
   void set_queue_wait_tap(std::function<void(double)> tap);
 
+  /// Observer invoked with every completed prediction (all paths: cache
+  /// hits, coalesced misses, bulk predict_many, the async submit workers,
+  /// and the inline cache fast path) — the hook the hard-example miner
+  /// (src/mine) uses to watch live traffic without sitting in the request
+  /// path's return type. Runs on the completing request's thread after the
+  /// latency stamp; it must be cheap and must not throw. Same discipline
+  /// as set_queue_wait_tap: set before serving, not thread-safe against
+  /// in-flight requests, nullptr clears.
+  void set_prediction_tap(
+      std::function<void(const Graph&, const Prediction&)> tap);
+
   /// Pending async submissions (tests and shed diagnostics).
   std::size_t submit_queue_depth() const;
   /// Block until every submitted request has completed (drain before
@@ -225,6 +236,7 @@ class ServeHandle {
   PredictionCache cache_;
 
   std::function<void(double)> queue_wait_tap_;
+  std::function<void(const Graph&, const Prediction&)> prediction_tap_;
 
   mutable std::mutex submit_mutex_;
   std::condition_variable submit_cv_;

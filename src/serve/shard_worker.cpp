@@ -24,6 +24,15 @@ namespace qgnn::serve {
 
 namespace {
 
+// Function-local static: the customizer must survive until the worker's
+// explicit release below, and a namespace-scope std::function would trip
+// the mutable-global lint (and static-destruction-order hazards) for no
+// benefit.
+ShardWorkerCustomizer& shard_worker_customizer() {
+  static ShardWorkerCustomizer customizer;
+  return customizer;
+}
+
 GnnArch parse_arch_name(const std::string& name) {
   std::string wanted = name;
   for (char& c : wanted) c = static_cast<char>(std::tolower(c));
@@ -66,6 +75,14 @@ GnnArch parse_arch_name(const std::string& name) {
                           GnnModel(model_config, rng));
   }
 
+  // Give the hosting binary's customizer (e.g. the hard-example miner) a
+  // chance to hook the handle before any request is served; the keepalive
+  // pins whatever it built until after the final drain.
+  std::shared_ptr<void> customization;
+  if (shard_worker_customizer()) {
+    customization = shard_worker_customizer()(handle, args);
+  }
+
   TcpServiceConfig service_config;
   service_config.net.host = "127.0.0.1";
   service_config.net.port = 0;
@@ -95,10 +112,17 @@ GnnArch parse_arch_name(const std::string& name) {
   }
   service.graceful_shutdown(std::chrono::milliseconds(5000));
   handle.drain_submits();
+  // std::exit runs no destructors, so the customization (whose background
+  // threads may reference `handle`) must be torn down explicitly first.
+  customization.reset();
   std::exit(0);
 }
 
 }  // namespace
+
+void set_shard_worker_customizer(ShardWorkerCustomizer customizer) {
+  shard_worker_customizer() = std::move(customizer);
+}
 
 void maybe_run_shard_worker(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -146,6 +170,28 @@ ShardProcess ShardProcess::spawn(const ShardWorkerOptions& options) {
   args.emplace_back("--workers");
   args.emplace_back(std::to_string(options.submit_workers));
   if (options.verify_ar) args.emplace_back("--verify-ar");
+  if (options.mine) {
+    args.emplace_back("--mine");
+    args.emplace_back("--mine-ar-threshold");
+    args.emplace_back(std::to_string(options.mine_ar_threshold));
+    if (options.mine_novel) args.emplace_back("--mine-novel");
+    args.emplace_back("--mine-dir");
+    args.emplace_back(options.mine_dir);
+    args.emplace_back("--mine-capacity");
+    args.emplace_back(std::to_string(options.mine_capacity));
+    args.emplace_back("--mine-min-spill");
+    args.emplace_back(std::to_string(options.mine_min_spill));
+    args.emplace_back("--mine-epochs");
+    args.emplace_back(std::to_string(options.mine_epochs));
+    args.emplace_back("--mine-evals");
+    args.emplace_back(std::to_string(options.mine_evals));
+    args.emplace_back("--mine-interval-ms");
+    args.emplace_back(std::to_string(options.mine_interval_ms));
+    args.emplace_back("--mine-seed");
+    args.emplace_back(std::to_string(options.mine_seed));
+    args.emplace_back("--mine-panel-fraction");
+    args.emplace_back(std::to_string(options.mine_panel_fraction));
+  }
 
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);

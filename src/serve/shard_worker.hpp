@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <sys/types.h>
 
 #include "net/socket.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
 
 namespace qgnn::serve {
 
@@ -25,7 +29,40 @@ struct ShardWorkerOptions {
   std::size_t cache_capacity = 4096;
   int submit_workers = 4;
   bool verify_ar = false;
+
+  /// Online hard-example mining (src/mine, DESIGN.md §12), forwarded to
+  /// the worker over the same re-exec command line as the serving knobs
+  /// so each shard runs its own closed mining loop. The serve library
+  /// only transports these flags; interpreting them is the job of the
+  /// ShardWorkerCustomizer a mining-aware binary installs.
+  bool mine = false;
+  double mine_ar_threshold = 0.0;
+  bool mine_novel = false;
+  std::string mine_dir;
+  std::size_t mine_capacity = 1024;
+  std::size_t mine_min_spill = 8;
+  int mine_epochs = 30;
+  int mine_evals = 500;
+  int mine_interval_ms = 500;
+  std::uint64_t mine_seed = 42;
+  double mine_panel_fraction = 0.25;
 };
+
+/// Extension point the shard worker invokes after building its ServeHandle
+/// and registering models, but before the TCP service starts. The returned
+/// keepalive is held for the worker's lifetime and explicitly released
+/// after the final drain (the worker exits via std::exit, which runs no
+/// destructors) — background threads owned by the customization must stop
+/// when it is destroyed. Lives here rather than in src/mine because serve
+/// cannot link mine (mine links serve); qgnn_serve's main() installs the
+/// mining customizer via mine::install_shard_worker_mining().
+using ShardWorkerCustomizer =
+    std::function<std::shared_ptr<void>(ServeHandle&, const CliArgs&)>;
+
+/// Install (or clear, with nullptr) the process-wide customizer. Call
+/// before maybe_run_shard_worker(); not thread-safe against a running
+/// worker.
+void set_shard_worker_customizer(ShardWorkerCustomizer customizer);
 
 /// Hook for binaries that host shard workers (qgnn_serve, serve_bench,
 /// the net tests): call first thing in main(). When argv requests worker

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qgnn {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320). `crc` chains a
+/// previous result: crc32_ieee(b, crc32_ieee(a)) == crc32_ieee(a ++ b).
+/// Shared by the packed dataset format (src/dataset/packed), the model
+/// checkpoint trailer (src/gnn/model) and the trainer checkpoint frame
+/// (src/gnn/checkpoint) so every on-disk artifact uses one polynomial.
+std::uint32_t crc32_ieee(const void* data, std::size_t size,
+                         std::uint32_t crc = 0);
+
+}  // namespace qgnn
