@@ -1,11 +1,20 @@
 #pragma once
 
 // Shared main for the google-benchmark binaries. benchmark::Initialize
-// rejects flags it does not know, so the repo-specific
+// rejects flags it does not know, so the repo-specific flags
 //   --trace-out <file>   (or --trace-out=<file>)
-// is stripped here first. When given, trace spans are recorded for the
-// whole run and written as Chrome trace_event JSON on exit — open the
-// file in about://tracing or ui.perfetto.dev.
+//   --require-release
+// are stripped here first. --trace-out records trace spans for the
+// whole run and writes Chrome trace_event JSON on exit — open the file
+// in about://tracing or ui.perfetto.dev. --require-release makes a
+// non-Release (assert-enabled) build exit with an error instead of
+// silently producing numbers that undercut every committed baseline;
+// CI and the BENCH_*.json regeneration recipes pass it.
+//
+// Every run also stamps machine-readable context into the JSON output:
+//   qgnn_build_type  "release" or "debug" (NDEBUG at compile time)
+//   qgnn_kernel_isa  the SIMD ISA the dispatched kernels resolved to
+// so a committed baseline records what was actually measured.
 
 #include <benchmark/benchmark.h>
 
@@ -16,9 +25,16 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "simd/dispatch.hpp"
 
 inline int qgnn_benchmark_main(int argc, char** argv) {
+#ifdef NDEBUG
+  constexpr bool release_build = true;
+#else
+  constexpr bool release_build = false;
+#endif
   std::string trace_out;
+  bool require_release = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -26,10 +42,28 @@ inline int qgnn_benchmark_main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--require-release") == 0) {
+      require_release = true;
     } else {
       args.push_back(argv[i]);
     }
   }
+  if (!release_build) {
+    std::fprintf(stderr,
+                 "warning: assert-enabled (non-Release) build; timings are "
+                 "not comparable to committed baselines%s\n",
+                 require_release ? "" : " (use --require-release to fail)");
+    if (require_release) {
+      std::fprintf(stderr,
+                   "error: --require-release given but NDEBUG is not "
+                   "defined; rebuild with -DCMAKE_BUILD_TYPE=Release\n");
+      return 1;
+    }
+  }
+  benchmark::AddCustomContext("qgnn_build_type",
+                              release_build ? "release" : "debug");
+  benchmark::AddCustomContext("qgnn_kernel_isa",
+                              qgnn::simd::active_isa_name());
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {

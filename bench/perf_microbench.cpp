@@ -28,6 +28,8 @@
 #include "qaoa/optimize.hpp"
 #include "quantum/density_matrix.hpp"
 #include "quantum/pauli.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -494,6 +496,129 @@ void BM_DatasetLabellingBatched(benchmark::State& state) {
 BENCHMARK(BM_DatasetLabellingBatched)
     ->Arg(8)->Arg(10)->Arg(12)->Arg(14)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---- SIMD kernel ISA sweeps --------------------------------------------
+// The dispatched kernels forced onto each instruction-set tier (the
+// final Arg is the simd::Isa value: 0 generic, 1 avx2, 2 avx512).
+// Tiers the host CPU lacks are skipped with an error, so a committed
+// JSON still lists them explicitly instead of silently omitting them.
+// The forced ISA is restored before the benchmark returns; the sweep
+// is single-threaded so the ratio isolates kernel width.
+
+class ForcedIsa {
+ public:
+  ForcedIsa(benchmark::State& state, std::int64_t arg)
+      : prev_(simd::active_isa()),
+        ok_(simd::set_active_isa(static_cast<simd::Isa>(arg))) {
+    if (!ok_) state.SkipWithError("ISA not supported on this host");
+    state.counters["isa"] = static_cast<double>(arg);
+  }
+  ~ForcedIsa() { simd::set_active_isa(prev_); }
+  ForcedIsa(const ForcedIsa&) = delete;
+  ForcedIsa& operator=(const ForcedIsa&) = delete;
+  explicit operator bool() const { return ok_; }
+
+ private:
+  simd::Isa prev_;
+  bool ok_;
+};
+
+void BM_QaoaEngineEvalIsa(benchmark::State& state) {
+  const ForcedIsa forced(state, state.range(1));
+  if (!forced) return;
+  ThreadPool::set_global_threads(1);
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = bench_graph(n, 3);
+  const CostHamiltonian cost(g);
+  const QaoaParams params = bench_params(1);
+  EvalWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.engine().expectation(params, ws));
+  }
+  state.counters["qubits"] = n;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_QaoaEngineEvalIsa)
+    ->ArgsProduct({{12, 14, 18}, {0, 1, 2}})->UseRealTime();
+
+void BM_RxLayerIsa(benchmark::State& state) {
+  const ForcedIsa forced(state, state.range(1));
+  if (!forced) return;
+  ThreadPool::set_global_threads(1);
+  StateVector s = StateVector::plus_state(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    s.apply_rx_layer(0.7);
+    benchmark::DoNotOptimize(s.mutable_amplitudes().data());
+  }
+  state.counters["qubits"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_RxLayerIsa)
+    ->ArgsProduct({{12, 14}, {0, 1, 2}})->UseRealTime();
+
+void BM_PhaseTableIsa(benchmark::State& state) {
+  const ForcedIsa forced(state, state.range(1));
+  if (!forced) return;
+  ThreadPool::set_global_threads(1);
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = bench_graph(n, 3);
+  const CostHamiltonian cost(g);
+  StateVector s = StateVector::plus_state(n);
+  std::vector<Amplitude> table;
+  for (auto _ : state) {
+    cost.engine().apply_cost_layer(s, 0.6, table);
+    benchmark::DoNotOptimize(s.mutable_amplitudes().data());
+  }
+  state.counters["qubits"] = n;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+  ThreadPool::set_global_threads(ThreadPool::configured_threads());
+}
+BENCHMARK(BM_PhaseTableIsa)
+    ->ArgsProduct({{12, 14}, {0, 1, 2}})->UseRealTime();
+
+void BM_MatmulIsa(benchmark::State& state) {
+  const ForcedIsa forced(state, state.range(1));
+  if (!forced) return;
+  // Fast tier (FMA-contracted inner products) on Arg 2; restored below.
+  const bool fast = state.range(2) != 0;
+  const simd::KernelConfig prev_config = simd::kernel_config();
+  simd::set_kernel_config({.fast_reductions = fast});
+  state.counters["fast"] = fast ? 1.0 : 0.0;
+  Rng rng(11);
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const Matrix a = Matrix::random_uniform(dim, dim, -1.0, 1.0, rng);
+  const Matrix b = Matrix::random_uniform(dim, dim, -1.0, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul(b).data());
+  }
+  state.counters["dim"] = static_cast<double>(dim);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * dim * dim * dim));
+  simd::set_kernel_config(prev_config);
+}
+BENCHMARK(BM_MatmulIsa)
+    ->ArgsProduct({{64, 192}, {0, 1, 2}, {0, 1}});
+
+void BM_GnnForwardIsa(benchmark::State& state) {
+  const ForcedIsa forced(state, state.range(0));
+  if (!forced) return;
+  Rng rng(7);
+  GnnModelConfig config;
+  config.arch = GnnArch::kGCN;
+  GnnModel model(config, rng);
+  const Graph g = bench_graph(14, 3);
+  const GraphBatch batch = make_graph_batch(g, config.features);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(batch).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GnnForwardIsa)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "simd/kernels.hpp"
 #include "util/error.hpp"
 
 namespace qgnn {
@@ -61,7 +62,7 @@ double Matrix::operator()(std::size_t r, std::size_t c) const {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   QGNN_REQUIRE(same_shape(other), "shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::vadd()(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
@@ -79,31 +80,12 @@ Matrix& Matrix::operator*=(double s) {
 Matrix Matrix::matmul(const Matrix& other) const {
   QGNN_REQUIRE(cols_ == other.rows_, "inner dimension mismatch in matmul");
   Matrix out(rows_, other.cols_);
-  // Cache-blocked i-k-j accumulation. The j tile keeps a strip of `out`
-  // and `other` rows L1-resident while the k tile walks down `other`; the
-  // inner j loop is unit-stride and branch-free (no sparsity test — on the
-  // dense blocks the GNN produces, the a == 0.0 branch costs more than the
-  // multiplies it skips). For every (i, j) the k contributions still
-  // accumulate in ascending order, so results are bit-identical to the
-  // untiled loop.
-  constexpr std::size_t kTileJ = 256;
-  constexpr std::size_t kTileK = 64;
-  const std::size_t ncols = other.cols_;
-  for (std::size_t j0 = 0; j0 < ncols; j0 += kTileJ) {
-    const std::size_t j1 = std::min(ncols, j0 + kTileJ);
-    for (std::size_t k0 = 0; k0 < cols_; k0 += kTileK) {
-      const std::size_t k1 = std::min(cols_, k0 + kTileK);
-      for (std::size_t i = 0; i < rows_; ++i) {
-        const double* arow = data_.data() + i * cols_;
-        double* orow = out.data_.data() + i * ncols;
-        for (std::size_t k = k0; k < k1; ++k) {
-          const double a = arow[k];
-          const double* brow = other.data_.data() + k * ncols;
-          for (std::size_t j = j0; j < j1; ++j) orow[j] += a * brow[j];
-        }
-      }
-    }
-  }
+  // Dispatched cache-blocked i-k-j kernel (simd/kernels_impl.hpp). For
+  // every (i, j) the k contributions accumulate in ascending order, so
+  // the default tier is bit-identical to the untiled scalar loop; the
+  // opt-in fast tier (KernelConfig::fast_reductions) trades that for FMA.
+  simd::matmul()(out.data_.data(), data_.data(), other.data_.data(), rows_,
+                 cols_, other.cols_);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "simd/kernels.hpp"
 #include "util/error.hpp"
 
 namespace qgnn::ag {
@@ -367,9 +368,11 @@ Var affine(const Var& a, const Var& w, const Var& bias) {
   QGNN_REQUIRE(bias.rows() == 1 && bias.cols() == w.cols(),
                "bias must be 1 x cols(w)");
   Matrix out = a.value().matmul(w.value());
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    for (std::size_t j = 0; j < out.cols(); ++j) {
-      out(i, j) += bias.value()(0, j);
+  {
+    const auto vadd = simd::vadd();
+    const std::size_t cols = out.cols();
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      vadd(out.data() + i * cols, bias.value().data(), cols);
     }
   }
   auto an = a.node();
@@ -378,11 +381,12 @@ Var affine(const Var& a, const Var& w, const Var& bias) {
   return make_op(std::move(out), {a, w, bias}, [an, wn, bn](Node& self) {
     an->accumulate(self.grad.matmul(wn->value.transposed()));
     wn->accumulate(an->value.transposed().matmul(self.grad));
-    Matrix db(1, self.grad.cols());
+    // Column sum accumulated row by row in ascending order, as before.
+    const auto vadd = simd::vadd();
+    const std::size_t cols = self.grad.cols();
+    Matrix db(1, cols);
     for (std::size_t i = 0; i < self.grad.rows(); ++i) {
-      for (std::size_t j = 0; j < self.grad.cols(); ++j) {
-        db(0, j) += self.grad(i, j);
-      }
+      vadd(db.data(), self.grad.data() + i * cols, cols);
     }
     bn->accumulate(db);
   });
@@ -395,20 +399,24 @@ Var add_scaled_rows(const Var& a, const Var& b,
   QGNN_REQUIRE(coeffs.size() == b.rows(),
                "add_scaled_rows coefficient mismatch");
   Matrix out = a.value();
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    for (std::size_t j = 0; j < out.cols(); ++j) {
-      out(i, j) += b.value()(i, j) * coeffs[i];
+  {
+    const auto axpy = simd::axpy();
+    const std::size_t cols = out.cols();
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      axpy(out.data() + i * cols, b.value().data() + i * cols, coeffs[i],
+           cols);
     }
   }
   auto an = a.node();
   auto bn = b.node();
   return make_op(std::move(out), {a, b}, [an, bn, coeffs](Node& self) {
     an->accumulate(self.grad);
-    Matrix db(self.grad.rows(), self.grad.cols());
+    const auto scale_store = simd::scale_store();
+    const std::size_t cols = self.grad.cols();
+    Matrix db(self.grad.rows(), cols);
     for (std::size_t i = 0; i < db.rows(); ++i) {
-      for (std::size_t j = 0; j < db.cols(); ++j) {
-        db(i, j) = self.grad(i, j) * coeffs[i];
-      }
+      scale_store(db.data() + i * cols, self.grad.data() + i * cols,
+                  coeffs[i], cols);
     }
     bn->accumulate(db);
   });
@@ -425,18 +433,23 @@ Var scatter_add_gathered_rows(const Var& a, const std::vector<int>& src,
   const std::size_t n = a.rows();
   const std::size_t cols = a.cols();
   Matrix out = Matrix::zeros(num_rows, cols);
-  for (std::size_t e = 0; e < src.size(); ++e) {
-    QGNN_REQUIRE(src[e] >= 0 && static_cast<std::size_t>(src[e]) < n,
-                 "gather index out of range");
-    QGNN_REQUIRE(dst[e] >= 0 && static_cast<std::size_t>(dst[e]) < num_rows,
-                 "scatter index out of range");
-    const auto s = static_cast<std::size_t>(src[e]);
-    const auto d = static_cast<std::size_t>(dst[e]);
-    if (coeff.empty()) {
-      for (std::size_t j = 0; j < cols; ++j) out(d, j) += a.value()(s, j);
-    } else {
-      const double c = coeff[e];
-      for (std::size_t j = 0; j < cols; ++j) out(d, j) += a.value()(s, j) * c;
+  {
+    const auto vadd = simd::vadd();
+    const auto axpy = simd::axpy();
+    for (std::size_t e = 0; e < src.size(); ++e) {
+      QGNN_REQUIRE(src[e] >= 0 && static_cast<std::size_t>(src[e]) < n,
+                   "gather index out of range");
+      QGNN_REQUIRE(
+          dst[e] >= 0 && static_cast<std::size_t>(dst[e]) < num_rows,
+          "scatter index out of range");
+      const auto s = static_cast<std::size_t>(src[e]);
+      const auto d = static_cast<std::size_t>(dst[e]);
+      if (coeff.empty()) {
+        vadd(out.data() + d * cols, a.value().data() + s * cols, cols);
+      } else {
+        axpy(out.data() + d * cols, a.value().data() + s * cols, coeff[e],
+             cols);
+      }
     }
   }
   auto an = a.node();
@@ -444,13 +457,14 @@ Var scatter_add_gathered_rows(const Var& a, const std::vector<int>& src,
                  [an, src, dst, coeff](Node& self) {
                    Matrix da =
                        Matrix::zeros(an->value.rows(), an->value.cols());
+                   const auto axpy = simd::axpy();
+                   const std::size_t ncols = da.cols();
                    for (std::size_t e = 0; e < src.size(); ++e) {
                      const auto s = static_cast<std::size_t>(src[e]);
                      const auto d = static_cast<std::size_t>(dst[e]);
                      const double c = coeff.empty() ? 1.0 : coeff[e];
-                     for (std::size_t j = 0; j < da.cols(); ++j) {
-                       da(s, j) += self.grad(d, j) * c;
-                     }
+                     axpy(da.data() + s * ncols,
+                          self.grad.data() + d * ncols, c, ncols);
                    }
                    an->accumulate(da);
                  });

@@ -12,7 +12,7 @@
 #include <sstream>
 #include <utility>
 
-#include "dataset/batch_kernels.hpp"
+#include "simd/kernels.hpp"
 #include "dataset/packed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
@@ -73,7 +73,7 @@ int auto_lanes(int num_qubits) {
 /// K statevectors labelled in lockstep through one workspace. Each lane
 /// owns a contiguous pair of arrays (re[dim], im[dim]) — separated real
 /// and imaginary components instead of interleaved std::complex — so
-/// the SIMD kernels in dataset/batch_kernels.hpp run at full register
+/// the split-layout SIMD kernels in simd/kernels.hpp run at full register
 /// width with no shuffles. The per-amplitude arithmetic replicates the
 /// scalar StateVector/QaoaEvalEngine expressions operation for
 /// operation (the wide kernels use explicit mul/add, never FMA), so
@@ -87,8 +87,8 @@ class BatchEvaluator {
         lanes_(lanes),
         depth_(depth),
         dim_(std::uint64_t{1} << num_qubits),
-        cost_fn_(batchkern::cost_layer()),
-        mixer_fn_(batchkern::mixer_layer()) {
+        cost_fn_(simd::cost_layer_split()),
+        mixer_fn_(simd::mixer_layer_split()) {
     QGNN_REQUIRE(lanes_ >= 1, "batch evaluator needs at least one lane");
     const std::size_t total = static_cast<std::size_t>(dim_) * lanes_;
     re_.assign(total, 0.0);
@@ -189,8 +189,8 @@ class BatchEvaluator {
   int lanes_;
   int depth_;
   std::uint64_t dim_;
-  batchkern::CostLayerFn cost_fn_;
-  batchkern::MixerLayerFn mixer_fn_;
+  simd::CostLayerSplitFn cost_fn_;
+  simd::MixerLayerSplitFn mixer_fn_;
   std::vector<double> re_, im_;          // [lane * dim + state]
   std::vector<double> tab_re_, tab_im_;  // phase-table scratch (one lane)
   std::vector<const QaoaEvalEngine*> engines_;

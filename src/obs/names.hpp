@@ -19,6 +19,11 @@
 
 namespace qgnn::obs::names {
 
+// SIMD kernel dispatch (src/simd/dispatch.cpp). Gauge value is the
+// numeric simd::Isa the kernels resolve to (0 generic, 1 avx2,
+// 2 avx512).
+inline constexpr const char* kKernelIsa = "kernel.isa";
+
 // Thread pool (src/util/thread_pool.cpp).
 inline constexpr const char* kPoolJobs = "pool.jobs";
 inline constexpr const char* kPoolChunks = "pool.chunks";

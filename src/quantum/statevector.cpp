@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "simd/kernels.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -178,10 +179,13 @@ void StateVector::apply_phase_table(std::span<const std::uint16_t> index,
                                     std::span<const Amplitude> table) {
   QGNN_REQUIRE(index.size() == dimension(),
                "phase-table index length must equal state dimension");
+  // Dispatched per-chunk kernel; std::complex<double> arrays are
+  // array-oriented-access compatible with interleaved doubles.
+  const auto kernel = simd::phase_table();
+  auto* amps = reinterpret_cast<double*>(amps_.data());
+  const auto* tab = reinterpret_cast<const double*>(table.data());
   for_each_index(dimension(), [&](std::uint64_t lo, std::uint64_t hi) {
-    for (std::uint64_t k = lo; k < hi; ++k) {
-      amps_[k] *= table[index[k]];
-    }
+    kernel(amps, index.data(), tab, lo, hi);
   });
 }
 
@@ -191,18 +195,14 @@ void StateVector::apply_rx_layer(double theta) {
   const std::uint64_t dim = dimension();
   // RX = [[c, -is], [-is, c]] on the pair (lo, hi):
   //   lo' = c*lo - i*s*hi,  hi' = -i*s*lo + c*hi
-  // expanded into 4 real FMAs per amplitude component. The operand order
-  // matches what the generic complex 2x2 path computes for this matrix, so
-  // the fused kernel agrees with n apply_single_qubit calls to the last
-  // ulp (equivalence is fuzz-tested at 1e-12 regardless).
-  auto pair_update = [c, s](Amplitude& lo, Amplitude& hi) {
-    const double lr = lo.real();
-    const double li = lo.imag();
-    const double hr = hi.real();
-    const double him = hi.imag();
-    lo = Amplitude{c * lr + s * him, c * li - s * hr};
-    hi = Amplitude{c * hr + s * li, c * him - s * lr};
-  };
+  // expanded into 4 real multiply-adds per amplitude component inside the
+  // dispatched kernels (simd/kernels_impl.hpp holds the scalar reference).
+  // The operand order matches what the generic complex 2x2 path computes
+  // for this matrix, so the fused kernel agrees with n apply_single_qubit
+  // calls to the last ulp (equivalence is fuzz-tested at 1e-12 regardless).
+  const auto block_kernel = simd::rx_block();
+  const auto pairs_kernel = simd::rx_pairs();
+  auto* amps = reinterpret_cast<double*>(amps_.data());
 
   const bool obs_on = obs::enabled();
   if (obs_on) {
@@ -222,15 +222,7 @@ void StateVector::apply_rx_layer(double theta) {
   const std::uint64_t nblocks = dim >> nb;
   auto block_body = [&](std::uint64_t blo, std::uint64_t bhi) {
     for (std::uint64_t b = blo; b < bhi; ++b) {
-      Amplitude* blk = amps_.data() + b * bsize;
-      for (int q = 0; q < nb; ++q) {
-        const std::uint64_t bit = std::uint64_t{1} << q;
-        for (std::uint64_t g0 = 0; g0 < bsize; g0 += bit << 1) {
-          for (std::uint64_t k = g0; k < g0 + bit; ++k) {
-            pair_update(blk[k], blk[k | bit]);
-          }
-        }
-      }
+      block_kernel(amps + 2 * b * bsize, nb, c, s);
     }
   };
   if (dim >= kParallelDim) {
@@ -240,14 +232,21 @@ void StateVector::apply_rx_layer(double theta) {
   }
 
   // Qubits at or above the block size pair across blocks: one strided,
-  // branch-free pass each (at most n - kRxBlockQubits of them).
+  // branch-free pass each (at most n - kRxBlockQubits of them). A chunk
+  // [lo, hi) of pair indices decomposes into maximal runs of consecutive
+  // low addresses (all sharing one high-side offset), each handed to the
+  // pair kernel as a contiguous span.
   for (int q = nb; q < num_qubits_; ++q) {
     const std::uint64_t bit = std::uint64_t{1} << q;
     auto body = [&](std::uint64_t lo, std::uint64_t hi) {
-      for (std::uint64_t i = lo; i < hi; ++i) {
+      std::uint64_t i = lo;
+      while (i < hi) {
         const std::uint64_t base =
             ((i >> q) << (q + 1)) | (i & (bit - 1));
-        pair_update(amps_[base], amps_[base | bit]);
+        const std::uint64_t run =
+            std::min(hi - i, bit - (i & (bit - 1)));
+        pairs_kernel(amps + 2 * base, amps + 2 * (base | bit), run, c, s);
+        i += run;
       }
     };
     if (dim >= kParallelDim) {
@@ -264,10 +263,11 @@ void StateVector::assign_scaled(const StateVector& src,
                "assign_scaled needs same-size states");
   QGNN_REQUIRE(scale.size() == dimension(),
                "scale length must equal state dimension");
+  const auto kernel = simd::scaled_assign();
+  auto* dst = reinterpret_cast<double*>(amps_.data());
+  const auto* in = reinterpret_cast<const double*>(src.amps_.data());
   for_each_index(dimension(), [&](std::uint64_t lo, std::uint64_t hi) {
-    for (std::uint64_t k = lo; k < hi; ++k) {
-      amps_[k] = scale[k] * src.amps_[k];
-    }
+    kernel(dst, in, scale.data(), lo, hi);
   });
 }
 

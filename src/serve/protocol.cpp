@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "qaoa/fixed_angles.hpp"
+#include "simd/dispatch.hpp"
 #include "util/error.hpp"
 
 namespace qgnn::serve {
@@ -533,6 +534,10 @@ std::string format_stats_response(const JsonValue& id,
   body.object["latency_us_p99"] = json_number(stats.latency_us_p99);
   body.object["requests_per_second"] =
       json_number(stats.requests_per_second);
+  // Which SIMD tier the dispatched kernels (forward matmuls, fused
+  // inference ops) resolved to in this process — lets a fleet operator
+  // spot a shard silently running generic kernels.
+  body.object["kernel_isa"] = json_string(simd::active_isa_name());
   body.object["queue_wait_us"] = json_summary(stats.queue_wait_us);
   body.object["batch_form_us"] = json_summary(stats.batch_form_us);
   body.object["forward_us"] = json_summary(stats.forward_us);

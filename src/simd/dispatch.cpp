@@ -1,0 +1,128 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace qgnn::simd {
+
+namespace {
+
+bool isa_compiled_and_supported(Isa isa) {
+  switch (isa) {
+    case Isa::kGeneric:
+      return true;
+    case Isa::kAvx2:
+#if defined(QGNN_SIMD_AVX2)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(QGNN_SIMD_AVX512)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// QGNN_SIMD spelling -> Isa; unknown spellings fall back to the best
+/// supported ISA so a typo can never silently disable dispatch below
+/// what the CPU provides.
+Isa parse_isa_env(const char* value, Isa fallback) {
+  if (value == nullptr) return fallback;
+  if (std::strcmp(value, "generic") == 0) return Isa::kGeneric;
+  if (std::strcmp(value, "avx2") == 0) return Isa::kAvx2;
+  if (std::strcmp(value, "avx512") == 0 ||
+      std::strcmp(value, "avx512f") == 0) {
+    return Isa::kAvx512;
+  }
+  return fallback;
+}
+
+/// kernel.isa gauge: the numeric Isa value currently dispatched to.
+/// Handle cached once (registry takes a mutex on lookup).
+void publish_isa_gauge(Isa isa) {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge(obs::names::kKernelIsa);
+  gauge.set(static_cast<double>(isa));
+}
+
+Isa resolve_initial_isa() {
+  const Isa best = best_supported_isa();
+  Isa pick = parse_isa_env(std::getenv("QGNN_SIMD"), best);
+  if (!cpu_supports(pick)) pick = best;
+  return pick;
+}
+
+/// The active ISA, stored relaxed: dispatch is a pure function-pointer
+/// lookup and every kernel variant computes the same results (fast tier
+/// aside), so cross-thread staleness only costs performance, never
+/// correctness.
+std::atomic<int>& active_isa_cell() {
+  static std::atomic<int> cell = [] {
+    const Isa initial = resolve_initial_isa();
+    publish_isa_gauge(initial);
+    return std::atomic<int>(static_cast<int>(initial));
+  }();
+  return cell;
+}
+
+std::atomic<bool>& fast_reductions_cell() {
+  static std::atomic<bool> cell{false};
+  return cell;
+}
+
+}  // namespace
+
+bool cpu_supports(Isa isa) { return isa_compiled_and_supported(isa); }
+
+Isa best_supported_isa() {
+  if (cpu_supports(Isa::kAvx512)) return Isa::kAvx512;
+  if (cpu_supports(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kGeneric;
+}
+
+Isa active_isa() {
+  return static_cast<Isa>(active_isa_cell().load(std::memory_order_relaxed));
+}
+
+bool set_active_isa(Isa isa) {
+  if (!cpu_supports(isa)) return false;
+  active_isa_cell().store(static_cast<int>(isa), std::memory_order_relaxed);
+  publish_isa_gauge(isa);
+  return true;
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kGeneric:
+      return "generic";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512f";
+  }
+  return "generic";
+}
+
+const char* active_isa_name() { return isa_name(active_isa()); }
+
+KernelConfig kernel_config() {
+  KernelConfig config;
+  config.fast_reductions =
+      fast_reductions_cell().load(std::memory_order_relaxed);
+  return config;
+}
+
+void set_kernel_config(const KernelConfig& config) {
+  fast_reductions_cell().store(config.fast_reductions,
+                               std::memory_order_relaxed);
+}
+
+}  // namespace qgnn::simd

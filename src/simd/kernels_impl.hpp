@@ -1,0 +1,220 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+// Shared scalar bodies and loop skeletons for the SIMD kernel variants.
+// Each translation unit (generic / AVX2 / AVX-512) instantiates the
+// sweeps with its own run body; the skeletons fix the traversal so
+// every variant applies updates in the same per-element order and the
+// only difference between variants is the register width of the
+// arithmetic. The scalar bodies double as the wide kernels' tail
+// fallback, so a partially vectorized range still follows the exact
+// reference rounding sequence.
+
+namespace qgnn::simd::impl {
+
+/// Visit every RX pair group of an n-qubit lane. run(start, bit) must
+/// update the pairs (x, x + bit) for x in [start, start + bit).
+///
+/// Qubits below kMixerBlockQubits are applied block by block so a
+/// 2^kMixerBlockQubits-amplitude slab (32 KiB of re plus 32 KiB of im)
+/// is swept through all of them while cache-resident; higher qubits
+/// pair across blocks in one strided pass each. Blocking is pure
+/// scheduling: each amplitude still sees qubits 0..n-1 in order, so the
+/// block size never changes the bytes.
+inline constexpr int kMixerBlockQubits = 12;
+
+template <typename Run>
+inline void mixer_sweep(int n, Run&& run) {
+  const std::uint64_t dim = std::uint64_t{1} << n;
+  const int nb = std::min(n, kMixerBlockQubits);
+  const std::uint64_t bsize = std::uint64_t{1} << nb;
+  for (std::uint64_t base = 0; base < dim; base += bsize) {
+    for (int q = 0; q < nb; ++q) {
+      const std::uint64_t bit = std::uint64_t{1} << q;
+      for (std::uint64_t g0 = 0; g0 < bsize; g0 += bit << 1) {
+        run(base + g0, bit);
+      }
+    }
+  }
+  for (int q = nb; q < n; ++q) {
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (std::uint64_t g0 = 0; g0 < dim; g0 += bit << 1) {
+      run(g0, bit);
+    }
+  }
+}
+
+/// mixer_sweep with the lowest `fq` qubits handed to the caller as one
+/// fused pass: run_low(start, len) must apply qubits 0..fq-1, in
+/// ascending order, to every aligned group of 2^fq amplitudes in
+/// [start, start + len). The wide kernels use this to butterfly the
+/// qubits whose pair stride is below their vector width entirely in
+/// registers (lane permutes) instead of falling back to scalar passes.
+/// Pairs for those qubits never cross a 2^fq-aligned group, and run_low
+/// keeps the per-amplitude qubit order ascending, so fusing is pure
+/// scheduling and the bytes match mixer_sweep exactly. Requires
+/// 0 < fq <= min(n, kMixerBlockQubits).
+template <typename RunLow, typename Run>
+inline void mixer_sweep_fused(int n, int fq, RunLow&& run_low, Run&& run) {
+  const std::uint64_t dim = std::uint64_t{1} << n;
+  const int nb = std::min(n, kMixerBlockQubits);
+  const std::uint64_t bsize = std::uint64_t{1} << nb;
+  for (std::uint64_t base = 0; base < dim; base += bsize) {
+    run_low(base, bsize);
+    for (int q = fq; q < nb; ++q) {
+      const std::uint64_t bit = std::uint64_t{1} << q;
+      for (std::uint64_t g0 = 0; g0 < bsize; g0 += bit << 1) {
+        run(base + g0, bit);
+      }
+    }
+  }
+  for (int q = nb; q < n; ++q) {
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (std::uint64_t g0 = 0; g0 < dim; g0 += bit << 1) {
+      run(g0, bit);
+    }
+  }
+}
+
+/// Scalar pair-run body for the split layout; the wide kernels fall
+/// back to it for runs shorter than their vector width. Expressions
+/// match the interleaved rx_pairs_scalar exactly.
+inline void mixer_run_scalar(double* re, double* im, std::uint64_t start,
+                             std::uint64_t bit, double c, double s) {
+  double* lre = re + start;
+  double* lim = im + start;
+  double* hre = lre + bit;
+  double* him = lim + bit;
+  for (std::uint64_t x = 0; x < bit; ++x) {
+    const double lr = lre[x];
+    const double li = lim[x];
+    const double hr = hre[x];
+    const double hm = him[x];
+    lre[x] = c * lr + s * hm;
+    lim[x] = c * li - s * hr;
+    hre[x] = c * hr + s * li;
+    him[x] = c * hm - s * lr;
+  }
+}
+
+/// Scalar cost-layer body (split layout) shared by the generic kernel
+/// and the wide kernels' short-lane fallback.
+inline void cost_run_scalar(double* re, double* im,
+                            const std::uint16_t* lev, const double* tab_re,
+                            const double* tab_im, std::uint64_t lo,
+                            std::uint64_t hi) {
+  for (std::uint64_t k = lo; k < hi; ++k) {
+    const double tr = tab_re[lev[k]];
+    const double ti = tab_im[lev[k]];
+    const double nr = re[k] * tr - im[k] * ti;
+    const double ni = re[k] * ti + im[k] * tr;
+    re[k] = nr;
+    im[k] = ni;
+  }
+}
+
+/// Scalar phase-table body for the interleaved layout: amplitude k
+/// (amps[2k], amps[2k+1]) times the unit phase table[lev[k]]. Same
+/// complex-multiply expressions as cost_run_scalar.
+inline void phase_run_scalar(double* amps, const std::uint16_t* lev,
+                             const double* table, std::uint64_t lo,
+                             std::uint64_t hi) {
+  for (std::uint64_t k = lo; k < hi; ++k) {
+    const double tr = table[2 * static_cast<std::uint64_t>(lev[k])];
+    const double ti = table[2 * static_cast<std::uint64_t>(lev[k]) + 1];
+    const double re = amps[2 * k];
+    const double im = amps[2 * k + 1];
+    amps[2 * k] = re * tr - im * ti;
+    amps[2 * k + 1] = re * ti + im * tr;
+  }
+}
+
+/// Scalar RX pair run for the interleaved layout. Expressions match
+/// mixer_run_scalar (and StateVector's historical pair_update) exactly.
+inline void rx_pairs_scalar(double* lo, double* hi, std::uint64_t count,
+                            double c, double s) {
+  for (std::uint64_t x = 0; x < count; ++x) {
+    const double lr = lo[2 * x];
+    const double li = lo[2 * x + 1];
+    const double hr = hi[2 * x];
+    const double hm = hi[2 * x + 1];
+    lo[2 * x] = c * lr + s * hm;
+    lo[2 * x + 1] = c * li - s * hr;
+    hi[2 * x] = c * hr + s * li;
+    hi[2 * x + 1] = c * hm - s * lr;
+  }
+}
+
+/// Scalar RX block body: qubits 0..nq-1, ascending, over one
+/// 2^nq-amplitude interleaved block.
+inline void rx_block_scalar(double* amps, int nq, double c, double s) {
+  const std::uint64_t bsize = std::uint64_t{1} << nq;
+  for (int q = 0; q < nq; ++q) {
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (std::uint64_t g0 = 0; g0 < bsize; g0 += bit << 1) {
+      rx_pairs_scalar(amps + 2 * g0, amps + 2 * (g0 + bit), bit, c, s);
+    }
+  }
+}
+
+/// Scalar scaled-assign body: complex amps[k] = scale[k] * src[k]
+/// (matching double * std::complex<double>: both components scaled).
+inline void scaled_assign_scalar(double* amps, const double* src,
+                                 const double* scale, std::uint64_t lo,
+                                 std::uint64_t hi) {
+  for (std::uint64_t k = lo; k < hi; ++k) {
+    amps[2 * k] = scale[k] * src[2 * k];
+    amps[2 * k + 1] = scale[k] * src[2 * k + 1];
+  }
+}
+
+// --- Dense row kernels ----------------------------------------------
+
+inline void axpy_scalar(double* y, const double* x, double a,
+                        std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] += a * x[j];
+}
+
+inline void vadd_scalar(double* y, const double* x, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] += x[j];
+}
+
+inline void scale_store_scalar(double* y, const double* x, double a,
+                               std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = x[j] * a;
+}
+
+/// Matmul tile sizes shared by every variant: the j tile keeps a strip
+/// of `out` and `b` rows L1-resident while the k tile walks down `b`.
+/// Tiling is pure scheduling — for every (i, j) the k contributions
+/// accumulate in ascending order — so the tile sizes never change the
+/// bytes.
+inline constexpr std::size_t kMatmulTileJ = 256;
+inline constexpr std::size_t kMatmulTileK = 64;
+
+/// Cache-blocked i-k-j scalar matmul body (out += a * b). The inner j
+/// loop is unit-stride and branch-free: on the dense blocks the GNN
+/// produces, a sparsity test costs more than the multiplies it skips.
+inline void matmul_scalar(double* out, const double* a, const double* b,
+                          std::size_t m, std::size_t kdim, std::size_t n) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kMatmulTileJ) {
+    const std::size_t j1 = std::min(n, j0 + kMatmulTileJ);
+    for (std::size_t k0 = 0; k0 < kdim; k0 += kMatmulTileK) {
+      const std::size_t k1 = std::min(kdim, k0 + kMatmulTileK);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* arow = a + i * kdim;
+        double* orow = out + i * n;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double av = arow[k];
+          const double* brow = b + k * n;
+          for (std::size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qgnn::simd::impl

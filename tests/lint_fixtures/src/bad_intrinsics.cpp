@@ -1,0 +1,11 @@
+// Raw vector intrinsics in library code: must go through src/simd/.
+#include <immintrin.h>
+
+namespace qgnn {
+
+double first_lane(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  return _mm_cvtsd_f64(_mm256_castpd256_pd128(v));
+}
+
+}  // namespace qgnn

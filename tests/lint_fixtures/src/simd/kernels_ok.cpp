@@ -1,0 +1,11 @@
+// The dispatch layer owns the ISA-flag TUs: intrinsics are allowed here.
+#include <immintrin.h>
+
+namespace qgnn::simd {
+
+double first_lane(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  return _mm_cvtsd_f64(_mm256_castpd256_pd128(v));
+}
+
+}  // namespace qgnn::simd

@@ -259,6 +259,20 @@ TEST(LintFixtures, RawSocketQualifiedWrappersPass) {
   EXPECT_EQ(check_lines(findings), (CheckLines{{"raw-socket", 5}}));
 }
 
+TEST(LintFixtures, UnguardedIntrinsics) {
+  const auto findings =
+      lint_fixture("src/bad_intrinsics.cpp", registry_options());
+  EXPECT_EQ(check_lines(findings),
+            (CheckLines{{"unguarded-intrinsics", 2},
+                        {"unguarded-intrinsics", 7},
+                        {"unguarded-intrinsics", 7},
+                        {"unguarded-intrinsics", 8},
+                        {"unguarded-intrinsics", 8}}));
+  // The dispatch layer itself is exempt: it owns the vector widths.
+  EXPECT_TRUE(
+      lint_fixture("src/simd/kernels_ok.cpp", registry_options()).empty());
+}
+
 TEST(LintFixtures, SuppressionsSilenceFindings) {
   EXPECT_TRUE(lint_fixture("suppressed.cpp", registry_options()).empty());
 }
@@ -290,7 +304,8 @@ TEST(LintDriver, WholeFixtureTreeFindingCount) {
   EXPECT_EQ(per_check["banned-function"], 3);
   EXPECT_EQ(per_check["raw-io"], 3);
   EXPECT_EQ(per_check["raw-socket"], 4);
-  EXPECT_EQ(findings.size(), 27u);
+  EXPECT_EQ(per_check["unguarded-intrinsics"], 5);
+  EXPECT_EQ(findings.size(), 32u);
 }
 
 TEST(LintDriver, RegistryNotEnforcedOutsideSrc) {
@@ -324,7 +339,7 @@ TEST(LintDriver, CheckCatalogueIsStable) {
                        "determinism-call", "determinism-iteration",
                        "obs-name", "lock-across-submit", "mutable-global",
                        "pragma-once", "banned-function", "raw-io",
-                       "raw-socket"}));
+                       "raw-socket", "unguarded-intrinsics"}));
 }
 
 }  // namespace

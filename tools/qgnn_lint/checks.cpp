@@ -648,6 +648,50 @@ void raw_socket_impl(const FileContext& ctx, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// unguarded-intrinsics
+
+/// The SIMD kernel layer owns every translation unit built with extra
+/// ISA flags; it is the only place raw vector intrinsics may appear.
+bool intrinsics_exempt_file(const std::string& normalized) {
+  return normalized.find("src/simd/") != std::string::npos;
+}
+
+/// x86 vector intrinsic spellings: _mm_/_mm256_/_mm512_ functions and
+/// the __m128/__m256/__m512 register types (plus integer/float
+/// suffixed forms, which share the prefixes).
+bool is_intrinsic_ident(const std::string& text) {
+  return text.rfind("_mm", 0) == 0 || text.rfind("__m128", 0) == 0 ||
+         text.rfind("__m256", 0) == 0 || text.rfind("__m512", 0) == 0;
+}
+
+void unguarded_intrinsics_impl(const FileContext& ctx,
+                               std::vector<Finding>& out) {
+  if (!ctx.in_src) return;  // tests/bench/tools may probe intrinsics
+  if (intrinsics_exempt_file(ctx.normalized)) return;
+  for (const Token& t : ctx.lex.tokens) {
+    if (t.kind == TokenKind::kDirective &&
+        (t.text.find("immintrin.h") != std::string::npos ||
+         t.text.find("x86intrin.h") != std::string::npos)) {
+      out.push_back(Finding{
+          ctx.path, t.line, "unguarded-intrinsics",
+          "intrinsics header included outside src/simd; SIMD kernels live "
+          "behind the dispatch layer (simd/kernels.hpp) so ISA selection, "
+          "equivalence tiers, and -ffp-contract discipline stay in one "
+          "place"});
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier && is_intrinsic_ident(t.text)) {
+      out.push_back(Finding{
+          ctx.path, t.line, "unguarded-intrinsics",
+          t.text +
+              ": raw SIMD intrinsic outside src/simd; add a kernel to the "
+              "dispatch layer (simd/kernels.hpp) instead of open-coding "
+              "vector widths in library code"});
+    }
+  }
+}
+
 }  // namespace
 
 bool valid_obs_name(const std::string& name) {
@@ -713,6 +757,9 @@ const std::vector<CheckInfo>& all_checks() {
       {"raw-socket",
        "direct socket/accept/epoll syscalls outside src/net",
        &check_raw_socket},
+      {"unguarded-intrinsics",
+       "raw _mm*/__m256/__m512 intrinsics outside src/simd",
+       &check_unguarded_intrinsics},
   };
   return kChecks;
 }
@@ -748,6 +795,10 @@ void check_raw_io(const FileContext& ctx, std::vector<Finding>& out) {
 }
 void check_raw_socket(const FileContext& ctx, std::vector<Finding>& out) {
   raw_socket_impl(ctx, out);
+}
+void check_unguarded_intrinsics(const FileContext& ctx,
+                                std::vector<Finding>& out) {
+  unguarded_intrinsics_impl(ctx, out);
 }
 
 }  // namespace qgnn::lint

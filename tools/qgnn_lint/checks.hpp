@@ -73,5 +73,7 @@ void check_banned_function(const FileContext& ctx,
                            std::vector<Finding>& out);
 void check_raw_io(const FileContext& ctx, std::vector<Finding>& out);
 void check_raw_socket(const FileContext& ctx, std::vector<Finding>& out);
+void check_unguarded_intrinsics(const FileContext& ctx,
+                                std::vector<Finding>& out);
 
 }  // namespace qgnn::lint
