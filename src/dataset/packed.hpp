@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dataset/dataset.hpp"
+#include "util/annotations.hpp"
 #include "util/crc32.hpp"
 
 namespace qgnn {
@@ -70,7 +71,7 @@ struct PackedDatasetInfo {
 /// All labels must share one depth. Deterministic: the bytes depend only
 /// on the entries, never on allocator state or platform.
 std::vector<std::uint8_t> pack_dataset(
-    const std::vector<DatasetEntry>& entries);
+    const std::vector<DatasetEntry>& entries) QGNN_BIT_IDENTICAL_PATH;
 
 /// Write the packed image to `path` atomically (temp file + rename), so a
 /// crash mid-write never leaves a half-valid file behind.

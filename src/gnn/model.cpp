@@ -202,15 +202,21 @@ GnnModel GnnModel::load(const std::string& path) {
   std::istringstream in(text);
   std::string line;
   std::getline(in, line);
-  if (line != "qgnn-model v1") throw IoError("bad model header: " + line);
+  if (line != "qgnn-model v1") {
+    throw IoError("bad model header in " + path + ": " + line);
+  }
 
   GnnModelConfig config;
-  auto expect_key = [&in](const std::string& key) -> std::string {
+  auto expect_key = [&in, &path](const std::string& key) -> std::string {
     std::string k, v;
     if (!(in >> k >> v)) {
-      throw IoError("truncated model file: missing field '" + key + "'");
+      throw IoError("truncated model file " + path + ": missing field '" +
+                    key + "'");
     }
-    if (k != key) throw IoError("expected key '" + key + "', got '" + k + "'");
+    if (k != key) {
+      throw IoError("model file " + path + ": expected key '" + key +
+                    "', got '" + k + "'");
+    }
     return v;
   };
   config.arch = gnn_arch_from_string(expect_key("arch"));
@@ -256,21 +262,27 @@ GnnModel GnnModel::load(const std::string& path) {
   GnnModel model = model_or_throw();
   const auto ps = model.params();
   if (ps.size() != num_params) {
-    throw IoError("model parameter count mismatch");
+    throw IoError("model parameter count mismatch in " + path +
+                  ": header declares " + std::to_string(num_params) +
+                  ", architecture has " + std::to_string(ps.size()));
   }
   // Var handles share their underlying node, so writing through a copy
   // updates the model's weights.
   for (Var p : ps) {
     std::size_t rows = 0;
     std::size_t cols = 0;
-    if (!(in >> rows >> cols)) throw IoError("truncated parameter header");
+    if (!(in >> rows >> cols)) {
+      throw IoError("truncated parameter header in " + path);
+    }
     if (rows != p.rows() || cols != p.cols()) {
-      throw IoError("parameter shape mismatch in model file");
+      throw IoError("parameter shape mismatch in model file " + path);
     }
     Matrix m(rows, cols);
     for (std::size_t i = 0; i < rows; ++i) {
       for (std::size_t j = 0; j < cols; ++j) {
-        if (!(in >> m(i, j))) throw IoError("truncated parameter data");
+        if (!(in >> m(i, j))) {
+          throw IoError("truncated parameter data in " + path);
+        }
       }
     }
     p.set_value(std::move(m));

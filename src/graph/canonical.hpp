@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn {
 
@@ -28,7 +29,7 @@ namespace qgnn {
 ///    equal;
 ///  - non-isomorphic graphs hash differently unless they are
 ///    1-WL-with-individualization equivalent AND a 64-bit collision occurs.
-std::uint64_t canonical_hash(const Graph& g);
+std::uint64_t canonical_hash(const Graph& g) QGNN_BIT_IDENTICAL_PATH;
 
 /// Stable refined node colors of `g` after sorted neighborhood refinement
 /// with per-node individualization, sorted ascending. Two isomorphic

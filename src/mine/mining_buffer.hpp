@@ -9,6 +9,7 @@
 
 #include "dataset/dataset.hpp"
 #include "serve/service.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::mine {
 
@@ -73,15 +74,17 @@ class MiningBuffer {
   const MiningConfig& config() const { return config_; }
 
  private:
-  bool seen_insert_locked(std::uint64_t hash);
+  bool seen_insert_locked(std::uint64_t hash) QGNN_REQUIRES(mutex_);
 
   const MiningConfig config_;
   mutable std::mutex mutex_;
-  std::deque<MinedSample> ring_;
-  std::unordered_set<std::uint64_t> pending_;  // hashes currently in ring_
-  std::unordered_set<std::uint64_t> seen_;     // novelty memory
-  std::deque<std::uint64_t> seen_order_;
-  Counters counters_;
+  std::deque<MinedSample> ring_ QGNN_GUARDED_BY(mutex_);
+  /// Hashes currently in ring_.
+  std::unordered_set<std::uint64_t> pending_ QGNN_GUARDED_BY(mutex_);
+  /// Novelty memory.
+  std::unordered_set<std::uint64_t> seen_ QGNN_GUARDED_BY(mutex_);
+  std::deque<std::uint64_t> seen_order_ QGNN_GUARDED_BY(mutex_);
+  Counters counters_ QGNN_GUARDED_BY(mutex_);
 };
 
 /// Convert mined samples to provisional DatasetEntry rows for spilling:

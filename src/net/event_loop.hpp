@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "net/socket.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::net {
 
@@ -51,11 +52,11 @@ class EpollLoop {
   void set_post_dispatch(TickFn fn) { post_dispatch_ = std::move(fn); }
 
   /// Dispatch events until request_stop(). Also invoked tick callbacks.
-  void run();
+  void run() QGNN_EVENT_LOOP_ONLY;
 
   /// One dispatch round with the given wait bound; returns false when a
   /// stop was requested. Exposed for tests.
-  bool poll_once(std::chrono::milliseconds timeout);
+  bool poll_once(std::chrono::milliseconds timeout) QGNN_EVENT_LOOP_ONLY;
 
   /// Wake the loop if it is blocked in epoll_wait (any thread).
   void wake();

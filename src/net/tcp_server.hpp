@@ -13,6 +13,7 @@
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::net {
 
@@ -143,14 +144,18 @@ class TcpServer {
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
 
   // Cross-thread response queue, moved onto connections by the loop.
+  // Critical sections under outbox_mutex_ are a vector append or swap
+  // plus a wakeup-pipe write — short enough that post() from the loop
+  // thread itself (cache hits answered inline) cannot stall the loop.
   mutable std::mutex outbox_mutex_;
-  std::vector<std::pair<std::uint64_t, std::string>> outbox_;
-  bool shutdown_requested_ = false;  // guarded by outbox_mutex_
+  std::vector<std::pair<std::uint64_t, std::string>> outbox_
+      QGNN_GUARDED_BY(outbox_mutex_);
+  bool shutdown_requested_ QGNN_GUARDED_BY(outbox_mutex_) = false;
   std::chrono::milliseconds requested_drain_timeout_{5000};
 
   mutable std::mutex stats_mutex_;
-  TcpServerStats stats_;
-  bool drained_cleanly_ = true;  // guarded by stats_mutex_
+  TcpServerStats stats_ QGNN_GUARDED_BY(stats_mutex_);
+  bool drained_cleanly_ QGNN_GUARDED_BY(stats_mutex_) = true;
 };
 
 }  // namespace qgnn::net

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
 
 namespace qgnn {
@@ -75,14 +76,15 @@ class StateVector {
   /// the caller precomputes `table[l] = exp(-i gamma * level_l)` once per
   /// gamma, replacing 2^n sincos calls with 2^n table lookups.
   void apply_phase_table(std::span<const std::uint16_t> index,
-                         std::span<const Amplitude> table);
+                         std::span<const Amplitude> table)
+      QGNN_BIT_IDENTICAL_PATH;
 
   /// Apply RX(theta) to EVERY qubit in one fused, cache-blocked sweep:
   /// the whole QAOA mixer layer e^{-i (theta/2) sum_v X_v}. Equivalent to
   /// n apply_single_qubit(rx(theta), q) calls (qubit order 0..n-1) but
   /// specialized to RX's [[c, -is], [-is, c]] structure (4 real FMAs per
   /// pair) and traversed block-wise so low-qubit passes stay L1-resident.
-  void apply_rx_layer(double theta);
+  void apply_rx_layer(double theta) QGNN_BIT_IDENTICAL_PATH;
 
   /// amps[k] = scale[k] * src[k] for all k: builds the adjoint-gradient
   /// seed lambda = D|psi> without a temporary.

@@ -11,6 +11,7 @@
 
 #include "autograd/matrix.hpp"
 #include "graph/graph.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::serve {
 
@@ -69,9 +70,9 @@ class MicroBatcher {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<BatchRequest*> pending_;
-  bool leader_active_ = false;
-  std::uint64_t batches_executed_ = 0;
+  std::deque<BatchRequest*> pending_ QGNN_GUARDED_BY(mutex_);
+  bool leader_active_ QGNN_GUARDED_BY(mutex_) = false;
+  std::uint64_t batches_executed_ QGNN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qgnn::serve

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gnn/model.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::serve {
 
@@ -55,7 +56,7 @@ class ModelRegistry {
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const ModelEntry>>
-      entries_;
+      entries_ QGNN_GUARDED_BY(mutex_);
 };
 
 }  // namespace qgnn::serve

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "autograd/matrix.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::serve {
 
@@ -90,11 +91,13 @@ class PredictionCache {
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHasher> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// Front = most recently used.
+  LruList lru_ QGNN_GUARDED_BY(mutex_);
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHasher> index_
+      QGNN_GUARDED_BY(mutex_);
+  std::uint64_t hits_ QGNN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ QGNN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ QGNN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qgnn::serve

@@ -17,6 +17,7 @@
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/prediction_cache.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::serve {
 
@@ -229,7 +230,7 @@ class ServeHandle {
     std::chrono::steady_clock::time_point enqueue_time;
   };
   void submit_worker_main();
-  void start_submit_workers_locked();
+  void start_submit_workers_locked() QGNN_REQUIRES(submit_mutex_);
 
   const ServeConfig config_;
   ModelRegistry registry_;
@@ -241,21 +242,24 @@ class ServeHandle {
   mutable std::mutex submit_mutex_;
   std::condition_variable submit_cv_;
   std::condition_variable submit_idle_cv_;
-  std::deque<SubmitJob> submit_queue_;
-  std::vector<std::thread> submit_threads_;
-  std::size_t submits_in_flight_ = 0;  // popped but not yet completed
-  bool submit_stop_ = false;
+  std::deque<SubmitJob> submit_queue_ QGNN_GUARDED_BY(submit_mutex_);
+  std::vector<std::thread> submit_threads_ QGNN_GUARDED_BY(submit_mutex_);
+  /// Popped but not yet completed.
+  std::size_t submits_in_flight_ QGNN_GUARDED_BY(submit_mutex_) = 0;
+  bool submit_stop_ QGNN_GUARDED_BY(submit_mutex_) = false;
 
   mutable std::mutex batchers_mutex_;
-  std::unordered_map<std::string, std::unique_ptr<MicroBatcher>> batchers_;
+  std::unordered_map<std::string, std::unique_ptr<MicroBatcher>> batchers_
+      QGNN_GUARDED_BY(batchers_mutex_);
 
   std::atomic<std::uint64_t> next_batch_id_{0};
 
   mutable std::mutex stats_mutex_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t batched_requests_ = 0;
-  std::uint64_t bulk_batches_ = 0;  // forward passes run by predict_many
-  std::uint64_t ar_verifications_ = 0;
+  std::uint64_t requests_ QGNN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t batched_requests_ QGNN_GUARDED_BY(stats_mutex_) = 0;
+  /// Forward passes run by predict_many.
+  std::uint64_t bulk_batches_ QGNN_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t ar_verifications_ QGNN_GUARDED_BY(stats_mutex_) = 0;
 
   // Stage histograms are per-handle (not in the global MetricsRegistry):
   // serve_bench and the tests create many handles with different configs
@@ -270,9 +274,11 @@ class ServeHandle {
   obs::LatencyHistogram batch_size_hist_;
   obs::LatencyHistogram verify_us_;
 
-  bool have_first_request_ = false;
-  std::chrono::steady_clock::time_point first_request_;
-  std::chrono::steady_clock::time_point last_completion_;
+  bool have_first_request_ QGNN_GUARDED_BY(stats_mutex_) = false;
+  std::chrono::steady_clock::time_point first_request_
+      QGNN_GUARDED_BY(stats_mutex_);
+  std::chrono::steady_clock::time_point last_completion_
+      QGNN_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace qgnn::serve

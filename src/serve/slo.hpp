@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::serve {
 
@@ -85,7 +86,8 @@ class SloController {
   Counters counters() const;
 
  private:
-  void refresh_locked(std::chrono::steady_clock::time_point now);
+  void refresh_locked(std::chrono::steady_clock::time_point now)
+      QGNN_REQUIRES(mutex_);
 
   const SloConfig config_;
 
@@ -93,10 +95,12 @@ class SloController {
   // rotation the other half is reset and becomes active. The windowed
   // view is the merge of both, covering the last [window/2, window).
   std::mutex mutex_;
-  obs::LatencyHistogram halves_[2];
-  int active_ = 0;
-  std::chrono::steady_clock::time_point last_rotate_;
-  std::chrono::steady_clock::time_point last_refresh_;
+  obs::LatencyHistogram halves_[2] QGNN_GUARDED_BY(mutex_);
+  int active_ QGNN_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point last_rotate_
+      QGNN_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point last_refresh_
+      QGNN_GUARDED_BY(mutex_);
 
   std::atomic<bool> shedding_{false};
   std::atomic<double> windowed_p99_us_{0.0};

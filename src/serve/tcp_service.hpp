@@ -9,6 +9,7 @@
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "serve/slo.hpp"
+#include "util/annotations.hpp"
 
 namespace qgnn::serve {
 
@@ -52,7 +53,11 @@ class NdjsonTcpService {
   SloController::Counters slo_counters() const { return slo_.counters(); }
 
  private:
-  void on_line(std::uint64_t conn_id, std::string&& line);
+  /// Runs inline on the event-loop thread (parse, control commands,
+  /// cache fast path, admission, try_submit handoff) — nothing it
+  /// reaches may block.
+  void on_line(std::uint64_t conn_id, std::string&& line)
+      QGNN_EVENT_LOOP_ONLY;
   std::string stats_response(const JsonValue& id) const;
 
   ServeHandle& handle_;

@@ -1,0 +1,57 @@
+#pragma once
+
+// Concurrency and determinism annotation vocabulary (DESIGN.md §14).
+//
+// The serving stack spans a thread pool, an epoll event loop, re-exec'd
+// shard workers, and background mining threads; these macros let a
+// declaration state the invariant it depends on, and tools/qgnn_lint's
+// project-wide flow checkers enforce it on every build:
+//
+//   QGNN_GUARDED_BY(m)       member is only read/written while mutex
+//                            member `m` is held (lock-discipline check)
+//   QGNN_REQUIRES(m)         function must be called with `m` held; its
+//                            body may touch members guarded by `m`
+//   QGNN_EXCLUDES(m)         function must NOT be called with `m` held
+//                            (it acquires `m` itself)
+//   QGNN_EVENT_LOOP_ONLY     function runs on the epoll loop thread and
+//                            everything reachable from it must stay
+//                            non-blocking (event-loop-blocking check)
+//   QGNN_BIT_IDENTICAL_PATH  function is on a byte-determinism surface
+//                            (statevector, packed writer, canonical
+//                            hash, checkpoints): no FMA contraction, no
+//                            unordered-container iteration into output,
+//                            no ISA-dependent state reads
+//                            (bit-identical-path check)
+//
+// Placement: after the declarator, before the terminating `;` or body —
+// the same position Clang's thread-safety attributes use:
+//
+//   std::deque<Job> queue_ QGNN_GUARDED_BY(mutex_);
+//   void start_workers_locked() QGNN_REQUIRES(mutex_);
+//   void on_line(std::uint64_t id, std::string&& l) QGNN_EVENT_LOOP_ONLY;
+//
+// Expansion tiers:
+//   - Clang with the thread-safety opt-in (-DQGNN_CLANG_THREAD_SAFETY,
+//     the CI clang job): the lock annotations expand to the Clang
+//     thread-safety attributes so -Wthread-safety compiler-checks the
+//     same contracts qgnn_lint enforces. Pair with libc++'s
+//     _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS so std::mutex and the
+//     guard types are capability-annotated.
+//   - everywhere else: the macros expand to nothing.
+// qgnn_lint reads the macro spellings straight from source tokens, so
+// the lint-time contracts hold regardless of compiler or build flags.
+
+#if defined(__clang__) && defined(QGNN_CLANG_THREAD_SAFETY)
+#define QGNN_TS_ATTR(x) __attribute__((x))
+#else
+#define QGNN_TS_ATTR(x)
+#endif
+
+#define QGNN_GUARDED_BY(m) QGNN_TS_ATTR(guarded_by(m))
+#define QGNN_REQUIRES(...) QGNN_TS_ATTR(exclusive_locks_required(__VA_ARGS__))
+#define QGNN_EXCLUDES(...) QGNN_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+// Lint-only markers: no compiler-attribute equivalent exists for "runs
+// on the event loop" or "byte-deterministic output path".
+#define QGNN_EVENT_LOOP_ONLY
+#define QGNN_BIT_IDENTICAL_PATH

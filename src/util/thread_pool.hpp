@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace qgnn::obs {
 class Counter;
 class Gauge;
@@ -130,9 +132,11 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  std::shared_ptr<Job> job_;    // job being executed, null when idle
-  std::uint64_t job_epoch_ = 0; // bumped per job so workers never re-join one
-  bool stop_ = false;
+  /// Job being executed, null when idle.
+  std::shared_ptr<Job> job_ QGNN_GUARDED_BY(mutex_);
+  /// Bumped per job so workers never re-join one.
+  std::uint64_t job_epoch_ QGNN_GUARDED_BY(mutex_) = 0;
+  bool stop_ QGNN_GUARDED_BY(mutex_) = false;
 
   std::mutex submit_mutex_;  // serializes parallel_for calls across threads
 

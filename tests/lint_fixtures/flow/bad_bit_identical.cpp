@@ -1,0 +1,40 @@
+// bit-identical-path positive fixture: FMA contraction, ISA-dependent
+// state, and unordered iteration inside byte-stable code. The dot()
+// annotation sits on the declaration and must merge onto the definition.
+#include <cmath>
+#include <unordered_map>
+
+namespace fix {
+
+double dot(const double* a, const double* b, int n) QGNN_BIT_IDENTICAL_PATH;
+
+double dot(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc = std::fma(a[i], b[i], acc);  // finding: FMA contraction
+  }
+  return acc;
+}
+
+double helper(double x) {
+  return std::fma(x, x, 1.0);  // finding: direct callee of poly()
+}
+
+double poly(double x) QGNN_BIT_IDENTICAL_PATH { return helper(x); }
+
+double checksum() QGNN_BIT_IDENTICAL_PATH {
+  std::unordered_map<int, double> levels;
+  levels[1] = 0.5;
+  double acc = 0.0;
+  for (const auto& kv : levels) {  // finding: hash-seed dependent order
+    acc += kv.second;
+  }
+  if (cpu_supports(2)) {  // finding: ISA-dependent state
+    acc += 1.0;
+  }
+  return acc;
+}
+
+bool cpu_supports(int level);
+
+}  // namespace fix

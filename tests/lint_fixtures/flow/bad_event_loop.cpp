@@ -1,0 +1,26 @@
+// event-loop-blocking positive fixture: blocking primitives reachable
+// from a QGNN_EVENT_LOOP_ONLY entry, both directly and one call deep.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fix {
+
+class Handler {
+ public:
+  void on_event() QGNN_EVENT_LOOP_ONLY {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // finding
+    handle();
+  }
+
+ private:
+  void handle() {
+    // finding: stray_mutex_ is not named by any annotation, so nothing
+    // bounds its critical sections.
+    std::lock_guard<std::mutex> lk(stray_mutex_);
+  }
+
+  std::mutex stray_mutex_;
+};
+
+}  // namespace fix

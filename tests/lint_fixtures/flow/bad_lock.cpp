@@ -1,0 +1,33 @@
+// lock-discipline positive fixture: QGNN_GUARDED_BY members touched
+// without the named mutex lexically held. Also exercises the
+// suppression escape hatch on a flow finding.
+#include <mutex>
+
+namespace fix {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    balance_ += amount;  // ok: lock held
+  }
+
+  int peek() const {
+    return balance_;  // finding: no lock, no QGNN_REQUIRES
+  }
+
+  void reset() {
+    balance_ = 0;  // finding: no lock, no QGNN_REQUIRES
+  }
+
+  int racy_peek() const {
+    // qgnn-lint: allow(lock-discipline)
+    return balance_;  // suppressed: approximate stats snapshot
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  int balance_ QGNN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fix

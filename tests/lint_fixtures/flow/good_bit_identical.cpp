@@ -1,0 +1,28 @@
+// bit-identical-path negative fixture: explicit mul+add, ordered
+// containers, no ISA-dependent reads.
+#include <map>
+#include <vector>
+
+namespace fix {
+
+double stable_dot(const std::vector<double>& a,
+                  const std::vector<double>& b) QGNN_BIT_IDENTICAL_PATH;
+
+double stable_dot(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];  // explicit mul+add: same bits on every ISA
+  }
+  return acc;
+}
+
+double stable_sum(const std::map<int, double>& m) QGNN_BIT_IDENTICAL_PATH {
+  double acc = 0.0;
+  for (const auto& kv : m) {  // std::map: deterministic order
+    acc += kv.second;
+  }
+  return acc;
+}
+
+}  // namespace fix

@@ -1,0 +1,34 @@
+// event-loop-blocking negative fixture: annotated (contract-bounded)
+// mutexes may be locked on the loop thread, and calls inside lambdas are
+// deferred — they run on whatever thread invokes the lambda, so the
+// reachability walk must not follow them.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fix {
+
+class Ticker {
+ public:
+  void on_tick() QGNN_EVENT_LOOP_ONLY {
+    std::lock_guard<std::mutex> lk(state_mutex_);  // ok: annotated mutex
+    ticks_ += 1;
+    spawn();
+  }
+
+ private:
+  void spawn() {
+    worker_ = std::thread([this] { background(); });  // deferred edge
+  }
+
+  void background() {
+    // ok: runs on the worker thread, unreachable from the loop walk.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::mutex state_mutex_;
+  std::thread worker_;
+  int ticks_ QGNN_GUARDED_BY(state_mutex_) = 0;
+};
+
+}  // namespace fix

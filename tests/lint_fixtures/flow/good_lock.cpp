@@ -1,0 +1,39 @@
+// lock-discipline negative fixture: every guarded access is covered by
+// a lexically visible guard, a QGNN_REQUIRES annotation, or one-level
+// call-graph propagation (every project call site holds the mutex).
+#include <mutex>
+
+namespace fix {
+
+class Ledger {
+ public:
+  void add(int x) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (x > 0) {
+      total_ += x;  // ok: guard must survive the nested block
+    }
+    bump();  // one-level propagation: the only call site holds mutex_
+  }
+
+  int drain() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    return drain_locked();
+  }
+
+ private:
+  int drain_locked() QGNN_REQUIRES(mutex_) {
+    const int t = total_;  // ok: QGNN_REQUIRES(mutex_)
+    total_ = 0;
+    return t;
+  }
+
+  void bump() {
+    count_ += 1;  // ok: every call site holds mutex_ (de-facto REQUIRES)
+  }
+
+  mutable std::mutex mutex_;
+  int total_ QGNN_GUARDED_BY(mutex_) = 0;
+  int count_ QGNN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// error-path positive fixture: IoError thrown under a src/dataset path
+// without naming the file it failed on.
+#include <string>
+
+namespace fix {
+
+struct IoError {
+  explicit IoError(const std::string& what);
+};
+
+void load(const std::string& path) {
+  if (path.empty()) {
+    throw IoError("bad magic");  // finding: which file?
+  }
+}
+
+}  // namespace fix

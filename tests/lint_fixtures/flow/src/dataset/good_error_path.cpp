@@ -1,0 +1,21 @@
+// error-path negative fixture: IoError messages carry the file path and
+// offset, so a corrupt shard names the shard.
+#include <string>
+
+namespace fix {
+
+struct IoError {
+  explicit IoError(const std::string& what);
+};
+
+void load(const std::string& path, long off) {
+  if (path.empty()) {
+    throw IoError("bad magic in " + path);
+  }
+  if (off < 0) {
+    throw IoError("truncated record at offset " + std::to_string(off) +
+                  " in " + path);
+  }
+}
+
+}  // namespace fix

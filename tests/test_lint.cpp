@@ -12,7 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include "qgnn_lint/baseline.hpp"
+#include "qgnn_lint/flow_checks.hpp"
 #include "qgnn_lint/lint.hpp"
+#include "qgnn_lint/sarif.hpp"
 
 namespace {
 
@@ -116,6 +119,40 @@ TEST(LintLexer, DirectiveIsOneToken) {
   ASSERT_FALSE(lex.tokens.empty());
   EXPECT_EQ(lex.tokens[0].kind, TokenKind::kDirective);
   EXPECT_EQ(lex.tokens[0].text, "#pragma once");  // whitespace collapsed
+}
+
+TEST(LintLexer, RawStringNewlinesKeepLineAttribution) {
+  // Every newline inside a raw string must advance the line counter, or
+  // every finding after the literal points at the wrong line.
+  const auto lex = qgnn::lint::lex(
+      "auto s = R\"(line1\nline2\nline3)\";\nint marker = 1;\n");
+  const auto marker = std::find_if(
+      lex.tokens.begin(), lex.tokens.end(),
+      [](const auto& t) { return t.text == "marker"; });
+  ASSERT_NE(marker, lex.tokens.end());
+  EXPECT_EQ(marker->line, 4);
+}
+
+TEST(LintLexer, BackslashContinuationExtendsLineComment) {
+  // A line comment ending in a backslash continues onto the next source
+  // line; the "hidden" code is comment text, not tokens.
+  const auto lex = qgnn::lint::lex(
+      "// continues \\\nint hidden = rand();\nint visible = 1;\n");
+  for (const auto& t : lex.tokens) {
+    if (t.kind == TokenKind::kIdentifier) {
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "hidden");
+    }
+  }
+  const auto visible = std::find_if(
+      lex.tokens.begin(), lex.tokens.end(),
+      [](const auto& t) { return t.text == "visible"; });
+  ASSERT_NE(visible, lex.tokens.end());
+  EXPECT_EQ(visible->line, 3);
+  // The comment records its full extent for suppression scoping.
+  ASSERT_FALSE(lex.comments.empty());
+  EXPECT_EQ(lex.comments[0].line, 1);
+  EXPECT_EQ(lex.comments[0].end_line, 2);
 }
 
 // ---------------------------------------------------------------------------
@@ -283,6 +320,198 @@ TEST(LintFixtures, CleanFilesPass) {
 }
 
 // ---------------------------------------------------------------------------
+// Flow checks (project model) against tests/lint_fixtures/flow/
+
+/// run_lint over the flow fixture subtree with exactly one check enabled.
+std::vector<Finding> run_flow_check(const std::string& check) {
+  LintConfig config;
+  config.paths = {kFixtureDir + "/flow"};
+  config.only_checks = {check};
+  return qgnn::lint::run_lint(config);
+}
+
+/// (file basename, line) pairs, sorted, for flow findings.
+std::vector<std::pair<std::string, int>> file_lines(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Finding& f : findings) {
+    const auto slash = f.file.find_last_of('/');
+    out.emplace_back(
+        slash == std::string::npos ? f.file : f.file.substr(slash + 1),
+        f.line);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(LintFlow, LockDiscipline) {
+  // Positives: the two unlocked accesses in bad_lock.cpp. Everything in
+  // good_lock.cpp (nested scopes, QGNN_REQUIRES, one-level call-graph
+  // propagation) and the suppressed access must stay silent.
+  const auto findings = run_flow_check("lock-discipline");
+  EXPECT_EQ(file_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"bad_lock.cpp", 16}, {"bad_lock.cpp", 20}}));
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("balance_"), std::string::npos) << f.message;
+    EXPECT_NE(f.message.find("mutex_"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintFlow, EventLoopBlocking) {
+  // A sleep directly in the entry, and an unannotated-mutex lock one
+  // call deep; the deferred (in-lambda) path in good_event_loop.cpp runs
+  // on a worker thread and must not be walked.
+  const auto findings = run_flow_check("event-loop-blocking");
+  EXPECT_EQ(file_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"bad_event_loop.cpp", 12}, {"bad_event_loop.cpp", 20}}));
+  // The one-call-deep finding prints its call chain.
+  bool chain = false;
+  for (const Finding& f : findings) {
+    chain |= f.message.find("Handler::on_event -> Handler::handle") !=
+             std::string::npos;
+  }
+  EXPECT_TRUE(chain);
+}
+
+TEST(LintFlow, BitIdenticalPath) {
+  // FMA in an annotated function (annotation on the declaration, merged
+  // onto the definition), FMA in a direct callee, unordered iteration,
+  // and an ISA-state read. good_bit_identical.cpp is silent.
+  const auto findings = run_flow_check("bit-identical-path");
+  EXPECT_EQ(file_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"bad_bit_identical.cpp", 14},
+                {"bad_bit_identical.cpp", 20},
+                {"bad_bit_identical.cpp", 29},
+                {"bad_bit_identical.cpp", 32}}));
+}
+
+TEST(LintFlow, ErrorPath) {
+  // "bad magic" with no file context under a src/dataset path fails;
+  // messages that thread the path/offset through pass.
+  const auto findings = run_flow_check("error-path");
+  EXPECT_EQ(file_lines(findings),
+            (std::vector<std::pair<std::string, int>>{
+                {"bad_error_path.cpp", 13}}));
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+
+TEST(LintSarif, MinimalSchemaShape) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 12, "obs-name", "bad \"name\""},
+      {"./src/b.cpp", 3, "lock-discipline", "unlocked"},
+  };
+  const std::string sarif = qgnn::lint::to_sarif(findings);
+  // Required top-level SARIF 2.1.0 keys.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"runs\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"tool\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"driver\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"qgnn_lint\""), std::string::npos);
+  // Every catalogue check appears as a rule.
+  for (const auto& check : qgnn::lint::all_checks()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(check.name) + "\""),
+              std::string::npos)
+        << check.name;
+  }
+  for (const auto& check : qgnn::lint::all_flow_checks()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(check.name) + "\""),
+              std::string::npos)
+        << check.name;
+  }
+  // Results carry ruleId, message, and physical location; the "./"
+  // prefix is stripped from URIs and embedded quotes are escaped.
+  EXPECT_NE(sarif.find("\"ruleId\": \"obs-name\""), std::string::npos);
+  EXPECT_NE(sarif.find("bad \\\"name\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/b.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_EQ(sarif.find("\"uri\": \"./"), std::string::npos);
+}
+
+TEST(LintSarif, JsonEscape) {
+  EXPECT_EQ(qgnn::lint::json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+}
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet
+
+TEST(LintBaseline, RoundTripAndDiff) {
+  using qgnn::lint::Baseline;
+  using qgnn::lint::BaselineKey;
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 12, "obs-name", "bad name"},
+      {"src/a.cpp", 40, "obs-name", "bad name"},  // same key, count 2
+      {"src/b.cpp", 3, "raw-io", "fopen"},
+  };
+  const Baseline baseline = qgnn::lint::collect_baseline(findings);
+  EXPECT_EQ(baseline.size(), 2u);
+  EXPECT_EQ(baseline.at(BaselineKey{"obs-name", "src/a.cpp", "bad name"}), 2);
+
+  // serialize -> parse is the identity.
+  const std::string json = qgnn::lint::serialize_baseline(baseline);
+  EXPECT_EQ(qgnn::lint::parse_baseline(json), baseline);
+
+  // Exact match: nothing fresh, nothing stale.
+  const auto clean = qgnn::lint::diff_baseline(findings, baseline);
+  EXPECT_TRUE(clean.fresh.empty());
+  EXPECT_TRUE(clean.stale.empty());
+
+  // A new finding is fresh (fails the run).
+  auto more = findings;
+  more.push_back({"src/c.cpp", 9, "raw-io", "fread"});
+  const auto grown = qgnn::lint::diff_baseline(more, baseline);
+  ASSERT_EQ(grown.fresh.size(), 1u);
+  EXPECT_EQ(grown.fresh[0].file, "src/c.cpp");
+  EXPECT_TRUE(grown.stale.empty());
+
+  // A fixed finding leaves its entry stale (also fails: ratchet).
+  std::vector<Finding> fewer = {findings[0], findings[1]};
+  const auto shrunk = qgnn::lint::diff_baseline(fewer, baseline);
+  EXPECT_TRUE(shrunk.fresh.empty());
+  ASSERT_EQ(shrunk.stale.size(), 1u);
+  EXPECT_NE(shrunk.stale[0].find("raw-io"), std::string::npos);
+}
+
+TEST(LintBaseline, SerializationIsCanonical) {
+  // Committed bytes must be stable: sorted keys, fixed layout, trailing
+  // newline, and a round-trip that reproduces them exactly.
+  qgnn::lint::Baseline baseline;
+  baseline[{"raw-io", "src/b.cpp", "fopen"}] = 1;
+  baseline[{"obs-name", "src/a.cpp", "bad name"}] = 2;
+  const std::string json = qgnn::lint::serialize_baseline(baseline);
+  EXPECT_EQ(json,
+            qgnn::lint::serialize_baseline(qgnn::lint::parse_baseline(json)));
+  EXPECT_FALSE(json.empty());
+  EXPECT_EQ(json.back(), '\n');
+  // obs-name sorts before raw-io regardless of insertion order.
+  EXPECT_LT(json.find("obs-name"), json.find("raw-io"));
+}
+
+TEST(LintBaseline, ParseRejectsMalformedInput) {
+  EXPECT_THROW(qgnn::lint::parse_baseline("not json"), std::runtime_error);
+  EXPECT_THROW(qgnn::lint::parse_baseline("{\"version\": 1}"),
+               std::runtime_error);
+  EXPECT_THROW(
+      qgnn::lint::parse_baseline(
+          "{\"version\": 1, \"findings\": [{\"check\": \"x\"}]}"),
+      std::runtime_error);
+}
+
+TEST(LintBaseline, RepoBaselineParses) {
+  // The committed baseline must always parse; an empty findings list is
+  // the healthy state.
+  const std::string path =
+      std::string(QGNN_LINT_FIXTURE_DIR) + "/../../tools/qgnn_lint/baseline.json";
+  const auto baseline = qgnn::lint::parse_baseline(read_file(path));
+  (void)baseline;
+}
+
+// ---------------------------------------------------------------------------
 // Driver behavior
 
 TEST(LintDriver, WholeFixtureTreeFindingCount) {
@@ -305,7 +534,32 @@ TEST(LintDriver, WholeFixtureTreeFindingCount) {
   EXPECT_EQ(per_check["raw-io"], 3);
   EXPECT_EQ(per_check["raw-socket"], 4);
   EXPECT_EQ(per_check["unguarded-intrinsics"], 5);
-  EXPECT_EQ(findings.size(), 32u);
+  // Flow checks over the flow/ subtree ride in the same run.
+  EXPECT_EQ(per_check["lock-discipline"], 2);
+  EXPECT_EQ(per_check["event-loop-blocking"], 2);
+  EXPECT_EQ(per_check["bit-identical-path"], 4);
+  EXPECT_EQ(per_check["error-path"], 1);
+  EXPECT_EQ(findings.size(), 41u);
+}
+
+TEST(LintDriver, OutputIsByteIdenticalAtAnyJobCount) {
+  // The parallel driver must merge findings in a total order: the same
+  // tree linted with 1, 2, and 8 workers renders identical reports.
+  std::vector<std::string> rendered;
+  for (const int jobs : {1, 2, 8}) {
+    LintConfig config;
+    config.paths = {kFixtureDir};
+    config.jobs = jobs;
+    std::string all;
+    for (const Finding& f : qgnn::lint::run_lint(config)) {
+      all += qgnn::lint::format_finding(f);
+      all += '\n';
+    }
+    rendered.push_back(std::move(all));
+  }
+  EXPECT_FALSE(rendered[0].empty());
+  EXPECT_EQ(rendered[0], rendered[1]);
+  EXPECT_EQ(rendered[0], rendered[2]);
 }
 
 TEST(LintDriver, RegistryNotEnforcedOutsideSrc) {
@@ -340,6 +594,29 @@ TEST(LintDriver, CheckCatalogueIsStable) {
                        "obs-name", "lock-across-submit", "mutable-global",
                        "pragma-once", "banned-function", "raw-io",
                        "raw-socket", "unguarded-intrinsics"}));
+}
+
+TEST(LintDriver, FlowCheckCatalogueIsStable) {
+  std::set<std::string> names;
+  for (const auto& check : qgnn::lint::all_flow_checks()) {
+    names.insert(check.name);
+    // Every check documents itself for --explain.
+    EXPECT_NE(check.explain, nullptr);
+    EXPECT_GT(std::string(check.explain).size(), 40u) << check.name;
+  }
+  EXPECT_EQ(names, (std::set<std::string>{
+                       "lock-discipline", "event-loop-blocking",
+                       "bit-identical-path", "error-path"}));
+  // Flow and per-file names share one namespace with no collisions, and
+  // known_check() resolves both.
+  for (const auto& check : qgnn::lint::all_checks()) {
+    EXPECT_EQ(names.count(check.name), 0u) << check.name;
+    EXPECT_TRUE(qgnn::lint::known_check(check.name));
+  }
+  for (const auto& name : names) {
+    EXPECT_TRUE(qgnn::lint::known_check(name));
+  }
+  EXPECT_FALSE(qgnn::lint::known_check("no-such-check"));
 }
 
 }  // namespace

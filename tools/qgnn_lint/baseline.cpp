@@ -1,0 +1,229 @@
+#include "qgnn_lint/baseline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "qgnn_lint/sarif.hpp"  // json_escape
+
+namespace qgnn::lint {
+
+namespace {
+
+std::string normalize(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  if (out.rfind("./", 0) == 0) out = out.substr(2);
+  return out;
+}
+
+/// Tiny JSON reader for the baseline's fixed shape. Accepts arbitrary
+/// whitespace and any key order; rejects everything else loudly.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Baseline read() {
+    Baseline baseline;
+    bool saw_version = false;
+    bool saw_findings = false;
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = read_string();
+      expect(':');
+      if (key == "version") {
+        (void)read_number();
+        saw_version = true;
+      } else if (key == "findings") {
+        read_findings(&baseline);
+        saw_findings = true;
+      } else {
+        fail("unknown top-level key '" + key + "'");
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    if (!saw_version) fail("missing required key 'version'");
+    if (!saw_findings) fail("missing required key 'findings'");
+    return baseline;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("baseline: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                value |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("bad \\u escape digit");
+            }
+            if (value > 0x7f) fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(value);
+            break;
+          }
+          default:
+            fail(std::string("unsupported escape '\\") + e + "'");
+        }
+        continue;
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  long read_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    return std::stol(text_.substr(start, pos_ - start));
+  }
+
+  void read_findings(Baseline* baseline) {
+    expect('[');
+    bool first = true;
+    while (!try_consume(']')) {
+      if (!first) expect(',');
+      first = false;
+      expect('{');
+      BaselineKey key;
+      long count = 1;
+      bool obj_first = true;
+      while (!try_consume('}')) {
+        if (!obj_first) expect(',');
+        obj_first = false;
+        const std::string field = read_string();
+        expect(':');
+        if (field == "check") {
+          key.check = read_string();
+        } else if (field == "file") {
+          key.file = normalize(read_string());
+        } else if (field == "message") {
+          key.message = read_string();
+        } else if (field == "count") {
+          count = read_number();
+        } else {
+          fail("unknown finding key '" + field + "'");
+        }
+      }
+      if (key.check.empty() || key.file.empty()) {
+        fail("finding entry missing check/file");
+      }
+      if (count < 1) fail("finding count must be >= 1");
+      (*baseline)[key] += static_cast<int>(count);
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Baseline collect_baseline(const std::vector<Finding>& findings) {
+  Baseline baseline;
+  for (const Finding& f : findings) {
+    ++baseline[BaselineKey{f.check, normalize(f.file), f.message}];
+  }
+  return baseline;
+}
+
+std::string serialize_baseline(const Baseline& baseline) {
+  std::string out = "{\n  \"version\": 1,\n  \"findings\": [";
+  bool first = true;
+  for (const auto& [key, count] : baseline) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"check\": \"" + json_escape(key.check) +
+           "\", \"file\": \"" + json_escape(key.file) +
+           "\", \"count\": " + std::to_string(count) +
+           ",\n     \"message\": \"" + json_escape(key.message) + "\"}";
+  }
+  out += baseline.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+Baseline parse_baseline(const std::string& json) {
+  return JsonReader(json).read();
+}
+
+BaselineDiff diff_baseline(const std::vector<Finding>& findings,
+                           const Baseline& baseline) {
+  BaselineDiff diff;
+  Baseline remaining = baseline;
+  for (const Finding& f : findings) {
+    const BaselineKey key{f.check, normalize(f.file), f.message};
+    const auto it = remaining.find(key);
+    if (it != remaining.end() && it->second > 0) {
+      if (--it->second == 0) remaining.erase(it);
+      continue;
+    }
+    diff.fresh.push_back(f);
+  }
+  for (const auto& [key, count] : remaining) {
+    diff.stale.push_back(key.check + "|" + key.file + "|" + key.message +
+                         " (x" + std::to_string(count) + ")");
+  }
+  return diff;
+}
+
+}  // namespace qgnn::lint

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qgnn_lint/checks.hpp"
+
+namespace qgnn::lint {
+
+/// Baseline of accepted findings (tools/qgnn_lint/baseline.json).
+///
+/// The baseline makes the linter adoptable on a codebase with existing
+/// debt while staying a ratchet: a finding is keyed by
+/// (check, file, message) with a count, so
+///   - a NEW finding (key absent, or more occurrences than baselined)
+///     fails the run, and
+///   - a FIXED finding (baselined key no longer present, or fewer
+///     occurrences) also fails until the entry is removed — the file is
+///     a record of debt, not a landfill.
+/// Line numbers are deliberately not part of the key: unrelated edits
+/// shift lines constantly and would churn the file.
+
+struct BaselineKey {
+  std::string check;
+  std::string file;  // normalized ('/' separators)
+  std::string message;
+
+  bool operator<(const BaselineKey& o) const {
+    if (check != o.check) return check < o.check;
+    if (file != o.file) return file < o.file;
+    return message < o.message;
+  }
+  bool operator==(const BaselineKey& o) const {
+    return check == o.check && file == o.file && message == o.message;
+  }
+};
+
+using Baseline = std::map<BaselineKey, int>;
+
+/// Result of matching live findings against a baseline.
+struct BaselineDiff {
+  /// Findings not covered by the baseline (fail the run).
+  std::vector<Finding> fresh;
+  /// Baseline entries no longer matched by any finding, rendered as
+  /// "check|file|message (xN)" (fail the run: remove them).
+  std::vector<std::string> stale;
+};
+
+/// Count findings into a baseline.
+Baseline collect_baseline(const std::vector<Finding>& findings);
+
+/// Serialize in canonical form (sorted keys, 2-space indent, trailing
+/// newline) — committed to the repo, so the bytes must be stable.
+std::string serialize_baseline(const Baseline& baseline);
+
+/// Parse baseline JSON. Throws std::runtime_error with a description on
+/// malformed input.
+Baseline parse_baseline(const std::string& json);
+
+/// Match findings against the baseline: covered findings are consumed,
+/// extras become `fresh`, unconsumed entries become `stale`.
+BaselineDiff diff_baseline(const std::vector<Finding>& findings,
+                           const Baseline& baseline);
+
+}  // namespace qgnn::lint

@@ -733,32 +733,70 @@ const std::vector<CheckInfo>& all_checks() {
   static const std::vector<CheckInfo> kChecks = {
       {"determinism-call",
        "entropy sources / wall clocks outside the seeded RNG wrapper",
+       "Dataset generation, training, and replay verification all assume "
+       "a run is reproducible from its seed. rand()/random_device/"
+       "system_clock inject host state into that path. Fix: take a "
+       "qgnn::Rng (derive_seed for substreams) and steady_clock for "
+       "durations.",
        &check_determinism_call},
       {"determinism-iteration",
        "unordered-container iteration in serialization/hashing paths",
+       "Unordered-container iteration order depends on the hash seed and "
+       "libstdc++ version, so anything serialized or hashed from it is "
+       "not byte-stable. Fix: copy keys to a vector and sort before "
+       "emitting, or use std::map on output paths.",
        &check_determinism_iteration},
       {"obs-name",
        "metric/span names must follow subsystem.name_unit and be "
        "registered in src/obs/names.hpp",
+       "Dashboards and alerts key on exact metric names; a typo ships a "
+       "silent gap. Names must match subsystem.metric[_unit] and appear "
+       "in src/obs/names.hpp. Fix: add the constant to the registry and "
+       "reference it.",
        &check_obs_name},
       {"lock-across-submit",
        "thread-pool submit/parallel_for while holding a lock guard",
+       "parallel_for blocks the caller until every chunk completes; "
+       "holding a lock across it serializes the pool behind that lock "
+       "and risks deadlock when a chunk takes the same lock. Fix: copy "
+       "what the chunks need, drop the guard, then submit.",
        &check_lock_across_submit},
       {"mutable-global",
        "non-const namespace-scope state in library code",
+       "Mutable globals are invisible cross-thread coupling and make "
+       "replay nondeterministic. Fix: pass state explicitly, or wrap it "
+       "in a function-local static behind an accessor with a documented "
+       "lock.",
        &check_mutable_global},
       {"pragma-once", "headers must start with #pragma once",
+       "Every header in this repo uses #pragma once; a missing guard "
+       "turns refactors into ODR archaeology. Fix: add #pragma once as "
+       "the first non-comment line.",
        &check_pragma_once},
       {"banned-function",
-       "strtok/sprintf/atoi-family calls", &check_banned_function},
+       "strtok/sprintf/atoi-family calls",
+       "strtok is not thread-safe, sprintf has no bounds, and the atoi "
+       "family reports errors as 0 — all three have bitten serving code. "
+       "Fix: string_view splitting, snprintf, std::from_chars/stoi.",
+       &check_banned_function},
       {"raw-io",
        "direct fread/fwrite/mmap outside the dataset storage layer",
+       "All shard bytes flow through the storage layer so checksums, "
+       "offsets, and error context stay consistent. Fix: use the "
+       "dataset storage readers/writers instead of raw stdio/mmap.",
        &check_raw_io},
       {"raw-socket",
        "direct socket/accept/epoll syscalls outside src/net",
+       "Socket setup (non-blocking flags, TCP_NODELAY, epoll "
+       "registration) is centralized in src/net; a stray raw socket "
+       "bypasses the event loop's invariants. Fix: go through src/net.",
        &check_raw_socket},
       {"unguarded-intrinsics",
        "raw _mm*/__m256/__m512 intrinsics outside src/simd",
+       "ISA-specific intrinsics outside src/simd break the generic "
+       "build and dodge runtime dispatch. Fix: add a kernel under "
+       "src/simd with a generic fallback and route through the "
+       "dispatcher.",
        &check_unguarded_intrinsics},
   };
   return kChecks;

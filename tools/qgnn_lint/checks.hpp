@@ -44,6 +44,7 @@ using CheckFn = void (*)(const FileContext&, std::vector<Finding>&);
 struct CheckInfo {
   const char* name;
   const char* description;
+  const char* explain;  // rationale + fix guidance for --explain
   CheckFn fn;
 };
 

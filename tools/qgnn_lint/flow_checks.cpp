@@ -1,0 +1,648 @@
+#include "qgnn_lint/flow_checks.hpp"
+
+#include <cctype>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qgnn::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_id(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+bool path_contains(const ProjectModel& model, int file,
+                   const std::string& needle) {
+  return model.files[static_cast<std::size_t>(file)].normalized.find(
+             needle) != std::string::npos;
+}
+
+const Tokens& file_tokens(const ProjectModel& model, int file) {
+  return model.files[static_cast<std::size_t>(file)].lex.tokens;
+}
+
+bool is_guard_type(const Token& t) {
+  return is_id(t, "lock_guard") || is_id(t, "unique_lock") ||
+         is_id(t, "scoped_lock");
+}
+
+/// One past a balanced group opened at `i` (or i when ts[i] != open).
+std::size_t skip_balanced(const Tokens& ts, std::size_t i, const char* open,
+                          const char* close) {
+  if (i >= ts.size() || !is_punct(ts[i], open)) return i;
+  int depth = 0;
+  for (std::size_t j = i; j < ts.size(); ++j) {
+    if (is_punct(ts[j], open)) ++depth;
+    if (is_punct(ts[j], close)) {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+  }
+  return ts.size();
+}
+
+/// Skip `<...>` template arguments starting at `i` when present.
+std::size_t skip_template_args(const Tokens& ts, std::size_t i) {
+  if (i >= ts.size() || !is_punct(ts[i], "<")) return i;
+  int depth = 0;
+  for (std::size_t j = i; j < ts.size() && j < i + 64; ++j) {
+    if (is_punct(ts[j], "<")) ++depth;
+    if (is_punct(ts[j], ">")) {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+    if (is_punct(ts[j], ";")) break;  // not template args after all
+  }
+  return i;
+}
+
+/// Identifiers inside a balanced paren group starting at `open`.
+std::vector<std::string> idents_in_group(const Tokens& ts,
+                                         std::size_t open) {
+  std::vector<std::string> out;
+  const std::size_t end = skip_balanced(ts, open, "(", ")");
+  for (std::size_t j = open + 1; j + 1 < end; ++j) {
+    if (is_ident(ts[j])) out.push_back(ts[j].text);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-body scan: which mutexes are lexically held at each token.
+//
+// Tracks lock_guard/unique_lock/scoped_lock declarations (held until
+// their enclosing '}') and manual mutex_.lock()/.unlock() pairs (held
+// until unlocked or function end). This is a lexical approximation:
+// unique_lock::unlock()/condition-wait relocking is not modelled, which
+// errs on the side of "held" — acceptable for a lint whose remedy is an
+// annotation, fatal for nothing.
+
+struct HeldGuard {
+  std::set<std::string> mutexes;
+  int depth = 0;  // brace depth the guard lives at; popped when we leave
+};
+
+class HeldScanner {
+ public:
+  HeldScanner(const Tokens& ts, const FunctionInfo& fn)
+      : ts_(ts), pos_(fn.body_begin + 1), end_(fn.body_end) {
+    entry_.mutexes = fn.requires_mutexes;
+    entry_.depth = 0;
+  }
+
+  /// Advance to token index `target` (monotonic), updating held state.
+  void advance_to(std::size_t target) {
+    while (pos_ < target && pos_ < end_) step();
+  }
+
+  bool holds(const std::string& mutex) const {
+    if (entry_.mutexes.count(mutex) > 0) return true;
+    if (manual_.count(mutex) > 0) return true;
+    for (const HeldGuard& g : guards_) {
+      if (g.mutexes.count(mutex) > 0) return true;
+    }
+    return false;
+  }
+
+  std::set<std::string> held() const {
+    std::set<std::string> all = entry_.mutexes;
+    all.insert(manual_.begin(), manual_.end());
+    for (const HeldGuard& g : guards_) {
+      all.insert(g.mutexes.begin(), g.mutexes.end());
+    }
+    return all;
+  }
+
+ private:
+  void step() {
+    const Token& t = ts_[pos_];
+    if (is_punct(t, "{")) {
+      ++depth_;
+      ++pos_;
+      return;
+    }
+    if (is_punct(t, "}")) {
+      while (!guards_.empty() && guards_.back().depth >= depth_) {
+        guards_.pop_back();
+      }
+      --depth_;
+      ++pos_;
+      return;
+    }
+    if (is_guard_type(t)) {
+      // lock_guard<...> name(mutexes...)  /  scoped_lock name(m1, m2)
+      std::size_t j = skip_template_args(ts_, pos_ + 1);
+      if (j < end_ && is_ident(ts_[j]) && j + 1 < end_ &&
+          is_punct(ts_[j + 1], "(")) {
+        HeldGuard g;
+        for (const std::string& id : idents_in_group(ts_, j + 1)) {
+          g.mutexes.insert(id);
+        }
+        // The guard lives in the scope where it is declared: it dies when
+        // the '}' closing *this* depth is reached, not when a nested
+        // block (if/for/lambda) closes.
+        g.depth = depth_;
+        if (!g.mutexes.empty()) guards_.push_back(std::move(g));
+        pos_ = skip_balanced(ts_, j + 1, "(", ")");
+        return;
+      }
+    }
+    // mutex_.lock() / mutex_.unlock()
+    if (is_ident(t) && pos_ + 3 < end_ && is_punct(ts_[pos_ + 1], ".") &&
+        (is_id(ts_[pos_ + 2], "lock") || is_id(ts_[pos_ + 2], "unlock")) &&
+        is_punct(ts_[pos_ + 3], "(")) {
+      if (is_id(ts_[pos_ + 2], "lock")) {
+        manual_.insert(t.text);
+      } else {
+        manual_.erase(t.text);
+      }
+      pos_ += 4;
+      return;
+    }
+    ++pos_;
+  }
+
+  const Tokens& ts_;
+  std::size_t pos_;
+  std::size_t end_;
+  int depth_ = 1;  // inside the body '{'
+  HeldGuard entry_;
+  std::set<std::string> manual_;
+  std::vector<HeldGuard> guards_;
+};
+
+// ---------------------------------------------------------------------------
+// lock-discipline
+
+struct Access {
+  std::size_t fn = 0;   // index into model.functions
+  std::string member;
+  std::string mutex;
+  int line = 0;
+};
+
+void check_lock_discipline_impl(const ProjectModel& model,
+                                std::vector<Finding>& out) {
+  if (model.guarded.empty()) return;
+
+  // Guarded members by class for quick lookup.
+  std::map<std::string, std::vector<const GuardedMember*>> by_class;
+  for (const GuardedMember& gm : model.guarded) {
+    by_class[gm.class_name].push_back(&gm);
+  }
+
+  // Pass 1: per function, find unguarded accesses and record the held
+  // set at every project call site (for one-level propagation).
+  std::vector<Access> unguarded;
+  // (callee function index) -> held sets observed at its call sites.
+  std::map<int, std::vector<std::set<std::string>>> callsite_held;
+
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    const FunctionInfo& fn = model.functions[f];
+    if (!fn.has_body) continue;
+    const Tokens& ts = file_tokens(model, fn.file);
+
+    const auto it = by_class.find(fn.class_name);
+    const std::vector<const GuardedMember*>* members =
+        it == by_class.end() ? nullptr : &it->second;
+
+    HeldScanner held(ts, fn);
+
+    // Walk call sites and member accesses in token order.
+    std::size_t next_call = 0;
+    const std::vector<CallSite>& calls = model.calls[f];
+    for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+      held.advance_to(k);
+      while (next_call < calls.size() && calls[next_call].token <= k) {
+        if (calls[next_call].token == k) {
+          // A deferred (in-lambda) call runs later, possibly on another
+          // thread: whatever is held *here* is not held *then*.
+          callsite_held[calls[next_call].callee].push_back(
+              calls[next_call].deferred ? std::set<std::string>{}
+                                        : held.held());
+        }
+        ++next_call;
+      }
+      if (!members || fn.is_ctor_dtor) continue;
+      if (!is_ident(ts[k])) continue;
+      // Skip other-object accesses (`other.m_`); `this->m_` still counts.
+      if (k >= 2 && (is_punct(ts[k - 1], ".") || is_punct(ts[k - 1], "->")) &&
+          !is_id(ts[k - 2], "this")) {
+        continue;
+      }
+      for (const GuardedMember* gm : *members) {
+        if (ts[k].text != gm->member) continue;
+        if (held.holds(gm->mutex)) continue;
+        unguarded.push_back(
+            Access{f, gm->member, gm->mutex, ts[k].line});
+      }
+    }
+  }
+
+  // Pass 2: one-level call-graph propagation — an access is fine when
+  // every project call site of the enclosing function holds the mutex
+  // (the function is de-facto QGNN_REQUIRES; we still suggest writing it).
+  for (const Access& a : unguarded) {
+    const FunctionInfo& fn = model.functions[a.fn];
+    const auto sites = callsite_held.find(static_cast<int>(a.fn));
+    bool all_callers_hold = false;
+    if (sites != callsite_held.end() && !sites->second.empty()) {
+      all_callers_hold = true;
+      for (const std::set<std::string>& held_set : sites->second) {
+        if (held_set.count(a.mutex) == 0) {
+          all_callers_hold = false;
+          break;
+        }
+      }
+    }
+    if (all_callers_hold) continue;
+    out.push_back(Finding{
+        model.files[static_cast<std::size_t>(fn.file)].path, a.line,
+        "lock-discipline",
+        "'" + a.member + "' is QGNN_GUARDED_BY(" + a.mutex +
+            ") but '" + fn.qualified() +
+            "' touches it without the lock held; acquire " + a.mutex +
+            " or annotate the function QGNN_REQUIRES(" + a.mutex + ")"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// event-loop-blocking
+
+struct Blocking {
+  int line = 0;
+  std::string what;
+};
+
+/// Blocking operations lexically visible in `fn`'s body.
+std::vector<Blocking> blocking_ops(const ProjectModel& model,
+                                   const FunctionInfo& fn) {
+  std::vector<Blocking> ops;
+  const Tokens& ts = file_tokens(model, fn.file);
+  const bool in_net = path_contains(model, fn.file, "src/net/");
+  for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+    const Token& t = ts[k];
+    if (!is_ident(t)) continue;
+    const bool call = k + 1 < ts.size() && is_punct(ts[k + 1], "(");
+    const bool member =
+        k >= 1 && (is_punct(ts[k - 1], ".") || is_punct(ts[k - 1], "->"));
+
+    if (call && !member &&
+        (t.text == "sleep_for" || t.text == "sleep_until" ||
+         t.text == "usleep" || t.text == "nanosleep" ||
+         t.text == "sleep")) {
+      ops.push_back({t.line, t.text + "()"});
+      continue;
+    }
+    if (call && !member && t.text == "connect") {
+      ops.push_back({t.line, "connect() (blocking TCP connect)"});
+      continue;
+    }
+    if (call && !member && !in_net &&
+        (t.text == "read" || t.text == "recv")) {
+      // The loop's own edge-triggered reads live in src/net and are
+      // non-blocking by construction; raw reads anywhere else are not.
+      ops.push_back({t.line, t.text + "() on a non-loop fd"});
+      continue;
+    }
+    if (call && member &&
+        (t.text == "wait" || t.text == "wait_for" ||
+         t.text == "wait_until")) {
+      ops.push_back({t.line, "condition wait '." + t.text + "()'"});
+      continue;
+    }
+    if (call && member && t.text == "lock" && k >= 2 && is_ident(ts[k - 2]) &&
+        model.annotated_mutexes.count(ts[k - 2].text) == 0) {
+      ops.push_back({t.line, "lock of unannotated mutex '" +
+                                 ts[k - 2].text + "'"});
+      continue;
+    }
+    if (is_guard_type(t)) {
+      const std::size_t j = skip_template_args(ts, k + 1);
+      if (j < fn.body_end && is_ident(ts[j]) && j + 1 < fn.body_end &&
+          is_punct(ts[j + 1], "(")) {
+        for (const std::string& id : idents_in_group(ts, j + 1)) {
+          if (id == "std" || id == "adopt_lock" || id == "defer_lock") {
+            continue;
+          }
+          if (model.annotated_mutexes.count(id) == 0) {
+            ops.push_back({t.line, "lock of unannotated mutex '" + id +
+                                       "' via " + t.text});
+          }
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+void check_event_loop_blocking_impl(const ProjectModel& model,
+                                    std::vector<Finding>& out) {
+  // BFS from every QGNN_EVENT_LOOP_ONLY entry point; remember one
+  // predecessor per reached function to print the call chain.
+  std::map<int, int> pred;    // function -> caller it was reached from
+  std::map<int, int> origin;  // function -> entry point index
+  std::deque<int> queue;
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    if (model.functions[f].event_loop_only && model.functions[f].has_body) {
+      const int fi = static_cast<int>(f);
+      if (origin.emplace(fi, fi).second) {
+        pred[fi] = -1;
+        queue.push_back(fi);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const int f = queue.front();
+    queue.pop_front();
+    for (const CallSite& cs : model.calls[static_cast<std::size_t>(f)]) {
+      if (!model.functions[static_cast<std::size_t>(cs.callee)].has_body) {
+        continue;
+      }
+      // Deferred edges (calls inside lambdas) leave the loop thread: the
+      // lambda is a worker entry point or queued task, not inline code.
+      if (cs.deferred) continue;
+      if (origin.emplace(cs.callee, origin[f]).second) {
+        pred[cs.callee] = f;
+        queue.push_back(cs.callee);
+      }
+    }
+  }
+
+  for (const auto& [f, entry] : origin) {
+    const FunctionInfo& fn = model.functions[static_cast<std::size_t>(f)];
+    for (const Blocking& op : blocking_ops(model, fn)) {
+      std::string chain = fn.qualified();
+      for (int p = pred[f]; p != -1;
+           p = pred[p]) {
+        chain = model.functions[static_cast<std::size_t>(p)].qualified() +
+                " -> " + chain;
+      }
+      std::string msg = "'";
+      msg += fn.qualified();
+      msg += "' calls ";
+      msg += op.what;
+      if (f == entry) {
+        msg += " but is QGNN_EVENT_LOOP_ONLY";
+      } else {
+        msg += " but is reachable from event-loop entry '" +
+               model.functions[static_cast<std::size_t>(entry)].qualified() +
+               "' (" + chain + ")";
+      }
+      msg += "; the loop thread must never block";
+      out.push_back(Finding{
+          model.files[static_cast<std::size_t>(fn.file)].path, op.line,
+          "event-loop-blocking", msg});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bit-identical-path
+
+/// Names of variables in `file` declared as unordered containers.
+std::set<std::string> unordered_vars_in_file(const ProjectModel& model,
+                                             int file) {
+  std::set<std::string> vars;
+  const Tokens& ts = file_tokens(model, file);
+  for (std::size_t k = 0; k + 1 < ts.size(); ++k) {
+    if (!is_ident(ts[k])) continue;
+    if (ts[k].text != "unordered_map" && ts[k].text != "unordered_set" &&
+        ts[k].text != "unordered_multimap" &&
+        ts[k].text != "unordered_multiset") {
+      continue;
+    }
+    std::size_t j = skip_template_args(ts, k + 1);
+    if (j == k + 1) continue;  // no template args: a using-decl etc.
+    while (j < ts.size() && (is_punct(ts[j], "&") || is_punct(ts[j], "*") ||
+                             is_id(ts[j], "const"))) {
+      ++j;
+    }
+    if (j < ts.size() && is_ident(ts[j])) vars.insert(ts[j].text);
+  }
+  return vars;
+}
+
+void scan_bit_identical_body(const ProjectModel& model,
+                             const FunctionInfo& fn,
+                             const std::string& reached_via,
+                             std::vector<Finding>& out) {
+  const Tokens& ts = file_tokens(model, fn.file);
+  const bool in_dispatch = path_contains(model, fn.file, "src/simd/dispatch");
+  const std::set<std::string> unordered =
+      unordered_vars_in_file(model, fn.file);
+  static const std::set<std::string> kIsaState = {
+      "active_isa",    "active_isa_name", "best_supported_isa",
+      "cpu_supports",  "set_active_isa",  "isa_name",
+      "kernel_config", "getenv"};
+
+  const std::string& path =
+      model.files[static_cast<std::size_t>(fn.file)].path;
+  std::string who = "'";
+  who += fn.qualified();
+  who += "'";
+  who += reached_via;
+
+  for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+    const Token& t = ts[k];
+    if (!is_ident(t)) continue;
+    const bool call = k + 1 < ts.size() && is_punct(ts[k + 1], "(");
+    if (call && (t.text == "fma" || t.text == "fmaf" || t.text == "fmal")) {
+      out.push_back(Finding{
+          path, t.line, "bit-identical-path",
+          who + " calls std::" + t.text +
+              "; FMA contraction differs across ISAs — use explicit "
+              "mul+add on the bit-identical path"});
+      continue;
+    }
+    if (!in_dispatch && kIsaState.count(t.text) > 0) {
+      out.push_back(Finding{
+          path, t.line, "bit-identical-path",
+          who + " reads ISA-dependent state ('" + t.text +
+              "') outside src/simd/dispatch; byte-stable output must not "
+              "depend on the host CPU"});
+      continue;
+    }
+    if (is_id(t, "for") && k + 1 < ts.size() && is_punct(ts[k + 1], "(")) {
+      // Range-for over an unordered container: iteration order is
+      // hash-seed dependent, so anything emitted from the loop is not
+      // byte-stable.
+      const std::size_t close = skip_balanced(ts, k + 1, "(", ")");
+      for (std::size_t j = k + 2; j + 1 < close; ++j) {
+        if (is_punct(ts[j], ":") && j + 1 < close && is_ident(ts[j + 1]) &&
+            unordered.count(ts[j + 1].text) > 0) {
+          out.push_back(Finding{
+              path, ts[j + 1].line, "bit-identical-path",
+              who + " iterates unordered container '" + ts[j + 1].text +
+                  "'; order is hash-seed dependent — copy to a sorted "
+                  "vector first"});
+        }
+      }
+    }
+  }
+}
+
+void check_bit_identical_path_impl(const ProjectModel& model,
+                                   std::vector<Finding>& out) {
+  // Annotated functions, then their direct callees (one level deep).
+  std::set<int> annotated;
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    if (model.functions[f].bit_identical && model.functions[f].has_body) {
+      annotated.insert(static_cast<int>(f));
+    }
+  }
+  std::set<int> scanned;
+  for (const int f : annotated) {
+    if (scanned.insert(f).second) {
+      scan_bit_identical_body(model,
+                              model.functions[static_cast<std::size_t>(f)],
+                              "", out);
+    }
+  }
+  for (const int f : annotated) {
+    for (const CallSite& cs : model.calls[static_cast<std::size_t>(f)]) {
+      const FunctionInfo& callee =
+          model.functions[static_cast<std::size_t>(cs.callee)];
+      if (!callee.has_body) continue;
+      if (!scanned.insert(cs.callee).second) continue;
+      scan_bit_identical_body(
+          model, callee,
+          " (called from bit-identical '" +
+              model.functions[static_cast<std::size_t>(f)].qualified() +
+              "')",
+          out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// error-path
+
+bool has_context_token(const Tokens& ts, std::size_t open) {
+  static const std::vector<std::string> kHints = {
+      "path", "file", "dir", "offset", "name", "manifest", "shard",
+      "tmp",  "uri"};
+  const std::size_t end = skip_balanced(ts, open, "(", ")");
+  for (std::size_t j = open + 1; j + 1 < end; ++j) {
+    if (!is_ident(ts[j]) && ts[j].kind != TokenKind::kString) continue;
+    std::string lower;
+    for (char c : ts[j].text) {
+      lower += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    }
+    for (const std::string& hint : kHints) {
+      if (lower.find(hint) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+void check_error_path_impl(const ProjectModel& model,
+                           std::vector<Finding>& out) {
+  for (std::size_t f = 0; f < model.files.size(); ++f) {
+    const FileContext& ctx = model.files[f];
+    const bool covered = ctx.normalized.find("src/dataset") !=
+                             std::string::npos ||
+                         ctx.normalized.find("src/gnn") !=
+                             std::string::npos ||
+                         ctx.normalized.find("src/mine") != std::string::npos;
+    if (!covered) continue;
+    const Tokens& ts = ctx.lex.tokens;
+    for (std::size_t k = 0; k + 2 < ts.size(); ++k) {
+      if (!is_id(ts[k], "throw")) continue;
+      std::size_t j = k + 1;
+      // throw IoError(...) / throw qgnn::IoError(...)
+      while (j < ts.size() && (is_ident(ts[j]) || is_punct(ts[j], "::")) &&
+             !is_id(ts[j], "IoError")) {
+        ++j;
+        if (j > k + 4) break;
+      }
+      if (j >= ts.size() || !is_id(ts[j], "IoError")) continue;
+      if (j + 1 >= ts.size() || !is_punct(ts[j + 1], "(")) continue;
+      if (has_context_token(ts, j + 1)) continue;
+      out.push_back(Finding{
+          ctx.path, ts[j].line, "error-path",
+          "IoError thrown without file/offset context; a corrupt shard "
+          "must name the file (and byte offset where known) so the "
+          "operator can find it"});
+    }
+  }
+}
+
+}  // namespace
+
+void check_lock_discipline(const ProjectModel& model,
+                           std::vector<Finding>& out) {
+  check_lock_discipline_impl(model, out);
+}
+
+void check_event_loop_blocking(const ProjectModel& model,
+                               std::vector<Finding>& out) {
+  check_event_loop_blocking_impl(model, out);
+}
+
+void check_bit_identical_path(const ProjectModel& model,
+                              std::vector<Finding>& out) {
+  check_bit_identical_path_impl(model, out);
+}
+
+void check_error_path(const ProjectModel& model, std::vector<Finding>& out) {
+  check_error_path_impl(model, out);
+}
+
+const std::vector<FlowCheckInfo>& all_flow_checks() {
+  static const std::vector<FlowCheckInfo> kChecks = {
+      {"lock-discipline",
+       "QGNN_GUARDED_BY members only touched with the named mutex held",
+       "A member annotated QGNN_GUARDED_BY(m) documents that every read "
+       "and write happens under m. The checker verifies each access sits "
+       "under a lexically visible lock_guard/unique_lock/scoped_lock of "
+       "m, inside a QGNN_REQUIRES(m) function, or inside a function whose "
+       "every project call site holds m. Fix: take the lock, or annotate "
+       "the accessor QGNN_REQUIRES(m) and fix its callers.",
+       &check_lock_discipline},
+      {"event-loop-blocking",
+       "no blocking primitive reachable from a QGNN_EVENT_LOOP_ONLY entry",
+       "The epoll loop thread multiplexes every connection; one blocking "
+       "call stalls all of them. The checker walks the call graph from "
+       "each QGNN_EVENT_LOOP_ONLY entry and flags connect(), raw read() "
+       "outside src/net, sleeps, condition waits, and locks of mutexes "
+       "no annotation names. Fix: move the work to the thread pool, or "
+       "annotate the mutex if the critical section is provably short.",
+       &check_event_loop_blocking},
+      {"bit-identical-path",
+       "no FMA, unordered iteration, or ISA probing on byte-stable paths",
+       "QGNN_BIT_IDENTICAL_PATH marks functions whose output must be "
+       "byte-identical across machines (canonical hashes, packed shards, "
+       "checkpoints). The checker scans them and their direct callees "
+       "for std::fma (contraction differs per ISA), range-for over "
+       "unordered containers (hash-seed order), and ISA-dependent state "
+       "reads outside src/simd/dispatch. Fix: explicit mul+add, sort "
+       "before emitting, or hoist the ISA decision out of the path.",
+       &check_bit_identical_path},
+      {"error-path",
+       "IoError in dataset/gnn/mine code must carry file context",
+       "A deserialization error that says only 'bad magic' costs an "
+       "on-call engineer the night. In src/dataset, src/gnn, and "
+       "src/mine, every `throw IoError(...)` must mention the file path "
+       "(and byte offset where known). The checker accepts any argument "
+       "token whose name or content references a path/file/offset. Fix: "
+       "thread the path into the message.",
+       &check_error_path},
+  };
+  return kChecks;
+}
+
+}  // namespace qgnn::lint

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qgnn_lint/model.hpp"
+
+namespace qgnn::lint {
+
+/// Flow-lite checkers: project-wide checks that consume the ProjectModel
+/// (symbol index + call graph) instead of a single file's token stream.
+/// "Flow-lite" is a statement of scope — lexically visible locks, call
+/// propagation one level deep, BFS reachability — not interprocedural
+/// dataflow. The point is to catch the concurrency and determinism
+/// mistakes that per-file checks structurally cannot see: a guarded
+/// member touched from a helper defined in another file, a blocking
+/// primitive three calls below an event-loop handler, an FMA contraction
+/// inside a byte-stable serialization path.
+
+using FlowCheckFn = void (*)(const ProjectModel&, std::vector<Finding>&);
+
+struct FlowCheckInfo {
+  const char* name;
+  const char* description;
+  const char* explain;  // rationale + fix guidance for --explain
+  FlowCheckFn fn;
+};
+
+/// The flow-check catalogue, in reporting order. Names share the
+/// namespace of all_checks() ids (suppressions, --check/--skip-check).
+const std::vector<FlowCheckInfo>& all_flow_checks();
+
+/// QGNN_GUARDED_BY members may only be touched while the named mutex is
+/// lexically held (lock_guard/unique_lock/scoped_lock in an enclosing
+/// scope, or a manual .lock()), from a QGNN_REQUIRES(mutex) function, or
+/// from a function whose every project call site holds the mutex
+/// (call-graph propagation one level deep). Constructors/destructors are
+/// exempt: no concurrent access can exist yet/anymore.
+void check_lock_discipline(const ProjectModel& model,
+                           std::vector<Finding>& out);
+
+/// Nothing reachable from a QGNN_EVENT_LOOP_ONLY entry point may block:
+/// connect(), raw read() outside src/net, sleeps, condition_variable
+/// waits, or locking a mutex that no annotation names (annotated mutexes
+/// guard short critical sections by contract; anything else is a licence
+/// to stall the loop).
+void check_event_loop_blocking(const ProjectModel& model,
+                               std::vector<Finding>& out);
+
+/// QGNN_BIT_IDENTICAL_PATH functions (and their direct callees) may not
+/// call std::fma, iterate an unordered container into their output, or
+/// read ISA-dependent state outside src/simd/dispatch.
+void check_bit_identical_path(const ProjectModel& model,
+                              std::vector<Finding>& out);
+
+/// IoError thrown under src/dataset, src/gnn, or src/mine must carry
+/// file/offset context in its message so a corrupt shard names the shard.
+void check_error_path(const ProjectModel& model, std::vector<Finding>& out);
+
+}  // namespace qgnn::lint

@@ -91,7 +91,16 @@ class Lexer {
   }
 
   void emit(TokenKind kind, std::string text, int line) {
-    mark_code_line(line);
+    emit_span(kind, std::move(text), line, line);
+  }
+
+  /// Emit a token that spans [line, end_line]: every covered physical
+  /// line is marked as code so a comment on the closing line of a
+  /// multi-line raw string (or continued directive) is not mistaken for
+  /// a standalone comment — that mistake made suppressions after raw
+  /// strings also cover the following line.
+  void emit_span(TokenKind kind, std::string text, int line, int end_line) {
+    for (int l = line; l <= end_line; ++l) mark_code_line(l);
     result_.tokens.push_back(Token{kind, std::move(text), line});
   }
 
@@ -111,8 +120,28 @@ class Lexer {
     const bool owns = !code_on_line(start_line);
     pos_ += 2;
     std::string text;
-    while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
-    result_.comments.push_back(Comment{std::move(text), start_line, owns});
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        // Phase-2 line splicing happens before comments are recognized:
+        // a trailing backslash (optionally followed by \r) continues the
+        // comment onto the next physical line. Before this was handled,
+        // the continued line was lexed as code, shifting line attribution
+        // for every suppression that followed.
+        std::size_t tail = text.size();
+        while (tail > 0 && text[tail - 1] == '\r') --tail;
+        if (tail > 0 && text[tail - 1] == '\\') {
+          text.resize(tail - 1);
+          text += ' ';
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      text += src_[pos_++];
+    }
+    result_.comments.push_back(Comment{std::move(text), start_line, line_,
+                                       owns});
   }
 
   void block_comment() {
@@ -126,7 +155,8 @@ class Lexer {
       text += src_[pos_++];
     }
     pos_ = pos_ + 1 < src_.size() ? pos_ + 2 : src_.size();
-    result_.comments.push_back(Comment{std::move(text), start_line, owns});
+    result_.comments.push_back(Comment{std::move(text), start_line, line_,
+                                       owns});
   }
 
   /// Swallow one preprocessor directive, honoring backslash-newline
@@ -164,7 +194,7 @@ class Lexer {
       in_ws = false;
       collapsed += c;
     }
-    emit(TokenKind::kDirective, std::move(collapsed), start_line);
+    emit_span(TokenKind::kDirective, std::move(collapsed), start_line, line_);
   }
 
   void identifier_or_literal_prefix() {
@@ -217,7 +247,10 @@ class Lexer {
     if (raw) {
       // R"delim( ... )delim"
       std::string delim;
-      while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+      while (pos_ < src_.size() && src_[pos_] != '(') {
+        if (src_[pos_] == '\n') ++line_;  // malformed delim; keep attribution
+        delim += src_[pos_++];
+      }
       if (pos_ < src_.size()) ++pos_;  // '('
       const std::string closer = ")" + delim + "\"";
       while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer)) {
@@ -228,6 +261,9 @@ class Lexer {
     } else {
       while (pos_ < src_.size() && src_[pos_] != '"') {
         if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          // A backslash-newline splice continues the literal on the next
+          // physical line; not counting it shifted every later line.
+          if (src_[pos_ + 1] == '\n') ++line_;
           text += src_[pos_];
           text += src_[pos_ + 1];
           pos_ += 2;
@@ -238,7 +274,7 @@ class Lexer {
       }
       if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
     }
-    emit(TokenKind::kString, std::move(text), start_line);
+    emit_span(TokenKind::kString, std::move(text), start_line, line_);
   }
 
   void char_literal() {

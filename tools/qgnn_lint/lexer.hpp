@@ -35,9 +35,14 @@ struct Token {
 struct Comment {
   std::string text;  // without the // or /* */ markers
   int line = 0;      // 1-based line the comment starts on
+  /// 1-based line the comment ends on. Differs from `line` for block
+  /// comments and for line comments continued with a trailing backslash
+  /// (phase-2 line splicing makes the next physical line part of the
+  /// comment, exactly as the compiler sees it).
+  int end_line = 0;
   /// True when no code token precedes the comment on its line, i.e. the
   /// comment stands alone; suppressions in such comments also cover the
-  /// following line.
+  /// line following end_line.
   bool owns_line = false;
 };
 

@@ -7,6 +7,11 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
+
+#include "qgnn_lint/flow_checks.hpp"
+#include "qgnn_lint/model.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qgnn::lint {
 
@@ -35,7 +40,8 @@ std::string read_file(const std::string& path) {
 
 /// Suppressions parsed from `// qgnn-lint: allow(check-a, check-b)`
 /// comments: line -> suppressed check names ("all" suppresses anything).
-/// A comment standing alone on its line also covers the next line.
+/// A suppression covers every line its comment spans; a comment standing
+/// alone on its line also covers the line after it ends.
 std::map<int, std::set<std::string>> parse_suppressions(
     const std::vector<Comment>& comments) {
   std::map<int, std::set<std::string>> by_line;
@@ -61,9 +67,12 @@ std::map<int, std::set<std::string>> parse_suppressions(
       current += c;
     }
     if (checks.empty()) continue;
-    by_line[comment.line].insert(checks.begin(), checks.end());
+    const int last = std::max(comment.line, comment.end_line);
+    for (int l = comment.line; l <= last; ++l) {
+      by_line[l].insert(checks.begin(), checks.end());
+    }
     if (comment.owns_line) {
-      by_line[comment.line + 1].insert(checks.begin(), checks.end());
+      by_line[last + 1].insert(checks.begin(), checks.end());
     }
   }
   return by_line;
@@ -119,19 +128,15 @@ std::vector<std::string> collect_files(
   return files;
 }
 
-}  // namespace
-
-std::set<std::string> parse_obs_names(const std::string& source) {
-  std::set<std::string> names;
-  for (const Token& t : lex(source).tokens) {
-    if (t.kind == TokenKind::kString) names.insert(t.text);
+bool check_enabled(const LintConfig& config, const std::string& name) {
+  if (!config.only_checks.empty() && config.only_checks.count(name) == 0) {
+    return false;
   }
-  return names;
+  return config.skip_checks.count(name) == 0;
 }
 
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& source,
-                                 const LintOptions& options) {
+FileContext make_context(const std::string& path, const std::string& source,
+                         const LintOptions& options) {
   FileContext ctx;
   ctx.path = path;
   ctx.normalized = normalize_path(path);
@@ -147,6 +152,44 @@ std::vector<Finding> lint_source(const std::string& path,
     }
   }
   ctx.options = &options;
+  return ctx;
+}
+
+/// Deterministic total order: path, then line, then check id, then
+/// message. This — not arrival order — defines the output, which is why
+/// --jobs N is byte-identical to --jobs 1.
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.check, a.message) <
+                     std::tie(b.file, b.line, b.check, b.message);
+            });
+}
+
+}  // namespace
+
+bool known_check(const std::string& name) {
+  for (const CheckInfo& c : all_checks()) {
+    if (name == c.name) return true;
+  }
+  for (const FlowCheckInfo& c : all_flow_checks()) {
+    if (name == c.name) return true;
+  }
+  return false;
+}
+
+std::set<std::string> parse_obs_names(const std::string& source) {
+  std::set<std::string> names;
+  for (const Token& t : lex(source).tokens) {
+    if (t.kind == TokenKind::kString) names.insert(t.text);
+  }
+  return names;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const LintOptions& options) {
+  const FileContext ctx = make_context(path, source, options);
 
   std::vector<Finding> findings;
   for (const CheckInfo& check : all_checks()) {
@@ -184,14 +227,87 @@ std::vector<Finding> run_lint(const LintConfig& config) {
     options.enforce_obs_registry = true;
   }
 
+  const int jobs = config.jobs > 0 ? config.jobs
+                                   : ThreadPool::configured_threads();
+  ThreadPool pool(std::max(1, jobs));
+
+  // Phase 1 (parallel): read + lex every file into its slot. Slot order
+  // is the sorted file order, so nothing downstream depends on thread
+  // scheduling. Exceptions (unreadable file mid-walk) propagate from
+  // parallel_for on the calling thread.
+  std::vector<FileContext> contexts(files.size());
+  pool.parallel_for(0, files.size(), 1,
+                    [&](std::uint64_t begin, std::uint64_t end) {
+                      for (std::uint64_t i = begin; i < end; ++i) {
+                        contexts[i] = make_context(
+                            files[i], read_file(files[i]), options);
+                      }
+                    });
+
+  // Phase 2 (parallel): per-file checks into per-file slots, suppression
+  // filtering applied file-locally.
+  std::vector<std::vector<Finding>> per_file(files.size());
+  pool.parallel_for(
+      0, files.size(), 1, [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          std::vector<Finding> findings;
+          for (const CheckInfo& check : all_checks()) {
+            if (!check_enabled(config, check.name)) continue;
+            check.fn(contexts[i], findings);
+          }
+          const auto suppressions =
+              parse_suppressions(contexts[i].lex.comments);
+          findings.erase(
+              std::remove_if(findings.begin(), findings.end(),
+                             [&](const Finding& f) {
+                               return suppressed(suppressions, f);
+                             }),
+              findings.end());
+          per_file[i] = std::move(findings);
+        }
+      });
+
+  // Phase 3 (serial): project model + flow checks. The model needs every
+  // file's tokens at once; the flow checks are a few percent of total
+  // runtime, so they stay single-threaded and trivially deterministic.
+  std::vector<Finding> flow_findings;
+  bool any_flow = false;
+  for (const FlowCheckInfo& check : all_flow_checks()) {
+    any_flow = any_flow || check_enabled(config, check.name);
+  }
+  ProjectModel model;
+  if (any_flow) {
+    model = build_model(std::move(contexts));
+    for (const FlowCheckInfo& check : all_flow_checks()) {
+      if (!check_enabled(config, check.name)) continue;
+      check.fn(model, flow_findings);
+    }
+    // Flow findings honor the same suppression comments, keyed by the
+    // file each finding landed in.
+    std::map<std::string, std::map<int, std::set<std::string>>> by_file;
+    for (const FileContext& ctx : model.files) {
+      by_file[ctx.path] = parse_suppressions(ctx.lex.comments);
+    }
+    flow_findings.erase(
+        std::remove_if(flow_findings.begin(), flow_findings.end(),
+                       [&](const Finding& f) {
+                         const auto it = by_file.find(f.file);
+                         return it != by_file.end() &&
+                                suppressed(it->second, f);
+                       }),
+        flow_findings.end());
+  }
+
   std::vector<Finding> findings;
-  for (const std::string& f : files) {
-    std::vector<Finding> file_findings =
-        lint_source(f, read_file(f), options);
+  for (std::vector<Finding>& file_findings : per_file) {
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+  findings.insert(findings.end(),
+                  std::make_move_iterator(flow_findings.begin()),
+                  std::make_move_iterator(flow_findings.end()));
+  sort_findings(&findings);
   return findings;
 }
 

@@ -8,8 +8,8 @@
 
 namespace qgnn::lint {
 
-/// Driver configuration: which paths to lint and where the obs name
-/// registry lives.
+/// Driver configuration: which paths to lint, which checks to run, how
+/// many worker threads, and where the obs name registry lives.
 struct LintConfig {
   /// Files and/or directories. Directories are walked recursively for
   /// .hpp/.cpp files, skipping any directory named `lint_fixtures`,
@@ -21,20 +21,36 @@ struct LintConfig {
   /// registry is found, the obs-name registry cross-reference is skipped
   /// (the naming-convention part of the check still runs).
   std::string obs_names_path;
+  /// When non-empty, run only these checks (per-file and flow names
+  /// share one namespace). Applied before skip_checks.
+  std::set<std::string> only_checks;
+  /// Checks to skip.
+  std::set<std::string> skip_checks;
+  /// Worker threads for lexing and per-file checks; 0 means
+  /// QGNN_NUM_THREADS (ThreadPool::configured_threads()). Findings are
+  /// merged in deterministic (file, line, check, message) order, so the
+  /// output is byte-identical at any job count.
+  int jobs = 0;
 };
+
+/// True when `name` names a known per-file or flow check.
+bool known_check(const std::string& name);
 
 /// Parse the obs name registry: every string literal in the file becomes
 /// a registered name.
 std::set<std::string> parse_obs_names(const std::string& source);
 
-/// Lint one in-memory file. Suppression comments are already applied;
-/// findings come back sorted by line.
+/// Lint one in-memory file with the per-file checks only (flow checks
+/// need the project model; see run_lint). Suppression comments are
+/// already applied; findings come back sorted by line.
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& source,
                                  const LintOptions& options);
 
-/// Walk the configured paths and lint every file. Throws std::runtime_error
-/// for unreadable paths.
+/// Walk the configured paths, lint every file (in parallel when
+/// config.jobs != 1), build the project model, and run the flow checks.
+/// Throws std::runtime_error for unreadable paths. Findings are sorted
+/// by (file, line, check, message).
 std::vector<Finding> run_lint(const LintConfig& config);
 
 /// `file:line: [check] message` — the one true output format.

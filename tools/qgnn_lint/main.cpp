@@ -1,27 +1,53 @@
 // qgnn_lint — from-scratch static analysis enforcing the project's
 // determinism, observability-naming, concurrency, and hygiene invariants.
+// Per-file lexical checks run in parallel; four flow-lite checkers
+// (lock-discipline, event-loop-blocking, bit-identical-path, error-path)
+// run over a project-wide model of every translation unit.
 //
 // Usage:
-//   qgnn_lint [--obs-names <path>] <path>...   lint files/directories
-//   qgnn_lint --list-checks                    print the check catalogue
+//   qgnn_lint [options] <path>...      lint files/directories
+//   qgnn_lint --list-checks            print the check catalogue
+//   qgnn_lint --explain <check>        rationale + fix guidance
 //
 // Findings print one per line as `file:line: [check] message`; the exit
-// code is 1 when there are findings, 0 on a clean tree, 2 on usage or I/O
-// errors. Suppress a finding with `// qgnn-lint: allow(<check>)` on (or
-// directly above) the offending line.
+// code is 1 when there are findings (or stale baseline entries), 0 on a
+// clean tree, 2 on usage or I/O errors. Suppress a finding with
+// `// qgnn-lint: allow(<check>)` on (or directly above) the offending
+// line.
 
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "qgnn_lint/baseline.hpp"
+#include "qgnn_lint/flow_checks.hpp"
 #include "qgnn_lint/lint.hpp"
+#include "qgnn_lint/sarif.hpp"
 
 namespace {
 
 void print_usage(std::ostream& out) {
-  out << "usage: qgnn_lint [--obs-names <path>] <path>...\n"
+  out << "usage: qgnn_lint [options] <path>...\n"
          "       qgnn_lint --list-checks\n"
+         "       qgnn_lint --explain <check>\n"
+         "\n"
+         "options:\n"
+         "  --obs-names <path>      obs name registry (src/obs/names.hpp)\n"
+         "  --check=<name>          run only this check (repeatable)\n"
+         "  --skip-check=<name>     skip this check (repeatable)\n"
+         "  --jobs <n>              worker threads (default:\n"
+         "                          QGNN_NUM_THREADS, else hardware);\n"
+         "                          output is byte-identical at any value\n"
+         "  --sarif-out <path>      also write findings as SARIF 2.1.0\n"
+         "  --baseline <path>       accepted-findings file: only NEW\n"
+         "                          findings fail; fixed findings must be\n"
+         "                          removed from the baseline\n"
+         "  --write-baseline <path> write the current findings as a\n"
+         "                          baseline and exit 0\n"
          "\n"
          "Lints .hpp/.cpp files (directories are walked recursively;\n"
          "lint_fixtures/, build*/ and dot-directories are skipped).\n"
@@ -29,17 +55,69 @@ void print_usage(std::ostream& out) {
 }
 
 void print_checks(std::ostream& out) {
+  out << "per-file checks:\n";
   for (const qgnn::lint::CheckInfo& check : qgnn::lint::all_checks()) {
-    out << check.name << "\n    " << check.description << "\n";
+    out << "  " << check.name << "\n      " << check.description << "\n";
   }
+  out << "flow checks (project-wide, need the whole tree):\n";
+  for (const qgnn::lint::FlowCheckInfo& check :
+       qgnn::lint::all_flow_checks()) {
+    out << "  " << check.name << "\n      " << check.description << "\n";
+  }
+}
+
+int explain_check(const std::string& name) {
+  const char* description = nullptr;
+  const char* explain = nullptr;
+  for (const qgnn::lint::CheckInfo& check : qgnn::lint::all_checks()) {
+    if (name == check.name) {
+      description = check.description;
+      explain = check.explain;
+    }
+  }
+  for (const qgnn::lint::FlowCheckInfo& check :
+       qgnn::lint::all_flow_checks()) {
+    if (name == check.name) {
+      description = check.description;
+      explain = check.explain;
+    }
+  }
+  if (description == nullptr) {
+    std::cerr << "qgnn_lint: unknown check '" << name
+              << "' (see --list-checks)\n";
+    return 2;
+  }
+  std::cout << name << ": " << description << "\n\n"
+            << explain << "\n\n"
+            << "Suppress one site with `// qgnn-lint: allow(" << name
+            << ")` on (or directly above) the line; accept existing debt "
+               "with --baseline.\n";
+  return 0;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   qgnn::lint::LintConfig config;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "qgnn_lint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
     if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       return 0;
@@ -48,12 +126,75 @@ int main(int argc, char** argv) {
       print_checks(std::cout);
       return 0;
     }
+    if (arg == "--explain") {
+      const char* name = value_of("--explain");
+      if (name == nullptr) return 2;
+      return explain_check(name);
+    }
     if (arg == "--obs-names") {
-      if (i + 1 >= argc) {
-        std::cerr << "qgnn_lint: --obs-names needs a path\n";
+      const char* v = value_of("--obs-names");
+      if (v == nullptr) return 2;
+      config.obs_names_path = v;
+      continue;
+    }
+    if (arg.rfind("--check=", 0) == 0) {
+      const std::string name = arg.substr(std::strlen("--check="));
+      if (!qgnn::lint::known_check(name)) {
+        std::cerr << "qgnn_lint: unknown check '" << name
+                  << "' (see --list-checks)\n";
         return 2;
       }
-      config.obs_names_path = argv[++i];
+      config.only_checks.insert(name);
+      continue;
+    }
+    if (arg.rfind("--skip-check=", 0) == 0) {
+      const std::string name = arg.substr(std::strlen("--skip-check="));
+      if (!qgnn::lint::known_check(name)) {
+        std::cerr << "qgnn_lint: unknown check '" << name
+                  << "' (see --list-checks)\n";
+        return 2;
+      }
+      config.skip_checks.insert(name);
+      continue;
+    }
+    if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+      std::string v;
+      if (arg == "--jobs") {
+        const char* raw = value_of("--jobs");
+        if (raw == nullptr) return 2;
+        v = raw;
+      } else {
+        v = arg.substr(std::strlen("--jobs="));
+      }
+      try {
+        std::size_t used = 0;
+        config.jobs = std::stoi(v, &used);
+        if (used != v.size() || config.jobs < 1 || config.jobs > 256) {
+          throw std::invalid_argument(v);
+        }
+      } catch (const std::exception&) {
+        std::cerr << "qgnn_lint: --jobs needs an integer in [1, 256], got '"
+                  << v << "'\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--sarif-out") {
+      const char* v = value_of("--sarif-out");
+      if (v == nullptr) return 2;
+      sarif_path = v;
+      continue;
+    }
+    if (arg == "--baseline") {
+      const char* v = value_of("--baseline");
+      if (v == nullptr) return 2;
+      baseline_path = v;
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      const char* v = value_of("--write-baseline");
+      if (v == nullptr) return 2;
+      write_baseline_path = v;
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -68,6 +209,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const auto started = std::chrono::steady_clock::now();
   std::vector<qgnn::lint::Finding> findings;
   try {
     findings = qgnn::lint::run_lint(config);
@@ -75,14 +217,64 @@ int main(int argc, char** argv) {
     std::cerr << e.what() << "\n";
     return 2;
   }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+
+  if (!sarif_path.empty() &&
+      !write_text_file(sarif_path, qgnn::lint::to_sarif(findings))) {
+    std::cerr << "qgnn_lint: cannot write " << sarif_path << "\n";
+    return 2;
+  }
+  if (!write_baseline_path.empty()) {
+    const std::string text = qgnn::lint::serialize_baseline(
+        qgnn::lint::collect_baseline(findings));
+    if (!write_text_file(write_baseline_path, text)) {
+      std::cerr << "qgnn_lint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    std::cerr << "qgnn_lint: wrote " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " to "
+              << write_baseline_path << " (" << elapsed.count() << " ms)\n";
+    return 0;
+  }
+
+  std::vector<std::string> stale;
+  if (!baseline_path.empty()) {
+    qgnn::lint::Baseline baseline;
+    try {
+      std::ifstream in(baseline_path, std::ios::binary);
+      if (!in) {
+        std::cerr << "qgnn_lint: cannot read " << baseline_path << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      baseline = qgnn::lint::parse_baseline(buf.str());
+    } catch (const std::exception& e) {
+      std::cerr << "qgnn_lint: " << baseline_path << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+    qgnn::lint::BaselineDiff diff =
+        qgnn::lint::diff_baseline(findings, baseline);
+    findings = std::move(diff.fresh);
+    stale = std::move(diff.stale);
+  }
 
   for (const qgnn::lint::Finding& finding : findings) {
     std::cout << qgnn::lint::format_finding(finding) << "\n";
   }
-  if (!findings.empty()) {
-    std::cerr << "qgnn_lint: " << findings.size() << " finding"
-              << (findings.size() == 1 ? "" : "s") << "\n";
-    return 1;
+  for (const std::string& entry : stale) {
+    std::cout << "stale baseline entry (fixed — remove it from "
+              << baseline_path << "): " << entry << "\n";
   }
-  return 0;
+  std::cerr << "qgnn_lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s")
+            << (baseline_path.empty() ? "" : " not in baseline");
+  if (!stale.empty()) {
+    std::cerr << ", " << stale.size() << " stale baseline entr"
+              << (stale.size() == 1 ? "y" : "ies");
+  }
+  std::cerr << " (" << elapsed.count() << " ms)\n";
+  return findings.empty() && stale.empty() ? 0 : 1;
 }

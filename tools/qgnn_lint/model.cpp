@@ -1,0 +1,691 @@
+#include "qgnn_lint/model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qgnn::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_id(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+/// Identifiers that can never be a function name at a declaration site
+/// (type keywords and storage specifiers the signature matcher would
+/// otherwise mistake for a declarator name).
+const std::set<std::string>& non_name_keywords() {
+  static const std::set<std::string> kWords = {
+      "void",     "int",      "char",   "bool",     "double",  "float",
+      "auto",     "long",     "short",  "unsigned", "signed",  "const",
+      "constexpr", "static",  "inline", "virtual",  "explicit", "mutable",
+      "volatile", "typename", "return", "operator", "throw",   "new",
+      "delete",   "sizeof",   "if",     "while",    "for",     "switch",
+      "catch",    "decltype", "alignas", "alignof", "noexcept",
+      "co_return", "co_await", "co_yield", "requires", "this"};
+  return kWords;
+}
+
+/// Identifiers that introduce control flow or builtins, never project
+/// functions, at a call site inside a body.
+const std::set<std::string>& non_call_keywords() {
+  static const std::set<std::string> kWords = {
+      "if",       "for",     "while",    "switch",      "catch",
+      "return",   "sizeof",  "alignof",  "alignas",     "decltype",
+      "static_assert",       "assert",   "defined",     "new",
+      "delete",   "throw",   "co_await", "co_return",   "co_yield",
+      "noexcept", "typeid",  "requires", "static_cast", "dynamic_cast",
+      "const_cast",          "reinterpret_cast"};
+  return kWords;
+}
+
+/// Skip a balanced group starting at `i` (which must point at `open`).
+/// Returns the index one past the matching closer, or ts.size() when the
+/// group never closes.
+std::size_t skip_balanced(const Tokens& ts, std::size_t i, const char* open,
+                          const char* close) {
+  if (i >= ts.size() || !is_punct(ts[i], open)) return i;
+  int depth = 0;
+  for (std::size_t j = i; j < ts.size(); ++j) {
+    if (is_punct(ts[j], open)) ++depth;
+    if (is_punct(ts[j], close)) {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+  }
+  return ts.size();
+}
+
+/// Token ranges [open_brace, close_brace] of lambda bodies within
+/// [begin, end). A capture list `[` starts a primary expression, so the
+/// token before it is never an identifier, `)`, `]`, or `>` — that shape
+/// is array indexing. After the capture list we accept an optional
+/// parameter list, then skip specifier tokens (mutable, noexcept(...),
+/// trailing return types) until the body `{`.
+std::vector<std::pair<std::size_t, std::size_t>> lambda_body_regions(
+    const Tokens& ts, std::size_t begin, std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  for (std::size_t k = begin; k < end && k < ts.size(); ++k) {
+    if (!is_punct(ts[k], "[")) continue;
+    if (k > begin && (is_ident(ts[k - 1]) || is_punct(ts[k - 1], ")") ||
+                      is_punct(ts[k - 1], "]") || is_punct(ts[k - 1], ">"))) {
+      continue;  // indexing or attribute-after-declarator, not a capture
+    }
+    std::size_t j = skip_balanced(ts, k, "[", "]");
+    if (j >= ts.size()) break;
+    if (j < ts.size() && is_punct(ts[j], "(")) {
+      j = skip_balanced(ts, j, "(", ")");
+    }
+    // Specifiers / trailing return type: identifiers, ::, ->, <...> and
+    // noexcept(...) groups may precede the body.
+    std::size_t guard = 0;
+    while (j < ts.size() && !is_punct(ts[j], "{") && guard++ < 64) {
+      if (is_ident(ts[j]) || is_punct(ts[j], "::") || is_punct(ts[j], "->") ||
+          is_punct(ts[j], "*") || is_punct(ts[j], "&")) {
+        ++j;
+      } else if (is_punct(ts[j], "<")) {
+        int depth = 0;
+        std::size_t m = j;
+        for (; m < ts.size(); ++m) {
+          if (is_punct(ts[m], "<")) ++depth;
+          if (is_punct(ts[m], ">") && --depth == 0) break;
+          if (is_punct(ts[m], ";") || is_punct(ts[m], "{")) break;
+        }
+        if (m >= ts.size() || !is_punct(ts[m], ">")) break;
+        j = m + 1;
+      } else if (is_punct(ts[j], "(")) {
+        j = skip_balanced(ts, j, "(", ")");
+      } else {
+        break;
+      }
+    }
+    if (j < ts.size() && is_punct(ts[j], "{")) {
+      const std::size_t close = skip_balanced(ts, j, "{", "}");
+      if (close > j) regions.emplace_back(j, close - 1);
+    }
+  }
+  return regions;
+}
+
+/// Annotation macro names whose argument lists name mutexes.
+bool is_mutex_annotation(const Token& t, bool* requires_out) {
+  if (is_id(t, "QGNN_REQUIRES")) {
+    *requires_out = true;
+    return true;
+  }
+  if (is_id(t, "QGNN_EXCLUDES")) {
+    *requires_out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Collect the mutex names from an annotation argument list starting at
+/// `open` (the '(' token): one name per comma-separated argument, taken
+/// as the last identifier of the argument expression (so `handle_->mu_`
+/// and `mu_` both yield "mu_"). Returns one past the ')'.
+std::size_t collect_mutex_args(const Tokens& ts, std::size_t open,
+                               std::set<std::string>* out) {
+  const std::size_t end = skip_balanced(ts, open, "(", ")");
+  std::string last;
+  for (std::size_t j = open + 1; j + 1 < end + 1 && j < ts.size(); ++j) {
+    if (j == end - 1 || is_punct(ts[j], ",")) {
+      if (!last.empty()) out->insert(last);
+      last.clear();
+      continue;
+    }
+    if (is_ident(ts[j])) last = ts[j].text;
+  }
+  return end;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: structure scan (namespaces, classes, functions, annotations)
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;  // class name for kClass
+};
+
+class StructureScanner {
+ public:
+  StructureScanner(const Tokens& ts, int file, ProjectModel* model)
+      : ts_(ts), file_(file), model_(model) {}
+
+  void run() {
+    std::size_t i = 0;
+    while (i < ts_.size()) {
+      i = statement(i);
+    }
+  }
+
+ private:
+  std::string current_class() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::Kind::kClass) return it->name;
+      if (it->kind == Scope::Kind::kBlock) return "";
+    }
+    return "";
+  }
+
+  /// Parse one construct starting at `i`; returns the index to resume at.
+  /// Always makes progress.
+  std::size_t statement(std::size_t i) {
+    const Token& t = ts_[i];
+    if (t.kind == TokenKind::kDirective) return i + 1;
+    if (is_punct(t, "}")) {
+      if (!scopes_.empty()) scopes_.pop_back();
+      return i + 1;
+    }
+    if (is_punct(t, "{")) {
+      scopes_.push_back({Scope::Kind::kBlock, ""});
+      return i + 1;
+    }
+    if (is_id(t, "namespace")) return namespace_decl(i);
+    if (is_id(t, "enum")) return enum_decl(i);
+    if (is_id(t, "template")) return template_header(i);
+    if (is_id(t, "using") || is_id(t, "typedef") || is_id(t, "friend")) {
+      return skip_to_semicolon(i);
+    }
+    if ((is_id(t, "public") || is_id(t, "private") ||
+         is_id(t, "protected")) &&
+        i + 1 < ts_.size() && is_punct(ts_[i + 1], ":")) {
+      return i + 2;
+    }
+    if ((is_id(t, "class") || is_id(t, "struct") || is_id(t, "union")) &&
+        !prev_is_template_param(i)) {
+      return class_decl(i);
+    }
+    return declaration(i);
+  }
+
+  bool prev_is_template_param(std::size_t i) const {
+    if (i == 0) return false;
+    const Token& p = ts_[i - 1];
+    return is_punct(p, "<") || is_punct(p, ",");
+  }
+
+  std::size_t namespace_decl(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < ts_.size() &&
+           (is_ident(ts_[j]) || is_punct(ts_[j], "::"))) {
+      ++j;
+    }
+    if (j < ts_.size() && is_punct(ts_[j], "{")) {
+      scopes_.push_back({Scope::Kind::kNamespace, ""});
+      return j + 1;
+    }
+    return skip_to_semicolon(i);  // namespace alias
+  }
+
+  std::size_t enum_decl(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < ts_.size() && !is_punct(ts_[j], "{") &&
+           !is_punct(ts_[j], ";")) {
+      ++j;
+    }
+    if (j < ts_.size() && is_punct(ts_[j], "{")) {
+      j = skip_balanced(ts_, j, "{", "}");
+    }
+    if (j < ts_.size() && is_punct(ts_[j], ";")) ++j;
+    return j;
+  }
+
+  std::size_t template_header(std::size_t i) {
+    std::size_t j = i + 1;
+    if (j < ts_.size() && is_punct(ts_[j], "<")) {
+      int depth = 0;
+      for (; j < ts_.size(); ++j) {
+        if (is_punct(ts_[j], "<")) ++depth;
+        if (is_punct(ts_[j], ">")) {
+          --depth;
+          if (depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+    }
+    return j;  // the templated declaration parses next
+  }
+
+  std::size_t class_decl(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    // Optional attributes / macro names before the class name; take the
+    // last identifier before the terminator as the name.
+    while (j < ts_.size() && !is_punct(ts_[j], "{") &&
+           !is_punct(ts_[j], ";") && !is_punct(ts_[j], ":") &&
+           !is_punct(ts_[j], "(")) {
+      if (is_ident(ts_[j]) && ts_[j].text != "final" &&
+          ts_[j].text != "alignas") {
+        name = ts_[j].text;
+      }
+      ++j;
+    }
+    if (j >= ts_.size()) return ts_.size();
+    if (is_punct(ts_[j], ":")) {  // base clause
+      while (j < ts_.size() && !is_punct(ts_[j], "{") &&
+             !is_punct(ts_[j], ";")) {
+        if (is_punct(ts_[j], "(")) {
+          j = skip_balanced(ts_, j, "(", ")");
+          continue;
+        }
+        ++j;
+      }
+    }
+    if (j < ts_.size() && is_punct(ts_[j], "{")) {
+      scopes_.push_back({Scope::Kind::kClass, name});
+      return j + 1;
+    }
+    return j < ts_.size() ? j + 1 : ts_.size();  // forward declaration
+  }
+
+  std::size_t skip_to_semicolon(std::size_t i) {
+    std::size_t j = i;
+    int brace = 0;
+    while (j < ts_.size()) {
+      if (is_punct(ts_[j], "(")) {
+        j = skip_balanced(ts_, j, "(", ")");
+        continue;
+      }
+      if (is_punct(ts_[j], "{")) {
+        ++brace;
+        ++j;
+        continue;
+      }
+      if (is_punct(ts_[j], "}")) {
+        if (brace == 0) return j;  // stray close: let statement() pop it
+        --brace;
+        ++j;
+        continue;
+      }
+      if (brace == 0 && is_punct(ts_[j], ";")) return j + 1;
+      ++j;
+    }
+    return ts_.size();
+  }
+
+  /// Parse a declaration statement at class/namespace scope: detect a
+  /// function signature `name ( params )` at depth 0, its annotations,
+  /// and its body; or a (possibly QGNN_GUARDED_BY-annotated) member.
+  std::size_t declaration(std::size_t i) {
+    std::size_t j = i;
+    std::size_t name_idx = 0;
+    std::size_t params_end = 0;
+    bool have_sig = false;
+
+    // Head scan: up to '=', ';', '{', or a signature's parameter list.
+    while (j < ts_.size()) {
+      const Token& t = ts_[j];
+      if (is_punct(t, ";")) return finish_member(i, j, j + 1);
+      if (is_punct(t, "=")) {
+        // Variable initializer; skip balanced to the ';'.
+        const std::size_t end = skip_to_semicolon(j);
+        return finish_member(i, end > 0 ? end - 1 : j, end);
+      }
+      if (is_punct(t, "{")) {
+        // Brace-initialized member (`std::mutex m{};`) — skip the braces,
+        // then the ';'.
+        std::size_t end = skip_balanced(ts_, j, "{", "}");
+        if (end < ts_.size() && is_punct(ts_[end], ";")) ++end;
+        return finish_member(i, j, end);
+      }
+      if (is_punct(t, "}")) return j;  // malformed; resync on the brace
+      if (is_punct(t, "(")) {
+        // Candidate parameter list when preceded by a plausible name.
+        // Annotation macros are not declarator names — `int x_
+        // QGNN_GUARDED_BY(m);` is a member, not a function.
+        if (j > i && is_ident(ts_[j - 1]) &&
+            non_name_keywords().count(ts_[j - 1].text) == 0 &&
+            ts_[j - 1].text.rfind("QGNN_", 0) != 0) {
+          name_idx = j - 1;
+          params_end = skip_balanced(ts_, j, "(", ")");
+          have_sig = true;
+          j = params_end;
+          break;
+        }
+        j = skip_balanced(ts_, j, "(", ")");
+        continue;
+      }
+      ++j;
+    }
+    if (!have_sig) return j < ts_.size() ? j + 1 : ts_.size();
+
+    // Post-signature scan: qualifiers, annotations, trailing return,
+    // then ';' (declaration), '=' (default/delete/0), ':' (ctor-init),
+    // or '{' (body).
+    FunctionInfo fn;
+    fn.file = file_;
+    fn.name = ts_[name_idx].text;
+    fn.line = ts_[name_idx].line;
+    if (name_idx > 0 && is_punct(ts_[name_idx - 1], "~")) {
+      fn.name = "~" + fn.name;
+      fn.is_ctor_dtor = true;
+    }
+    // Qualification: `Foo::bar` takes Foo; otherwise the enclosing class.
+    if (name_idx >= 2 && is_punct(ts_[name_idx - 1], "::") &&
+        is_ident(ts_[name_idx - 2])) {
+      fn.class_name = ts_[name_idx - 2].text;
+    } else {
+      fn.class_name = current_class();
+    }
+    if (!fn.class_name.empty() &&
+        (fn.name == fn.class_name || fn.name == "~" + fn.class_name)) {
+      fn.is_ctor_dtor = true;
+    }
+
+    j = params_end;
+    while (j < ts_.size()) {
+      const Token& t = ts_[j];
+      bool requires_kind = false;
+      if (is_mutex_annotation(t, &requires_kind) && j + 1 < ts_.size() &&
+          is_punct(ts_[j + 1], "(")) {
+        j = collect_mutex_args(
+            ts_, j + 1,
+            requires_kind ? &fn.requires_mutexes : &fn.excludes_mutexes);
+        continue;
+      }
+      if (is_id(t, "QGNN_EVENT_LOOP_ONLY")) {
+        fn.event_loop_only = true;
+        ++j;
+        continue;
+      }
+      if (is_id(t, "QGNN_BIT_IDENTICAL_PATH")) {
+        fn.bit_identical = true;
+        ++j;
+        continue;
+      }
+      if (is_punct(t, "(")) {  // noexcept(...), decltype(...)
+        j = skip_balanced(ts_, j, "(", ")");
+        continue;
+      }
+      if (is_punct(t, ";")) {
+        record(std::move(fn));
+        return j + 1;
+      }
+      if (is_punct(t, "=")) {  // = default / = delete / = 0
+        record(std::move(fn));
+        return skip_to_semicolon(j);
+      }
+      if (is_punct(t, ":")) return ctor_init(std::move(fn), j);
+      if (is_punct(t, "{")) return body(std::move(fn), j);
+      if (is_punct(t, "}")) return j;  // malformed; resync
+      ++j;
+    }
+    return ts_.size();
+  }
+
+  /// Skip a constructor initializer list starting at the ':' and hand
+  /// the body brace to body(). Initializer braces (`b_{2}`) are
+  /// recognized by their preceding token being part of an initializer
+  /// expression, the body brace by following a completed initializer.
+  std::size_t ctor_init(FunctionInfo fn, std::size_t colon) {
+    std::size_t j = colon + 1;
+    while (j < ts_.size()) {
+      if (is_punct(ts_[j], "(")) {
+        j = skip_balanced(ts_, j, "(", ")");
+        continue;
+      }
+      if (is_punct(ts_[j], "{")) {
+        const Token& prev = ts_[j - 1];
+        if (is_ident(prev) || is_punct(prev, ">")) {
+          j = skip_balanced(ts_, j, "{", "}");  // brace initializer
+          continue;
+        }
+        return body(std::move(fn), j);
+      }
+      if (is_punct(ts_[j], ";") || is_punct(ts_[j], "}")) return j;
+      ++j;
+    }
+    return ts_.size();
+  }
+
+  std::size_t body(FunctionInfo fn, std::size_t lbrace) {
+    const std::size_t end = skip_balanced(ts_, lbrace, "{", "}");
+    fn.has_body = true;
+    fn.body_begin = lbrace;
+    fn.body_end = end > lbrace ? end - 1 : lbrace;
+    record(std::move(fn));
+    return end;
+  }
+
+  /// A statement without a function signature: check it for a
+  /// QGNN_GUARDED_BY member annotation. [begin, end_tok) is the
+  /// declaration's token range.
+  std::size_t finish_member(std::size_t begin, std::size_t end_tok,
+                            std::size_t resume) {
+    for (std::size_t j = begin; j < end_tok && j < ts_.size(); ++j) {
+      if (!is_id(ts_[j], "QGNN_GUARDED_BY")) continue;
+      if (j + 1 >= ts_.size() || !is_punct(ts_[j + 1], "(")) continue;
+      // The member name is the identifier before the macro; for array
+      // members (`halves_[2] QGNN_GUARDED_BY(m)`) it sits before the
+      // bracket group.
+      std::size_t name_idx = j;
+      if (name_idx > begin && is_punct(ts_[name_idx - 1], "]")) {
+        while (name_idx > begin && !is_punct(ts_[name_idx - 1], "[")) {
+          --name_idx;
+        }
+        if (name_idx > begin) --name_idx;  // the '['
+      }
+      if (name_idx == begin || !is_ident(ts_[name_idx - 1])) continue;
+      GuardedMember gm;
+      gm.file = file_;
+      gm.class_name = current_class();
+      gm.member = ts_[name_idx - 1].text;
+      gm.line = ts_[name_idx - 1].line;
+      std::set<std::string> mutexes;
+      collect_mutex_args(ts_, j + 1, &mutexes);
+      if (mutexes.empty()) continue;
+      gm.mutex = *mutexes.begin();
+      model_->guarded.push_back(std::move(gm));
+    }
+    return resume;
+  }
+
+  void record(FunctionInfo fn) {
+    model_->functions.push_back(std::move(fn));
+  }
+
+  const Tokens& ts_;
+  int file_;
+  ProjectModel* model_;
+  std::vector<Scope> scopes_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 2: declaration/definition annotation merge + call graph
+
+std::string group_key(const FunctionInfo& fn) {
+  return fn.class_name + "::" + fn.name;
+}
+
+void merge_annotations(ProjectModel* model) {
+  struct Group {
+    std::set<std::string> requires_mutexes;
+    std::set<std::string> excludes_mutexes;
+    bool event_loop_only = false;
+    bool bit_identical = false;
+  };
+  std::map<std::string, Group> groups;
+  for (const FunctionInfo& fn : model->functions) {
+    Group& g = groups[group_key(fn)];
+    g.requires_mutexes.insert(fn.requires_mutexes.begin(),
+                              fn.requires_mutexes.end());
+    g.excludes_mutexes.insert(fn.excludes_mutexes.begin(),
+                              fn.excludes_mutexes.end());
+    g.event_loop_only |= fn.event_loop_only;
+    g.bit_identical |= fn.bit_identical;
+  }
+  for (FunctionInfo& fn : model->functions) {
+    const Group& g = groups[group_key(fn)];
+    fn.requires_mutexes = g.requires_mutexes;
+    fn.excludes_mutexes = g.excludes_mutexes;
+    fn.event_loop_only = g.event_loop_only;
+    fn.bit_identical = g.bit_identical;
+  }
+}
+
+void build_call_graph(ProjectModel* model) {
+  // Name index over definitions (call targets are bodies; a declaration
+  // node has nothing to scan).
+  std::multimap<std::string, int> defs_by_name;
+  std::set<std::string> class_names;
+  for (std::size_t f = 0; f < model->functions.size(); ++f) {
+    const FunctionInfo& fn = model->functions[f];
+    model->functions_by_name.emplace(fn.name, static_cast<int>(f));
+    if (fn.has_body) defs_by_name.emplace(fn.name, static_cast<int>(f));
+    if (!fn.class_name.empty()) class_names.insert(fn.class_name);
+  }
+
+  model->calls.assign(model->functions.size(), {});
+  for (std::size_t f = 0; f < model->functions.size(); ++f) {
+    const FunctionInfo& fn = model->functions[f];
+    if (!fn.has_body) continue;
+    const Tokens& ts = model->files[static_cast<std::size_t>(fn.file)]
+                           .lex.tokens;
+    const auto lambdas =
+        lambda_body_regions(ts, fn.body_begin + 1, fn.body_end);
+    const auto in_lambda = [&lambdas](std::size_t k) {
+      for (const auto& r : lambdas) {
+        if (k > r.first && k < r.second) return true;
+      }
+      return false;
+    };
+    for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+      if (!is_ident(ts[k]) || k + 1 >= ts.size() ||
+          !is_punct(ts[k + 1], "(")) {
+        continue;
+      }
+      if (non_call_keywords().count(ts[k].text) > 0) continue;
+
+      // Qualifier shape.
+      std::string class_qual;
+      bool qualified = false;
+      if (k >= 1 && is_punct(ts[k - 1], "::") && k >= 2 &&
+          is_ident(ts[k - 2])) {
+        class_qual = ts[k - 2].text;
+        qualified = true;
+      }
+
+      const auto range = defs_by_name.equal_range(ts[k].text);
+      std::vector<int> candidates;
+      for (auto it = range.first; it != range.second; ++it) {
+        candidates.push_back(it->second);
+      }
+      if (candidates.empty()) continue;
+
+      std::vector<int> chosen;
+      if (qualified) {
+        // `Foo::bar(...)` — only class-qualified matches. Namespace
+        // qualifiers (std::, net::) match nothing here by design.
+        if (class_names.count(class_qual) > 0) {
+          for (int c : candidates) {
+            if (model->functions[static_cast<std::size_t>(c)].class_name ==
+                class_qual) {
+              chosen.push_back(c);
+            }
+          }
+        }
+      } else {
+        // Prefer same-class members; otherwise accept only when every
+        // candidate shares one (class, name) identity — ambiguity makes
+        // no edge rather than a wrong one.
+        for (int c : candidates) {
+          if (!fn.class_name.empty() &&
+              model->functions[static_cast<std::size_t>(c)].class_name ==
+                  fn.class_name) {
+            chosen.push_back(c);
+          }
+        }
+        if (chosen.empty()) {
+          std::set<std::string> identities;
+          for (int c : candidates) {
+            identities.insert(
+                group_key(model->functions[static_cast<std::size_t>(c)]));
+          }
+          if (identities.size() == 1) chosen = candidates;
+        }
+      }
+      for (int c : chosen) {
+        model->calls[f].push_back(CallSite{c, ts[k].line, k, in_lambda(k)});
+      }
+    }
+  }
+}
+
+void collect_annotated_mutexes(ProjectModel* model) {
+  for (const GuardedMember& gm : model->guarded) {
+    model->annotated_mutexes.insert(gm.mutex);
+  }
+  for (const FunctionInfo& fn : model->functions) {
+    model->annotated_mutexes.insert(fn.requires_mutexes.begin(),
+                                    fn.requires_mutexes.end());
+    model->annotated_mutexes.insert(fn.excludes_mutexes.begin(),
+                                    fn.excludes_mutexes.end());
+  }
+}
+
+void build_include_graph(ProjectModel* model) {
+  // Suffix index: resolve `#include "a/b.hpp"` to the scanned file whose
+  // normalized path ends with "/a/b.hpp" (or equals it).
+  model->includes.assign(model->files.size(), {});
+  for (std::size_t f = 0; f < model->files.size(); ++f) {
+    for (const Token& t : model->files[f].lex.tokens) {
+      if (t.kind != TokenKind::kDirective) continue;
+      if (t.text.rfind("#include", 0) != 0) continue;
+      const std::size_t open = t.text.find('"');
+      if (open == std::string::npos) continue;
+      const std::size_t close = t.text.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const std::string inc = t.text.substr(open + 1, close - open - 1);
+      for (std::size_t g = 0; g < model->files.size(); ++g) {
+        const std::string& p = model->files[g].normalized;
+        if (p == inc || (p.size() > inc.size() + 1 &&
+                         p.compare(p.size() - inc.size() - 1, 1, "/") == 0 &&
+                         p.compare(p.size() - inc.size(), inc.size(), inc) ==
+                             0)) {
+          model->includes[f].push_back(static_cast<int>(g));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int ProjectModel::file_index(const std::string& normalized) const {
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    if (files[f].normalized == normalized) return static_cast<int>(f);
+  }
+  return -1;
+}
+
+ProjectModel build_model(std::vector<FileContext> files) {
+  ProjectModel model;
+  model.files = std::move(files);
+  for (std::size_t f = 0; f < model.files.size(); ++f) {
+    StructureScanner(model.files[f].lex.tokens, static_cast<int>(f), &model)
+        .run();
+  }
+  merge_annotations(&model);
+  collect_annotated_mutexes(&model);
+  build_call_graph(&model);
+  build_include_graph(&model);
+  return model;
+}
+
+}  // namespace qgnn::lint

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qgnn_lint/checks.hpp"
+
+namespace qgnn::lint {
+
+/// Project-wide semantic model: every translation unit lexed once, the
+/// project-internal include graph, a symbol index of functions and
+/// annotated class members, and a lightweight call graph. It is not a
+/// compiler front end — symbols are matched by name, overloads collapse
+/// onto one node, and calls through std::function or virtual dispatch
+/// are invisible — but it is enough for the flow-lite checkers
+/// (flow_checks.hpp) to follow locks, event-loop reachability, and
+/// bit-identity surfaces across files, which no per-file lexical pass
+/// can do.
+
+/// One function (declaration or definition) found in the token stream.
+struct FunctionInfo {
+  int file = -1;            ///< index into ProjectModel::files
+  std::string name;         ///< simple name, e.g. "drain_submits"
+  std::string class_name;   ///< enclosing/qualifying class, "" for free
+  int line = 0;             ///< line of the declarator
+  bool has_body = false;
+  std::size_t body_begin = 0;  ///< token index of the body '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+  bool is_ctor_dtor = false;   ///< constructor/destructor of class_name
+
+  // Annotations (src/util/annotations.hpp), merged across a function's
+  // declaration and definition by (class_name, name).
+  std::set<std::string> requires_mutexes;  ///< QGNN_REQUIRES args
+  std::set<std::string> excludes_mutexes;  ///< QGNN_EXCLUDES args
+  bool event_loop_only = false;            ///< QGNN_EVENT_LOOP_ONLY
+  bool bit_identical = false;              ///< QGNN_BIT_IDENTICAL_PATH
+
+  std::string qualified() const {
+    return class_name.empty() ? name : class_name + "::" + name;
+  }
+};
+
+/// One call site inside a function body.
+struct CallSite {
+  int callee = -1;  ///< index into ProjectModel::functions
+  int line = 0;
+  std::size_t token = 0;  ///< index of the callee-name token
+  /// True when the call is written inside a lambda body. The lambda runs
+  /// whenever (and on whatever thread) its holder invokes it — a thread
+  /// entry point, a queued task — so reachability walks that model the
+  /// *calling* thread (event-loop-blocking) must not follow deferred
+  /// edges as if they executed inline.
+  bool deferred = false;
+};
+
+/// A class member tagged QGNN_GUARDED_BY.
+struct GuardedMember {
+  int file = -1;
+  std::string class_name;
+  std::string member;  ///< e.g. "submit_queue_"
+  std::string mutex;   ///< e.g. "submit_mutex_"
+  int line = 0;
+};
+
+struct ProjectModel {
+  /// Lexed files, sorted by path; FileContext::options is not set here
+  /// (the driver owns options).
+  std::vector<FileContext> files;
+
+  /// Per-file indices of project-internal includes (resolved from
+  /// #include "..." directives against the scanned file set).
+  std::vector<std::vector<int>> includes;
+
+  std::vector<FunctionInfo> functions;
+  /// Parallel to `functions`: resolved call sites within each body.
+  std::vector<std::vector<CallSite>> calls;
+
+  std::vector<GuardedMember> guarded;
+
+  /// Every mutex name that appears in any QGNN_GUARDED_BY / QGNN_REQUIRES
+  /// / QGNN_EXCLUDES annotation. The event-loop checker treats acquiring
+  /// these as non-blocking-by-contract (annotated mutexes only guard
+  /// short critical sections); locking anything else from the loop is a
+  /// finding.
+  std::set<std::string> annotated_mutexes;
+
+  /// Function indices by simple name (call-graph resolution).
+  std::multimap<std::string, int> functions_by_name;
+
+  /// Index into files for a normalized path, or -1.
+  int file_index(const std::string& normalized) const;
+};
+
+/// Build the model from pre-lexed files. `files` must be sorted by path
+/// (collect order); the vector is moved into the model.
+ProjectModel build_model(std::vector<FileContext> files);
+
+}  // namespace qgnn::lint

@@ -1,0 +1,124 @@
+#include "qgnn_lint/sarif.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "qgnn_lint/flow_checks.hpp"
+
+namespace qgnn::lint {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string sarif_uri(const std::string& path) {
+  std::string uri = path;
+  std::replace(uri.begin(), uri.end(), '\\', '/');
+  // Relative URIs only: strip a leading "./".
+  if (uri.rfind("./", 0) == 0) uri = uri.substr(2);
+  return uri;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"qgnn_lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/qgnn/tools/qgnn_lint\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const CheckInfo& c : all_checks()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": \"" + json_escape(c.name) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(c.description) + "\"}}";
+  }
+  for (const FlowCheckInfo& c : all_flow_checks()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": \"" + json_escape(c.name) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(c.description) + "\"}}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(f.check) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + json_escape(f.message) +
+           "\"},\n";
+    out +=
+        "          \"locations\": [\n"
+        "            {\n"
+        "              \"physicalLocation\": {\n"
+        "                \"artifactLocation\": {\"uri\": \"" +
+        json_escape(sarif_uri(f.file)) +
+        "\"},\n"
+        "                \"region\": {\"startLine\": " +
+        std::to_string(f.line) +
+        "}\n"
+        "              }\n"
+        "            }\n"
+        "          ]\n";
+    out += "        }";
+  }
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace qgnn::lint

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qgnn_lint/checks.hpp"
+
+namespace qgnn::lint {
+
+/// Render findings as a SARIF 2.1.0 log (one run, one result per
+/// finding, rules populated from the check catalogues) so CI systems and
+/// code-scanning UIs can ingest qgnn_lint output directly. Findings are
+/// emitted in the order given; the driver sorts them first, so the
+/// report is byte-identical for a given finding set at any --jobs value.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+/// JSON string escaping (also used by the baseline writer).
+std::string json_escape(const std::string& s);
+
+}  // namespace qgnn::lint
